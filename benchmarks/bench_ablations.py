@@ -1,0 +1,246 @@
+"""A1-A4: ablations of the design choices DESIGN.md calls out.
+
+* **A1 alpha split** — the planner optimises the eps split between
+  sampling and tree error; compare against the paper's fixed alpha = 0.5
+  (Section 4.4 uses 0.5 only to get a closed form).
+* **A2 onset height h** — memory as a function of the height at which
+  sampling starts; the planner should sit at/near the sweep's minimum.
+* **A3 collapse policy** — MRL vs Munro-Paterson vs ARS at the planner
+  level (memory for the same guarantee) and at runtime (error at the same
+  memory).
+* **A4 even-offset alternation** — Collapse's alternation between the two
+  even-weight offsets vs always-low, measured as median drift over a
+  deterministic stream.
+* **A5 within-block randomness** — the paper's New picks a *uniformly
+  random* element per block; a naive systematic sampler (fixed in-block
+  position) is cheaper but phase-locks onto periodic streams.  Compare
+  both against the sawtooth workload whose period matches the block size.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from conftest import format_table, report
+
+from repro.core.framework import CollapseEngine
+from repro.core.params import plan_parameters, tree_error_requirement
+from repro.core.policy import ARSPolicy, MRLPolicy, MunroPatersonPolicy
+from repro.stats.bounds import required_block_mass
+from repro.stats.rank import rank_error
+
+EPS, DELTA = 0.01, 1e-4
+
+
+def memory_for_alpha(alpha: float) -> int:
+    """Minimal b*k at a fixed alpha (the planner's inner loop, pinned)."""
+    policy = MRLPolicy()
+    best = None
+    for b in range(2, 30):
+        for h in range(1, 30):
+            l_d = policy.leaves_before_height(b, h)
+            l_s = policy.leaves_per_sampled_level(b, h)
+            k = max(
+                math.ceil(
+                    required_block_mass(EPS, DELTA, alpha)
+                    / min(l_d, 8.0 * l_s / 3.0)
+                ),
+                math.ceil(tree_error_requirement(l_d, l_s, h) / (alpha * EPS)),
+                math.ceil((h + 1) / (2.0 * EPS)),
+            )
+            if best is None or b * k < best:
+                best = b * k
+    return best
+
+
+def test_a1_alpha_split(benchmark):
+    def run():
+        sweep = {alpha: memory_for_alpha(alpha) for alpha in
+                 (0.3, 0.4, 0.5, 0.6, 0.7, 0.8)}
+        optimised = plan_parameters(EPS, DELTA).memory
+        return sweep, optimised
+
+    sweep, optimised = benchmark.pedantic(run, rounds=1)
+    rows = [[f"{a:.1f}", str(m)] for a, m in sweep.items()]
+    rows.append(["planner", str(optimised)])
+    lines = format_table(["alpha", "memory (b*k)"], rows)
+    report("a1_alpha_split", lines)
+    # The planner's per-(b,h) optimal alpha never loses to any fixed alpha.
+    assert optimised <= min(sweep.values())
+
+
+def test_a2_onset_height(benchmark):
+    def run():
+        policy = MRLPolicy()
+        results = {}
+        plan = plan_parameters(EPS, DELTA)
+        b = plan.b
+        for h in range(1, 16):
+            l_d = policy.leaves_before_height(b, h)
+            l_s = policy.leaves_per_sampled_level(b, h)
+            # Best k at this (b, h) with optimal alpha, as in the planner.
+            from repro.core.params import _optimal_alpha
+
+            c1 = math.log(2.0 / DELTA) / (
+                2.0 * EPS * EPS * min(l_d, 8.0 * l_s / 3.0)
+            )
+            c2 = tree_error_requirement(l_d, l_s, h) / EPS
+            alpha = _optimal_alpha(c1, c2)
+            k = max(
+                math.ceil(c1 / (1 - alpha) ** 2),
+                math.ceil(c2 / alpha),
+                math.ceil((h + 1) / (2 * EPS)),
+            )
+            results[h] = b * k
+        return results, plan
+
+    results, plan = benchmark.pedantic(run, rounds=1)
+    rows = [
+        [str(h), str(m), "<- planner" if h == plan.h and m else ""]
+        for h, m in results.items()
+    ]
+    lines = format_table(["h (onset height)", f"memory at b={plan.b}", ""], rows)
+    report("a2_onset_height", lines)
+    # The planner's h is optimal for its own b.
+    assert results[plan.h] == min(results.values())
+
+
+def test_a3_collapse_policy(benchmark):
+    def run():
+        planner_memory = {
+            policy.name: plan_parameters(EPS, DELTA, policy=policy).memory
+            for policy in (MRLPolicy(), MunroPatersonPolicy())
+        }
+        # Runtime error at identical memory (b=5, k=256) over one stream.
+        rng = random.Random(3)
+        data = [rng.random() for _ in range(200_000)]
+        sorted_data = sorted(data)
+        runtime_error = {}
+        for policy in (MRLPolicy(), MunroPatersonPolicy(), ARSPolicy()):
+            engine = CollapseEngine(5, 256, policy)
+            staged = []
+            for value in data:
+                staged.append(value)
+                if len(staged) == 256:
+                    engine.deposit(staged, 1, 0)
+                    staged = []
+            extras = [(sorted(staged), 1)] if staged else []
+            worst = max(
+                rank_error(sorted_data, engine.query(phi, extras), phi)
+                for phi in (0.1, 0.25, 0.5, 0.75, 0.9)
+            ) / len(data)
+            runtime_error[policy.name] = worst
+        return planner_memory, runtime_error
+
+    planner_memory, runtime_error = benchmark.pedantic(run, rounds=1)
+    rows = [
+        [name, str(planner_memory.get(name, "-")), f"{runtime_error[name]:.5f}"]
+        for name in runtime_error
+    ]
+    lines = format_table(
+        ["policy", "planned memory (eps guarantee)", "runtime err @ b=5,k=256"],
+        rows,
+    )
+    report("a3_collapse_policy", lines)
+    # MRL's leaf-rich trees dominate: never more planned memory than MP,
+    # and the lowest (or tied) runtime error at equal memory.
+    assert planner_memory["mrl"] <= planner_memory["munro-paterson"]
+    assert runtime_error["mrl"] <= runtime_error["ars"] + 1e-9
+
+
+def test_a4_offset_alternation(benchmark):
+    # Deterministic setting where the mechanism is visible: a binary
+    # (Munro-Paterson) collapse tower over a sorted stream — every
+    # collapse weight is even, so every collapse faces the offset choice
+    # and the always-low bias accumulates coherently.
+    def run():
+        from bisect import bisect_right
+
+        def mean_signed_drift(alternate: bool) -> float:
+            k, leaves = 64, 256
+            engine = CollapseEngine(
+                10, k, MunroPatersonPolicy(), alternate_even_offsets=alternate
+            )
+            n = leaves * k
+            data = [float(i) for i in range(n)]
+            staged = []
+            for value in data:
+                staged.append(value)
+                if len(staged) == k:
+                    engine.deposit(staged, 1, 0)
+                    staged = []
+            phis = [i / 10 for i in range(1, 10)]
+            total = 0.0
+            for phi in phis:
+                rank = bisect_right(data, engine.query(phi))
+                total += rank - math.ceil(phi * n)
+            return total / len(phis)
+
+        return {alt: mean_signed_drift(alt) for alt in (True, False)}
+
+    drift = benchmark.pedantic(run, rounds=1)
+    lines = format_table(
+        ["even-offset alternation", "mean signed rank drift (phi grid)"],
+        [[str(key), f"{value:+.1f}"] for key, value in drift.items()],
+    )
+    lines.append("")
+    lines.append("binary collapse tower, sorted stream, 16k elements, k=64")
+    report("a4_offset_alternation", lines)
+    # Alternation cancels the systematic bias of always choosing low.
+    assert abs(drift[True]) < abs(drift[False])
+
+
+def test_a5_within_block_randomness(benchmark):
+    # A sawtooth stream whose period equals the block size: a fixed
+    # in-block pick sees ONE phase of the ramp forever; the paper's
+    # uniform pick stays representative.
+    from repro.core.params import Plan
+    from repro.core.unknown_n import UnknownNQuantiles
+    from repro.streams.generators import sawtooth_stream
+
+    def run():
+        plan = Plan(0.05, 0.01, 3, 50, 2, 0.5, 6, 3, "mrl")
+        n = 400_000
+        period = 64
+        data = list(sawtooth_stream(n, period=period))
+        sorted_data = sorted(data)
+
+        # The paper's estimator, run long enough that rates hit `period`.
+        est = UnknownNQuantiles(plan=plan, seed=1)
+        est.extend(data)
+        assert est.sampling_rate >= period
+        uniform_err = max(
+            rank_error(sorted_data, est.query(phi), phi) / n
+            for phi in (0.1, 0.5, 0.9)
+        )
+
+        # Naive systematic sampling at the same final rate: keep element 0
+        # of every block of `period` — phase-locked to the sawtooth.
+        fixed_sample = sorted(data[::period])
+        fixed_err = max(
+            rank_error(
+                sorted_data,
+                fixed_sample[
+                    min(len(fixed_sample) - 1, int(phi * len(fixed_sample)))
+                ],
+                phi,
+            )
+            / n
+            for phi in (0.1, 0.5, 0.9)
+        )
+        return uniform_err, fixed_err
+
+    uniform_err, fixed_err = benchmark.pedantic(run, rounds=1)
+    lines = format_table(
+        ["sampler", "worst err / N (sawtooth, period == block)"],
+        [
+            ["uniform within block (paper)", f"{uniform_err:.5f}"],
+            ["fixed position per block", f"{fixed_err:.5f}"],
+        ],
+    )
+    report("a5_within_block_randomness", lines)
+    # The fixed-position sampler phase-locks: it only ever sees one value
+    # of each sawtooth period, so its quantiles are wildly biased.
+    assert uniform_err <= 0.05
+    assert fixed_err > 4 * uniform_err

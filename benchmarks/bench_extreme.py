@@ -1,0 +1,93 @@
+"""E2: Section 7 — extreme values in a fraction of the general memory.
+
+The paper's claim: for phi near 0 (or 1) the top-k-of-a-sample estimator
+"seems to outperform most other algorithms handily in the amount of memory
+required", because extreme order statistics of samples concentrate faster
+than central ones.  We compare, at matched (eps, delta):
+
+* the Section 7 estimator's memory (its retained heap), vs
+* the general unknown-N algorithm's memory (b*k), vs
+* the folklore reservoir sample size,
+
+and validate the accuracy on a latency-like workload (p99/p999 tracking,
+the motivating use).  Shape claims: extreme memory is a small fraction of
+the general algorithm's; its advantage erodes as phi moves toward the
+median; accuracy meets eps.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, report
+
+from repro.core.extreme import ExtremeValueEstimator
+from repro.core.params import plan_parameters
+from repro.stats.bounds import reservoir_sample_size
+from repro.stats.rank import rank_error
+from repro.streams.generators import latency_stream
+
+DELTA = 1e-4
+N = 200_000
+CASES = [  # (phi, eps)
+    (0.995, 0.001),
+    (0.99, 0.002),
+    (0.95, 0.005),
+    (0.05, 0.005),
+    (0.01, 0.002),
+]
+
+
+def run_case(phi: float, eps: float):
+    data = list(latency_stream(N, 7))
+    est = ExtremeValueEstimator(phi=phi, eps=eps, delta=DELTA, n=N, seed=11)
+    est.extend(data)
+    err = rank_error(sorted(data), est.query(), phi) / N
+    general = plan_parameters(eps, DELTA).memory
+    reservoir = reservoir_sample_size(eps, DELTA)
+    return err, est.memory_elements, general, reservoir
+
+
+def run_all():
+    return {(phi, eps): run_case(phi, eps) for phi, eps in CASES}
+
+
+def test_extreme_value_memory_and_accuracy(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1)
+    rows = []
+    for (phi, eps), (err, extreme_mem, general_mem, reservoir_mem) in results.items():
+        rows.append(
+            [
+                f"{phi:g}",
+                f"{eps:g}",
+                f"{err:.5f}",
+                str(extreme_mem),
+                str(general_mem),
+                str(reservoir_mem),
+                f"{general_mem / extreme_mem:.1f}x",
+            ]
+        )
+    lines = format_table(
+        [
+            "phi",
+            "eps",
+            "rank err / N",
+            "extreme mem",
+            "general bk",
+            "reservoir s",
+            "saving",
+        ],
+        rows,
+    )
+    lines.append("")
+    lines.append(f"latency workload, N={N}, delta={DELTA}")
+    report("e2_extreme_values", lines)
+
+    for (phi, eps), (err, extreme_mem, general_mem, _) in results.items():
+        assert err <= eps * 1.5, (phi, eps, err)  # delta-slack on one run
+        assert extreme_mem < general_mem, (phi, eps)
+    # The advantage erodes toward the median: compare matched-eps cases.
+    mem_p995 = results[(0.995, 0.001)][1]
+    mem_p99 = results[(0.99, 0.002)][1]
+    mem_p95 = results[(0.95, 0.005)][1]
+    general_p995 = results[(0.995, 0.001)][2]
+    assert mem_p995 < general_p995 / 10  # deep tail: order-of-magnitude win
+    assert mem_p95 > mem_p99 > 0  # moving inward costs memory at fixed-ish k

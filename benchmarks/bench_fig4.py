@@ -1,0 +1,53 @@
+"""Figure 4: memory vs N for the known-N and unknown-N algorithms.
+
+Paper's figure (eps = 0.01, delta = 1e-4): the known-N algorithm's memory
+grows with log N while it can avoid sampling, then plateaus once sampling
+kicks in; the unknown-N algorithm uses one constant amount regardless of
+N.  Shape claims: the unknown-N line is flat; the known-N line is
+monotone non-decreasing up to its plateau and always below the unknown-N
+line; the lines converge to within 2x at large N.
+"""
+
+from __future__ import annotations
+
+from conftest import ascii_chart, format_table, report
+
+from repro.core.params import known_n_memory, plan_parameters
+
+EPS, DELTA = 0.01, 1e-4
+EXPONENTS = list(range(3, 13))  # N = 1e3 .. 1e12
+
+
+def build_series():
+    unknown = plan_parameters(EPS, DELTA).memory
+    known = [known_n_memory(EPS, DELTA, 10**e) for e in EXPONENTS]
+    return unknown, known
+
+
+def test_fig4_memory_vs_n(benchmark):
+    unknown, known = benchmark.pedantic(build_series, rounds=1)
+    rows = [
+        [f"1e{e}", str(k), str(unknown), f"{unknown / k:.2f}"]
+        for e, k in zip(EXPONENTS, known)
+    ]
+    lines = format_table(["N", "known-N mem", "unknown-N mem", "ratio"], rows)
+    lines.append("")
+    lines.append(f"eps={EPS}, delta={DELTA}; memory in stored elements")
+    lines.append("")
+    lines.extend(
+        ascii_chart(
+            [f"1e{e}" for e in EXPONENTS],
+            {"known-N": known, "unknown-N": [unknown] * len(known)},
+        )
+    )
+    report("fig4_memory_vs_n", lines)
+
+    # Unknown-N is one flat line by construction (no N in the plan).
+    # Known-N: monotone non-decreasing, then flat at the sampling plateau.
+    assert known == sorted(known)
+    assert known[-1] == known[-2]  # plateau reached
+    # Known-N never exceeds unknown-N, and converges to within 2x.
+    assert all(k <= unknown for k in known)
+    assert unknown <= 2.0 * known[-1]
+    # Small N: the known-N algorithm is far cheaper (it can store little).
+    assert known[0] < unknown / 3

@@ -1,0 +1,73 @@
+"""Figure 5: a valid buffer-allocation schedule under user memory limits.
+
+Paper's figure (eps = 0.01, delta = 1e-4): three curves over log N — the
+user-specified limit staircase, the known-N memory curve, and the valid
+schedule's memory, which stays below the limits while tracking the
+known-N curve as closely as validity allows.  Shape claims: the schedule
+never exceeds the limits, is monotone non-decreasing, ends at its full
+b*k, and b*k stays within the final limit.
+"""
+
+from __future__ import annotations
+
+from conftest import ascii_chart, format_table, report
+
+from repro.core.params import known_n_memory
+from repro.core.schedule import MemoryLimits, plan_schedule
+
+EPS, DELTA = 0.01, 1e-4
+LIMITS = MemoryLimits(
+    [(10_000, 2_000), (100_000, 4_000), (1_000_000, 6_000), (10**12, 9_000)]
+)
+EXPONENTS = [3, 4, 5, 6, 7, 8, 9, 10]
+
+
+def build_series():
+    schedule = plan_schedule(EPS, DELTA, LIMITS)
+    ns = [10**e for e in EXPONENTS]
+    return schedule, [
+        (n, LIMITS.at(n), schedule.memory_at(n), known_n_memory(EPS, DELTA, n))
+        for n in ns
+    ]
+
+
+def test_fig5_schedule_within_limits(benchmark):
+    schedule, series = benchmark.pedantic(build_series, rounds=1)
+    rows = [
+        [f"1e{e}", str(limit), str(used), str(known)]
+        for e, (_, limit, used, known) in zip(EXPONENTS, series)
+    ]
+    lines = format_table(
+        ["N", "user limit", "schedule mem", "known-N mem"], rows
+    )
+    lines.append("")
+    lines.append(
+        f"schedule: b={schedule.b} k={schedule.k} h={schedule.h} "
+        f"alpha={schedule.alpha:.3f} peak={schedule.memory}"
+    )
+    lines.append(
+        f"buffer allocation at leaf counts: {schedule.allocation_leaves}"
+    )
+    lines.append("")
+    lines.extend(
+        ascii_chart(
+            [f"1e{e}" for e in EXPONENTS],
+            {
+                "user limit": [float(limit) for _, limit, _, _ in series],
+                "schedule": [float(used) for _, _, used, _ in series],
+                "known-N": [float(known) for _, _, _, known in series],
+            },
+        )
+    )
+    report("fig5_allocation_schedule", lines)
+
+    used_curve = [used for _, _, used, _ in series]
+    # Below the user limits everywhere.
+    for _, limit, used, _ in series:
+        assert used <= limit
+    # Monotone growth to the full pool.
+    assert used_curve == sorted(used_curve)
+    assert used_curve[-1] == schedule.memory
+    assert schedule.memory <= LIMITS.final
+    # The schedule grows with N rather than allocating everything at 1e3.
+    assert used_curve[0] < schedule.memory

@@ -1,0 +1,85 @@
+"""E3: Section 6 — parallel computation over P independent streams.
+
+We simulate P processors with skewed stream lengths (any stream "may
+terminate at any time"), merge at the coordinator, and measure the
+aggregate quantile error against the union, plus the communication cost
+(buffers shipped) and per-node memory.  Shape claims: error stays within
+~2 eps of the union for every P; per-worker memory equals the single-node
+plan; communication is at most one full + one partial buffer per worker.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import format_table, report
+
+from repro.core.parallel import ParallelQuantiles, _ship
+from repro.core.params import plan_parameters
+from repro.stats.rank import rank_error
+
+EPS, DELTA = 0.02, 1e-3
+P_GRID = [2, 4, 8, 16]
+PHIS = [0.1, 0.5, 0.9, 0.99]
+
+
+def run_p(p: int):
+    plan = plan_parameters(EPS, DELTA)
+    pq = ParallelQuantiles(p, plan=plan, seed=21)
+    rng = random.Random(p)
+    union: list[float] = []
+    for worker_id in range(p):
+        # Skewed lengths: worker i sees ~ 60000 / 2^i elements.
+        length = max(200, 60_000 >> worker_id)
+        values = [rng.gauss(worker_id, 2.0) for _ in range(length)]
+        pq.extend(worker_id, values)
+        union.extend(values)
+    union.sort()
+    worst = max(
+        rank_error(union, pq.query(phi), phi) / len(union) for phi in PHIS
+    )
+    shipped = 0
+    for worker_id in range(p):
+        full, partial = _ship(
+            pq.worker(worker_id).snapshot(), random.Random(0)
+        )
+        shipped += (full is not None) + (partial is not None)
+    return worst, shipped, plan.memory, len(union)
+
+
+def run_all():
+    return {p: run_p(p) for p in P_GRID}
+
+
+def test_parallel_union_quantiles(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1)
+    rows = [
+        [
+            str(p),
+            str(n),
+            f"{worst:.5f}",
+            f"{2 * EPS:g}",
+            str(shipped),
+            str(memory),
+        ]
+        for p, (worst, shipped, memory, n) in results.items()
+    ]
+    lines = format_table(
+        [
+            "P",
+            "union N",
+            "worst err / N",
+            "budget (2 eps)",
+            "buffers shipped",
+            "per-node mem",
+        ],
+        rows,
+    )
+    lines.append("")
+    lines.append("skewed stream lengths (worker i sees ~60000 / 2^i)")
+    report("e3_parallel_union", lines)
+
+    for p, (worst, shipped, memory, _) in results.items():
+        assert worst <= 2 * EPS, (p, worst)
+        assert shipped <= 2 * p  # <= 1 full + 1 partial per worker
+        assert memory == plan_parameters(EPS, DELTA).memory

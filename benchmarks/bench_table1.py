@@ -1,0 +1,56 @@
+"""Table 1: memory of the unknown-N algorithm vs the known-N algorithm.
+
+Paper's table: for each (eps, delta), the number of buffers ``b``, buffer
+size ``k``, and total memory ``bk`` of the new (unknown-N) algorithm, next
+to the memory of the old (known-N) algorithm "assuming N is large enough
+to warrant sampling".  Headline claim: **the new algorithm requires no
+more than twice the memory of the old one** despite never learning N.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, kb, report
+
+from repro.core.params import plan_known_n, plan_parameters
+
+EPS_GRID = [0.1, 0.05, 0.01, 0.005, 0.001]
+DELTA_GRID = [1e-2, 1e-3, 1e-4]
+LARGE_N = 10**9  # "large enough to warrant sampling"
+
+
+def build_table():
+    rows = []
+    worst_ratio = 0.0
+    for eps in EPS_GRID:
+        for delta in DELTA_GRID:
+            unknown = plan_parameters(eps, delta)
+            known = plan_known_n(eps, delta, LARGE_N)
+            ratio = unknown.memory / known.memory
+            worst_ratio = max(worst_ratio, ratio)
+            rows.append(
+                [
+                    f"{eps:g}",
+                    f"{delta:g}",
+                    str(unknown.b),
+                    str(unknown.k),
+                    kb(unknown.memory),
+                    kb(known.memory),
+                    f"{ratio:.2f}",
+                ]
+            )
+    return rows, worst_ratio
+
+
+def test_table1_unknown_vs_known_memory(benchmark):
+    rows, worst_ratio = benchmark.pedantic(build_table, rounds=1)
+    lines = format_table(
+        ["eps", "delta", "b", "k", "unknown-N bk", "known-N", "ratio"], rows
+    )
+    lines.append("")
+    lines.append(f"worst unknown/known ratio: {worst_ratio:.2f} (paper: <= 2)")
+    report("table1_memory_unknown_vs_known", lines)
+    # Shape claims.
+    assert worst_ratio <= 2.0
+    # Memory grows as eps tightens (EPS_GRID runs 0.1 down to 0.001).
+    memories = [plan_parameters(eps, 1e-4).memory for eps in EPS_GRID]
+    assert memories == sorted(memories)

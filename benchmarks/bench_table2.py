@@ -1,0 +1,56 @@
+"""Table 2: memory as the number of simultaneous quantiles p grows.
+
+Paper's table: memory for p in {1, 10, 100, 1000} at several eps values
+(delta fixed at 1e-4), with a final column for the eps/2 pre-computation
+trick whose memory is independent of p.  Shape claims: memory grows only
+``O(log log p)`` — slowly — and the pre-computation column costs several
+times the p=1 column, so it pays off only for huge or unknown p.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, kb, report
+
+from repro.core.multi import precomputation_plan
+from repro.core.params import plan_parameters
+
+EPS_GRID = [0.1, 0.05, 0.01, 0.005, 0.001]
+P_GRID = [1, 10, 100, 1000]
+DELTA = 1e-4
+
+
+def build_table():
+    rows = []
+    for eps in EPS_GRID:
+        memories = [
+            plan_parameters(eps, DELTA, num_quantiles=p).memory for p in P_GRID
+        ]
+        precompute = precomputation_plan(eps, DELTA).memory
+        rows.append(
+            [f"{eps:g}"]
+            + [kb(m) for m in memories]
+            + [kb(precompute)]
+        )
+    return rows
+
+
+def test_table2_memory_vs_quantile_count(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1)
+    headers = ["eps"] + [f"p={p}" for p in P_GRID] + ["any p (eps/2 grid)"]
+    lines = format_table(headers, rows)
+    lines.append("")
+    lines.append("delta = 1e-4; memory in thousands of stored elements")
+    report("table2_memory_vs_num_quantiles", lines)
+
+    for eps in EPS_GRID:
+        memories = [
+            plan_parameters(eps, DELTA, num_quantiles=p).memory for p in P_GRID
+        ]
+        # Monotone but slow growth: p=1000 costs < 2x p=1 (log log growth).
+        assert memories == sorted(memories)
+        assert memories[-1] <= 2.0 * memories[0]
+        # Pre-computation costs more than even p=1000 (it runs at eps/2)...
+        precompute = precomputation_plan(eps, DELTA).memory
+        assert precompute > memories[-1]
+        # ...but stays within a constant factor: worth it for unknown p.
+        assert precompute < 6.0 * memories[-1]

@@ -1,0 +1,143 @@
+"""E4: stream-ingest throughput of every estimator (engineering bench).
+
+Not from the paper (its evaluation is analytical), but a library users
+adopt needs ingest numbers.  Real pytest-benchmark timings of consuming a
+50k-element stream.  Shape claims: the unknown-N estimator gets *faster*
+per element once sampling starts (most elements are discarded after one
+RNG call), and no estimator is pathologically slower than the reservoir
+baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.extreme import ExtremeValueEstimator
+from repro.core.known_n import KnownNQuantiles
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.sampling.reservoir import ReservoirSampler
+
+N = 50_000
+EPS, DELTA = 0.01, 1e-3
+
+
+def make_data():
+    rng = random.Random(42)
+    return [rng.random() for _ in range(N)]
+
+
+DATA = make_data()
+
+
+def test_throughput_unknown_n(benchmark):
+    def run():
+        est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=1)
+        est.extend(DATA)
+        return est
+
+    est = benchmark(run)
+    assert est.n == N
+
+
+def test_throughput_unknown_n_deep_stream_sampling_regime(benchmark):
+    # Pre-warm an estimator past sampling onset, then measure ingest of
+    # 50k further elements: the sampled regime should beat the dense one.
+    from repro.core.params import Plan
+
+    plan = Plan(
+        eps=0.05,
+        delta=0.01,
+        b=3,
+        k=50,
+        h=2,
+        alpha=0.5,
+        leaves_before_sampling=6,
+        leaves_per_level=3,
+        policy_name="mrl",
+    )
+    warm = UnknownNQuantiles(plan=plan, seed=2)
+    warm.extend(float(i) for i in range(200_000))
+    assert warm.sampling_rate >= 64
+
+    def run():
+        warm.extend(DATA)
+        return warm.sampling_rate
+
+    benchmark(run)
+
+
+def test_throughput_known_n(benchmark):
+    def run():
+        est = KnownNQuantiles(EPS, DELTA, N, seed=3)
+        est.extend(DATA)
+        return est
+
+    est = benchmark(run)
+    assert est.n <= N * 1000  # benchmark may re-run; just sanity
+
+
+def test_throughput_extreme(benchmark):
+    def run():
+        est = ExtremeValueEstimator(phi=0.99, eps=0.002, delta=DELTA, n=N, seed=4)
+        est.extend(DATA)
+        return est
+
+    est = benchmark(run)
+    assert est.seen == N
+
+
+def test_throughput_reservoir(benchmark):
+    def run():
+        sampler = ReservoirSampler(4096, random.Random(5))
+        sampler.extend(DATA)
+        return sampler
+
+    sampler = benchmark(run)
+    assert sampler.seen == N
+
+
+def test_throughput_unknown_n_batch_ingest(benchmark):
+    # The bulk path: one RNG draw per sampling block instead of per element.
+    def run():
+        est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=7)
+        est.update_batch(DATA)
+        return est
+
+    est = benchmark(run)
+    assert est.n == N
+
+
+def test_throughput_gk_successor(benchmark):
+    from repro.baselines.gk import GKQuantiles
+
+    def run():
+        gk = GKQuantiles(EPS)
+        gk.extend(DATA)
+        return gk
+
+    gk = benchmark(run)
+    assert gk.n == N
+
+
+def test_throughput_p2_heuristic(benchmark):
+    from repro.baselines.p2 import P2Quantile
+
+    def run():
+        p2 = P2Quantile(0.5)
+        p2.extend(DATA)
+        return p2
+
+    p2 = benchmark(run)
+    assert p2.n == N
+
+
+def test_throughput_query_many(benchmark):
+    est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=6)
+    est.extend(DATA)
+    phis = [i / 100 for i in range(1, 100)]
+
+    def run():
+        return est.query_many(phis)
+
+    values = benchmark(run)
+    assert len(values) == 99

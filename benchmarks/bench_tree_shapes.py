@@ -1,0 +1,89 @@
+"""Figures 2-3: the collapse trees the algorithm builds.
+
+Figure 2: the tree for b = 5 buffers with every New at sampling rate
+r = 1 — leaf groups of 5, 4, 3, 2, 1 collapsing into level-1 nodes of
+weights 5, 4, 3, 2, 1 and a final level-2 node of weight 15.
+
+Figure 3: the tree once non-uniform sampling is running — leaf bands at
+levels 1, 2, ... with weights 2, 4, ... entering after onset at height h.
+
+The bench renders both from a live engine trace and checks the structural
+facts the figures encode.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.framework import CollapseEngine
+from repro.core.params import Plan
+from repro.core.unknown_n import UnknownNQuantiles
+
+
+def build_figure2_tree():
+    engine = CollapseEngine(5, 1, trace=True)
+    # Drive exactly to the first level-2 collapse (15 leaves + 1 trigger).
+    while engine.max_collapse_level < 2:
+        engine.ensure_empty()
+        engine.deposit([0.0], weight=1, level=0)
+    return engine
+
+
+def build_figure3_tree():
+    plan = Plan(
+        eps=0.1,
+        delta=0.1,
+        b=5,
+        k=4,
+        h=2,
+        alpha=0.5,
+        leaves_before_sampling=15,
+        leaves_per_level=10,
+        policy_name="mrl",
+    )
+    est = UnknownNQuantiles(plan=plan, seed=1, trace=True)
+    value = 0
+    while est.sampling_rate < 8:  # run through two rate doublings
+        est.update(float(value % 97))
+        value += 1
+    return est
+
+
+def test_fig2_unsampled_tree(benchmark):
+    engine = benchmark.pedantic(build_figure2_tree, rounds=1)
+    trace = engine.trace
+    lines = trace.render().splitlines()
+    report("fig2_tree_b5_rate1", lines)
+
+    # 15 leaves of weight 1 before the level-2 node appears.
+    assert engine.leaves_created in (15, 16)
+    collapse_weights = sorted(
+        node.weight for node in trace.roots() if node.kind == "collapse"
+    )
+    top = collapse_weights[-1]
+    assert top == 15  # the figure's level-2 node: weight 5+4+3+2+1
+    level1_weights = sorted(
+        node.weight
+        for node_id in range(trace.node_count)
+        for node in [trace.node(node_id)]
+        if node.kind == "collapse" and node.level == 1
+    )
+    assert level1_weights == [2, 3, 4, 5]  # plus the promoted weight-1 leaf
+
+
+def test_fig3_sampled_tree(benchmark):
+    est = benchmark.pedantic(build_figure3_tree, rounds=1)
+    trace = est.engine.trace
+    lines = trace.render().splitlines()
+    report("fig3_tree_with_sampling", lines)
+
+    # Leaf bands: level 0 (weight 1), level 1 (weight 2), level 2 (weight 4).
+    by_level: dict[int, set[int]] = {}
+    for node_id in range(trace.node_count):
+        node = trace.node(node_id)
+        if node.kind == "leaf":
+            by_level.setdefault(node.level, set()).add(node.weight)
+    assert by_level[0] == {1}
+    assert by_level[1] == {2}
+    assert by_level[2] == {4}
+    assert est.sampling_rate == 8

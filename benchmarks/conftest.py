@@ -1,0 +1,36 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper (see
+DESIGN.md's experiment index).  Because the substrate is a Python
+simulation rather than the authors' 1999 testbed, absolute numbers differ;
+every bench therefore
+
+* prints its table/series to stdout,
+* writes it to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md, and
+* asserts the paper's *shape* claims (who wins, by roughly what factor,
+  where crossovers fall).
+
+All benches run under ``pytest benchmarks/ --benchmark-only``; experiments
+that are about output rather than speed use ``benchmark.pedantic(...,
+rounds=1)`` so the work is not repeated.  Rendering helpers live in
+:mod:`repro.reporting` (tested there); this conftest adds only the
+results-file plumbing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.reporting import ascii_chart, format_table, kb  # noqa: F401
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, lines: list[str]) -> str:
+    """Print a result block and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

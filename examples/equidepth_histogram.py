@@ -1,0 +1,73 @@
+"""Equi-depth histogram over a growing orders table (Sections 1.1-1.2).
+
+A query optimiser wants a 10-bucket equi-depth histogram of the ``amount``
+column of an orders table that grows all day.  The paper's unknown-N
+algorithm is exactly what this needs: the histogram is accurate *at all
+times irrespective of the current size of the table* and the summary's
+memory never grows.
+
+The script ingests 300k synthetic order rows, prints the histogram at
+three checkpoints, and audits every boundary's true rank against the
+eps * rows tolerance.
+
+Run:  python examples/equidepth_histogram.py
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.db import EquiDepthHistogram
+from repro.streams import synthetic_orders
+
+BUCKETS = 10
+EPS, DELTA = 0.005, 1e-4
+CHECKPOINTS = (10_000, 100_000, 300_000)
+
+
+def audit(histogram: EquiDepthHistogram, amounts: list[float]) -> float:
+    """Worst boundary-rank deviation, as a fraction of the table size."""
+    ordered = sorted(amounts)
+    worst = 0.0
+    for index, boundary in enumerate(histogram.boundaries(), start=1):
+        target = index * len(ordered) / BUCKETS
+        rank = bisect.bisect_right(ordered, boundary)
+        worst = max(worst, abs(rank - target) / len(ordered))
+    return worst
+
+
+def main() -> None:
+    histogram = EquiDepthHistogram(BUCKETS, EPS, DELTA, seed=1)
+    amounts: list[float] = []
+
+    print(
+        f"maintaining a {BUCKETS}-bucket equi-depth histogram "
+        f"(eps={EPS}, delta={DELTA})\n"
+    )
+    for row in synthetic_orders(max(CHECKPOINTS), seed=2024):
+        histogram.insert(row.amount)
+        amounts.append(row.amount)
+        if histogram.rows in CHECKPOINTS:
+            worst = audit(histogram, amounts)
+            print(f"--- after {histogram.rows:,} rows ---")
+            for i, bucket in enumerate(histogram.buckets()):
+                print(
+                    f"  bucket {i}: ${bucket.low:>12,.2f} .. ${bucket.high:>12,.2f}"
+                    f"   (~{bucket.fraction:.0%} of rows)"
+                )
+            print(
+                f"  worst boundary deviation: {worst:.4%} of rows "
+                f"(tolerance {EPS:.2%}); summary holds "
+                f"{histogram.memory_elements} elements\n"
+            )
+            assert worst <= EPS, "guarantee violated?!"
+
+    print(
+        "note how the top bucket stretches far to the right: the amount\n"
+        "column is log-normal with rare mega-orders, which equi-depth\n"
+        "buckets absorb without losing resolution in the body."
+    )
+
+
+if __name__ == "__main__":
+    main()

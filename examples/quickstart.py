@@ -1,0 +1,50 @@
+"""Quickstart: approximate quantiles of a stream whose length is unknown.
+
+The defining feature of the algorithm (Manku, Rajagopalan & Lindsay,
+SIGMOD 1999): you never declare how long the stream is, memory stays at a
+small constant, and you can ask for quantiles at any moment.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import UnknownNQuantiles
+
+
+def main() -> None:
+    # Guarantee: each answer is within 1% of N ranks of exact, with
+    # probability 99.99% — for every prefix of the stream.
+    est = UnknownNQuantiles(eps=0.01, delta=1e-4, seed=42)
+    print(
+        f"plan: b={est.plan.b} buffers x k={est.plan.k} elements "
+        f"= {est.plan.memory} stored elements, forever\n"
+    )
+
+    rng = random.Random(7)
+    total = 2_000_000
+    for i in range(1, total + 1):
+        est.update(rng.gauss(100.0, 15.0))  # e.g. an IQ-like distribution
+
+        # Query mid-stream whenever you like; state is never disturbed.
+        if i in (1_000, 100_000, total):
+            q25, median, q75, p99 = est.query_many([0.25, 0.5, 0.75, 0.99])
+            print(
+                f"after {i:>9,} values:  "
+                f"q25={q25:7.2f}  median={median:7.2f}  "
+                f"q75={q75:7.2f}  p99={p99:7.2f}  "
+                f"(memory: {est.memory_elements} elements, "
+                f"sampling 1-in-{est.sampling_rate})"
+            )
+
+    print(
+        f"\nprocessed {est.n:,} elements with {est.memory_elements} elements "
+        f"of memory ({est.memory_elements / est.n:.4%} of the stream)"
+    )
+    print("exact values for N(100, 15): q25=89.88, median=100, q75=110.12, p99=134.90")
+
+
+if __name__ == "__main__":
+    main()

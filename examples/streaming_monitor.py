@@ -1,0 +1,87 @@
+"""An SRE-style latency monitor composed from three of the library's parts.
+
+* a **sliding window** (last 200k requests) for the current p50/p99 — the
+  number on the dashboard right now;
+* **tumbling windows** (every 100k requests) for the persisted per-period
+  history — the graph over the day;
+* a **streaming extreme estimator** (no N needed) tracking the all-time
+  p999 in a couple of hundred elements.
+
+The simulated service degrades mid-stream (latency doubles, spikes become
+more frequent); watch the sliding numbers move while all-time history
+keeps the record.
+
+Run:  python examples/streaming_monitor.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import StreamingExtremeEstimator
+from repro.db.window import SlidingWindowQuantiles, TumblingWindowQuantiles
+
+REQUESTS = 600_000
+DEGRADE_AT = 300_000
+
+
+def simulated_latency(rng: random.Random, index: int) -> float:
+    """Log-normal body with spikes; the service degrades halfway through."""
+    degraded = index >= DEGRADE_AT
+    base = math.exp(rng.gauss(2.3 + (0.7 if degraded else 0.0), 0.5))
+    if rng.random() < (0.03 if degraded else 0.01):
+        base += rng.uniform(50.0, 300.0)
+    return base
+
+
+def main() -> None:
+    sliding = SlidingWindowQuantiles(
+        window=200_000, eps=0.005, delta=1e-4, panes=10, seed=1
+    )
+    periods = TumblingWindowQuantiles(
+        window=100_000,
+        phis=[0.5, 0.99],
+        eps=0.005,
+        delta=1e-4,
+        on_close=lambda report: print(
+            f"  period {report.index}: "
+            f"p50={report.quantiles[0.5]:7.1f}ms  "
+            f"p99={report.quantiles[0.99]:7.1f}ms"
+        ),
+        seed=2,
+    )
+    all_time_p999 = StreamingExtremeEstimator(
+        phi=0.999, eps=0.0003, delta=1e-4, seed=3
+    )
+
+    rng = random.Random(4)
+    print("per-period history (tumbling 100k):")
+    for index in range(REQUESTS):
+        value = simulated_latency(rng, index)
+        sliding.update(value)
+        periods.update(value)
+        all_time_p999.update(value)
+        if index + 1 in (150_000, 450_000):
+            p50, p99 = sliding.query_many([0.5, 0.99])
+            label = "before" if index < DEGRADE_AT else "after"
+            print(
+                f"  [dashboard {label} degradation] sliding 200k: "
+                f"p50={p50:6.1f}ms  p99={p99:6.1f}ms"
+            )
+
+    print("\nall-time p999 (stream length never declared):")
+    print(
+        f"  {all_time_p999.query():7.1f}ms from "
+        f"{all_time_p999.memory_elements} retained elements "
+        f"(sampling probability now {all_time_p999.probability:g})"
+    )
+    print(
+        f"\nmemory: sliding={sliding.memory_elements:,} elements, "
+        f"tumbling={periods.memory_elements:,}, "
+        f"p999={all_time_p999.memory_elements:,} — for {REQUESTS:,} requests"
+    )
+
+
+if __name__ == "__main__":
+    main()

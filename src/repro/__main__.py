@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands mirror the library's main uses:
+
+* ``quantile`` — stream numbers from a file (or stdin) through the
+  unknown-N estimator and print the requested quantiles.
+* ``plan`` — show the memory plan for an (eps, delta) pair, optionally
+  next to the known-N plan for a given n (the Table 1 comparison).
+* ``histogram`` — equi-depth bucket boundaries of a numeric stream.
+
+Examples::
+
+    seq 1 1000000 | python -m repro quantile --eps 0.01 --phi 0.5 --phi 0.99
+    python -m repro plan --eps 0.001 --delta 1e-4 --n 1000000000
+    python -m repro histogram --buckets 10 values.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Iterator, Sequence
+
+from repro.core.known_n import KnownNQuantiles  # noqa: F401  (re-exported intent)
+from repro.core.multi import MultiQuantiles
+from repro.core.params import plan_known_n, plan_parameters
+from repro.core.unknown_n import UnknownNQuantiles
+
+__all__ = ["main"]
+
+
+def _read_values(path: str | None) -> Iterator[float]:
+    """Whitespace-separated floats from a file, or stdin when path is None."""
+    stream = open(path, "r", encoding="utf-8") if path else sys.stdin
+    try:
+        for line in stream:
+            for token in line.split():
+                yield float(token)
+    finally:
+        if path:
+            stream.close()
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Space-efficient online quantiles "
+            "(Manku, Rajagopalan & Lindsay, SIGMOD 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quantile = sub.add_parser(
+        "quantile", help="approximate quantiles of a numeric stream"
+    )
+    quantile.add_argument("file", nargs="?", help="input file (default: stdin)")
+    quantile.add_argument("--eps", type=float, default=0.01)
+    quantile.add_argument("--delta", type=float, default=1e-4)
+    quantile.add_argument(
+        "--phi",
+        type=float,
+        action="append",
+        help="quantile(s) to report (repeatable; default: 0.5)",
+    )
+    quantile.add_argument("--seed", type=int, default=None)
+
+    plan = sub.add_parser("plan", help="memory plan for (eps, delta)")
+    plan.add_argument("--eps", type=float, required=True)
+    plan.add_argument("--delta", type=float, default=1e-4)
+    plan.add_argument(
+        "--n", type=int, default=None, help="also show the known-N plan for this n"
+    )
+
+    histogram = sub.add_parser(
+        "histogram", help="equi-depth bucket boundaries of a numeric stream"
+    )
+    histogram.add_argument("file", nargs="?", help="input file (default: stdin)")
+    histogram.add_argument("--buckets", type=int, default=10)
+    histogram.add_argument("--eps", type=float, default=0.005)
+    histogram.add_argument("--delta", type=float, default=1e-4)
+    histogram.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _cmd_quantile(args: argparse.Namespace) -> int:
+    phis = sorted(set(args.phi)) if args.phi else [0.5]
+    estimator = UnknownNQuantiles(
+        args.eps, args.delta, num_quantiles=len(phis), seed=args.seed
+    )
+    for value in _read_values(args.file):
+        estimator.update(value)
+    if estimator.n == 0:
+        print("no input values", file=sys.stderr)
+        return 1
+    for phi, answer in zip(phis, estimator.query_many(phis)):
+        print(f"phi={phi:g}\t{answer!r}")
+    print(
+        f"# n={estimator.n}  memory={estimator.memory_elements} elements  "
+        f"guarantee=+/-{args.eps:g}*n ranks w.p. {1 - args.delta:g}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = plan_parameters(args.eps, args.delta)
+    print(
+        f"unknown-N: b={plan.b} k={plan.k} h={plan.h} "
+        f"alpha={plan.alpha:.3f} memory={plan.memory} elements"
+    )
+    if args.n is not None:
+        known = plan_known_n(args.eps, args.delta, args.n)
+        regime = (
+            "exact"
+            if known.exact
+            else ("sampled" if known.rate > 1 else "deterministic")
+        )
+        print(
+            f"known-N (n={args.n}): b={known.b} k={known.k} rate={known.rate} "
+            f"memory={known.memory} elements [{regime}]"
+        )
+        print(f"ratio unknown/known: {plan.memory / known.memory:.2f}")
+    return 0
+
+
+def _cmd_histogram(args: argparse.Namespace) -> int:
+    estimator = MultiQuantiles(
+        args.eps, args.delta, num_quantiles=args.buckets - 1, seed=args.seed
+    )
+    for value in _read_values(args.file):
+        estimator.update(value)
+    if estimator.n == 0:
+        print("no input values", file=sys.stderr)
+        return 1
+    for boundary in estimator.equidepth_boundaries(args.buckets):
+        print(repr(boundary))
+    print(
+        f"# n={estimator.n}  buckets={args.buckets}  "
+        f"memory={estimator.memory_elements} elements",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "quantile": _cmd_quantile,
+        "plan": _cmd_plan,
+        "histogram": _cmd_histogram,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

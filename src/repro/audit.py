@@ -1,0 +1,166 @@
+"""Empirical auditing of estimator configurations.
+
+"Probabilistic guarantees ... are acceptable in practice as long as such
+guarantees are very close to 100%" (Section 1.1) — and practitioners
+reasonably want to *see* that before trusting a configuration.  This
+module runs an estimator against ground truth and reports observed rank
+errors and failure rates, in the same form the benchmark harness uses
+internally.
+
+Two entry points:
+
+* :func:`audit_run` — one estimator over one stream: worst/mean rank error
+  over a phi grid, at chosen checkpoints.
+* :func:`audit_failure_rate` — many independent seeds of a configuration
+  over one stream: the observed failure frequency to hold against delta.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.reporting import format_table
+from repro.stats.rank import is_eps_approximate, rank_error
+
+__all__ = ["AuditReport", "CheckpointResult", "audit_run", "audit_failure_rate"]
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointResult:
+    """Errors observed at one stream prefix."""
+
+    n: int
+    worst_error: float  # worst rank error / n over the phi grid
+    mean_error: float
+    failed_phis: tuple[float, ...]  # phis outside eps at this checkpoint
+
+
+@dataclass(frozen=True, slots=True)
+class AuditReport:
+    """Outcome of one audited run."""
+
+    eps: float
+    phis: tuple[float, ...]
+    checkpoints: tuple[CheckpointResult, ...]
+    memory_elements: int
+    passed: bool = field(default=True)
+
+    @property
+    def worst_error(self) -> float:
+        """Worst relative rank error across all checkpoints."""
+        return max((c.worst_error for c in self.checkpoints), default=0.0)
+
+    def render(self) -> str:
+        """Human-readable table of the audit."""
+        rows = [
+            [
+                f"{c.n:,}",
+                f"{c.worst_error:.5f}",
+                f"{c.mean_error:.5f}",
+                ",".join(f"{phi:g}" for phi in c.failed_phis) or "-",
+            ]
+            for c in self.checkpoints
+        ]
+        lines = format_table(
+            ["prefix n", "worst err/n", "mean err/n", "phis > eps"], rows
+        )
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"eps={self.eps:g}  memory={self.memory_elements} elements  "
+            f"verdict={verdict}"
+        )
+        return "\n".join(lines)
+
+
+def audit_run(
+    estimator,
+    stream: Iterable[float],
+    *,
+    eps: float,
+    phis: Sequence[float] = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+    checkpoints: Sequence[int] = (),
+) -> AuditReport:
+    """Stream data through an estimator and compare against exact ranks.
+
+    Stores the whole stream for ground truth, so audit with data sizes
+    your memory allows (that is the point of auditing: you do it once,
+    offline, before trusting a configuration online).
+
+    :param estimator: anything with ``update(value)`` and ``query(phi)``.
+    :param eps: tolerance to judge against (normally the estimator's own).
+    :param checkpoints: prefix lengths to audit mid-stream; the final
+        prefix is always audited.
+    """
+    shadow: list[float] = []
+    results: list[CheckpointResult] = []
+    marks = set(checkpoints)
+    for value in stream:
+        estimator.update(value)
+        shadow.append(value)
+        if len(shadow) in marks:
+            results.append(_checkpoint(estimator, shadow, eps, phis))
+    if not shadow:
+        raise ValueError("the audited stream is empty")
+    if not results or results[-1].n != len(shadow):
+        results.append(_checkpoint(estimator, shadow, eps, phis))
+    memory = getattr(estimator, "memory_elements", 0)
+    passed = all(not c.failed_phis for c in results)
+    return AuditReport(
+        eps=eps,
+        phis=tuple(phis),
+        checkpoints=tuple(results),
+        memory_elements=memory,
+        passed=passed,
+    )
+
+
+def _checkpoint(
+    estimator, shadow: list[float], eps: float, phis: Sequence[float]
+) -> CheckpointResult:
+    ordered = sorted(shadow)
+    n = len(ordered)
+    errors = []
+    failed = []
+    for phi in phis:
+        answer = estimator.query(phi)
+        errors.append(rank_error(ordered, answer, phi) / n)
+        if not is_eps_approximate(ordered, answer, phi, eps):
+            failed.append(phi)
+    return CheckpointResult(
+        n=n,
+        worst_error=max(errors),
+        mean_error=sum(errors) / len(errors),
+        failed_phis=tuple(failed),
+    )
+
+
+def audit_failure_rate(
+    estimator_factory: Callable[[int], object],
+    data: Sequence[float],
+    *,
+    eps: float,
+    trials: int,
+    phis: Sequence[float] = (0.25, 0.5, 0.75),
+) -> float:
+    """Observed failure frequency over independently seeded runs.
+
+    A run *fails* when any phi's answer falls outside ``eps * n`` ranks.
+    Compare the result against the configuration's promised delta.
+
+    :param estimator_factory: ``seed -> estimator``; called per trial.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    ordered = sorted(data)
+    failures = 0
+    for seed in range(trials):
+        estimator = estimator_factory(seed)
+        for value in data:
+            estimator.update(value)
+        if any(
+            not is_eps_approximate(ordered, estimator.query(phi), phi, eps)
+            for phi in phis
+        ):
+            failures += 1
+    return failures / trials

@@ -1,0 +1,26 @@
+"""Baseline quantile estimators the paper's algorithm is judged against.
+
+* :class:`~repro.baselines.exact.SortedStore` — the exact answer in O(N)
+  memory (insertion into a sorted array).  The ground-truth oracle for
+  tests, benchmarks, and the crossover analysis (below which N exactness
+  is simply cheaper).
+* :class:`~repro.baselines.p2.P2Quantile` — Jain & Chlamtac's P² algorithm
+  (CACM 1985): five markers adjusted by parabolic interpolation.  O(1)
+  memory and *no guarantee whatsoever* — the classical heuristic
+  counterpoint to the paper's provable sketch.  The baselines benchmark
+  shows it collapsing on sorted/adversarial arrival orders that the
+  paper's algorithm handles by design.
+* :class:`~repro.baselines.gk.GKQuantiles` — Greenwald & Khanna's
+  deterministic summary (SIGMOD 2001), the paper's direct *successor*:
+  also unknown-N, no failure probability, O(eps^-1 log(eps N)) space that
+  grows with N.  The successor benchmark quantifies the trade against the
+  paper's constant-memory randomised sketch.
+* The reservoir-sampling baseline lives in
+  :mod:`repro.sampling.reservoir` (it is also a sampler in its own right).
+"""
+
+from repro.baselines.exact import SortedStore
+from repro.baselines.gk import GKQuantiles
+from repro.baselines.p2 import P2Quantile
+
+__all__ = ["SortedStore", "P2Quantile", "GKQuantiles"]

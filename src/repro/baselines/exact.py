@@ -1,0 +1,75 @@
+"""Exact streaming quantiles in O(N) memory — the ground-truth oracle.
+
+Pohl [Poh69] showed any single-pass *exact* median algorithm must store at
+least N/2 elements, so for large N exactness is hopeless; but below the
+sketch's own footprint (N <= b*k) storing everything is simply the right
+call, and the known-N planner's "exact" regime does exactly that.  This
+class is that regime as a standalone estimator, and the oracle every test
+and benchmark compares against.
+
+Insertion keeps a sorted array (``bisect.insort``), so ``update`` is
+O(log N) comparisons + O(N) memmove — fine for the dataset sizes where
+using it is sensible at all.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Sequence
+
+from repro.stats.rank import quantile_position
+
+__all__ = ["SortedStore"]
+
+
+class SortedStore:
+    """Store everything; answer every quantile exactly."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: list[float] = []
+
+    def update(self, value: float) -> None:
+        """Insert one element, keeping the store sorted."""
+        if value != value:  # NaN: unrankable
+            raise ValueError("NaN values have no rank and cannot be summarised")
+        bisect.insort(self._data, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Insert many elements (sorts once: cheaper than repeated insort)."""
+        added = [float(v) for v in values]
+        for value in added:
+            if value != value:
+                raise ValueError("NaN values have no rank and cannot be summarised")
+        self._data.extend(added)
+        self._data.sort()
+
+    def query(self, phi: float) -> float:
+        """The exact phi-quantile (position ``ceil(phi * N)``)."""
+        if not self._data:
+            raise ValueError("no data has been observed yet")
+        return self._data[quantile_position(phi, len(self._data)) - 1]
+
+    def query_many(self, phis: Sequence[float]) -> list[float]:
+        """Several exact quantiles."""
+        return [self.query(phi) for phi in phis]
+
+    def rank_of(self, value: float) -> tuple[int, int]:
+        """1-indexed rank range occupied by ``value``."""
+        from repro.stats.rank import rank_range
+
+        return rank_range(self._data, value)
+
+    @property
+    def n(self) -> int:
+        """Elements stored."""
+        return len(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def memory_elements(self) -> int:
+        """Exactness costs everything: N elements."""
+        return len(self._data)

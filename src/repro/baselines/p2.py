@@ -1,0 +1,132 @@
+"""The P-squared algorithm (Jain & Chlamtac, CACM 1985).
+
+A classical constant-memory quantile *heuristic*: five markers whose
+heights are adjusted by piecewise-parabolic (hence "P^2") interpolation so
+that marker 2 tracks the phi-quantile.  It stores exactly five values —
+and provides **no distributional or adversarial guarantee of any kind**.
+
+It is included as the guarantee-free counterpoint to the paper's sketch:
+on iid streams it is often impressively accurate, but the baselines
+benchmark shows it losing by orders of magnitude on sorted or otherwise
+structured arrival orders — exactly the failure class the paper's
+"efficiency and correctness should be data independent" requirement rules
+out.  (P-squared also interpolates, so unlike the paper's algorithms its
+answers need not be elements of the input.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["P2Quantile"]
+
+
+class P2Quantile:
+    """Track one phi-quantile with five markers (P^2 heuristic)."""
+
+    __slots__ = ("_phi", "_heights", "_positions", "_desired", "_increments", "_count")
+
+    def __init__(self, phi: float) -> None:
+        if not 0.0 < phi < 1.0:
+            raise ValueError(f"phi must be in (0, 1), got {phi}")
+        self._phi = phi
+        self._heights: list[float] = []  # marker heights q_i
+        self._positions = [1, 2, 3, 4, 5]  # actual positions n_i
+        self._desired = [
+            1.0,
+            1.0 + 2.0 * phi,
+            1.0 + 4.0 * phi,
+            3.0 + 2.0 * phi,
+            5.0,
+        ]
+        self._increments = [0.0, phi / 2.0, phi, (1.0 + phi) / 2.0, 1.0]
+        self._count = 0
+
+    @property
+    def phi(self) -> float:
+        """The tracked quantile."""
+        return self._phi
+
+    @property
+    def n(self) -> int:
+        """Elements consumed."""
+        return self._count
+
+    @property
+    def memory_elements(self) -> int:
+        """Five marker heights — the algorithm's whole point."""
+        return 5
+
+    def update(self, value: float) -> None:
+        """Consume one element."""
+        if value != value:  # NaN: unrankable
+            raise ValueError("NaN values have no rank and cannot be summarised")
+        self._count += 1
+        if len(self._heights) < 5:
+            self._heights.append(value)
+            if len(self._heights) == 5:
+                self._heights.sort()
+            return
+
+        q, n = self._heights, self._positions
+        # Locate the cell k containing the new value; extremes clamp.
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            q[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and not (q[cell] <= value < q[cell + 1]):
+                cell += 1
+        for i in range(cell + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            gap = self._desired[i] - n[i]
+            if (gap >= 1.0 and n[i + 1] - n[i] > 1) or (
+                gap <= -1.0 and n[i - 1] - n[i] < -1
+            ):
+                step = 1 if gap >= 1.0 else -1
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        """The P^2 piecewise-parabolic height prediction for marker i."""
+        q, n = self._heights, self._positions
+        span = n[i + 1] - n[i - 1]
+        left = (n[i] - n[i - 1] + step) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+        right = (n[i + 1] - n[i] - step) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        return q[i] + step * (left + right) / span
+
+    def _linear(self, i: int, step: int) -> float:
+        """Fallback when the parabola leaves the monotone corridor."""
+        q, n = self._heights, self._positions
+        return q[i] + step * (q[i + step] - q[i]) / (n[i + step] - n[i])
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many elements."""
+        for value in values:
+            self.update(value)
+
+    def query(self) -> float:
+        """The current estimate (marker 2's height).
+
+        For fewer than five observations, the exact quantile of what was
+        seen is returned.
+        """
+        if not self._heights:
+            raise ValueError("no data has been observed yet")
+        if len(self._heights) < 5 or self._count < 5:
+            ordered = sorted(self._heights[: self._count])
+            index = max(0, min(len(ordered) - 1, round(self._phi * len(ordered)) - 1))
+            return ordered[index]
+        return self._heights[2]

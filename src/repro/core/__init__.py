@@ -1,0 +1,72 @@
+"""Core algorithms: the paper's contribution and the MRL98 framework it extends.
+
+Layering (bottom-up):
+
+* :mod:`repro.core.buffers` / :mod:`repro.core.operations` — the buffer
+  abstraction and the **Collapse** / **Output** operators (Section 3).
+* :mod:`repro.core.policy` — pluggable collapse policies: the paper's
+  lowest-level policy, Munro-Paterson pairwise, and Alsabti-Ranka-Singh.
+* :mod:`repro.core.tree` — collapse-tree tracing and the Lemma 4/5 error
+  accounting used by tests and the planner.
+* :mod:`repro.core.framework` — the buffer-pool engine shared by every
+  estimator.
+* :mod:`repro.core.params` — the (eps, delta) -> (b, k, h) planner
+  (Section 4.5) and the known-N planner it is compared against.
+* :mod:`repro.core.unknown_n` — **the paper's algorithm**: non-uniform
+  sampling, no advance knowledge of N, queries at any time.
+* :mod:`repro.core.known_n` — the MRL98 comparator (N known upfront).
+* :mod:`repro.core.extreme` — the Section 7 extreme-value estimator.
+* :mod:`repro.core.multi` — simultaneous quantiles and the
+  pre-computation trick (Section 4.7).
+* :mod:`repro.core.schedule` — dynamic buffer-allocation schedules
+  (Section 5).
+* :mod:`repro.core.parallel` — the Section 6 parallel/distributed scheme.
+"""
+
+from repro.core.buffers import Buffer, BufferState
+from repro.core.extreme import ExtremeValueEstimator
+from repro.core.framework import CollapseEngine
+from repro.core.known_n import KnownNQuantiles
+from repro.core.multi import MultiQuantiles, PrecomputedQuantiles
+from repro.core.parallel import MergedSummary, ParallelQuantiles, merge_snapshots
+from repro.core.params import (
+    KnownNPlan,
+    Plan,
+    known_n_memory,
+    plan_known_n,
+    plan_parameters,
+)
+from repro.core.policy import ARSPolicy, CollapsePolicy, MRLPolicy, MunroPatersonPolicy
+from repro.core.schedule import AllocationSchedule, MemoryLimits, plan_schedule
+from repro.core.streaming_extreme import StreamingExtremeEstimator
+from repro.core.tree import TreeTrace
+from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+
+__all__ = [
+    "Buffer",
+    "BufferState",
+    "CollapseEngine",
+    "CollapsePolicy",
+    "MRLPolicy",
+    "MunroPatersonPolicy",
+    "ARSPolicy",
+    "TreeTrace",
+    "Plan",
+    "KnownNPlan",
+    "plan_parameters",
+    "plan_known_n",
+    "known_n_memory",
+    "UnknownNQuantiles",
+    "KnownNQuantiles",
+    "ExtremeValueEstimator",
+    "StreamingExtremeEstimator",
+    "MultiQuantiles",
+    "PrecomputedQuantiles",
+    "AllocationSchedule",
+    "MemoryLimits",
+    "plan_schedule",
+    "ParallelQuantiles",
+    "MergedSummary",
+    "merge_snapshots",
+    "EstimatorSnapshot",
+]

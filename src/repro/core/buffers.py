@@ -1,0 +1,123 @@
+"""The buffer abstraction of the MRL framework (Section 3).
+
+The algorithm manages ``b`` physical buffers, each holding up to ``k``
+elements.  A buffer is always **empty**, **partial**, or **full**, and a
+non-empty buffer carries a positive integer *weight* (each stored element
+conceptually stands for ``weight`` input elements) and an integer *level*
+(its position in the collapse tree, used by the collapse policy).
+
+Buffers are deliberately mutable and reused in place: Collapse writes its
+output into one of its input buffers ("Y is logically different from
+X1..Xc but physically occupies space corresponding to one of them"), so the
+physical memory footprint stays at ``b * k`` elements.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Buffer", "BufferState"]
+
+
+class BufferState(enum.Enum):
+    """Lifecycle states of a physical buffer."""
+
+    EMPTY = "empty"
+    PARTIAL = "partial"
+    FULL = "full"
+
+
+class Buffer:
+    """One physical buffer of capacity ``k``.
+
+    The element list of a non-empty buffer is always kept sorted — New
+    sorts on populate, and Collapse produces sorted output — which is what
+    lets Collapse and Output run as streaming merges.
+    """
+
+    __slots__ = ("capacity", "data", "weight", "level", "state", "node_id")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.data: list[float] = []
+        self.weight = 0
+        self.level = 0
+        self.state = BufferState.EMPTY
+        # Logical identity of the buffer contents in the collapse-tree trace
+        # (physical buffers are reused, logical buffers are not).
+        self.node_id: int | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Buffer(state={self.state.value}, len={len(self.data)}/"
+            f"{self.capacity}, weight={self.weight}, level={self.level})"
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.state is BufferState.EMPTY
+
+    @property
+    def is_full(self) -> bool:
+        return self.state is BufferState.FULL
+
+    @property
+    def is_partial(self) -> bool:
+        return self.state is BufferState.PARTIAL
+
+    @property
+    def total_weight(self) -> int:
+        """Weight mass represented: ``len(data) * weight``."""
+        return len(self.data) * self.weight
+
+    def populate(self, values: list[float], weight: int, level: int) -> None:
+        """Fill an empty buffer with (unsorted) values — the tail of New.
+
+        Marks the buffer full when exactly ``capacity`` values are given,
+        partial otherwise (the input stream ran dry mid-fill).
+        """
+        if not self.is_empty:
+            raise RuntimeError(f"cannot populate a non-empty buffer: {self!r}")
+        if not values:
+            raise ValueError("cannot populate a buffer with zero values")
+        if len(values) > self.capacity:
+            raise ValueError(
+                f"{len(values)} values exceed buffer capacity {self.capacity}"
+            )
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        self.data = sorted(values)
+        self.weight = weight
+        self.level = level
+        self.state = (
+            BufferState.FULL if len(values) == self.capacity else BufferState.PARTIAL
+        )
+
+    def store_collapse_output(self, values: list[float], weight: int, level: int) -> None:
+        """Overwrite this buffer with a Collapse result (already sorted)."""
+        if len(values) != self.capacity:
+            raise ValueError(
+                f"collapse output must have exactly {self.capacity} elements, "
+                f"got {len(values)}"
+            )
+        self.data = values
+        self.weight = weight
+        self.level = level
+        self.state = BufferState.FULL
+
+    def mark_empty(self) -> None:
+        """Reclaim the buffer (its contents were consumed by a Collapse)."""
+        self.data = []
+        self.weight = 0
+        self.level = 0
+        self.state = BufferState.EMPTY
+
+    def as_weighted(self) -> tuple[list[float], int]:
+        """View as a ``(sorted_values, weight)`` pair for merging/queries."""
+        if self.is_empty:
+            raise RuntimeError("an empty buffer has no weighted view")
+        return self.data, self.weight

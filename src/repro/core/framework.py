@@ -1,0 +1,306 @@
+"""The buffer-pool engine shared by all estimators (Section 3).
+
+:class:`CollapseEngine` owns the ``b`` physical buffers of ``k`` elements,
+applies the collapse policy when the pool fills, and answers weighted
+quantile queries over the surviving buffers.  It is deliberately unaware of
+*sampling*: callers deposit already-chosen sample values together with their
+weight and level, which is how the same engine backs
+
+* the deterministic known-N algorithm (weight 1, level 0 deposits),
+* the paper's unknown-N algorithm (weights/levels follow the non-uniform
+  sampling schedule of Section 3.7),
+* the parallel coordinator of Section 6 (buffers arrive pre-weighted from
+  worker processors).
+
+Buffer allocation is lazy: physical buffers are created one at a time as
+needed, up to ``b`` (the simple amelioration Section 5 opens with).  An
+optional *allocator* callback can delay allocation further — that hook is
+how the Section 5 buffer-allocation schedules plug in.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable, Sequence
+
+from repro.core.buffers import Buffer
+from repro.core.operations import collapse_buffers, output_quantile
+from repro.core.policy import CollapsePolicy, MRLPolicy
+from repro.core.tree import TreeTrace
+from repro.stats.rank import quantile_position, weighted_select_many
+
+__all__ = ["CollapseEngine"]
+
+#: Decides, given (leaves_created, buffers_allocated), whether to allocate a
+#: new physical buffer now (True) or reclaim space by collapsing (False).
+AllocatorHook = Callable[[int, int], bool]
+
+
+class CollapseEngine:
+    """``b`` buffers of ``k`` elements driven by a collapse policy.
+
+    :param b: maximum number of physical buffers.
+    :param k: elements per buffer.
+    :param policy: collapse policy; defaults to the paper's
+        :class:`~repro.core.policy.MRLPolicy`.
+    :param trace: when True, record the full collapse tree (test/diagnostic
+        aid; costs O(#logical buffers) memory, so leave off in production).
+    :param allocator: optional hook delaying physical-buffer allocation
+        (Section 5 schedules); default allocates whenever below ``b``.
+    :param alternate_even_offsets: keep the paper's alternation between the
+        two even-weight Collapse offsets; disabling it exists only for the
+        offset ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        b: int,
+        k: int,
+        policy: CollapsePolicy | None = None,
+        *,
+        trace: bool = False,
+        allocator: AllocatorHook | None = None,
+        alternate_even_offsets: bool = True,
+    ) -> None:
+        if b < 2:
+            raise ValueError(f"need at least 2 buffers, got b={b}")
+        if k < 1:
+            raise ValueError(f"buffer size must be >= 1, got k={k}")
+        self._b = b
+        self._k = k
+        self._policy = policy if policy is not None else MRLPolicy()
+        self._buffers: list[Buffer] = []
+        self._trace = TreeTrace() if trace else None
+        self._allocator = allocator
+        self._alternate = alternate_even_offsets
+        self._low_for_even = True
+        self._leaves_created = 0
+        self._max_collapse_level = -1
+        self._collapse_count = 0
+        self._collapse_weight_sum = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def b(self) -> int:
+        """Maximum number of physical buffers."""
+        return self._b
+
+    @property
+    def k(self) -> int:
+        """Elements per buffer."""
+        return self._k
+
+    @property
+    def policy(self) -> CollapsePolicy:
+        """The collapse policy in force."""
+        return self._policy
+
+    @property
+    def buffers_allocated(self) -> int:
+        """Physical buffers allocated so far (lazy allocation)."""
+        return len(self._buffers)
+
+    @property
+    def memory_elements(self) -> int:
+        """Current element-slots of memory held: ``allocated * k``."""
+        return len(self._buffers) * self._k
+
+    @property
+    def leaves_created(self) -> int:
+        """Number of New buffers deposited so far."""
+        return self._leaves_created
+
+    @property
+    def collapse_count(self) -> int:
+        """Number of Collapse operations performed so far."""
+        return self._collapse_count
+
+    @property
+    def collapse_weight_sum(self) -> int:
+        """``W``: summed weights of all Collapse outputs (Section 4.2).
+
+        Together with the heaviest live buffer this gives the Lemma 4
+        error bound ``W/2 + w_max`` without tracing the whole tree.
+        """
+        return self._collapse_weight_sum
+
+    def error_bound_elements(self) -> float:
+        """Lemma 4 (weak form): rank-error bound of Output right now.
+
+        ``(W/2 + w_max) * 1`` in weight units — weights are element counts,
+        so this is directly comparable to ``eps * N``.
+        """
+        live = [buf.weight for buf in self._buffers if buf.is_full]
+        w_max = max(live, default=0)
+        return self._collapse_weight_sum / 2.0 + w_max
+
+    @property
+    def max_collapse_level(self) -> int:
+        """Highest level of any Collapse output (-1 before any collapse).
+
+        The unknown-N estimator watches this to trigger sampling onset and
+        the successive rate doublings of Section 3.7.
+        """
+        return self._max_collapse_level
+
+    @property
+    def trace(self) -> TreeTrace | None:
+        """The collapse-tree trace, when enabled."""
+        return self._trace
+
+    def full_buffers(self) -> list[Buffer]:
+        """The currently full buffers (the root's children-to-be)."""
+        return [buf for buf in self._buffers if buf.is_full]
+
+    @property
+    def total_weight(self) -> int:
+        """Weight mass held in full buffers: ``sum(len * weight)``."""
+        return sum(buf.total_weight for buf in self._buffers if buf.is_full)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def deposit(self, values: Sequence[float], weight: int, level: int) -> None:
+        """Complete a New operation: store ``k`` chosen values.
+
+        Collapses (or allocates) first if no buffer is empty.  The caller —
+        the sampling layer — guarantees ``len(values) == k``; partially
+        filled buffers never enter the pool (in-flight values are passed to
+        :meth:`query` as extras instead, preserving query-at-any-time).
+        """
+        if len(values) != self._k:
+            raise ValueError(
+                f"deposit needs exactly k={self._k} values, got {len(values)}"
+            )
+        target = self._acquire_empty()
+        target.populate(list(values), weight, level)
+        self._leaves_created += 1
+        if self._trace is not None:
+            target.node_id = self._trace.new_leaf(weight, level)
+        if self._policy.eager:
+            self._collapse_eagerly()
+
+    def _collapse_eagerly(self) -> None:
+        """Munro-Paterson discipline: merge any two same-level buffers now."""
+        while True:
+            by_level: dict[int, list[Buffer]] = {}
+            for buf in self._buffers:
+                if buf.is_full:
+                    by_level.setdefault(buf.level, []).append(buf)
+            duplicated = [lvl for lvl, bufs in by_level.items() if len(bufs) >= 2]
+            if not duplicated:
+                return
+            self._collapse(by_level[min(duplicated)][:2])
+
+    def ensure_empty(self) -> None:
+        """Make an empty buffer available (allocating or collapsing now).
+
+        Estimators call this at the *start* of a New operation so that any
+        collapse — and therefore any sampling-rate doubling it triggers —
+        happens before the New's rate is fixed (Section 3.7 ordering).
+        """
+        self._acquire_empty()
+
+    def _acquire_empty(self) -> Buffer:
+        """Return an empty buffer, allocating or collapsing as needed."""
+        for buf in self._buffers:
+            if buf.is_empty:
+                return buf
+        may_allocate = len(self._buffers) < self._b and (
+            self._allocator is None
+            or self._allocator(self._leaves_created, len(self._buffers))
+        )
+        if may_allocate or len(self._buffers) < 2:
+            if len(self._buffers) >= self._b:
+                raise RuntimeError(
+                    "allocator refused to allocate but fewer than 2 buffers exist"
+                )
+            buf = Buffer(self._k)
+            self._buffers.append(buf)
+            return buf
+        self.collapse_once()
+        for buf in self._buffers:
+            if buf.is_empty:
+                return buf
+        raise AssertionError("collapse freed no buffer")
+
+    def collapse_once(self) -> Buffer:
+        """Run one Collapse chosen by the policy; returns the output buffer."""
+        full = self.full_buffers()
+        chosen = self._policy.choose(full)
+        return self._collapse(chosen)
+
+    def final_collapse(self) -> Buffer | None:
+        """Collapse *all* full buffers into one (Section 6 worker hand-off).
+
+        No-op (returns the sole buffer or None) when fewer than two buffers
+        are full.
+        """
+        full = self.full_buffers()
+        if len(full) < 2:
+            return full[0] if full else None
+        return self._collapse(full)
+
+    def _collapse(self, chosen: Sequence[Buffer]) -> Buffer:
+        child_ids = [buf.node_id for buf in chosen]
+        output = collapse_buffers(chosen, low_for_even=self._low_for_even)
+        if self._alternate and output.weight % 2 == 0:
+            self._low_for_even = not self._low_for_even
+        self._collapse_count += 1
+        self._collapse_weight_sum += output.weight
+        self._max_collapse_level = max(self._max_collapse_level, output.level)
+        if self._trace is not None:
+            output.node_id = self._trace.new_collapse(
+                [cid for cid in child_ids if cid is not None],
+                output.weight,
+                output.level,
+            )
+        return output
+
+    # ------------------------------------------------------------------
+    # Queries (the Output operation; never modifies state)
+    # ------------------------------------------------------------------
+    def weighted_view(
+        self, extra: Sequence[tuple[Sequence[float], int]] = ()
+    ) -> list[tuple[Sequence[float], int]]:
+        """The ``(sorted_values, weight)`` pairs Output would consume."""
+        view: list[tuple[Sequence[float], int]] = [
+            buf.as_weighted() for buf in self._buffers if buf.is_full
+        ]
+        view.extend(extra)
+        return view
+
+    def query(
+        self, phi: float, extra: Sequence[tuple[Sequence[float], int]] = ()
+    ) -> float:
+        """The weighted phi-quantile of the engine's contents plus extras."""
+        return output_quantile(self.weighted_view(extra), phi)
+
+    def query_many(
+        self,
+        phis: Sequence[float],
+        extra: Sequence[tuple[Sequence[float], int]] = (),
+    ) -> list[float]:
+        """Several quantiles in one merge pass (order preserved)."""
+        view = self.weighted_view(extra)
+        total = sum(len(data) * weight for data, weight in view)
+        if total <= 0:
+            raise ValueError("Output invoked with no data")
+        positions = [quantile_position(phi, total) for phi in phis]
+        return weighted_select_many(view, positions)
+
+    def weighted_rank(
+        self, value: float, extra: Sequence[tuple[Sequence[float], int]] = ()
+    ) -> int:
+        """The inverse query: weighted count of stored mass <= ``value``.
+
+        Since total weight equals the stream length, this estimates the
+        rank of ``value`` in the stream, with the same error structure as
+        the forward quantile query.
+        """
+        rank = 0
+        for data, weight in self.weighted_view(extra):
+            rank += bisect.bisect_right(data, value) * weight
+        return rank

@@ -1,0 +1,177 @@
+"""The known-N comparator: MRL98's algorithm with upfront uniform sampling.
+
+When the stream length ``N`` is known in advance, the sampling rate can be
+fixed once: the planner (:func:`repro.core.params.plan_known_n`) picks the
+cheapest of *store everything*, *deterministic tree*, or *uniform sampling
+feeding the tree*.  This is the algorithm the paper measures its unknown-N
+scheme against in Table 1 and Figure 4 — the new algorithm's promise is to
+match it to within a factor of about two without ever being told N.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.core.framework import CollapseEngine
+from repro.core.params import KnownNPlan, plan_known_n
+from repro.core.policy import CollapsePolicy
+from repro.core.unknown_n import _contains_nan
+from repro.sampling.block import BlockSampler
+
+__all__ = ["KnownNQuantiles"]
+
+
+class KnownNQuantiles:
+    """Single-pass eps-approximate quantiles of a stream of known length.
+
+    :param eps: rank-approximation guarantee.
+    :param delta: failure probability of the sampling step (irrelevant when
+        the plan turns out deterministic).
+    :param n: the declared stream length; feeding more than ``n`` elements
+        raises, since the fixed sampling rate was sized for ``n``.
+    :param plan: explicit plan; overrides planning from (eps, delta, n).
+    """
+
+    def __init__(
+        self,
+        eps: float | None = None,
+        delta: float | None = None,
+        n: int | None = None,
+        *,
+        plan: KnownNPlan | None = None,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        trace: bool = False,
+    ) -> None:
+        if plan is None:
+            if eps is None or delta is None or n is None:
+                raise ValueError("provide either (eps, delta, n) or an explicit plan")
+            plan = plan_known_n(eps, delta, n, policy=policy)
+        self._plan = plan
+        self._engine = CollapseEngine(plan.b, plan.k, policy, trace=trace)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._sampler = BlockSampler(rate=plan.rate, rng=self._rng)
+        self._staged: list[float] = []
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Consume one stream element."""
+        if value != value:  # NaN: unrankable, would poison the sorted buffers
+            raise ValueError("NaN values have no rank and cannot be summarised")
+        if self._n >= self._plan.n:
+            raise RuntimeError(
+                f"stream exceeded its declared length n={self._plan.n}; "
+                "the known-N algorithm's fixed sampling rate is sized for n "
+                "(this is precisely the limitation the unknown-N algorithm removes)"
+            )
+        self._n += 1
+        chosen = self._sampler.offer(value)
+        if chosen is None:
+            return
+        self._staged.append(chosen)
+        if len(self._staged) == self._engine.k:
+            self._engine.deposit(self._staged, self._plan.rate, level=0)
+            self._staged = []
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many stream elements.
+
+        Random-access inputs (lists, arrays, numpy arrays) take the bulk
+        path (one RNG draw per sampling block); other iterables stream
+        element-by-element.
+        """
+        if hasattr(values, "__len__") and hasattr(values, "__getitem__"):
+            self.update_batch(values)  # type: ignore[arg-type]
+            return
+        for value in values:
+            self.update(value)
+
+    def update_batch(self, values: Sequence[float]) -> None:
+        """Bulk-ingest a random-access batch (fixed rate; simpler than
+        the unknown-N version since the rate never changes mid-batch)."""
+        if _contains_nan(values):
+            raise ValueError("NaN values have no rank and cannot be summarised")
+        if self._n + len(values) > self._plan.n:
+            raise RuntimeError(
+                f"stream would exceed its declared length n={self._plan.n}; "
+                "the known-N algorithm's fixed sampling rate is sized for n"
+            )
+        rate = self._plan.rate
+        total = len(values)
+        index = 0
+        while index < total:
+            needed = (
+                (self._engine.k - len(self._staged)) * rate
+                - self._sampler.seen_in_block
+            )
+            chunk = values[index : index + needed]
+            self._staged.extend(self._sampler.offer_many(chunk))
+            consumed = len(chunk)
+            self._n += consumed
+            index += consumed
+            if len(self._staged) == self._engine.k:
+                self._engine.deposit(self._staged, rate, level=0)
+                self._staged = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _extras(self) -> list[tuple[Sequence[float], int]]:
+        extras: list[tuple[Sequence[float], int]] = []
+        if self._staged:
+            extras.append((sorted(self._staged), self._plan.rate))
+        pending = self._sampler.pending()
+        if pending is not None:
+            candidate, seen = pending
+            extras.append(([candidate], seen))
+        return extras
+
+    def query(self, phi: float) -> float:
+        """An eps-approximate phi-quantile of everything seen so far."""
+        if self._n == 0:
+            raise ValueError("no data has been observed yet")
+        return self._engine.query(phi, self._extras())
+
+    def query_many(self, phis: Sequence[float]) -> list[float]:
+        """Several quantiles in one pass over the summary (order preserved)."""
+        if self._n == 0:
+            raise ValueError("no data has been observed yet")
+        return self._engine.query_many(phis, self._extras())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> KnownNPlan:
+        """The (b, k, rate) plan in force."""
+        return self._plan
+
+    @property
+    def n(self) -> int:
+        """Elements consumed so far."""
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held (allocated buffers x k)."""
+        return self._engine.memory_elements
+
+    @property
+    def total_weight(self) -> int:
+        """Weight mass a query would consume; always equals :attr:`n`."""
+        return self._engine.total_weight + sum(
+            len(data) * weight for data, weight in self._extras()
+        )
+
+    @property
+    def engine(self) -> CollapseEngine:
+        """The underlying buffer engine (tests, diagnostics)."""
+        return self._engine

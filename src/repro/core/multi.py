@@ -1,0 +1,212 @@
+"""Simultaneous quantiles and the pre-computation trick (Section 4.7).
+
+Computing ``p`` quantiles at once needs only a union bound: replace
+``delta`` by ``delta / p`` in the sampling constraint (the deterministic
+tree already answers *every* weighted quantile with the same guarantee).
+The memory consequence is a gentle ``O(log log p)`` growth — Table 2.
+
+When ``p`` is huge or unknown up front (equi-depth histograms whose bucket
+count is chosen later), the paper's alternative is to pre-compute a fixed
+grid of ``ceil(1/eps)`` quantiles at ``phi = eps/2, 3 eps/2, 5 eps/2, ...``,
+each ``eps/2``-approximate; snapping any requested ``phi`` to the nearest
+grid point then costs at most ``eps/2`` more rank error, for a total of
+``eps`` — with memory independent of ``p``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.core.params import Plan, plan_parameters
+from repro.core.policy import CollapsePolicy
+from repro.core.unknown_n import UnknownNQuantiles
+
+__all__ = [
+    "MultiQuantiles",
+    "PrecomputedQuantiles",
+    "precomputation_plan",
+    "ceil_inverse",
+]
+
+
+class MultiQuantiles:
+    """``p`` simultaneous eps-approximate quantiles, unknown stream length.
+
+    A thin veneer over :class:`UnknownNQuantiles` planned with
+    ``delta / p``; all ``p`` answers hold simultaneously with probability
+    at least ``1 - delta``.
+
+    :param num_quantiles: ``p``, the number of quantiles that will be
+        requested together (e.g. bucket count of an equi-depth histogram).
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        delta: float,
+        num_quantiles: int,
+        *,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if num_quantiles < 1:
+            raise ValueError(f"num_quantiles must be >= 1, got {num_quantiles}")
+        self._p = num_quantiles
+        self._inner = UnknownNQuantiles(
+            eps,
+            delta,
+            num_quantiles=num_quantiles,
+            policy=policy,
+            seed=seed,
+            rng=rng,
+        )
+
+    def update(self, value: float) -> None:
+        """Consume one stream element."""
+        self._inner.update(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many stream elements."""
+        self._inner.extend(values)
+
+    def query(self, phi: float) -> float:
+        """One quantile (counts against the simultaneous budget of p)."""
+        return self._inner.query(phi)
+
+    def query_many(self, phis: Sequence[float]) -> list[float]:
+        """Up to p quantiles, all eps-approximate together w.p. 1 - delta."""
+        if len(phis) > self._p:
+            raise ValueError(
+                f"{len(phis)} quantiles requested but the plan guarantees "
+                f"only {self._p} simultaneously"
+            )
+        return self._inner.query_many(phis)
+
+    def equidepth_boundaries(self, buckets: int) -> list[float]:
+        """The ``buckets - 1`` splitters of an equi-depth histogram."""
+        if buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {buckets}")
+        if buckets - 1 > self._p:
+            raise ValueError(
+                f"{buckets} buckets need {buckets - 1} quantiles but the "
+                f"plan covers {self._p}"
+            )
+        return self.query_many([i / buckets for i in range(1, buckets)])
+
+    @property
+    def n(self) -> int:
+        """Elements consumed so far."""
+        return self._inner.n
+
+    @property
+    def num_quantiles(self) -> int:
+        """The simultaneous-quantile budget p."""
+        return self._p
+
+    @property
+    def plan(self) -> Plan:
+        """The underlying parameter plan (delta already divided by p)."""
+        return self._inner.plan
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held."""
+        return self._inner.memory_elements
+
+
+class PrecomputedQuantiles:
+    """Arbitrarily many quantiles from a fixed eps/2 grid (Section 4.7).
+
+    Maintains ``ceil(1/eps)`` grid quantiles, each ``eps/2``-approximate,
+    and answers any ``phi`` by snapping to the nearest grid point — total
+    error at most ``eps``, memory independent of how many quantiles are
+    ever requested.  Worth it only when ``p`` is extremely large or
+    unknown, since the inner summary runs at ``eps/2`` (Table 2's last
+    column).
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        delta: float,
+        *,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0.0 < eps < 1.0:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        self._eps = eps
+        self._grid_size = ceil_inverse(eps)
+        self._grid = [
+            min(1.0, (2 * i + 1) * eps / 2.0) for i in range(self._grid_size)
+        ]
+        self._inner = UnknownNQuantiles(
+            eps / 2.0,
+            delta,
+            num_quantiles=self._grid_size,
+            policy=policy,
+            seed=seed,
+            rng=rng,
+        )
+
+    def update(self, value: float) -> None:
+        """Consume one stream element."""
+        self._inner.update(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many stream elements."""
+        self._inner.extend(values)
+
+    def snap(self, phi: float) -> float:
+        """The grid point nearest to ``phi`` (within eps/2 of it)."""
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        index = min(self._grid_size - 1, max(0, round(phi / self._eps - 0.5)))
+        return self._grid[index]
+
+    def query(self, phi: float) -> float:
+        """An eps-approximate phi-quantile, any phi, any number of times."""
+        return self._inner.query(self.snap(phi))
+
+    def precompute_all(self) -> dict[float, float]:
+        """The full grid ``{phi_i: value}`` in one merge pass."""
+        values = self._inner.query_many(self._grid)
+        return dict(zip(self._grid, values))
+
+    @property
+    def grid(self) -> list[float]:
+        """The pre-computed grid of phi values."""
+        return list(self._grid)
+
+    @property
+    def n(self) -> int:
+        """Elements consumed so far."""
+        return self._inner.n
+
+    @property
+    def plan(self) -> Plan:
+        """The inner eps/2 plan."""
+        return self._inner.plan
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held."""
+        return self._inner.memory_elements
+
+
+def precomputation_plan(eps: float, delta: float) -> Plan:
+    """The plan backing :class:`PrecomputedQuantiles` (Table 2's last column)."""
+    return plan_parameters(eps / 2.0, delta, num_quantiles=ceil_inverse(eps))
+
+
+def ceil_inverse(eps: float) -> int:
+    """``ceil(1/eps)`` without float-drift surprises for common eps values."""
+    inv = 1.0 / eps
+    nearest = round(inv)
+    if abs(inv - nearest) < 1e-9:
+        return int(nearest)
+    return math.ceil(inv)

@@ -1,0 +1,362 @@
+"""Parallel quantile computation over P independent streams (Section 6).
+
+Each of ``P`` processors runs the single-processor unknown-N algorithm over
+its own input sequence (any of which may terminate at any time).  To answer
+a query over the *union* of the streams:
+
+1. every worker performs a final Collapse over its full buffers, leaving at
+   most one full buffer and at most one partial buffer, which are shipped
+   (with weights) to a distinguished coordinator ``P0``;
+2. ``P0`` feeds incoming **full** buffers straight into its own collapse
+   engine at level 0, retaining their weights;
+3. incoming **partial** buffers are accumulated in an auxiliary buffer
+   ``B0``.  When weights differ, the lighter buffer is *shrunk* — one
+   uniformly random element kept per block of ``W_large / W_small``
+   elements — and reassigned the larger weight (the paper's example: a
+   weight-2 buffer shrunk at rate 4 to match a weight-8 one).  Once weights
+   match, elements are copied into ``B0``; whenever ``B0`` fills to ``k``
+   it joins the full buffers;
+4. the final Output runs over ``P0``'s buffers plus the leftover ``B0``.
+
+This module *simulates* the distributed setting deterministically in one
+process: workers are real estimators, "shipping" is a snapshot (so the
+merge is non-destructive and can be repeated at any time), and the
+communication cost is what it would be on an MPP — at most one full and one
+partial buffer per worker.  Partial buffers in this implementation always
+carry power-of-two weights (New rates are powers of two; the incomplete
+trailing sampling block is folded into the partial buffer by unbiased
+randomised rounding), so the shrink ratio is always integral, as the paper
+assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.core.framework import CollapseEngine
+from repro.core.operations import collapse_offset, select_collapse_values
+from repro.core.params import Plan, plan_parameters
+from repro.core.policy import CollapsePolicy
+from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+
+__all__ = ["ParallelQuantiles", "MergedSummary", "merge_snapshots"]
+
+
+class MergedSummary:
+    """A queryable merge of several estimator snapshots.
+
+    Produced by :func:`merge_snapshots`; wraps the Section 6 coordinator so
+    summaries built on different machines (or shards, or time windows) can
+    be combined into one weighted quantile answer.  The merge is a one-shot
+    value object: to fold in later data, take fresh snapshots and merge
+    again.
+    """
+
+    def __init__(self, coordinator: "_Coordinator", n: int) -> None:
+        self._coordinator = coordinator
+        self._n = n
+
+    def query(self, phi: float) -> float:
+        """The weighted phi-quantile of the merged summaries."""
+        return self._coordinator.query(phi)
+
+    def query_many(self, phis: Sequence[float]) -> list[float]:
+        """Several quantiles of the merge."""
+        return [self._coordinator.query(phi) for phi in phis]
+
+    @property
+    def n(self) -> int:
+        """Total elements the merged snapshots had consumed."""
+        return self._n
+
+    @property
+    def total_weight(self) -> int:
+        """Weight mass Output covers (≈ n, up to shrink rounding)."""
+        return self._coordinator.total_weight
+
+
+def merge_snapshots(
+    snapshots: Sequence[EstimatorSnapshot],
+    *,
+    b: int | None = None,
+    policy: CollapsePolicy | None = None,
+    seed: int | None = None,
+) -> MergedSummary:
+    """Merge estimator snapshots into one queryable summary (Section 6).
+
+    All snapshots must come from estimators with the same buffer size
+    ``k`` (normally: the same plan).  Typical use — sharded ingestion::
+
+        shards = [UnknownNQuantiles(plan=plan, seed=i) for i in range(8)]
+        ...                       # each shard consumes its own stream
+        merged = merge_snapshots([s.snapshot() for s in shards], seed=0)
+        global_median = merged.query(0.5)
+
+    :param b: coordinator buffer count (default: max(2, #snapshots)).
+    """
+    populated = [snap for snap in snapshots if snap.n > 0]
+    if not populated:
+        raise ValueError("no snapshot contains any data")
+    k = populated[0].k
+    if any(snap.k != k for snap in populated):
+        raise ValueError("snapshots disagree on buffer size k; use one plan")
+    rng = random.Random(seed)
+    coordinator = _Coordinator(
+        b if b is not None else max(2, len(populated)), k, policy, rng
+    )
+    for snap in populated:
+        full, partial = _ship(snap, rng)
+        if full is not None:
+            coordinator.receive_full(*full)
+        if partial is not None:
+            coordinator.receive_partial(*partial)
+    return MergedSummary(coordinator, sum(snap.n for snap in populated))
+
+
+class ParallelQuantiles:
+    """P-way parallel eps-approximate quantiles over the union of P streams.
+
+    :param num_workers: number of independent input streams / processors.
+    :param eps: approximation guarantee for the aggregate.
+    :param delta: failure probability.
+    :param coordinator_buffers: buffer count at the coordinator ``P0``
+        (defaults to the workers' ``b``); the paper notes P0 "is required
+        to maintain at least two buffers".
+
+    Example::
+
+        pq = ParallelQuantiles(num_workers=8, eps=0.01, delta=1e-4, seed=3)
+        for worker_id, value in tagged_stream:
+            pq.update(worker_id, value)
+        aggregate_median = pq.query(0.5)
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        eps: float | None = None,
+        delta: float | None = None,
+        *,
+        plan: Plan | None = None,
+        policy: CollapsePolicy | None = None,
+        coordinator_buffers: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        if plan is None:
+            if eps is None or delta is None:
+                raise ValueError("provide either (eps, delta) or an explicit plan")
+            plan = plan_parameters(eps, delta, policy=policy)
+        self._plan = plan
+        self._policy = policy
+        self._rng = random.Random(seed)
+        self._workers = [
+            UnknownNQuantiles(
+                plan=plan,
+                policy=policy,
+                seed=self._rng.randrange(2**62),
+            )
+            for _ in range(num_workers)
+        ]
+        self._coordinator_buffers = (
+            coordinator_buffers if coordinator_buffers is not None else plan.b
+        )
+        if self._coordinator_buffers < 2:
+            raise ValueError("the coordinator needs at least two buffers")
+        # Fixed seed for the merge's randomised steps, so that repeated
+        # queries over unchanged workers return identical answers.
+        self._merge_seed = self._rng.randrange(2**62)
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def update(self, worker_id: int, value: float) -> None:
+        """Feed one element into one worker's stream."""
+        self._workers[worker_id].update(value)
+
+    def extend(self, worker_id: int, values: Iterable[float]) -> None:
+        """Feed many elements into one worker's stream."""
+        self._workers[worker_id].extend(values)
+
+    def worker(self, worker_id: int) -> UnknownNQuantiles:
+        """Direct access to one worker (e.g. for per-stream queries)."""
+        return self._workers[worker_id]
+
+    @property
+    def num_workers(self) -> int:
+        """Number of parallel streams."""
+        return len(self._workers)
+
+    @property
+    def n(self) -> int:
+        """Total elements consumed across all workers."""
+        return sum(worker.n for worker in self._workers)
+
+    @property
+    def plan(self) -> Plan:
+        """The per-worker parameter plan."""
+        return self._plan
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots across workers plus the coordinator's pool."""
+        per_worker = sum(worker.memory_elements for worker in self._workers)
+        return per_worker + self._coordinator_buffers * self._plan.k
+
+    # ------------------------------------------------------------------
+    # Merge + query
+    # ------------------------------------------------------------------
+    def query(self, phi: float) -> float:
+        """A phi-quantile of the union of all streams seen so far.
+
+        Rebuilds the coordinator merge from worker snapshots on every call,
+        so workers keep streaming afterwards (at the cost of re-merging;
+        on a real MPP the merge would run once at end-of-stream).
+        """
+        return self._merge().query(phi)
+
+    def query_many(self, phis: Sequence[float]) -> list[float]:
+        """Several quantiles of the union in one merge."""
+        coordinator = self._merge()
+        return [coordinator.query(phi) for phi in phis]
+
+    def _merge(self) -> "_Coordinator":
+        coordinator = _Coordinator(
+            self._coordinator_buffers,
+            self._plan.k,
+            self._policy,
+            random.Random(self._merge_seed),
+        )
+        shipped_any = False
+        for worker in self._workers:
+            snap = worker.snapshot()
+            if snap.n == 0:
+                continue
+            shipped_any = True
+            full, partial = _ship(snap, coordinator.rng)
+            if full is not None:
+                coordinator.receive_full(*full)
+            if partial is not None:
+                coordinator.receive_partial(*partial)
+        if not shipped_any:
+            raise ValueError("no data has been observed on any stream yet")
+        return coordinator
+
+
+def _ship(
+    snap: EstimatorSnapshot, rng: random.Random
+) -> tuple[tuple[list[float], int] | None, tuple[list[float], int] | None]:
+    """What a worker sends to P0: (full_buffer, partial_buffer) or Nones.
+
+    A final Collapse merges all the worker's full buffers into one; the
+    staged elements form the partial buffer with weight = the worker's
+    current sampling rate.  The incomplete sampling block's candidate (mass
+    ``j < rate``) is folded into the partial buffer by randomised rounding:
+    kept as a full weight-``rate`` element with probability ``j / rate`` —
+    unbiased in expected weight and keeping every shipped weight a power of
+    two so the coordinator's shrink ratios stay integral.
+    """
+    fulls = snap.full_buffers
+    if len(fulls) >= 2:
+        total_weight = sum(weight for _, weight in fulls)
+        offset = collapse_offset(total_weight, low_for_even=True)
+        merged = select_collapse_values(fulls, snap.k, offset)
+        full: tuple[list[float], int] | None = (merged, total_weight)
+    elif fulls:
+        full = (list(fulls[0][0]), fulls[0][1])
+    else:
+        full = None
+
+    partial_values = list(snap.staged)
+    if snap.pending is not None:
+        candidate, seen = snap.pending
+        if rng.random() * snap.rate < seen:
+            partial_values.append(candidate)
+    if partial_values:
+        partial: tuple[list[float], int] | None = (sorted(partial_values), snap.rate)
+    else:
+        partial = None
+    return full, partial
+
+
+class _Coordinator:
+    """The distinguished processor P0 of Section 6."""
+
+    def __init__(
+        self,
+        b: int,
+        k: int,
+        policy: CollapsePolicy | None,
+        rng: random.Random,
+    ) -> None:
+        self._engine = CollapseEngine(b, k, policy)
+        self._k = k
+        self.rng = rng
+        self._b0: list[float] = []
+        self._b0_weight = 0
+
+    def receive_full(self, values: list[float], weight: int) -> None:
+        """Incoming full buffer: enters the pool at level 0, weight kept."""
+        self._engine.deposit(values, weight, level=0)
+
+    def receive_partial(self, values: list[float], weight: int) -> None:
+        """Incoming partial buffer: weight-matched against B0, then copied."""
+        if weight < 1 or weight & (weight - 1):
+            raise ValueError(
+                f"partial-buffer weights must be powers of two, got {weight}"
+            )
+        if not self._b0:
+            self._b0 = list(values)
+            self._b0_weight = weight
+            return
+        if weight != self._b0_weight:
+            if weight < self._b0_weight:
+                values = _shrink(values, weight, self._b0_weight, self.rng)
+                weight = self._b0_weight
+            else:
+                self._b0 = _shrink(self._b0, self._b0_weight, weight, self.rng)
+                self._b0_weight = weight
+        self._b0.extend(values)
+        while len(self._b0) >= self._k:
+            self._engine.deposit(self._b0[: self._k], self._b0_weight, level=0)
+            self._b0 = self._b0[self._k :]
+
+    def query(self, phi: float) -> float:
+        """The final Output over P0's buffers plus the leftover B0."""
+        extra = [(sorted(self._b0), self._b0_weight)] if self._b0 else []
+        return self._engine.query(phi, extra)
+
+    @property
+    def total_weight(self) -> int:
+        """Weight mass the final Output covers (≈ union size, up to the
+        rounding the paper's shrinking step inherently introduces)."""
+        return self._engine.total_weight + len(self._b0) * self._b0_weight
+
+
+def _shrink(
+    values: Sequence[float], weight: int, target_weight: int, rng: random.Random
+) -> list[float]:
+    """Shrink a buffer to a larger weight by block sampling (Section 6).
+
+    Keeps one uniformly random element per block of ``target/weight``
+    consecutive elements; a trailing short block of mass ``m`` keeps its
+    candidate with probability ``m * weight / target`` (randomised
+    rounding, unbiased in expected mass).
+    """
+    if target_weight % weight:
+        raise ValueError(
+            f"shrink ratio must be integral, got {target_weight}/{weight}"
+        )
+    ratio = target_weight // weight
+    kept: list[float] = []
+    block: list[float] = []
+    for value in values:
+        block.append(value)
+        if len(block) == ratio:
+            kept.append(block[rng.randrange(ratio)])
+            block = []
+    if block and rng.random() * ratio < len(block):
+        kept.append(block[rng.randrange(len(block))])
+    return kept

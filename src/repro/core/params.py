@@ -1,0 +1,303 @@
+"""Parameter planning: choose b, k, h from (eps, delta) — Section 4.5.
+
+The unknown-N algorithm is correct whenever its three constraints hold:
+
+* **Eq 1 (sampling).**  ``min(L_d k, 8/3 L_s k) >= ln(2/delta) /
+  (2 (1-alpha)^2 eps^2)`` — Hoeffding over the non-uniform sample.
+* **Eq 2 (tree, after sampling onset).**  For every height ``H >= 1``
+  reached after onset::
+
+      f(H)/2 + 1 <= alpha * eps * k,
+      f(H) = [L_d (h+H-1) + L_s ((h+1) 2^H - 2 (h+H))]
+             / [L_d + L_s (2^H - 2)]
+
+  This is the paper's derivation one step before its closed form
+  ``h - c <= 2 alpha eps k`` (whose constant ``c`` is OCR-corrupted in our
+  source); the supremum over H is evaluated numerically.  It reduces to the
+  Munro-Paterson special case (``f -> h+1``) exactly as the paper states.
+* **Eq 3 (tree, before sampling).**  ``h + 1 <= 2 eps k``.
+
+``L_d`` (leaves before the first level-``h`` collapse output) and ``L_s``
+(leaves per sampled level band) come from the collapse policy; for the
+paper's policy ``L_d = C(b+h-1, h)`` and ``L_s = C(b+h-2, h)`` — validated
+against direct tree simulation in the test suite.
+
+:func:`plan_parameters` minimises total memory ``b * k`` by searching
+``b, h`` over a small grid and, for each pair, splitting the error budget
+optimally: the two active constraints have the shapes ``k >= c1/(1-alpha)^2``
+and ``k >= c2/alpha``, whose upper envelope is minimised where they cross —
+a quadratic in alpha solved in closed form.
+
+:func:`plan_known_n` is the MRL98 comparator (N known in advance), used by
+Table 1 and Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.policy import CollapsePolicy, MRLPolicy
+
+__all__ = [
+    "Plan",
+    "KnownNPlan",
+    "plan_parameters",
+    "plan_known_n",
+    "known_n_memory",
+    "tree_error_requirement",
+]
+
+_MAX_H_SUP = 64  # f(H) is monotone-bounded; its sup is reached well below this
+
+
+def tree_error_requirement(l_d: int, l_s: int, h: int) -> float:
+    """sup over H >= 1 of ``f(H)/2 + 1`` — the per-k tree error coefficient.
+
+    ``alpha * eps * k`` must be at least this for the collapse tree to keep
+    its share of the error budget at every point after sampling onset.
+    """
+    if l_d < 1 or l_s < 1:
+        raise ValueError("leaf counts must be positive")
+    if h < 1:
+        raise ValueError(f"height must be >= 1, got {h}")
+    worst = 0.0
+    for big_h in range(1, _MAX_H_SUP + 1):
+        pow_h = 2.0**big_h
+        numerator = l_d * (h + big_h - 1) + l_s * ((h + 1) * pow_h - 2 * (h + big_h))
+        denominator = l_d + l_s * (pow_h - 2)
+        worst = max(worst, numerator / denominator)
+    return worst / 2.0 + 1.0
+
+
+def _optimal_alpha(c1: float, c2: float) -> float:
+    """Minimise ``max(c1 / (1-alpha)^2, c2 / alpha)`` over alpha in (0, 1).
+
+    The first branch increases and the second decreases in alpha, so the
+    minimum sits where they cross: ``c1 * alpha = c2 * (1 - alpha)^2``,
+    i.e. ``c2 a^2 - (2 c2 + c1) a + c2 = 0``; the root in (0, 1) is taken.
+    """
+    if c2 <= 0.0:
+        raise ValueError("tree coefficient must be positive")
+    disc = (2.0 * c2 + c1) ** 2 - 4.0 * c2 * c2
+    alpha = (2.0 * c2 + c1 - math.sqrt(disc)) / (2.0 * c2)
+    return min(1.0 - 1e-12, max(1e-12, alpha))
+
+
+@dataclass(frozen=True, slots=True)
+class Plan:
+    """Parameters for the unknown-N algorithm.
+
+    :ivar b: number of buffers.
+    :ivar k: elements per buffer.
+    :ivar h: tree height at which sampling begins (Section 3.7).
+    :ivar alpha: fraction of eps budgeted to the deterministic tree.
+    :ivar leaves_before_sampling: ``L_d`` for this (b, h) and policy.
+    :ivar leaves_per_level: ``L_s`` for this (b, h) and policy.
+    """
+
+    eps: float
+    delta: float
+    b: int
+    k: int
+    h: int
+    alpha: float
+    leaves_before_sampling: int
+    leaves_per_level: int
+    policy_name: str
+
+    @property
+    def memory(self) -> int:
+        """Total element slots: ``b * k``."""
+        return self.b * self.k
+
+
+@dataclass(frozen=True, slots=True)
+class KnownNPlan:
+    """Parameters for the known-N (MRL98) algorithm on a stream of length n.
+
+    :ivar rate: upfront uniform sampling rate ``r`` (1 = no sampling).
+    :ivar exact: True when the plan simply stores the whole input
+        (optimal for tiny n).
+    """
+
+    eps: float
+    delta: float
+    n: int
+    b: int
+    k: int
+    h: int
+    alpha: float
+    rate: int
+    exact: bool
+
+    @property
+    def memory(self) -> int:
+        """Total element slots: ``b * k``."""
+        return self.b * self.k
+
+
+def _validate_eps_delta(eps: float, delta: float) -> None:
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+
+
+def plan_parameters(
+    eps: float,
+    delta: float,
+    *,
+    num_quantiles: int = 1,
+    policy: CollapsePolicy | None = None,
+    max_b: int = 50,
+    max_h: int = 50,
+) -> Plan:
+    """Memory-optimal (b, k, h, alpha) for the unknown-N algorithm.
+
+    :param num_quantiles: number of quantiles computed simultaneously;
+        Section 4.7's union bound replaces delta by delta/p in Eq 1.
+    :param policy: collapse policy (leaf-count formulas differ); the
+        default is the paper's :class:`~repro.core.policy.MRLPolicy`.
+    :param max_b: largest buffer count searched ("searching for b and h in
+        the interval [2, 50]").
+    :param max_h: largest sampling-onset height searched.
+    """
+    _validate_eps_delta(eps, delta)
+    if num_quantiles < 1:
+        raise ValueError(f"num_quantiles must be >= 1, got {num_quantiles}")
+    policy = policy if policy is not None else MRLPolicy()
+    effective_delta = delta / num_quantiles
+    log_term = math.log(2.0 / effective_delta)
+    best: Plan | None = None
+    for b in range(2, max_b + 1):
+        for h in range(1, max_h + 1):
+            try:
+                l_d = policy.leaves_before_height(b, h)
+                l_s = policy.leaves_per_sampled_level(b, h)
+            except ValueError:
+                continue  # e.g. Munro-Paterson cannot reach this height
+            # Eq 1: k >= c1 / (1 - alpha)^2
+            c1 = log_term / (2.0 * eps * eps * min(l_d, 8.0 * l_s / 3.0))
+            # Eq 2: k >= c2 / alpha
+            c2 = tree_error_requirement(l_d, l_s, h) / eps
+            alpha = _optimal_alpha(c1, c2)
+            k = max(
+                math.ceil(c1 / (1.0 - alpha) ** 2),
+                math.ceil(c2 / alpha),
+                math.ceil((h + 1) / (2.0 * eps)),  # Eq 3
+                1,
+            )
+            if best is None or b * k < best.memory:
+                best = Plan(
+                    eps=eps,
+                    delta=delta,
+                    b=b,
+                    k=k,
+                    h=h,
+                    alpha=alpha,
+                    leaves_before_sampling=l_d,
+                    leaves_per_level=l_s,
+                    policy_name=policy.name,
+                )
+            # Eq 3 alone forces k >= (h+1)/(2 eps), which grows with h; once
+            # that floor exceeds the best memory the h sweep cannot win.
+            if best is not None and b * math.ceil((h + 1) / (2.0 * eps)) > best.memory:
+                break
+    assert best is not None
+    return best
+
+
+def plan_known_n(
+    eps: float,
+    delta: float,
+    n: int,
+    *,
+    policy: CollapsePolicy | None = None,
+    max_b: int = 50,
+    max_h: int = 50,
+) -> KnownNPlan:
+    """Memory-optimal plan for the MRL98 known-N algorithm.
+
+    Three regimes compete and the cheapest wins:
+
+    * **exact** — store all n elements (tiny n);
+    * **deterministic** — no sampling; a tree of height h covers
+      ``k * L_d(b, h)`` elements with error ``(h+1)/(2k) <= eps``;
+    * **sampled** — uniform upfront sampling at rate r feeds
+      ``s = ceil(n / r)`` elements to the tree; Hoeffding takes
+      ``(1-alpha) eps``, the tree ``alpha eps``.
+    """
+    _validate_eps_delta(eps, delta)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    policy = policy if policy is not None else MRLPolicy()
+    log_term = math.log(2.0 / delta)
+
+    # Regime 1: exact storage.
+    best = KnownNPlan(
+        eps=eps,
+        delta=delta,
+        n=n,
+        b=2,
+        k=(n + 1) // 2,
+        h=1,
+        alpha=1.0,
+        rate=1,
+        exact=True,
+    )
+
+    for b in range(2, max_b + 1):
+        for h in range(2, max_h + 1):
+            try:
+                l_d = policy.leaves_before_height(b, h)
+            except ValueError:
+                continue
+            # Regime 2: deterministic, no sampling.
+            k_det = max(math.ceil((h + 1) / (2.0 * eps)), math.ceil(n / l_d))
+            if b * k_det < best.memory:
+                best = KnownNPlan(
+                    eps=eps,
+                    delta=delta,
+                    n=n,
+                    b=b,
+                    k=k_det,
+                    h=h,
+                    alpha=1.0,
+                    rate=1,
+                    exact=False,
+                )
+            # Regime 3: uniform sampling feeding the tree.
+            c1 = log_term / (2.0 * eps * eps)  # sample size >= c1/(1-alpha)^2
+            c2 = (h + 1) / (2.0 * eps)  # k >= c2 / alpha
+            # Pick alpha balancing tree size k against sample size s: the
+            # tree must also *hold* the sample, k * L_d >= s, giving
+            # k >= c1 / ((1-alpha)^2 L_d).  Combine with k >= c2/alpha.
+            alpha = _optimal_alpha(c1 / l_d, c2)
+            sample_size = math.ceil(c1 / (1.0 - alpha) ** 2)
+            if sample_size >= n:
+                continue  # sampling cannot help; deterministic regime rules
+            rate = math.ceil(n / sample_size)
+            k_smp = max(
+                math.ceil(c2 / alpha),
+                math.ceil(math.ceil(n / rate) / l_d),
+                1,
+            )
+            if b * k_smp < best.memory:
+                best = KnownNPlan(
+                    eps=eps,
+                    delta=delta,
+                    n=n,
+                    b=b,
+                    k=k_smp,
+                    h=h,
+                    alpha=alpha,
+                    rate=rate,
+                    exact=False,
+                )
+    return best
+
+
+def known_n_memory(eps: float, delta: float, n: int) -> int:
+    """Memory (element slots) of the best known-N plan — Figure 4's curve."""
+    return plan_known_n(eps, delta, n).memory

@@ -1,0 +1,178 @@
+"""Collapse policies (Section 3.6 and the framework's prior instances).
+
+A collapse policy answers one question: *when every buffer is full, which
+subset do we Collapse?*  The paper's framework recovers earlier algorithms
+as policies:
+
+* :class:`MRLPolicy` — the paper's choice (and MRL98's "new algorithm"):
+  collapse **all** buffers at the lowest occupied level, first promoting a
+  lone lowest-level buffer upward until at least two share the lowest
+  level.  Maximises leaves covered per unit memory.
+* :class:`MunroPatersonPolicy` — MP80: collapse exactly **two** buffers at
+  the lowest level (binary tree).  Simple; the paper uses it (``beta = 2,
+  c = 0``) to derive the closed-form space complexity of Theorem 1.
+* :class:`ARSPolicy` — Alsabti-Ranka-Singh: collapse **everything**
+  whenever the pool fills, regardless of level.  Shallow tree, but weights
+  grow quickly.
+
+Each policy also predicts the leaf counts of the tree it builds — ``L_d``
+(leaves before sampling onset at height ``h``) and ``L_s`` (leaves per
+sampled level) — which is exactly what the Section 4.5 parameter planner
+needs.  The closed forms are property-tested against direct simulation of
+the engine.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections.abc import Sequence
+
+from repro.core.buffers import Buffer
+
+__all__ = [
+    "CollapsePolicy",
+    "MRLPolicy",
+    "MunroPatersonPolicy",
+    "ARSPolicy",
+]
+
+
+class CollapsePolicy(abc.ABC):
+    """Strategy deciding which full buffers a Collapse consumes."""
+
+    #: Short identifier used in benchmark output.
+    name: str = "abstract"
+
+    #: Eager policies collapse as soon as two buffers share a level (the
+    #: Munro-Paterson discipline, which builds a strict binary tree and
+    #: keeps at most one buffer per level).  Lazy policies collapse only
+    #: when the pool is out of empty buffers — MRL98's insight, which lets
+    #: the tree cover C(b+h-1, h) leaves instead of 2^h.
+    eager: bool = False
+
+    @abc.abstractmethod
+    def choose(self, full_buffers: Sequence[Buffer]) -> list[Buffer]:
+        """Pick the buffers to collapse; may promote levels as a side effect.
+
+        Called only when no buffer is empty and at least two are full.
+        """
+
+    @abc.abstractmethod
+    def leaves_before_height(self, b: int, h: int) -> int:
+        """``L_d``: New buffers consumed before the first level-``h`` output."""
+
+    @abc.abstractmethod
+    def leaves_per_sampled_level(self, b: int, h: int) -> int:
+        """``L_s``: New buffers consumed per level band after sampling onset."""
+
+    @staticmethod
+    def _lowest_group(full_buffers: Sequence[Buffer]) -> list[Buffer]:
+        """Buffers at the lowest level, promoting a lone minimum upward.
+
+        Implements Section 3.6: "Let l be the smallest level of any full
+        buffer.  If there is exactly one buffer at level l, we increment
+        its level until there are at least two at the lowest level."
+        """
+        if len(full_buffers) < 2:
+            raise RuntimeError(
+                f"collapse policy invoked with {len(full_buffers)} full buffers"
+            )
+        while True:
+            min_level = min(buf.level for buf in full_buffers)
+            group = [buf for buf in full_buffers if buf.level == min_level]
+            if len(group) >= 2:
+                return group
+            next_level = min(
+                buf.level for buf in full_buffers if buf.level > min_level
+            )
+            group[0].level = next_level
+
+
+class MRLPolicy(CollapsePolicy):
+    """Collapse all buffers at the lowest occupied level (the paper's policy)."""
+
+    name = "mrl"
+
+    def choose(self, full_buffers: Sequence[Buffer]) -> list[Buffer]:
+        return self._lowest_group(full_buffers)
+
+    def leaves_before_height(self, b: int, h: int) -> int:
+        # The b-buffer tree grown to height h has C(b+h-1, h) leaves: each
+        # level-h node is built from level-(h-1) nodes made with one fewer
+        # free buffer each time, giving the Pascal's-triangle recurrence
+        # L(b, h) = sum_{i=1..b} L(i, h-1), L(b, 1) = b.
+        _check_tree_args(b, h)
+        return math.comb(b + h - 1, h)
+
+    def leaves_per_sampled_level(self, b: int, h: int) -> int:
+        # After onset one slot at the top level is permanently occupied, so
+        # effectively b - 1 buffers build the next top node:
+        # L_s = L_d(b - 1, h) = C(b+h-2, h).
+        _check_tree_args(b, h)
+        return math.comb(b + h - 2, h)
+
+
+class MunroPatersonPolicy(CollapsePolicy):
+    """Collapse pairs of same-level buffers eagerly (MP80; binary tree).
+
+    With the eager trigger the engine collapses two buffers the moment
+    they share a level, so at most one buffer per level survives and the
+    tree is the binary merge tree of MP80.  ``choose`` is still defined
+    for the out-of-buffers fallback (fewer buffers than the height needs).
+    """
+
+    name = "munro-paterson"
+    eager = True
+
+    def choose(self, full_buffers: Sequence[Buffer]) -> list[Buffer]:
+        return self._lowest_group(full_buffers)[:2]
+
+    def leaves_before_height(self, b: int, h: int) -> int:
+        # A binary collapse tree of height h consumes 2^h leaves; b buffers
+        # can sustain heights up to b - 1 (one buffer per level plus the
+        # incoming leaf, as in a binary counter).
+        _check_tree_args(b, h)
+        if h > b - 1:
+            raise ValueError(
+                f"Munro-Paterson with {b} buffers cannot reach height {h} "
+                f"(max {b - 1})"
+            )
+        return 2**h
+
+    def leaves_per_sampled_level(self, b: int, h: int) -> int:
+        # Post-onset, one level-h buffer already exists; building its
+        # sibling takes 2^(h-1) weight-doubled leaves.
+        _check_tree_args(b, h)
+        if h > b - 1:
+            raise ValueError(
+                f"Munro-Paterson with {b} buffers cannot reach height {h} "
+                f"(max {b - 1})"
+            )
+        return 2 ** (h - 1)
+
+
+class ARSPolicy(CollapsePolicy):
+    """Collapse every full buffer at once (Alsabti-Ranka-Singh)."""
+
+    name = "ars"
+
+    def choose(self, full_buffers: Sequence[Buffer]) -> list[Buffer]:
+        return list(full_buffers)
+
+    def leaves_before_height(self, b: int, h: int) -> int:
+        # First collapse eats b leaves; every later collapse eats b - 1
+        # leaves plus the previous output, raising the level by one.
+        _check_tree_args(b, h)
+        return b + (h - 1) * (b - 1)
+
+    def leaves_per_sampled_level(self, b: int, h: int) -> int:
+        _check_tree_args(b, h)
+        return b - 1
+
+
+def _check_tree_args(b: int, h: int) -> None:
+    if b < 2:
+        raise ValueError(f"need at least 2 buffers, got {b}")
+    if h < 1:
+        raise ValueError(f"height must be >= 1, got {h}")

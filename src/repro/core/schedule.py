@@ -1,0 +1,295 @@
+"""Dynamic buffer allocation (Section 5).
+
+The base algorithm allocates all ``b * k`` memory up front — "if the input
+consists of a singleton element, our main memory usage is clearly
+outrageous".  Section 5 lets memory grow with the stream instead: buffers
+are allocated according to a *schedule*, and a schedule is **valid** when
+the output is still an eps-approximate quantile no matter where the stream
+terminates.
+
+Following the paper, the user expresses intent as *upper limits* on memory
+for different stream lengths; :func:`plan_schedule` then searches for
+``(k, b, h)`` whose limit-respecting schedule is valid:
+
+1. assign increasingly large values to ``k`` (fixing ``k`` fixes ``b``, the
+   most buffers the final limit affords, and the schedule: allocate the
+   next buffer as soon as the limits allow);
+2. Eq 3 limits ``h``, the height the tree may reach before sampling;
+3. the schedule's actual tree shape is *simulated* (collapse policies
+   depend only on buffer levels, so a ``k = 1`` simulation is
+   shape-exact), checking the Lemma 4 error bound ``W/2 + w_max <=
+   eps * N`` at every prefix and measuring the true ``L_d`` and ``L_s``
+   under delayed allocation;
+4. Eq 1 yields an upper bound on alpha, Eq 2 a lower bound; the schedule
+   is accepted iff the bounds intersect (0, 1) — otherwise "the current
+   schedule is rejected and we start all over again with a larger k".
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.framework import AllocatorHook, CollapseEngine
+from repro.core.params import Plan, plan_parameters, tree_error_requirement
+from repro.core.policy import CollapsePolicy, MRLPolicy
+
+__all__ = ["AllocationSchedule", "plan_schedule", "MemoryLimits"]
+
+_SIMULATION_LEAF_CAP = 500_000
+
+
+class MemoryLimits:
+    """User-specified upper limits on memory as the stream grows.
+
+    :param points: ``(n, max_elements)`` pairs, ascending in ``n``: while
+        at most ``n`` elements have streamed in, memory may not exceed
+        ``max_elements`` element slots.  Beyond the last ``n`` the last
+        limit applies.
+    """
+
+    def __init__(self, points: Sequence[tuple[int, int]]) -> None:
+        if not points:
+            raise ValueError("at least one (n, max_elements) point is required")
+        ns = [n for n, _ in points]
+        if ns != sorted(ns) or len(set(ns)) != len(ns):
+            raise ValueError("limit points must have strictly ascending n")
+        if any(m < 1 for _, m in points):
+            raise ValueError("memory limits must be positive")
+        self._ns = ns
+        self._ms = [m for _, m in points]
+
+    def at(self, n: int) -> int:
+        """The memory limit (element slots) in force at stream length n."""
+        index = bisect.bisect_left(self._ns, n)
+        if index >= len(self._ms):
+            index = len(self._ms) - 1
+        return self._ms[index]
+
+    @property
+    def final(self) -> int:
+        """The limit for arbitrarily long streams."""
+        return self._ms[-1]
+
+    @property
+    def points(self) -> list[tuple[int, int]]:
+        """The defining (n, max_elements) pairs."""
+        return list(zip(self._ns, self._ms))
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationSchedule:
+    """A validated buffer-allocation schedule.
+
+    :ivar allocation_leaves: ``allocation_leaves[i]`` is the leaf count at
+        which physical buffer ``i`` may be allocated (the paper's sequence
+        ``L_1, L_2, ..., L_b``).
+    :ivar leaves_before_sampling: measured ``L_d`` under this schedule.
+    :ivar leaves_per_level: measured ``L_s`` under this schedule.
+    """
+
+    eps: float
+    delta: float
+    b: int
+    k: int
+    h: int
+    alpha: float
+    allocation_leaves: tuple[int, ...]
+    leaves_before_sampling: int
+    leaves_per_level: int
+    policy_name: str
+
+    @property
+    def memory(self) -> int:
+        """Peak memory: ``b * k`` element slots."""
+        return self.b * self.k
+
+    def plan(self) -> Plan:
+        """The equivalent :class:`~repro.core.params.Plan` for estimators."""
+        return Plan(
+            eps=self.eps,
+            delta=self.delta,
+            b=self.b,
+            k=self.k,
+            h=self.h,
+            alpha=self.alpha,
+            leaves_before_sampling=self.leaves_before_sampling,
+            leaves_per_level=self.leaves_per_level,
+            policy_name=self.policy_name,
+        )
+
+    def allocator(self) -> AllocatorHook:
+        """The engine hook enforcing this schedule at run time."""
+        thresholds = self.allocation_leaves
+
+        def hook(leaves_created: int, buffers_allocated: int) -> bool:
+            return (
+                buffers_allocated < len(thresholds)
+                and leaves_created >= thresholds[buffers_allocated]
+            )
+
+        return hook
+
+    def memory_at(self, n: int) -> int:
+        """Element slots allocated once ``n`` stream elements have arrived."""
+        leaves = min(n // self.k, self.leaves_before_sampling)
+        allocated = sum(1 for threshold in self.allocation_leaves if threshold <= leaves)
+        # The buffer currently being staged needs a slot as soon as any
+        # data has arrived.
+        if n > 0:
+            allocated = max(allocated, 1)
+        return allocated * self.k
+
+
+@dataclass(slots=True)
+class _ShapeResult:
+    valid: bool
+    leaves_before_sampling: int
+    leaves_per_level: int
+    allocation_leaves: tuple[int, ...]
+
+
+def _simulate_shape(
+    b: int,
+    k: int,
+    h: int,
+    eps: float,
+    policy: CollapsePolicy,
+    allocator: AllocatorHook | None,
+    min_leaf_mass: float = 0.0,
+) -> _ShapeResult:
+    """Shape-exact simulation of the schedule's collapse tree.
+
+    Runs the real engine with ``k = 1`` dummy buffers (policies see only
+    levels, so the tree is identical), mirroring the unknown-N rate/level
+    schedule, and checks the Lemma 4 bound ``W/2 + w_max <= eps * N`` just
+    after every collapse opportunity — the paper's requirement that the
+    output be valid "no matter what the current value of N is".
+    """
+    engine = CollapseEngine(b, 1, policy, allocator=allocator)
+    allocations: list[int] = []
+    leaves = 0
+    l_d = 0
+    l_s = 0
+    level = 0
+    while leaves < _SIMULATION_LEAF_CAP:
+        before = engine.buffers_allocated
+        engine.ensure_empty()
+        if engine.buffers_allocated > before:
+            allocations.append(leaves)
+        onset_gap = engine.max_collapse_level - h
+        if onset_gap >= 0 and level != onset_gap + 1:
+            if onset_gap == 0 and l_d == 0:
+                l_d = leaves
+                if l_d * k < min_leaf_mass:
+                    # Eq 1 cannot hold for any alpha; skip the L_s phase.
+                    return _ShapeResult(False, l_d, 0, tuple(allocations))
+            elif onset_gap == 1 and l_s == 0:
+                l_s = leaves - l_d
+            level = onset_gap + 1
+            if onset_gap >= 1:
+                return _ShapeResult(True, l_d, l_s, tuple(allocations))
+        if engine.max_collapse_level < h:
+            # Pre-onset validity: the Lemma 4 bound (already in element
+            # ranks — buffer weights are element multiplicities and do not
+            # depend on k) against the smallest stream length that can
+            # exhibit this tree shape, leaves * k.
+            if leaves > 0 and engine.error_bound_elements() > eps * leaves * k:
+                return _ShapeResult(False, 0, 0, tuple(allocations))
+        engine.deposit([0.0], weight=2**level if level else 1, level=level)
+        leaves += 1
+    return _ShapeResult(False, 0, 0, tuple(allocations))
+
+
+def plan_schedule(
+    eps: float,
+    delta: float,
+    limits: MemoryLimits | Sequence[tuple[int, int]],
+    *,
+    policy: CollapsePolicy | None = None,
+    max_k_growth: float = 64.0,
+) -> AllocationSchedule:
+    """Find a valid buffer-allocation schedule within the user's limits.
+
+    :param limits: memory ceilings per stream length (see
+        :class:`MemoryLimits`).
+    :raises ValueError: when no valid schedule fits the limits (the paper's
+        trial-and-error outcome: the user must raise their limits).
+    """
+    if not isinstance(limits, MemoryLimits):
+        limits = MemoryLimits(limits)
+    policy = policy if policy is not None else MRLPolicy()
+    base = plan_parameters(eps, delta, policy=policy)
+    log_term = math.log(2.0 / delta)
+    k = max(base.k, 2)
+    while k <= base.k * max_k_growth:
+        b = min(50, limits.final // k)
+        if b < 2:
+            break
+        max_h = max(1, math.floor(2.0 * eps * k) - 1)
+        for h in range(1, min(max_h, 40) + 1):
+            # Analytic precheck before paying for a simulation: delayed
+            # allocation can only *shrink* L_d and L_s below the full-b
+            # closed forms, so if Eq 1 fails even with those upper bounds,
+            # no schedule at this (k, b, h) can be valid.
+            try:
+                l_d_max = policy.leaves_before_height(b, h)
+                l_s_max = policy.leaves_per_sampled_level(b, h)
+            except ValueError:
+                continue
+            mass_max = min(l_d_max, 8.0 * l_s_max / 3.0) * k
+            if log_term / (2.0 * eps * eps * mass_max) >= 1.0:
+                continue
+            limit_hook = _limit_allocator(limits, k)
+            shape = _simulate_shape(
+                b,
+                k,
+                h,
+                eps,
+                policy,
+                limit_hook,
+                min_leaf_mass=log_term / (2.0 * eps * eps),
+            )
+            if not shape.valid or shape.leaves_per_level == 0:
+                continue
+            l_d, l_s = shape.leaves_before_sampling, shape.leaves_per_level
+            # Eq 1: (1-alpha)^2 >= log_term / (2 eps^2 min(...) k)
+            mass = min(l_d, 8.0 * l_s / 3.0) * k
+            ratio = log_term / (2.0 * eps * eps * mass)
+            if ratio >= 1.0:
+                continue
+            alpha_hi = 1.0 - math.sqrt(ratio)
+            # Eq 2: alpha >= tree requirement / (eps k)
+            alpha_lo = tree_error_requirement(l_d, l_s, h) / (eps * k)
+            if not alpha_lo <= alpha_hi or alpha_lo >= 1.0:
+                continue
+            alpha = (alpha_lo + min(alpha_hi, 1.0)) / 2.0
+            return AllocationSchedule(
+                eps=eps,
+                delta=delta,
+                b=b,
+                k=k,
+                h=h,
+                alpha=alpha,
+                allocation_leaves=shape.allocation_leaves,
+                leaves_before_sampling=l_d,
+                leaves_per_level=l_s,
+                policy_name=policy.name,
+            )
+        k = max(k + 1, math.ceil(k * 1.2))
+    raise ValueError(
+        "no valid buffer-allocation schedule fits the given memory limits; "
+        "raise the limits (especially the final one) and try again"
+    )
+
+
+def _limit_allocator(limits: MemoryLimits, k: int) -> AllocatorHook:
+    """Allocate the next buffer as soon as the user limits allow it."""
+
+    def hook(leaves_created: int, buffers_allocated: int) -> bool:
+        stream_length = leaves_created * k
+        return (buffers_allocated + 1) * k <= limits.at(stream_length)
+
+    return hook

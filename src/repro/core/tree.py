@@ -1,0 +1,185 @@
+"""Collapse-tree tracing and error accounting (Sections 3.5, 4.2).
+
+Every run of the framework induces a tree: leaves are New buffers,
+internal nodes are Collapse outputs, and the (virtual) root is the final
+Output over the surviving buffers.  The paper's deterministic error
+analysis is phrased entirely in terms of this tree:
+
+* **Lemma 4** (weakened form used in Section 4.2): the weighted rank error
+  of Output is at most ``W/2 + w_max`` where ``W`` is the sum of the
+  weights of all Collapse outputs and ``w_max`` the heaviest child of the
+  root.
+* **Lemma 5**: ``W <= sum_i w_i * (h_i - 1)`` over leaves, with ``h_i`` the
+  leaf's distance from the root.
+
+:class:`TreeTrace` records the tree as it grows so tests can check both
+lemmas against observed behaviour, the planner's leaf-count formulas
+(``L_d = C(b+h-2, h-1)`` etc.) can be validated against reality, and the
+benchmark harness can reproduce the paper's Figures 2-3.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+__all__ = ["TraceNode", "TreeTrace"]
+
+
+@dataclass(slots=True)
+class TraceNode:
+    """One logical buffer in the collapse tree."""
+
+    node_id: int
+    kind: str  # "leaf" or "collapse"
+    weight: int
+    level: int
+    children: list[int] = field(default_factory=list)
+    parent: int | None = None
+
+
+class TreeTrace:
+    """Record of every New and Collapse performed by an engine run."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, TraceNode] = {}
+        self._next_id = 0
+        self._collapse_count = 0
+        self._collapse_weight_sum = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by the engine)
+    # ------------------------------------------------------------------
+    def new_leaf(self, weight: int, level: int) -> int:
+        """Record a New operation; returns the leaf's node id."""
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = TraceNode(node_id, "leaf", weight, level)
+        return node_id
+
+    def new_collapse(self, child_ids: Iterable[int], weight: int, level: int) -> int:
+        """Record a Collapse; returns the output node id."""
+        node_id = self._next_id
+        self._next_id += 1
+        children = list(child_ids)
+        if len(children) < 2:
+            raise ValueError("a collapse node needs at least two children")
+        node = TraceNode(node_id, "collapse", weight, level, children)
+        self._nodes[node_id] = node
+        for child in children:
+            self._nodes[child].parent = node_id
+        self._collapse_count += 1
+        self._collapse_weight_sum += weight
+        return node_id
+
+    # ------------------------------------------------------------------
+    # Statistics (Section 4.2 notation)
+    # ------------------------------------------------------------------
+    @property
+    def collapse_count(self) -> int:
+        """``C``: number of Collapse operations so far."""
+        return self._collapse_count
+
+    @property
+    def collapse_weight_sum(self) -> int:
+        """``W``: sum of the weights of all Collapse outputs so far."""
+        return self._collapse_weight_sum
+
+    @property
+    def node_count(self) -> int:
+        """Total logical buffers created (leaves + collapse outputs)."""
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> TraceNode:
+        """Look up a node by id."""
+        return self._nodes[node_id]
+
+    def leaves(self) -> list[TraceNode]:
+        """All leaf nodes, in creation order."""
+        return [n for n in self._nodes.values() if n.kind == "leaf"]
+
+    def roots(self) -> list[TraceNode]:
+        """Live nodes (never consumed by a Collapse): the root's children."""
+        return [n for n in self._nodes.values() if n.parent is None]
+
+    def leaf_counts_by_level(self) -> Counter[int]:
+        """Number of leaves created at each level (L_d is level 0's count)."""
+        return Counter(n.level for n in self._nodes.values() if n.kind == "leaf")
+
+    def max_collapse_level(self) -> int:
+        """Highest level of any Collapse output (-1 before any collapse)."""
+        levels = [n.level for n in self._nodes.values() if n.kind == "collapse"]
+        return max(levels, default=-1)
+
+    def depth_from_root(self, node_id: int) -> int:
+        """Edges from the node up to the virtual root (live ancestor + 1)."""
+        depth = 1  # the broken edge from the live ancestor to the root
+        node = self._nodes[node_id]
+        while node.parent is not None:
+            node = self._nodes[node.parent]
+            depth += 1
+        return depth
+
+    def height(self) -> int:
+        """Height of the tree: max leaf distance from the virtual root."""
+        leaves = self.leaves()
+        if not leaves:
+            return 0
+        return max(self.depth_from_root(leaf.node_id) for leaf in leaves)
+
+    # ------------------------------------------------------------------
+    # Error bounds
+    # ------------------------------------------------------------------
+    def weak_error_bound(self, live_weights: Iterable[int]) -> float:
+        """Section 4.2's weakened Lemma 4 bound: ``W/2 + w_max``.
+
+        :param live_weights: weights of the buffers Output would consume
+            (the root's children) — pass the engine's current full-buffer
+            weights.
+        """
+        weights = list(live_weights)
+        w_max = max(weights, default=0)
+        return self._collapse_weight_sum / 2.0 + w_max
+
+    def lemma5_bound(self) -> int:
+        """Lemma 5's upper bound on ``W``: ``sum_i w_i * (h_i - 1)``."""
+        return sum(
+            leaf.weight * (self.depth_from_root(leaf.node_id) - 1)
+            for leaf in self.leaves()
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering (Figures 2-3)
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII rendering of the current tree, root at the top.
+
+        Nodes are labelled ``weight@level`` as in the paper's Figures 2-3
+        (which label nodes with their weights).
+        """
+        lines = ["root"]
+        live = sorted(self.roots(), key=lambda n: n.node_id)
+        for index, node in enumerate(live):
+            self._render_node(node, "", index == len(live) - 1, lines, broken=True)
+        return "\n".join(lines)
+
+    def _render_node(
+        self,
+        node: TraceNode,
+        prefix: str,
+        is_last: bool,
+        lines: list[str],
+        *,
+        broken: bool = False,
+    ) -> None:
+        connector = "└─" if is_last else "├─"
+        edge = "┄" if broken else "─"  # broken edges join root to its children
+        label = f"{node.weight}@L{node.level}"
+        if node.kind == "leaf":
+            label += " (leaf)"
+        lines.append(f"{prefix}{connector}{edge} {label}")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        children = [self._nodes[c] for c in node.children]
+        for index, child in enumerate(children):
+            self._render_node(child, child_prefix, index == len(children) - 1, lines)

@@ -1,0 +1,306 @@
+"""The paper's core algorithm: approximate quantiles without knowing N.
+
+Section 3: the estimator interleaves **New** operations (fill a buffer with
+one uniformly random representative per block of ``r`` inputs) with the
+framework's **Collapse** policy, and drives the sampling rate from the
+collapse tree itself (Section 3.7):
+
+* while the tree is shorter than ``h``, New runs with ``r = 1`` at level 0
+  (no sampling — small inputs are summarised exactly like MRL98);
+* creation of the first collapse output at level ``h`` starts sampling:
+  New switches to ``r = 2`` at level 1;
+* every time the first output at level ``h + i`` appears, the rate doubles
+  to ``r = 2^(i+1)`` and New buffers enter at level ``i + 1``.
+
+Elements early in the stream are therefore sampled more densely than later
+ones — the *non-uniform* scheme that keeps memory at known-N levels without
+knowing N.
+
+**Output at any time**: queries never modify state.  In-flight data (the
+staged representatives of the buffer currently filling, plus the candidate
+of the incomplete block) is folded into the query as weighted extras, so
+the invariant *total weight consumed by a query == elements seen* holds at
+every instant — the estimator is an online-aggregation operator in the
+sense of Section 1.5.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.framework import AllocatorHook, CollapseEngine
+from repro.core.params import Plan, plan_parameters
+from repro.core.policy import CollapsePolicy
+from repro.sampling.block import BlockSampler
+
+__all__ = ["UnknownNQuantiles", "EstimatorSnapshot"]
+
+
+try:  # optional acceleration only; the library itself is dependency-free
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised in numpy-free installs
+    _numpy = None
+
+
+def _contains_nan(values: Sequence[float]) -> bool:
+    """Fast NaN scan: vectorised for numpy arrays, generic otherwise."""
+    if _numpy is not None and isinstance(values, _numpy.ndarray):
+        return bool(_numpy.isnan(values).any())
+    return any(value != value for value in values)
+
+
+@dataclass(frozen=True, slots=True)
+class EstimatorSnapshot:
+    """Read-only view of an estimator: what a worker 'ships' in Section 6.
+
+    :ivar full_buffers: ``(sorted_values, weight)`` pairs of full buffers.
+    :ivar staged: representatives of the buffer currently filling (weight
+        :attr:`rate` each).
+    :ivar pending: candidate and weight of the incomplete sampling block.
+    """
+
+    full_buffers: list[tuple[list[float], int]]
+    staged: list[float]
+    rate: int
+    pending: tuple[float, int] | None
+    n: int
+    k: int
+
+
+class UnknownNQuantiles:
+    """Single-pass eps-approximate quantiles of a stream of unknown length.
+
+    With probability at least ``1 - delta``, every :meth:`query` returns an
+    element whose rank is within ``eps * n`` of the exact phi-quantile of
+    the ``n`` elements seen so far — for every prefix of the stream, with
+    no advance knowledge of its length.
+
+    :param eps: rank-approximation guarantee (e.g. 0.01 = 1% of N).
+    :param delta: allowed failure probability (e.g. 1e-4).
+    :param num_quantiles: how many quantiles will be queried simultaneously
+        (tightens delta by a union bound, Section 4.7).
+    :param plan: explicit parameter plan; overrides eps/delta planning.
+    :param policy: collapse policy (default: the paper's MRL policy).
+    :param seed: seed for the sampling randomness (reproducible runs).
+    :param trace: record the collapse tree (diagnostics; costs memory).
+    :param allocator: Section 5 buffer-allocation schedule hook.
+
+    Example::
+
+        est = UnknownNQuantiles(eps=0.01, delta=1e-4, seed=42)
+        for value in stream:
+            est.update(value)
+        median = est.query(0.5)
+    """
+
+    def __init__(
+        self,
+        eps: float | None = None,
+        delta: float | None = None,
+        *,
+        num_quantiles: int = 1,
+        plan: Plan | None = None,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        trace: bool = False,
+        allocator: AllocatorHook | None = None,
+    ) -> None:
+        if plan is None:
+            if eps is None or delta is None:
+                raise ValueError("provide either (eps, delta) or an explicit plan")
+            plan = plan_parameters(
+                eps, delta, num_quantiles=num_quantiles, policy=policy
+            )
+        self._plan = plan
+        self._engine = CollapseEngine(
+            plan.b, plan.k, policy, trace=trace, allocator=allocator
+        )
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._sampler = BlockSampler(rate=1, rng=self._rng)
+        self._staged: list[float] = []
+        self._n = 0
+        self._rate = 1
+        self._level = 0
+        self._new_pending = True  # the next element begins a New operation
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Consume one stream element (amortised O(log(b k)) comparisons)."""
+        if value != value:  # NaN: unrankable, would poison the sorted buffers
+            raise ValueError("NaN values have no rank and cannot be summarised")
+        if self._new_pending:
+            self._begin_new()
+        self._n += 1
+        chosen = self._sampler.offer(value)
+        if chosen is None:
+            return
+        self._staged.append(chosen)
+        if len(self._staged) == self._engine.k:
+            self._engine.deposit(self._staged, self._rate, self._level)
+            self._staged = []
+            self._new_pending = True
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many stream elements.
+
+        Random-access inputs (lists, arrays, numpy arrays) are routed
+        through :meth:`update_batch`, which resolves whole sampling blocks
+        with one RNG draw each; other iterables stream element-by-element.
+        """
+        if hasattr(values, "__len__") and hasattr(values, "__getitem__"):
+            self.update_batch(values)  # type: ignore[arg-type]
+            return
+        for value in values:
+            self.update(value)
+
+    def update_batch(self, values: Sequence[float]) -> None:
+        """Bulk-ingest a random-access batch of stream elements.
+
+        Produces the same sampling distribution as per-element
+        :meth:`update` (uniform choice per block), but touches the RNG
+        once per *block* instead of once per element, so ingest in the
+        sampled regime costs O(1/rate) RNG draws per element.
+        """
+        if _contains_nan(values):
+            raise ValueError("NaN values have no rank and cannot be summarised")
+        total = len(values)
+        index = 0
+        while index < total:
+            if self._new_pending:
+                self._begin_new()
+            # Elements this New operation can still absorb.
+            needed = (
+                (self._engine.k - len(self._staged)) * self._rate
+                - self._sampler.seen_in_block
+            )
+            chunk = values[index : index + needed]
+            chosen = self._sampler.offer_many(chunk)
+            self._staged.extend(chosen)
+            consumed = len(chunk)
+            self._n += consumed
+            index += consumed
+            if len(self._staged) == self._engine.k:
+                self._engine.deposit(self._staged, self._rate, self._level)
+                self._staged = []
+                self._new_pending = True
+
+    def _begin_new(self) -> None:
+        """Start a New operation: free a buffer, then fix its rate and level.
+
+        Collapse (if needed) happens *before* the sampling rate is read, so
+        a rate doubling triggered by that collapse applies to this New —
+        matching the paper's ordering ("whenever the first buffer at height
+        h+i is produced ... subsequent New operations are invoked with rate
+        2^(i+1)").
+        """
+        self._engine.ensure_empty()
+        onset_gap = self._engine.max_collapse_level - self._plan.h
+        if onset_gap >= 0:
+            new_rate = 2 ** (onset_gap + 1)
+            if new_rate != self._rate:
+                self._rate = new_rate
+                self._level = onset_gap + 1
+                self._sampler.reset(new_rate)
+        self._new_pending = False
+
+    # ------------------------------------------------------------------
+    # Queries (Output; any time, non-destructive)
+    # ------------------------------------------------------------------
+    def _extras(self) -> list[tuple[Sequence[float], int]]:
+        """In-flight sample elements as weighted pseudo-buffers."""
+        extras: list[tuple[Sequence[float], int]] = []
+        if self._staged:
+            extras.append((sorted(self._staged), self._rate))
+        pending = self._sampler.pending()
+        if pending is not None:
+            candidate, seen = pending
+            extras.append(([candidate], seen))
+        return extras
+
+    def query(self, phi: float) -> float:
+        """An eps-approximate phi-quantile of everything seen so far."""
+        if self._n == 0:
+            raise ValueError("no data has been observed yet")
+        return self._engine.query(phi, self._extras())
+
+    def query_many(self, phis: Sequence[float]) -> list[float]:
+        """Several quantiles in one pass over the summary (order preserved)."""
+        if self._n == 0:
+            raise ValueError("no data has been observed yet")
+        return self._engine.query_many(phis, self._extras())
+
+    def rank(self, value: float) -> int:
+        """Estimated number of stream elements <= ``value`` (inverse query).
+
+        Within ``eps * n`` of the true count with the summary's usual
+        probability; ``rank(query(phi)) ~ phi * n``.
+        """
+        if self._n == 0:
+            raise ValueError("no data has been observed yet")
+        return self._engine.weighted_rank(value, self._extras())
+
+    def cdf(self, value: float) -> float:
+        """Estimated fraction of the stream that is <= ``value``."""
+        return self.rank(value) / self._n
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> Plan:
+        """The (b, k, h, alpha) parameter plan in force."""
+        return self._plan
+
+    @property
+    def n(self) -> int:
+        """Elements consumed so far."""
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def sampling_rate(self) -> int:
+        """Current block size ``r`` of the New operation."""
+        return self._rate
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held (allocated buffers x k)."""
+        return self._engine.memory_elements
+
+    @property
+    def total_weight(self) -> int:
+        """Weight mass a query would consume; always equals :attr:`n`."""
+        extras = self._extras()
+        return self._engine.total_weight + sum(
+            len(data) * weight for data, weight in extras
+        )
+
+    @property
+    def engine(self) -> CollapseEngine:
+        """The underlying buffer engine (tests, diagnostics)."""
+        return self._engine
+
+    def snapshot(self) -> "EstimatorSnapshot":
+        """A read-only copy of the estimator's state.
+
+        Used by the Section 6 parallel coordinator to merge workers
+        without destroying them (queries remain available afterwards).
+        """
+        pending = self._sampler.pending()
+        return EstimatorSnapshot(
+            full_buffers=[
+                (list(buf.data), buf.weight) for buf in self._engine.full_buffers()
+            ],
+            staged=sorted(self._staged),
+            rate=self._rate,
+            pending=pending,
+            n=self._n,
+            k=self._engine.k,
+        )

@@ -1,0 +1,35 @@
+"""Database applications of approximate quantiles (Section 1.1).
+
+The paper motivates its algorithms with four database workloads; each gets
+a small, self-contained application built on the core estimators:
+
+* :class:`~repro.db.histogram.EquiDepthHistogram` — maintain the bucket
+  boundaries of an equi-depth histogram over a *growing* table ("such a
+  histogram should be accurate at all times irrespective of the current
+  size of the table" — exactly the unknown-N setting).
+* :class:`~repro.db.splitters.Splitters` — value-range partitioning for
+  parallel databases and distributed sorting.
+* :class:`~repro.db.online_agg.OnlineQuantileAggregate` — a progressive
+  (online-aggregation) quantile operator with running confidence metadata.
+* :class:`~repro.db.selectivity.SelectivityEstimator` — selectivity of
+  range predicates for a query optimiser, from the equi-depth histogram.
+"""
+
+from repro.db.groupby import GroupByQuantiles
+from repro.db.histogram import EquiDepthHistogram
+from repro.db.online_agg import OnlineQuantileAggregate, ProgressReport
+from repro.db.selectivity import SelectivityEstimator
+from repro.db.splitters import Splitters
+from repro.db.window import SlidingWindowQuantiles, TumblingWindowQuantiles, WindowReport
+
+__all__ = [
+    "EquiDepthHistogram",
+    "GroupByQuantiles",
+    "Splitters",
+    "OnlineQuantileAggregate",
+    "ProgressReport",
+    "SelectivityEstimator",
+    "TumblingWindowQuantiles",
+    "SlidingWindowQuantiles",
+    "WindowReport",
+]

@@ -1,0 +1,134 @@
+"""Per-group quantile aggregation: ``SELECT g, MEDIAN(x) ... GROUP BY g``.
+
+Section 1.3 motivates small, predictable summaries precisely because
+"Group By algorithms also compute multiple aggregation results
+concurrently": a grouped quantile query runs one summary *per group*, all
+resident at once.  This operator plans the (b, k, h) parameters once and
+instantiates one unknown-N estimator per group lazily, so the memory cost
+is ``groups * b * k`` — predictable, and guarded by an optional group cap
+(the usual defence against high-cardinality GROUP BY keys blowing up an
+aggregation operator).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.core.params import Plan, plan_parameters
+from repro.core.policy import CollapsePolicy
+from repro.core.unknown_n import UnknownNQuantiles
+
+__all__ = ["GroupByQuantiles"]
+
+
+class GroupByQuantiles:
+    """Streaming per-group eps-approximate quantiles.
+
+    :param eps: rank guarantee per group (fraction of that group's rows).
+    :param delta: failure probability per group and query batch.
+    :param num_quantiles: quantiles queried together per group.
+    :param max_groups: refuse new groups beyond this count (memory guard);
+        ``None`` means unlimited.
+
+    Example::
+
+        agg = GroupByQuantiles(eps=0.01, delta=1e-4, max_groups=64, seed=3)
+        for row in orders:
+            agg.update(row.region, row.amount)
+        for region in agg.groups():
+            print(region, agg.query(region, 0.5))
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        delta: float,
+        *,
+        num_quantiles: int = 1,
+        policy: CollapsePolicy | None = None,
+        max_groups: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if max_groups is not None and max_groups < 1:
+            raise ValueError(f"max_groups must be >= 1, got {max_groups}")
+        self._plan: Plan = plan_parameters(
+            eps, delta, num_quantiles=num_quantiles, policy=policy
+        )
+        self._policy = policy
+        self._max_groups = max_groups
+        self._rng = random.Random(seed)
+        self._estimators: dict[Hashable, UnknownNQuantiles] = {}
+
+    def update(self, group: Hashable, value: float) -> None:
+        """Consume one (group, value) row."""
+        estimator = self._estimators.get(group)
+        if estimator is None:
+            if (
+                self._max_groups is not None
+                and len(self._estimators) >= self._max_groups
+            ):
+                raise RuntimeError(
+                    f"group cap of {self._max_groups} exceeded by new group "
+                    f"{group!r}; raise max_groups or pre-aggregate the key"
+                )
+            estimator = UnknownNQuantiles(
+                plan=self._plan,
+                policy=self._policy,
+                seed=self._rng.randrange(2**62),
+            )
+            self._estimators[group] = estimator
+        estimator.update(value)
+
+    def update_many(self, rows: Iterable[tuple[Hashable, float]]) -> None:
+        """Consume many (group, value) rows."""
+        for group, value in rows:
+            self.update(group, value)
+
+    def query(self, group: Hashable, phi: float) -> float:
+        """A phi-quantile of one group's values."""
+        return self._estimator_for(group).query(phi)
+
+    def query_many(self, group: Hashable, phis: Sequence[float]) -> list[float]:
+        """Several quantiles of one group in one merge pass."""
+        return self._estimator_for(group).query_many(phis)
+
+    def query_all(self, phi: float) -> dict[Hashable, float]:
+        """The phi-quantile of every group — one aggregation result row each."""
+        return {group: est.query(phi) for group, est in self._estimators.items()}
+
+    def _estimator_for(self, group: Hashable) -> UnknownNQuantiles:
+        try:
+            return self._estimators[group]
+        except KeyError:
+            raise KeyError(f"no rows seen for group {group!r}") from None
+
+    def groups(self) -> list[Hashable]:
+        """Groups observed so far, in first-seen order."""
+        return list(self._estimators)
+
+    def group_rows(self, group: Hashable) -> int:
+        """Rows consumed for one group."""
+        return self._estimator_for(group).n
+
+    @property
+    def rows(self) -> int:
+        """Total rows consumed across all groups."""
+        return sum(est.n for est in self._estimators.values())
+
+    @property
+    def plan(self) -> Plan:
+        """The shared per-group parameter plan."""
+        return self._plan
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held across all group summaries."""
+        return sum(est.memory_elements for est in self._estimators.values())
+
+    @property
+    def worst_case_memory_elements(self) -> int | None:
+        """The predictable ceiling: ``max_groups * b * k`` (None = unbounded)."""
+        if self._max_groups is None:
+            return None
+        return self._max_groups * self._plan.memory

@@ -1,0 +1,129 @@
+"""Online aggregation: progressive quantile answers with running guarantees.
+
+Section 1.5: because Output "does not destroy or modify the state ... it
+can be invoked as many times as required", the unknown-N algorithm is an
+online aggregation operator in the sense of Hellerstein et al. [Hel97] —
+the user watches the estimate refine while the scan is still running.
+
+:class:`OnlineQuantileAggregate` wraps the estimator with the bookkeeping a
+UI (or test harness) wants: periodic progress reports carrying the current
+estimate, the rank-error guarantee in *rows* (``eps * rows_seen``), and
+scan progress when the table size happens to be known.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.policy import CollapsePolicy
+from repro.core.unknown_n import UnknownNQuantiles
+
+__all__ = ["OnlineQuantileAggregate", "ProgressReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressReport:
+    """One progressive answer during the scan."""
+
+    rows_seen: int
+    estimates: dict[float, float]  # phi -> current estimate
+    rank_tolerance: float  # eps * rows_seen, in rows
+    confidence: float  # 1 - delta
+    fraction_done: float | None  # rows_seen / expected_rows, when known
+
+
+class OnlineQuantileAggregate:
+    """A progressive quantile aggregation operator.
+
+    :param phis: the quantiles being aggregated (e.g. ``[0.25, 0.5, 0.75]``).
+    :param report_every: emit a report every this many rows.
+    :param on_report: optional callback invoked with each report.
+    :param expected_rows: optional table-size estimate (query-optimiser
+        guess); only used to report ``fraction_done`` — the algorithm never
+        relies on it, which is the whole point of the paper.
+    """
+
+    def __init__(
+        self,
+        phis: Iterable[float],
+        eps: float,
+        delta: float,
+        *,
+        report_every: int = 10_000,
+        on_report: Callable[[ProgressReport], None] | None = None,
+        expected_rows: int | None = None,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self._phis = sorted(set(phis))
+        if not self._phis:
+            raise ValueError("at least one quantile is required")
+        if any(not 0.0 < phi <= 1.0 for phi in self._phis):
+            raise ValueError("quantiles must be in (0, 1]")
+        if report_every < 1:
+            raise ValueError(f"report_every must be >= 1, got {report_every}")
+        self._eps = eps
+        self._delta = delta
+        self._estimator = UnknownNQuantiles(
+            eps,
+            delta,
+            num_quantiles=len(self._phis),
+            policy=policy,
+            seed=seed,
+        )
+        self._report_every = report_every
+        self._on_report = on_report
+        self._expected_rows = expected_rows
+        self._reports: list[ProgressReport] = []
+
+    def feed(self, value: float) -> ProgressReport | None:
+        """Consume one row; returns a report when one is due."""
+        self._estimator.update(value)
+        if self._estimator.n % self._report_every == 0:
+            return self._emit()
+        return None
+
+    def feed_many(self, values: Iterable[float]) -> None:
+        """Consume many rows, emitting reports on schedule."""
+        for value in values:
+            self.feed(value)
+
+    def current(self) -> ProgressReport:
+        """A report for right now (also recorded in the history)."""
+        return self._emit()
+
+    def _emit(self) -> ProgressReport:
+        rows = self._estimator.n
+        if rows == 0:
+            raise ValueError("no rows consumed yet")
+        estimates = dict(zip(self._phis, self._estimator.query_many(self._phis)))
+        fraction = None
+        if self._expected_rows:
+            fraction = min(1.0, rows / self._expected_rows)
+        report = ProgressReport(
+            rows_seen=rows,
+            estimates=estimates,
+            rank_tolerance=self._eps * rows,
+            confidence=1.0 - self._delta,
+            fraction_done=fraction,
+        )
+        self._reports.append(report)
+        if self._on_report is not None:
+            self._on_report(report)
+        return report
+
+    @property
+    def history(self) -> list[ProgressReport]:
+        """All reports emitted so far, oldest first."""
+        return list(self._reports)
+
+    @property
+    def rows_seen(self) -> int:
+        """Rows consumed so far."""
+        return self._estimator.n
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held by the underlying summary."""
+        return self._estimator.memory_elements

@@ -1,0 +1,95 @@
+"""Selectivity estimation for range predicates.
+
+Query optimisers use quantile summaries to estimate what fraction of a
+table satisfies predicates like ``amount <= c`` or ``lo < amount <= hi``
+[SALP79].  With an equi-depth summary the estimate interpolates within the
+bucket containing the constant, and the eps-approximate boundaries
+translate directly into a selectivity error of at most about
+``eps + 1/(2 p)`` per endpoint.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+
+from repro.core.policy import CollapsePolicy
+from repro.db.histogram import EquiDepthHistogram
+
+__all__ = ["SelectivityEstimator"]
+
+
+class SelectivityEstimator:
+    """Estimate range-predicate selectivity from a streamed column.
+
+    :param buckets: equi-depth bucket count (more buckets = finer
+        interpolation; memory grows only ``O(log log p)``).
+
+    Example::
+
+        sel = SelectivityEstimator(buckets=50, eps=0.005, delta=1e-4, seed=2)
+        for row in table:
+            sel.observe(row.amount)
+        fraction = sel.between(100.0, 500.0)   # ~ P(100 < amount <= 500)
+    """
+
+    def __init__(
+        self,
+        buckets: int = 50,
+        eps: float = 0.005,
+        delta: float = 1e-4,
+        *,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self._histogram = EquiDepthHistogram(
+            buckets, eps, delta, policy=policy, seed=seed
+        )
+
+    def observe(self, value: float) -> None:
+        """Feed one column value."""
+        self._histogram.insert(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Feed many column values."""
+        self._histogram.insert_many(values)
+
+    def at_most(self, constant: float) -> float:
+        """Estimated selectivity of ``column <= constant`` in [0, 1]."""
+        if self._histogram.rows == 0:
+            raise ValueError("no data observed")
+        low, high = self._histogram.value_range
+        if constant < low:
+            return 0.0
+        if constant >= high:
+            return 1.0
+        bounds = [low, *self._histogram.boundaries(), high]
+        p = self._histogram.num_buckets
+        index = min(p, max(1, bisect.bisect_right(bounds, constant)))
+        bucket_low = bounds[index - 1]
+        bucket_high = bounds[index]
+        if bucket_high > bucket_low:
+            within = (constant - bucket_low) / (bucket_high - bucket_low)
+        else:
+            within = 1.0  # degenerate bucket of identical values
+        return min(1.0, ((index - 1) + within) / p)
+
+    def between(self, low: float, high: float) -> float:
+        """Estimated selectivity of ``low < column <= high``."""
+        if high < low:
+            raise ValueError(f"empty range: ({low}, {high}]")
+        return max(0.0, self.at_most(high) - self.at_most(low))
+
+    def greater_than(self, constant: float) -> float:
+        """Estimated selectivity of ``column > constant``."""
+        return max(0.0, 1.0 - self.at_most(constant))
+
+    @property
+    def rows(self) -> int:
+        """Rows observed so far."""
+        return self._histogram.rows
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held by the underlying summary."""
+        return self._histogram.memory_elements

@@ -1,0 +1,256 @@
+"""Windowed quantiles: tumbling and sliding windows over a stream.
+
+Monitoring workloads rarely want all-time quantiles; they want "the p99
+over the last million requests".  Two operators cover the standard window
+shapes, both built from the paper's machinery:
+
+* :class:`TumblingWindowQuantiles` — disjoint fixed-size windows; each
+  window is one unknown-N estimator, closed and reported when full.
+* :class:`SlidingWindowQuantiles` — the most recent ``window`` elements,
+  approximated by ``panes`` sub-summaries: the stream is cut into panes of
+  ``window / panes`` elements, each summarised independently, and a query
+  **merges the live panes' snapshots** with the Section 6 coordinator
+  (:func:`repro.core.parallel.merge_snapshots`).  Expiry is at pane
+  granularity, so a query covers within one pane of ``window`` most
+  recent elements — the classic pane trade-off, tightened by raising
+  ``panes``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.parallel import merge_snapshots
+from repro.core.params import Plan, plan_parameters
+from repro.core.policy import CollapsePolicy
+from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+
+__all__ = ["TumblingWindowQuantiles", "SlidingWindowQuantiles", "WindowReport"]
+
+
+class WindowReport:
+    """One closed tumbling window's answers."""
+
+    __slots__ = ("index", "start", "end", "quantiles")
+
+    def __init__(
+        self, index: int, start: int, end: int, quantiles: dict[float, float]
+    ) -> None:
+        self.index = index
+        self.start = start  # first stream position in the window (0-based)
+        self.end = end  # one past the last position
+        self.quantiles = quantiles
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowReport(index={self.index}, span=[{self.start}, {self.end}), "
+            f"quantiles={self.quantiles})"
+        )
+
+
+class TumblingWindowQuantiles:
+    """Quantiles per disjoint window of ``window`` elements.
+
+    :param phis: quantiles reported when each window closes.
+    :param on_close: optional callback receiving each
+        :class:`WindowReport` as its window completes.
+
+    Example::
+
+        windows = TumblingWindowQuantiles(
+            window=100_000, phis=[0.5, 0.99], eps=0.005, delta=1e-4, seed=2
+        )
+        for value in stream:
+            windows.update(value)
+        hourly = windows.reports
+    """
+
+    def __init__(
+        self,
+        window: int,
+        phis: Sequence[float],
+        eps: float,
+        delta: float,
+        *,
+        on_close: Callable[[WindowReport], None] | None = None,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._phis = sorted(set(phis))
+        if not self._phis:
+            raise ValueError("at least one quantile is required")
+        self._window = window
+        self._plan: Plan = plan_parameters(
+            eps, delta, num_quantiles=len(self._phis), policy=policy
+        )
+        self._policy = policy
+        self._rng = random.Random(seed)
+        self._on_close = on_close
+        self._reports: list[WindowReport] = []
+        self._seen = 0
+        self._current = self._fresh_estimator()
+
+    def _fresh_estimator(self) -> UnknownNQuantiles:
+        return UnknownNQuantiles(
+            plan=self._plan, policy=self._policy, seed=self._rng.randrange(2**62)
+        )
+
+    def update(self, value: float) -> None:
+        """Consume one stream element; closes the window when it fills."""
+        self._current.update(value)
+        self._seen += 1
+        if self._current.n == self._window:
+            report = WindowReport(
+                index=len(self._reports),
+                start=self._seen - self._window,
+                end=self._seen,
+                quantiles=dict(
+                    zip(self._phis, self._current.query_many(self._phis))
+                ),
+            )
+            self._reports.append(report)
+            if self._on_close is not None:
+                self._on_close(report)
+            self._current = self._fresh_estimator()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many stream elements."""
+        for value in values:
+            self.update(value)
+
+    def query(self, phi: float) -> float:
+        """A quantile of the *current, partially filled* window."""
+        return self._current.query(phi)
+
+    @property
+    def reports(self) -> list[WindowReport]:
+        """All closed windows, oldest first."""
+        return list(self._reports)
+
+    @property
+    def window(self) -> int:
+        """Window size in elements."""
+        return self._window
+
+    @property
+    def seen(self) -> int:
+        """Total stream elements consumed."""
+        return self._seen
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held (one live estimator)."""
+        return self._current.memory_elements
+
+
+class SlidingWindowQuantiles:
+    """Quantiles over (approximately) the most recent ``window`` elements.
+
+    :param panes: number of sub-summaries the window is cut into; expiry
+        granularity is ``window / panes`` elements.
+
+    Example::
+
+        sliding = SlidingWindowQuantiles(
+            window=1_000_000, panes=10, eps=0.01, delta=1e-4, seed=3
+        )
+        for latency in stream:
+            sliding.update(latency)
+            ...
+            p99_of_last_million = sliding.query(0.99)
+    """
+
+    def __init__(
+        self,
+        window: int,
+        eps: float,
+        delta: float,
+        *,
+        panes: int = 8,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if panes < 1:
+            raise ValueError(f"panes must be >= 1, got {panes}")
+        if window < panes:
+            raise ValueError(f"window {window} smaller than panes {panes}")
+        self._pane_size = -(-window // panes)  # ceil
+        self._panes = panes
+        self._window = window
+        self._plan: Plan = plan_parameters(eps, delta, policy=policy)
+        self._policy = policy
+        self._rng = random.Random(seed)
+        self._closed: deque[EstimatorSnapshot] = deque(maxlen=panes)
+        self._current = self._fresh_estimator()
+        self._seen = 0
+
+    def _fresh_estimator(self) -> UnknownNQuantiles:
+        return UnknownNQuantiles(
+            plan=self._plan, policy=self._policy, seed=self._rng.randrange(2**62)
+        )
+
+    def update(self, value: float) -> None:
+        """Consume one stream element; rotates panes as they fill."""
+        self._current.update(value)
+        self._seen += 1
+        if self._current.n == self._pane_size:
+            self._closed.append(self._current.snapshot())
+            self._current = self._fresh_estimator()
+            # Keep at most enough closed panes to cover the window beyond
+            # the live pane (deque maxlen already drops the oldest).
+            while (len(self._closed) * self._pane_size) > self._window:
+                self._closed.popleft()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many stream elements."""
+        for value in values:
+            self.update(value)
+
+    def query(self, phi: float) -> float:
+        """A phi-quantile of the covered suffix of the stream."""
+        snapshots = list(self._closed)
+        if self._current.n > 0:
+            snapshots.append(self._current.snapshot())
+        if not snapshots:
+            raise ValueError("no data has been observed yet")
+        return merge_snapshots(
+            snapshots, seed=self._rng.randrange(2**62)
+        ).query(phi)
+
+    def query_many(self, phis: Sequence[float]) -> list[float]:
+        """Several quantiles of the covered suffix (one merge)."""
+        snapshots = list(self._closed)
+        if self._current.n > 0:
+            snapshots.append(self._current.snapshot())
+        if not snapshots:
+            raise ValueError("no data has been observed yet")
+        merged = merge_snapshots(snapshots, seed=self._rng.randrange(2**62))
+        return merged.query_many(phis)
+
+    @property
+    def covered(self) -> int:
+        """Elements the next query spans (window plus pane slack)."""
+        return len(self._closed) * self._pane_size + self._current.n
+
+    @property
+    def pane_size(self) -> int:
+        """Expiry granularity."""
+        return self._pane_size
+
+    @property
+    def seen(self) -> int:
+        """Total stream elements consumed."""
+        return self._seen
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots across live pane + retained snapshots."""
+        retained = sum(
+            sum(len(data) for data, _ in snap.full_buffers) + len(snap.staged)
+            for snap in self._closed
+        )
+        return retained + self._current.memory_elements

@@ -1,0 +1,93 @@
+"""Terminal-friendly rendering of tables and line charts.
+
+The benchmark harness regenerates the paper's tables and figures; this
+module renders them for terminals and plain-text result files — aligned
+tables, element-count formatting in the paper's "K" units, and an ASCII
+line chart for the Figure 4/5 curves. It is plain library code (no
+plotting dependencies) and is equally usable by applications that want to
+print a quantile summary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "ascii_chart", "kb"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> list[str]:
+    """Right-aligned plain-text table with a rule under the header."""
+    table = [list(headers)] + [list(row) for row in rows]
+    for row in table:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+def kb(elements: int) -> str:
+    """Format an element count the way the paper's tables do (K = 1000)."""
+    return f"{elements / 1000:.2f}K"
+
+
+def ascii_chart(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width_per_point: int = 6,
+) -> list[str]:
+    """Render one or more aligned series as an ASCII line chart.
+
+    :param x_labels: one label per x position (shared by all series).
+    :param series: mapping of series name to y values (same length as
+        ``x_labels``); each series gets its own glyph.
+    :param height: chart rows (y resolution).
+    :returns: the chart as a list of text lines, legend included.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    points = len(x_labels)
+    for name, ys in series.items():
+        if len(ys) != points:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {points}"
+            )
+    glyphs = "o*x+#@%&"
+    all_values = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo or 1.0
+
+    def row_of(value: float) -> int:
+        return int(round((value - lo) / span * (height - 1)))
+
+    grid = [[" "] * (points * width_per_point) for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in enumerate(ys):
+            row = height - 1 - row_of(y)
+            col = x * width_per_point + width_per_point // 2
+            grid[row][col] = glyph
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = hi - (row_index / (height - 1)) * span
+        lines.append(f"{level:>10.0f} |{''.join(row)}")
+    axis = "-" * (points * width_per_point)
+    lines.append(f"{'':>10} +{axis}")
+    labels = "".join(label.center(width_per_point) for label in x_labels)
+    lines.append(f"{'':>10}  {labels}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>10}  {legend}")
+    return lines

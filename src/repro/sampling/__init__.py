@@ -1,0 +1,26 @@
+"""Sampling substrate.
+
+Three samplers back the algorithms in this library:
+
+* :class:`~repro.sampling.block.BlockSampler` — one uniformly random element
+  per consecutive block of ``rate`` inputs.  This is the primitive inside
+  the paper's **New** operation and the source of its non-uniform sampling
+  scheme (the rate doubles as the collapse tree grows).
+* :class:`~repro.sampling.reservoir.ReservoirSampler` — Vitter's reservoir
+  sampling (Algorithms R and X), the classical uniform unknown-N sampler the
+  paper uses as its baseline (Section 2.2).
+* :class:`~repro.sampling.rate.BernoulliSampler` — include each element
+  independently with a fixed probability; used by the Section 7
+  extreme-value estimator when N is known.
+"""
+
+from repro.sampling.block import BlockSampler
+from repro.sampling.rate import BernoulliSampler, SystematicSampler
+from repro.sampling.reservoir import ReservoirSampler
+
+__all__ = [
+    "BlockSampler",
+    "BernoulliSampler",
+    "SystematicSampler",
+    "ReservoirSampler",
+]

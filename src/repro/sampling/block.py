@@ -1,0 +1,143 @@
+"""Block sampling: one uniformly random representative per block of inputs.
+
+The paper's **New** operation (Section 3.1) "populates the buffer by
+choosing a single random element from a block of ``r`` input elements each".
+This module implements that primitive incrementally so the enclosing
+estimator can consume a stream one element at a time and still answer
+queries mid-block.
+
+The within-block choice uses a size-1 reservoir: the ``j``-th element of the
+current block replaces the candidate with probability ``1/j``, which yields
+a uniform choice over the block without buffering it.  The sampling is
+therefore *without replacement* across blocks, exactly as the paper notes
+("Our sampling is without replacement"), and needs O(1) state.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import Optional
+
+__all__ = ["BlockSampler"]
+
+
+class BlockSampler:
+    """Incrementally pick one uniform element from each block of ``rate`` inputs.
+
+    :param rate: block size ``r``; ``rate = 1`` means no sampling (every
+        element is its own block's representative).
+    :param rng: source of randomness (a :class:`random.Random`); supply a
+        seeded instance for reproducible runs.
+
+    Usage::
+
+        sampler = BlockSampler(rate=4, rng=random.Random(7))
+        for x in stream:
+            chosen = sampler.offer(x)
+            if chosen is not None:
+                consume(chosen)        # weight = 4
+        tail = sampler.pending()       # candidate of the incomplete block
+    """
+
+    __slots__ = ("_rate", "_rng", "_seen_in_block", "_candidate")
+
+    def __init__(self, rate: int, rng: random.Random) -> None:
+        if rate < 1:
+            raise ValueError(f"rate must be >= 1, got {rate}")
+        self._rate = rate
+        self._rng = rng
+        self._seen_in_block = 0
+        self._candidate: Optional[float] = None
+
+    @property
+    def rate(self) -> int:
+        """Current block size ``r``."""
+        return self._rate
+
+    @property
+    def seen_in_block(self) -> int:
+        """Number of elements consumed by the current (incomplete) block."""
+        return self._seen_in_block
+
+    def offer(self, value: float) -> Optional[float]:
+        """Feed one element; return the block's representative when it completes.
+
+        Returns ``None`` while the block is still filling.  The returned
+        representative carries weight ``rate`` (the caller attaches it).
+        """
+        self._seen_in_block += 1
+        if self._seen_in_block == 1:
+            self._candidate = value
+        elif self._rng.random() * self._seen_in_block < 1.0:
+            self._candidate = value
+        if self._seen_in_block == self._rate:
+            chosen = self._candidate
+            self._seen_in_block = 0
+            self._candidate = None
+            return chosen
+        return None
+
+    def pending(self) -> Optional[tuple[float, int]]:
+        """The incomplete block's ``(candidate, elements_seen)``, if any.
+
+        The candidate is a uniform choice over the elements seen so far in
+        the block, so weighting it by ``elements_seen`` keeps the total
+        sample weight exactly equal to the number of stream elements
+        consumed — the invariant the Output operation relies on.
+        """
+        if self._seen_in_block == 0:
+            return None
+        assert self._candidate is not None
+        return self._candidate, self._seen_in_block
+
+    def offer_many(self, values: Sequence[float]) -> list[float]:
+        """Feed a batch; return all block representatives it completes.
+
+        Semantically identical to calling :meth:`offer` per element (the
+        same uniform-per-block distribution), but whole interior blocks
+        are resolved with a single RNG draw each instead of ``rate``
+        draws, which is what the estimators' bulk-ingest paths build on.
+        Any trailing incomplete block stays pending, as with :meth:`offer`.
+        """
+        chosen: list[float] = []
+        index = 0
+        total = len(values)
+        # Finish the currently open block element-by-element (it already
+        # has per-element reservoir state).
+        while index < total and self._seen_in_block != 0:
+            result = self.offer(values[index])
+            index += 1
+            if result is not None:
+                chosen.append(result)
+        rate = self._rate
+        if rate == 1:
+            chosen.extend(values[index:])
+            return chosen
+        # Whole blocks: one uniform index draw per block.
+        while index + rate <= total:
+            chosen.append(values[index + int(self._rng.random() * rate)])
+            index += rate
+        # Tail: open a new partial block.
+        while index < total:
+            result = self.offer(values[index])
+            index += 1
+            if result is not None:  # cannot happen (tail < rate), but be safe
+                chosen.append(result)
+        return chosen
+
+    def reset(self, rate: int) -> None:
+        """Start afresh with a new block size, discarding any partial block.
+
+        The enclosing estimator only changes the rate at buffer boundaries
+        (when a New operation begins), at which point no partial block may
+        be outstanding; this is asserted rather than silently dropped.
+        """
+        if rate < 1:
+            raise ValueError(f"rate must be >= 1, got {rate}")
+        if self._seen_in_block != 0:
+            raise RuntimeError(
+                "cannot change the sampling rate mid-block; "
+                f"{self._seen_in_block} elements of the current block would be lost"
+            )
+        self._rate = rate

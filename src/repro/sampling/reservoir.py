@@ -1,0 +1,133 @@
+"""Reservoir sampling (Vitter 1985): uniform fixed-size samples, unknown N.
+
+This is the paper's baseline for the unknown-N problem (Section 2.2): a
+reservoir of size ``s = O(eps^-2 log delta^-1)`` yields eps-approximate
+quantiles with probability ``1 - delta``, but the quadratic dependence on
+``1/eps`` forces impractically large reservoirs — the gap the paper's
+non-uniform scheme closes.
+
+Two classical algorithms are provided:
+
+* **Algorithm R** (`update`): per-element; the ``t``-th element replaces a
+  random reservoir slot with probability ``n/t``.
+* **Algorithm X** (`skip`): computes how many upcoming elements can be
+  skipped outright by inverting the skip distribution
+  ``Pr[S >= s] = prod_{i=1..s} (t + i - n) / (t + i)``, making bulk
+  consumption of iterables cheap once ``t >> n``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable
+
+from repro.stats.rank import quantile_position
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Maintain a uniform random sample of fixed size from a stream.
+
+    Every subset of ``size`` elements of the stream seen so far is equally
+    likely to be the reservoir — the textbook invariant, property-tested in
+    the suite.
+
+    :param size: reservoir capacity ``n``.
+    :param rng: source of randomness; seed it for reproducibility.
+    """
+
+    __slots__ = ("_size", "_rng", "_sample", "_seen")
+
+    def __init__(self, size: int, rng: random.Random | None = None) -> None:
+        if size < 1:
+            raise ValueError(f"reservoir size must be >= 1, got {size}")
+        self._size = size
+        self._rng = rng if rng is not None else random.Random()
+        self._sample: list[float] = []
+        self._seen = 0
+
+    @property
+    def size(self) -> int:
+        """Reservoir capacity."""
+        return self._size
+
+    @property
+    def seen(self) -> int:
+        """Number of stream elements consumed so far."""
+        return self._seen
+
+    @property
+    def sample(self) -> list[float]:
+        """A copy of the current reservoir contents (unordered)."""
+        return list(self._sample)
+
+    def update(self, value: float) -> None:
+        """Consume one element (Algorithm R)."""
+        self._seen += 1
+        if len(self._sample) < self._size:
+            self._sample.append(value)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self._size:
+            self._sample[slot] = value
+
+    def skip(self) -> int:
+        """Number of upcoming elements to skip before the next replacement.
+
+        Algorithm X: draw ``V ~ U(0, 1)`` and return the smallest ``s``
+        with ``Pr[S >= s + 1] <= V`` under
+        ``Pr[S >= s] = prod_{i=1..s} (t + i - n) / (t + i)`` where ``t`` is
+        the number seen and ``n`` the reservoir size.  Only valid once the
+        reservoir is full.
+        """
+        if len(self._sample) < self._size:
+            return 0
+        t, n = self._seen, self._size
+        v = self._rng.random()
+        s = 0
+        tail = 1.0  # Pr[S >= s + 1], shrinking as s grows
+        while True:
+            tail *= (t + s + 1 - n) / (t + s + 1)
+            if tail <= v:
+                return s
+            s += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many elements, using Algorithm X skips once warm.
+
+        Equivalent in distribution to calling :meth:`update` per element,
+        but touches the RNG only O(n log(t/n)) times in expectation.
+        """
+        iterator = iter(values)
+        # Fill phase: plain Algorithm R until the reservoir is full.
+        while len(self._sample) < self._size:
+            try:
+                value = next(iterator)
+            except StopIteration:
+                return
+            self.update(value)
+        while True:
+            remaining = self.skip()
+            consumed = 0
+            value = None
+            for value in itertools.islice(iterator, remaining + 1):
+                consumed += 1
+            self._seen += consumed
+            if consumed <= remaining:  # stream ended inside the skip
+                return
+            # `value` survived the skip: it lands in a random slot.
+            self._sample[self._rng.randrange(self._size)] = value
+
+    def quantile(self, phi: float) -> float:
+        """The phi-quantile of the reservoir (the baseline's estimate)."""
+        if not self._sample:
+            raise ValueError("reservoir is empty")
+        ordered = sorted(self._sample)
+        return ordered[quantile_position(phi, len(ordered)) - 1]
+
+    @property
+    def memory_elements(self) -> int:
+        """Stored elements — the baseline's memory footprint."""
+        return self._size

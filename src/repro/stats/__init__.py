@@ -1,0 +1,49 @@
+"""Statistical substrate: tail bounds and rank utilities.
+
+This subpackage provides the probabilistic machinery the paper's analysis
+rests on (Hoeffding's inequality for the non-uniform sampling constraint,
+Stein's lemma / Kullback-Leibler divergence for the extreme-value estimator)
+together with exact-rank utilities used as ground truth by tests and
+benchmarks.
+"""
+
+from repro.stats.describe import MomentAccumulator, StreamSummary
+from repro.stats.bounds import (
+    extreme_sample_size,
+    extreme_sample_size_simplified,
+    hoeffding_failure_probability,
+    kl_bernoulli,
+    required_block_mass,
+    reservoir_sample_size,
+    stein_failure_bound,
+)
+from repro.stats.rank import (
+    exact_quantile,
+    is_eps_approximate,
+    quantile_position,
+    rank_error,
+    rank_range,
+    weighted_quantile,
+    weighted_select,
+    weighted_select_many,
+)
+
+__all__ = [
+    "MomentAccumulator",
+    "StreamSummary",
+    "extreme_sample_size",
+    "extreme_sample_size_simplified",
+    "hoeffding_failure_probability",
+    "kl_bernoulli",
+    "required_block_mass",
+    "reservoir_sample_size",
+    "stein_failure_bound",
+    "exact_quantile",
+    "is_eps_approximate",
+    "quantile_position",
+    "rank_error",
+    "rank_range",
+    "weighted_quantile",
+    "weighted_select",
+    "weighted_select_many",
+]

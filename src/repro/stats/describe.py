@@ -1,0 +1,178 @@
+"""Streaming descriptive statistics: moments next to quantiles.
+
+The paper's very first motivation (Section 1.1): "Quantiles characterize
+distributions of real world data sets and are **less sensitive to outliers
+than the moments** (mean and variance)."  This module provides the moment
+side of that comparison — a numerically stable (Welford) streaming
+aggregator — and a combined :class:`StreamSummary` that carries both, so
+applications (and the robustness benchmark E9) can watch the mean get
+dragged by outliers while the median stands still.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.core.policy import CollapsePolicy
+from repro.core.unknown_n import UnknownNQuantiles
+
+__all__ = ["MomentAccumulator", "StreamSummary"]
+
+
+class MomentAccumulator:
+    """Count, mean, variance, min, max in O(1) space (Welford's update)."""
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def update(self, value: float) -> None:
+        """Consume one element."""
+        if value != value:  # NaN would silently poison every moment
+            raise ValueError("NaN values cannot be aggregated")
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many elements."""
+        for value in values:
+            self.update(value)
+
+    @property
+    def count(self) -> int:
+        """Elements consumed."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        if self._count == 0:
+            raise ValueError("no data has been observed yet")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance (n denominator)."""
+        if self._count == 0:
+            raise ValueError("no data has been observed yet")
+        return self._m2 / self._count
+
+    @property
+    def sample_variance(self) -> float:
+        """Sample variance (n - 1 denominator)."""
+        if self._count < 2:
+            raise ValueError("sample variance needs at least two values")
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest value seen."""
+        if self._count == 0:
+            raise ValueError("no data has been observed yet")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest value seen."""
+        if self._count == 0:
+            raise ValueError("no data has been observed yet")
+        return self._max
+
+
+class StreamSummary:
+    """Moments and eps-approximate quantiles of a stream, side by side.
+
+    One pass, constant memory; the business-intelligence "distill summary
+    information from huge data sets" use of Section 1.1.
+
+    Example::
+
+        summary = StreamSummary(eps=0.01, delta=1e-4, seed=1)
+        summary.extend(stream)
+        print(summary.describe())
+    """
+
+    def __init__(
+        self,
+        eps: float = 0.01,
+        delta: float = 1e-4,
+        *,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self._moments = MomentAccumulator()
+        self._quantiles = UnknownNQuantiles(
+            eps, delta, num_quantiles=7, policy=policy, seed=seed
+        )
+
+    def update(self, value: float) -> None:
+        """Consume one element (feeds both aggregators)."""
+        self._moments.update(value)
+        self._quantiles.update(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many elements."""
+        for value in values:
+            self.update(value)
+
+    @property
+    def moments(self) -> MomentAccumulator:
+        """The moment side (mean, variance, min, max)."""
+        return self._moments
+
+    @property
+    def quantiles(self) -> UnknownNQuantiles:
+        """The quantile side (median, IQR, tails)."""
+        return self._quantiles
+
+    @property
+    def n(self) -> int:
+        """Elements consumed."""
+        return self._moments.count
+
+    def describe(self) -> dict[str, float]:
+        """The classic describe() row: moments plus a quantile profile."""
+        if self.n == 0:
+            raise ValueError("no data has been observed yet")
+        phis = [0.01, 0.25, 0.5, 0.75, 0.99]
+        q01, q25, median, q75, q99 = self._quantiles.query_many(phis)
+        return {
+            "count": float(self.n),
+            "mean": self._moments.mean,
+            "stddev": self._moments.stddev,
+            "min": self._moments.minimum,
+            "q01": q01,
+            "q25": q25,
+            "median": median,
+            "q75": q75,
+            "q99": q99,
+            "max": self._moments.maximum,
+        }
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range (robust spread)."""
+        q25, q75 = self._quantiles.query_many([0.25, 0.75])
+        return q75 - q25
+
+    @property
+    def memory_elements(self) -> int:
+        """Element slots held (the quantile summary; moments are O(1))."""
+        return self._quantiles.memory_elements

@@ -1,0 +1,195 @@
+"""Rank and quantile utilities.
+
+The paper defines the phi-quantile of a dataset of size ``N`` as the element
+at position ``ceil(phi * N)`` of the sorted sequence (1-indexed), and calls
+an element an *eps-approximate phi-quantile* when its rank lies within
+``[(phi - eps) N, (phi + eps) N]``.  Because streams contain duplicates, an
+element's "rank" is really a range of positions; every function here uses
+the full range so that ties never produce spurious errors.
+
+These exact (memory-hungry) computations are the ground truth against which
+the single-pass estimators are validated in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import math
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = [
+    "quantile_position",
+    "exact_quantile",
+    "rank_range",
+    "rank_error",
+    "is_eps_approximate",
+    "weighted_select",
+    "weighted_quantile",
+]
+
+
+def quantile_position(phi: float, n: int) -> int:
+    """1-indexed position of the phi-quantile in a sorted sequence of size n.
+
+    ``ceil(phi * n)`` clamped to ``[1, n]`` (so ``phi`` slightly above 0
+    selects the minimum and ``phi = 1`` the maximum).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 < phi <= 1.0:
+        raise ValueError(f"phi must be in (0, 1], got {phi}")
+    return min(n, max(1, math.ceil(phi * n)))
+
+
+def exact_quantile(data: Sequence[float], phi: float) -> float:
+    """The exact phi-quantile of ``data`` (sorts a copy; O(N log N))."""
+    if not data:
+        raise ValueError("cannot take a quantile of an empty dataset")
+    ordered = sorted(data)
+    return ordered[quantile_position(phi, len(ordered)) - 1]
+
+
+def rank_range(sorted_data: Sequence[float], value: float) -> tuple[int, int]:
+    """The 1-indexed range of ranks occupied by ``value`` in ``sorted_data``.
+
+    When ``value`` is absent it conceptually sits between two ranks; the
+    returned pair then brackets that gap (``(j, j + 1)`` where ``j`` counts
+    the elements smaller than ``value``), which keeps downstream error
+    computations well defined even for estimators that interpolate.
+    """
+    if not sorted_data:
+        raise ValueError("cannot rank against an empty dataset")
+    lo = bisect.bisect_left(sorted_data, value)
+    hi = bisect.bisect_right(sorted_data, value)
+    if lo == hi:  # value absent: it would sit between ranks lo and lo + 1
+        return lo, lo + 1
+    return lo + 1, hi
+
+
+def rank_error(sorted_data: Sequence[float], value: float, phi: float) -> int:
+    """Distance (in ranks) from ``value`` to the exact phi-quantile position.
+
+    Zero when some copy of ``value`` sits exactly at position
+    ``ceil(phi * N)``; otherwise the gap between the target position and the
+    nearest rank occupied by ``value``.
+    """
+    target = quantile_position(phi, len(sorted_data))
+    lo, hi = rank_range(sorted_data, value)
+    if lo <= target <= hi:
+        return 0
+    return min(abs(lo - target), abs(hi - target))
+
+
+def is_eps_approximate(
+    sorted_data: Sequence[float], value: float, phi: float, eps: float
+) -> bool:
+    """Whether ``value`` is an eps-approximate phi-quantile of the data.
+
+    True when the rank range of ``value`` intersects
+    ``[(phi - eps) N, (phi + eps) N]``.  The exact quantile position
+    ``ceil(phi N)`` is always accepted: for tiny ``N`` (``eps * N < 1``)
+    the real-valued band can otherwise exclude even the exact answer, a
+    rounding artifact rather than an estimation error.
+    """
+    if not 0.0 <= eps <= 1.0:
+        raise ValueError(f"eps must be in [0, 1], got {eps}")
+    n = len(sorted_data)
+    lo, hi = rank_range(sorted_data, value)
+    position = quantile_position(phi, n)
+    lower = min((phi - eps) * n, position)
+    upper = max((phi + eps) * n, position)
+    return hi >= lower and lo <= upper
+
+
+def weighted_stream(
+    data: Sequence[float], weight: int
+) -> Iterator[tuple[float, int]]:
+    """Pair every element of a sorted buffer with the buffer's weight.
+
+    A named function (rather than an inline generator expression) so each
+    buffer's weight is bound at call time — the inline form would close
+    over a shared loop variable and tag every buffer with the last weight.
+    """
+    return ((value, weight) for value in data)
+
+
+def weighted_select(
+    buffers: Iterable[tuple[Sequence[float], int]], position: int
+) -> float:
+    """Select the element at ``position`` of the weighted expansion.
+
+    Each input is a pair ``(sorted_elements, weight)``; conceptually every
+    element is replicated ``weight`` times and all replicas are sorted
+    together.  This walks a k-way merge instead of materialising replicas,
+    exactly as the paper's Collapse/Output operators do, so it runs in
+    O(total elements * log(#buffers)) time and O(#buffers) extra space.
+
+    :param position: 1-indexed position in the expanded multiset.
+    """
+    if position < 1:
+        raise ValueError(f"position must be >= 1, got {position}")
+    merged = heapq.merge(
+        *(weighted_stream(data, weight) for data, weight in buffers if weight > 0)
+    )
+    cumulative = 0
+    last = None
+    for value, weight in merged:
+        cumulative += weight
+        last = value
+        if cumulative >= position:
+            return value
+    if last is None:
+        raise ValueError("cannot select from empty buffers")
+    raise ValueError(
+        f"position {position} exceeds total weight {cumulative}"
+    )
+
+
+def weighted_select_many(
+    buffers: Iterable[tuple[Sequence[float], int]], positions: Sequence[int]
+) -> list[float]:
+    """Select several positions of the weighted expansion in one merge pass.
+
+    Equivalent to ``[weighted_select(buffers, p) for p in positions]`` but
+    walks the k-way merge once, which is what makes simultaneous-quantile
+    queries (equi-depth histograms, splitters) cheap.
+
+    :param positions: 1-indexed positions, in any order; the result aligns
+        with the input order.
+    """
+    order = sorted(range(len(positions)), key=positions.__getitem__)
+    for index in order:
+        if positions[index] < 1:
+            raise ValueError(f"positions must be >= 1, got {positions[index]}")
+    pinned = [(data, weight) for data, weight in buffers if weight > 0]
+    merged = heapq.merge(*(weighted_stream(data, weight) for data, weight in pinned))
+    results: list[float] = [0.0] * len(positions)
+    cumulative = 0
+    cursor = 0
+    for value, weight in merged:
+        cumulative += weight
+        while cursor < len(order) and positions[order[cursor]] <= cumulative:
+            results[order[cursor]] = value
+            cursor += 1
+        if cursor == len(order):
+            return results
+    raise ValueError(
+        f"position {positions[order[cursor]] if order else 1} exceeds "
+        f"total weight {cumulative}"
+    )
+
+
+def weighted_quantile(
+    buffers: Iterable[tuple[Sequence[float], int]], phi: float
+) -> float:
+    """The weighted phi-quantile of a collection of weighted sorted buffers.
+
+    This is the paper's Section 3.4 definition: make ``weight`` copies of
+    every element, sort, and read position ``ceil(phi * total_weight)``.
+    """
+    pinned = [(data, weight) for data, weight in buffers]
+    total = sum(len(data) * weight for data, weight in pinned)
+    if total <= 0:
+        raise ValueError("cannot take a quantile of empty weighted buffers")
+    return weighted_select(pinned, quantile_position(phi, total))

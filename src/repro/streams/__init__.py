@@ -1,0 +1,48 @@
+"""Workload generators for experiments, tests, and examples.
+
+The paper stresses that the algorithm's guarantees are *data independent*
+("should not be influenced by the arrival distribution or the value
+distribution of the input"), so the benchmark harness exercises every
+estimator over the full spread of arrival orders and value distributions
+produced here — including adversarial arrival patterns aligned with buffer
+boundaries.
+"""
+
+from repro.streams.diskfile import count_floats, read_floats, write_floats
+from repro.streams.generators import (
+    DISTRIBUTIONS,
+    adversarial_stream,
+    clustered_stream,
+    exponential_stream,
+    latency_stream,
+    normal_stream,
+    organ_pipe_stream,
+    reversed_stream,
+    sales_stream,
+    sawtooth_stream,
+    sorted_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.tables import OrderRow, synthetic_orders
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "count_floats",
+    "read_floats",
+    "write_floats",
+    "adversarial_stream",
+    "clustered_stream",
+    "exponential_stream",
+    "latency_stream",
+    "normal_stream",
+    "organ_pipe_stream",
+    "reversed_stream",
+    "sales_stream",
+    "sawtooth_stream",
+    "sorted_stream",
+    "uniform_stream",
+    "zipf_stream",
+    "OrderRow",
+    "synthetic_orders",
+]

@@ -1,0 +1,237 @@
+"""Synthetic stream generators.
+
+Every generator takes the stream length ``n`` first and a ``seed`` for
+reproducibility, and yields plain floats lazily so streams far larger than
+memory can be produced.  The :data:`DISTRIBUTIONS` registry maps short names
+to generator factories with uniform signatures ``(n, seed) -> iterator``,
+which is what the accuracy benchmarks sweep over.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Iterator
+
+__all__ = [
+    "sorted_stream",
+    "reversed_stream",
+    "uniform_stream",
+    "normal_stream",
+    "exponential_stream",
+    "zipf_stream",
+    "clustered_stream",
+    "sawtooth_stream",
+    "organ_pipe_stream",
+    "adversarial_stream",
+    "sales_stream",
+    "latency_stream",
+    "DISTRIBUTIONS",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise ValueError(f"stream length must be non-negative, got {n}")
+
+
+def sorted_stream(n: int, seed: int = 0) -> Iterator[float]:
+    """0, 1, 2, ...: fully sorted arrival — a classic easy/degenerate order."""
+    _check_n(n)
+    return (float(i) for i in range(n))
+
+
+def reversed_stream(n: int, seed: int = 0) -> Iterator[float]:
+    """n-1, n-2, ...: fully reverse-sorted arrival."""
+    _check_n(n)
+    return (float(n - 1 - i) for i in range(n))
+
+
+def uniform_stream(
+    n: int, seed: int = 0, low: float = 0.0, high: float = 1.0
+) -> Iterator[float]:
+    """IID uniform values on ``[low, high)``."""
+    _check_n(n)
+    rng = random.Random(seed)
+    return (rng.uniform(low, high) for _ in range(n))
+
+
+def normal_stream(
+    n: int, seed: int = 0, mu: float = 0.0, sigma: float = 1.0
+) -> Iterator[float]:
+    """IID Gaussian values."""
+    _check_n(n)
+    rng = random.Random(seed)
+    return (rng.gauss(mu, sigma) for _ in range(n))
+
+
+def exponential_stream(n: int, seed: int = 0, rate: float = 1.0) -> Iterator[float]:
+    """IID exponential values — mildly skewed."""
+    _check_n(n)
+    rng = random.Random(seed)
+    return (rng.expovariate(rate) for _ in range(n))
+
+
+def zipf_stream(
+    n: int, seed: int = 0, exponent: float = 1.2, universe: int = 10_000
+) -> Iterator[float]:
+    """Heavily skewed discrete values with Zipfian frequencies.
+
+    Value ``v`` (1..universe) appears with probability proportional to
+    ``v^-exponent``; drawn by inverse-CDF over a precomputed table.  Heavy
+    duplication stresses the tie handling of the estimators.
+    """
+    _check_n(n)
+    if universe < 1:
+        raise ValueError(f"universe must be >= 1, got {universe}")
+    rng = random.Random(seed)
+    cdf: list[float] = []
+    total = 0.0
+    for v in range(1, universe + 1):
+        total += v ** -exponent
+        cdf.append(total)
+
+    def generate() -> Iterator[float]:
+        import bisect
+
+        for _ in range(n):
+            u = rng.random() * total
+            yield float(bisect.bisect_left(cdf, u) + 1)
+
+    return generate()
+
+
+def clustered_stream(
+    n: int, seed: int = 0, clusters: int = 8, spread: float = 0.01
+) -> Iterator[float]:
+    """Values drawn around a few widely separated cluster centres.
+
+    Produces large empty gaps in the value domain — the regime where
+    equi-width histograms fail and equi-depth (quantile-based) ones shine.
+    """
+    _check_n(n)
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    rng = random.Random(seed)
+    centres = [rng.uniform(0.0, 1000.0) for _ in range(clusters)]
+
+    def generate() -> Iterator[float]:
+        for _ in range(n):
+            yield rng.gauss(rng.choice(centres), spread)
+
+    return generate()
+
+
+def sawtooth_stream(n: int, seed: int = 0, period: int = 1000) -> Iterator[float]:
+    """Periodic ramps: arrival order correlated with value at a fixed period.
+
+    Periodicity aligned with buffer/block boundaries is the classic failure
+    mode of naive systematic sampling; the within-block *random* choice of
+    the paper's New operation is what defuses it.
+    """
+    _check_n(n)
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    return (float(i % period) + i / (10.0 * n + 1.0) for i in range(n))
+
+
+def organ_pipe_stream(n: int, seed: int = 0) -> Iterator[float]:
+    """Min, max, min+1, max-1, ...: alternating extremes.
+
+    Keeps every buffer's contents maximally spread, stressing Collapse's
+    equally-spaced selection.
+    """
+    _check_n(n)
+
+    def generate() -> Iterator[float]:
+        lo, hi = 0, n - 1
+        while lo <= hi:
+            yield float(lo)
+            lo += 1
+            if lo <= hi:
+                yield float(hi)
+                hi -= 1
+
+    return generate()
+
+
+def adversarial_stream(n: int, seed: int = 0, block_hint: int = 64) -> Iterator[float]:
+    """Arrival order engineered against block-aligned sampling.
+
+    Each block of ``block_hint`` elements contains one extreme outlier and
+    otherwise near-identical values, and the outlier's in-block position is
+    itself periodic.  A sampler that picked a *fixed* position per block
+    would systematically hit (or systematically miss) the outliers; the
+    paper's uniform within-block choice must stay unbiased here.
+    """
+    _check_n(n)
+    if block_hint < 1:
+        raise ValueError(f"block_hint must be >= 1, got {block_hint}")
+
+    def generate() -> Iterator[float]:
+        for i in range(n):
+            block, pos = divmod(i, block_hint)
+            if pos == block % block_hint:
+                yield 1.0e6 + block  # the planted outlier
+            else:
+                yield float(block) + pos * 1.0e-6
+
+    return generate()
+
+
+def sales_stream(n: int, seed: int = 0) -> Iterator[float]:
+    """Quarterly franchise sales: log-normal body with rare mega-franchises.
+
+    Mirrors the paper's motivating example (Section 1.1): the 95th-percentile
+    of a quarterly sales table, where extreme quantiles characterise skew.
+    """
+    _check_n(n)
+    rng = random.Random(seed)
+
+    def generate() -> Iterator[float]:
+        for _ in range(n):
+            base = math.exp(rng.gauss(10.0, 0.8))  # ~ $22k median
+            if rng.random() < 0.002:  # flagship franchises
+                base *= rng.uniform(20.0, 100.0)
+            yield base
+
+    return generate()
+
+
+def latency_stream(n: int, seed: int = 0) -> Iterator[float]:
+    """Request latencies in ms: log-normal body plus GC/timeout spikes.
+
+    The natural home of extreme quantiles (p99, p999) — the Section 7
+    estimator's target workload.
+    """
+    _check_n(n)
+    rng = random.Random(seed)
+
+    def generate() -> Iterator[float]:
+        for _ in range(n):
+            value = math.exp(rng.gauss(2.3, 0.5))  # ~ 10 ms median
+            roll = rng.random()
+            if roll < 0.01:  # GC pause
+                value += rng.uniform(50.0, 200.0)
+            elif roll < 0.011:  # timeout/retry
+                value += rng.uniform(1000.0, 5000.0)
+            yield value
+
+    return generate()
+
+
+DISTRIBUTIONS: dict[str, Callable[[int, int], Iterator[float]]] = {
+    "sorted": sorted_stream,
+    "reversed": reversed_stream,
+    "uniform": uniform_stream,
+    "normal": normal_stream,
+    "exponential": exponential_stream,
+    "zipf": zipf_stream,
+    "clustered": clustered_stream,
+    "sawtooth": sawtooth_stream,
+    "organ_pipe": organ_pipe_stream,
+    "adversarial": adversarial_stream,
+    "sales": sales_stream,
+    "latency": latency_stream,
+}
+"""Registry of ``name -> (n, seed) -> iterator`` stream factories."""

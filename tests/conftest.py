@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite.
+
+Statistical tests are seeded for reproducibility.  Ground truth is always
+the exact sorted prefix; "eps-approximate" checks go through
+:func:`repro.stats.rank.is_eps_approximate` so ties are handled the same
+way everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def uniform_50k() -> list[float]:
+    """50k iid uniform values, fixed seed (session-cached: it is sorted often)."""
+    rng = random.Random(20260706)
+    return [rng.random() for _ in range(50_000)]
+
+
+@pytest.fixture(scope="session")
+def uniform_50k_sorted(uniform_50k: list[float]) -> list[float]:
+    return sorted(uniform_50k)

@@ -1,0 +1,24 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.stats.rank import is_eps_approximate, rank_error
+
+PHI_GRID = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+
+
+def assert_all_quantiles_close(
+    estimator,
+    sorted_data: list[float],
+    eps: float,
+    phis: list[float] = PHI_GRID,
+    slack: float = 1.0,
+) -> None:
+    """Assert estimator answers are within ``slack * eps * n`` ranks, all phis."""
+    n = len(sorted_data)
+    for phi in phis:
+        value = estimator.query(phi)
+        assert is_eps_approximate(sorted_data, value, phi, slack * eps), (
+            f"phi={phi}: value {value} has rank error "
+            f"{rank_error(sorted_data, value, phi)} > {slack * eps * n}"
+        )

@@ -1,0 +1,103 @@
+"""Tests for the empirical audit harness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.audit import AuditReport, audit_failure_rate, audit_run
+from repro.baselines.p2 import P2Quantile
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.streams.generators import organ_pipe_stream
+
+
+class TestAuditRun:
+    def test_good_configuration_passes(self):
+        rng = random.Random(1)
+        est = UnknownNQuantiles(eps=0.02, delta=1e-3, seed=2)
+        report = audit_run(
+            est,
+            (rng.random() for _ in range(40_000)),
+            eps=0.02,
+            checkpoints=[5_000, 20_000],
+        )
+        assert report.passed
+        assert report.worst_error <= 0.02
+        assert [c.n for c in report.checkpoints] == [5_000, 20_000, 40_000]
+        assert report.memory_elements > 0
+
+    def test_final_prefix_always_audited(self):
+        est = UnknownNQuantiles(eps=0.05, delta=1e-2, seed=3)
+        report = audit_run(est, (float(i) for i in range(1_000)), eps=0.05)
+        assert len(report.checkpoints) == 1
+        assert report.checkpoints[0].n == 1_000
+
+    def test_bad_estimator_fails_the_audit(self):
+        # P-squared on the organ-pipe order: the audit must say FAIL.
+        class P2Adapter:
+            """Adapt single-phi P2 markers to the query(phi) protocol."""
+
+            def __init__(self):
+                self.trackers = {
+                    phi: P2Quantile(phi) for phi in (0.1, 0.5, 0.9)
+                }
+                self.memory_elements = 15
+
+            def update(self, value):
+                for tracker in self.trackers.values():
+                    tracker.update(value)
+
+            def query(self, phi):
+                return self.trackers[phi].query()
+
+        report = audit_run(
+            P2Adapter(),
+            organ_pipe_stream(50_000),
+            eps=0.01,
+            phis=[0.1, 0.5, 0.9],
+        )
+        assert not report.passed
+        assert report.worst_error > 0.05
+        assert "FAIL" in report.render()
+
+    def test_render_contains_table(self):
+        est = UnknownNQuantiles(eps=0.05, delta=1e-2, seed=4)
+        report = audit_run(est, (float(i) for i in range(2_000)), eps=0.05)
+        text = report.render()
+        assert "prefix n" in text
+        assert "PASS" in text
+
+    def test_empty_stream_raises(self):
+        est = UnknownNQuantiles(eps=0.05, delta=1e-2, seed=5)
+        with pytest.raises(ValueError):
+            audit_run(est, [], eps=0.05)
+
+    def test_report_is_frozen(self):
+        est = UnknownNQuantiles(eps=0.05, delta=1e-2, seed=6)
+        report = audit_run(est, [1.0, 2.0, 3.0], eps=0.05)
+        assert isinstance(report, AuditReport)
+        with pytest.raises(AttributeError):
+            report.eps = 0.1  # type: ignore[misc]
+
+
+class TestFailureRate:
+    def test_well_provisioned_config_rarely_fails(self):
+        rng = random.Random(7)
+        data = [rng.random() for _ in range(10_000)]
+        rate = audit_failure_rate(
+            lambda seed: UnknownNQuantiles(eps=0.05, delta=1e-2, seed=seed),
+            data,
+            eps=0.05,
+            trials=30,
+        )
+        assert rate <= 0.1
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            audit_failure_rate(
+                lambda seed: UnknownNQuantiles(eps=0.1, delta=0.1, seed=seed),
+                [1.0],
+                eps=0.1,
+                trials=0,
+            )

@@ -1,0 +1,128 @@
+"""Tests for the baseline estimators (SortedStore oracle, P-squared)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.exact import SortedStore
+from repro.baselines.p2 import P2Quantile
+from repro.stats.rank import exact_quantile, rank_error
+from repro.streams.generators import organ_pipe_stream, uniform_stream
+
+
+class TestSortedStore:
+    def test_matches_exact_quantile(self):
+        rng = random.Random(1)
+        data = [rng.random() for _ in range(5000)]
+        store = SortedStore()
+        store.extend(data)
+        for phi in (0.01, 0.25, 0.5, 0.75, 0.99, 1.0):
+            assert store.query(phi) == exact_quantile(data, phi)
+
+    def test_update_and_extend_agree(self):
+        rng = random.Random(2)
+        data = [rng.random() for _ in range(500)]
+        one = SortedStore()
+        for value in data:
+            one.update(value)
+        other = SortedStore()
+        other.extend(data)
+        assert one.query_many([0.1, 0.5, 0.9]) == other.query_many([0.1, 0.5, 0.9])
+
+    def test_rank_of(self):
+        store = SortedStore()
+        store.extend([1.0, 2.0, 2.0, 3.0])
+        assert store.rank_of(2.0) == (2, 3)
+
+    def test_memory_is_n(self):
+        store = SortedStore()
+        store.extend(range(100))
+        assert store.memory_elements == 100
+        assert len(store) == 100
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SortedStore().query(0.5)
+
+    def test_nan_rejected(self):
+        store = SortedStore()
+        with pytest.raises(ValueError):
+            store.update(float("nan"))
+        with pytest.raises(ValueError):
+            store.extend([1.0, float("nan")])
+
+
+class TestP2Basics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+        est = P2Quantile(0.5)
+        with pytest.raises(ValueError):
+            est.query()
+        with pytest.raises(ValueError):
+            est.update(float("nan"))
+
+    def test_fewer_than_five_observations(self):
+        est = P2Quantile(0.5)
+        est.update(3.0)
+        est.update(1.0)
+        est.update(2.0)
+        assert est.query() == 2.0  # exact median of what was seen
+
+    def test_constant_memory(self):
+        est = P2Quantile(0.9)
+        est.extend(float(i) for i in range(100_000))
+        assert est.memory_elements == 5
+
+    def test_markers_stay_monotone(self):
+        rng = random.Random(3)
+        est = P2Quantile(0.5)
+        for _ in range(50_000):
+            est.update(rng.expovariate(1.0))
+            if est.n >= 5:
+                assert est._heights == sorted(est._heights)
+
+    def test_estimate_within_observed_range(self):
+        rng = random.Random(4)
+        data = [rng.gauss(0, 1) for _ in range(10_000)]
+        est = P2Quantile(0.25)
+        est.extend(data)
+        assert min(data) <= est.query() <= max(data)
+
+
+class TestP2Accuracy:
+    @pytest.mark.parametrize("phi", [0.1, 0.5, 0.9, 0.99])
+    def test_good_on_iid(self, phi):
+        data = list(uniform_stream(100_000, 5))
+        est = P2Quantile(phi)
+        est.extend(data)
+        err = rank_error(sorted(data), est.query(), phi) / len(data)
+        assert err < 0.01  # impressively accurate when data is iid
+
+    def test_catastrophic_on_structured_order(self):
+        # The guarantee-free counterpoint: the organ-pipe arrival order
+        # defeats P-squared by orders of magnitude — the exact failure
+        # class the paper's data-independence requirement excludes.
+        data = list(organ_pipe_stream(100_000))
+        est = P2Quantile(0.9)
+        est.extend(data)
+        err = rank_error(sorted(data), est.query(), 0.9) / len(data)
+        assert err > 0.05  # >5% of N off, vs the sketch's guaranteed 1%
+
+    def test_paper_algorithm_wins_where_p2_fails(self):
+        from repro.core.unknown_n import UnknownNQuantiles
+
+        data = list(organ_pipe_stream(100_000))
+        sorted_data = sorted(data)
+        p2 = P2Quantile(0.9)
+        p2.extend(data)
+        sketch = UnknownNQuantiles(eps=0.01, delta=1e-3, seed=6)
+        sketch.extend(data)
+        p2_err = rank_error(sorted_data, p2.query(), 0.9)
+        sketch_err = rank_error(sorted_data, sketch.query(0.9), 0.9)
+        assert sketch_err <= 0.01 * len(data)
+        assert sketch_err * 10 < p2_err

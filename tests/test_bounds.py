@@ -1,0 +1,211 @@
+"""Unit tests for repro.stats.bounds (Hoeffding, KL, Stein machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.bounds import (
+    extreme_sample_size,
+    extreme_sample_size_simplified,
+    hoeffding_failure_probability,
+    kl_bernoulli,
+    required_block_mass,
+    reservoir_sample_size,
+    stein_failure_bound,
+)
+
+
+class TestHoeffding:
+    def test_uniform_blocks_match_closed_form(self):
+        # (sum n_i)^2 / sum n_i^2 = t for equal blocks, so the bound is
+        # 2 exp(-2 eps^2 t) at alpha = 0.
+        t, eps = 1000, 0.05
+        expected = 2.0 * math.exp(-2.0 * eps * eps * t)
+        got = hoeffding_failure_probability(eps, 0.0, [7] * t)
+        assert got == pytest.approx(expected)
+
+    def test_block_size_scale_invariance(self):
+        # Scaling every block by a constant leaves the exponent unchanged.
+        a = hoeffding_failure_probability(0.02, 0.3, [1, 2, 3, 4] * 50)
+        b = hoeffding_failure_probability(0.02, 0.3, [10, 20, 30, 40] * 50)
+        assert a == pytest.approx(b)
+
+    def test_skewed_blocks_are_weaker_than_uniform(self):
+        # Unequal blocks reduce (sum)^2/sum^2, weakening the guarantee.
+        uniform = hoeffding_failure_probability(0.2, 0.0, [5] * 100)
+        skewed = hoeffding_failure_probability(0.2, 0.0, [1] * 99 + [401])
+        assert skewed > uniform
+
+    def test_more_blocks_tighten_bound(self):
+        weak = hoeffding_failure_probability(0.03, 0.0, [1] * 500)
+        strong = hoeffding_failure_probability(0.03, 0.0, [1] * 5000)
+        assert strong < weak
+
+    def test_alpha_spends_budget(self):
+        # A larger alpha leaves less of eps for sampling: bound weakens.
+        small = hoeffding_failure_probability(0.03, 0.1, [1] * 2000)
+        large = hoeffding_failure_probability(0.03, 0.9, [1] * 2000)
+        assert small < large
+
+    def test_capped_at_one(self):
+        assert hoeffding_failure_probability(0.001, 0.99, [1]) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            hoeffding_failure_probability(0.0, 0.5, [1])
+        with pytest.raises(ValueError):
+            hoeffding_failure_probability(0.1, 1.0, [1])
+        with pytest.raises(ValueError):
+            hoeffding_failure_probability(0.1, 0.5, [0])
+
+    def test_empty_blocks_give_no_guarantee(self):
+        assert hoeffding_failure_probability(0.1, 0.0, []) == 1.0
+
+
+class TestRequiredBlockMass:
+    def test_meets_its_own_bound(self):
+        # Using the required mass as a uniform block count achieves delta.
+        eps, delta = 0.01, 1e-4
+        mass = required_block_mass(eps, delta, alpha=0.0)
+        achieved = hoeffding_failure_probability(eps, 0.0, [1] * math.ceil(mass))
+        assert achieved <= delta * 1.0001
+
+    def test_decreases_with_looser_eps(self):
+        assert required_block_mass(0.1, 1e-4, 0.5) < required_block_mass(
+            0.01, 1e-4, 0.5
+        )
+
+    def test_grows_logarithmically_with_confidence(self):
+        m4 = required_block_mass(0.01, 1e-4, 0.0)
+        m8 = required_block_mass(0.01, 1e-8, 0.0)
+        # ln(2e4) vs ln(2e8): about a 1.9x ratio, nowhere near 1e4x.
+        assert m8 / m4 == pytest.approx(
+            math.log(2e8) / math.log(2e4), rel=1e-9
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            required_block_mass(0.01, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            required_block_mass(0.01, 1e-4, -0.1)
+
+
+class TestReservoirSampleSize:
+    def test_quadratic_in_inverse_eps(self):
+        s1 = reservoir_sample_size(0.01, 1e-4)
+        s2 = reservoir_sample_size(0.001, 1e-4)
+        assert s2 == pytest.approx(100 * s1, rel=0.01)
+
+    def test_paper_scale(self):
+        # For eps=0.01, delta=1e-4: ~ ln(2e4)/(2e-4) ~ 49.5k elements —
+        # the impractically large footprint motivating the paper.
+        assert 45_000 < reservoir_sample_size(0.01, 1e-4) < 55_000
+
+
+class TestKLBernoulli:
+    def test_zero_at_equality(self):
+        assert kl_bernoulli(0.3, 0.3) == 0.0
+
+    def test_positive_otherwise(self):
+        assert kl_bernoulli(0.3, 0.2) > 0.0
+        assert kl_bernoulli(0.3, 0.4) > 0.0
+
+    def test_asymmetric(self):
+        assert kl_bernoulli(0.1, 0.2) != pytest.approx(kl_bernoulli(0.2, 0.1))
+
+    def test_infinite_on_impossible_support(self):
+        assert kl_bernoulli(0.5, 0.0) == math.inf
+        assert kl_bernoulli(0.5, 1.0) == math.inf
+
+    def test_edge_p_zero_or_one(self):
+        assert kl_bernoulli(0.0, 0.5) == pytest.approx(math.log(2.0))
+        assert kl_bernoulli(1.0, 0.5) == pytest.approx(math.log(2.0))
+
+    def test_small_eps_quadratic_approximation(self):
+        # D(p; p+e) ~ e^2 / (2 p (1-p)) for small e.
+        p, e = 0.01, 0.0005
+        approx = e * e / (2.0 * p * (1.0 - p))
+        assert kl_bernoulli(p, p + e) == pytest.approx(approx, rel=0.1)
+
+    @given(
+        p=st.floats(0.01, 0.99),
+        q=st.floats(0.01, 0.99),
+    )
+    def test_nonnegative_everywhere(self, p, q):
+        assert kl_bernoulli(p, q) >= 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            kl_bernoulli(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            kl_bernoulli(0.5, 1.5)
+
+
+class TestStein:
+    def test_decreases_with_sample_size(self):
+        b1 = stein_failure_bound(1000, 0.01, 0.005)
+        b2 = stein_failure_bound(10_000, 0.01, 0.005)
+        assert b2 < b1
+
+    def test_low_side_vanishes_when_eps_covers_zero(self):
+        # phi - eps <= 0: only the high-side term contributes.
+        one_sided = stein_failure_bound(500, 0.01, 0.01)
+        assert one_sided == pytest.approx(
+            math.exp(-500 * kl_bernoulli(0.01, 0.02))
+        )
+
+    def test_capped_at_one(self):
+        assert stein_failure_bound(1, 0.5, 0.001) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            stein_failure_bound(0, 0.1, 0.01)
+        with pytest.raises(ValueError):
+            stein_failure_bound(10, 1.0, 0.01)
+
+
+class TestExtremeSampleSize:
+    def test_is_minimal(self):
+        s = extreme_sample_size(0.01, 0.002, 1e-4)
+        assert stein_failure_bound(s, 0.01, 0.002) <= 1e-4
+        assert stein_failure_bound(s - 1, 0.01, 0.002) > 1e-4
+
+    def test_extreme_beats_central_quantiles(self):
+        # The paper's key statistical fact: for the same eps/phi ratio an
+        # extreme quantile concentrates faster, needing fewer samples to
+        # cover its target than the reservoir bound for all quantiles.
+        phi, eps, delta = 0.01, 0.001, 1e-4
+        extreme = extreme_sample_size(phi, eps, delta)
+        general = reservoir_sample_size(eps, delta)
+        assert extreme < general / 10
+
+    def test_retained_memory_is_tiny(self):
+        phi, eps, delta = 0.01, 0.001, 1e-4
+        s = extreme_sample_size(phi, eps, delta)
+        k = math.ceil(phi * s)
+        assert k < 3000  # vs ~50k for the reservoir baseline
+
+    def test_simplified_form_close_for_small_phi(self):
+        phi, eps, delta = 0.005, 0.0005, 1e-3
+        exact = extreme_sample_size(phi, eps, delta)
+        simplified = extreme_sample_size_simplified(phi, eps, delta)
+        assert simplified == pytest.approx(exact, rel=0.25)
+
+    @given(
+        phi=st.floats(0.001, 0.05),
+        ratio=st.floats(0.05, 0.8),
+        delta=st.floats(1e-6, 1e-2),
+    )
+    def test_monotone_in_delta(self, phi, ratio, delta):
+        eps = phi * ratio
+        s_loose = extreme_sample_size(phi, eps, min(0.5, delta * 10))
+        s_tight = extreme_sample_size(phi, eps, delta)
+        assert s_tight >= s_loose
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            extreme_sample_size(0.01, 0.001, 0.0)

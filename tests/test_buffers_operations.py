@@ -1,0 +1,267 @@
+"""Tests for the buffer abstraction and the Collapse/Output operators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.buffers import Buffer, BufferState
+from repro.core.operations import (
+    collapse_buffers,
+    collapse_offset,
+    output_quantile,
+    select_collapse_values,
+)
+
+
+def make_full(capacity, values, weight=1, level=0):
+    buf = Buffer(capacity)
+    buf.populate(list(values), weight, level)
+    assert buf.is_full
+    return buf
+
+
+class TestBuffer:
+    def test_starts_empty(self):
+        buf = Buffer(4)
+        assert buf.is_empty
+        assert buf.state is BufferState.EMPTY
+        assert buf.weight == 0
+
+    def test_populate_sorts(self):
+        buf = Buffer(3)
+        buf.populate([3.0, 1.0, 2.0], weight=2, level=1)
+        assert buf.data == [1.0, 2.0, 3.0]
+        assert buf.weight == 2
+        assert buf.level == 1
+        assert buf.is_full
+
+    def test_short_populate_is_partial(self):
+        buf = Buffer(5)
+        buf.populate([1.0, 2.0], weight=1, level=0)
+        assert buf.is_partial
+
+    def test_total_weight(self):
+        buf = make_full(3, [1.0, 2.0, 3.0], weight=4)
+        assert buf.total_weight == 12
+
+    def test_populate_nonempty_refuses(self):
+        buf = make_full(2, [1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            buf.populate([3.0, 4.0], 1, 0)
+
+    def test_populate_validations(self):
+        buf = Buffer(2)
+        with pytest.raises(ValueError):
+            buf.populate([], 1, 0)
+        with pytest.raises(ValueError):
+            buf.populate([1.0, 2.0, 3.0], 1, 0)
+        with pytest.raises(ValueError):
+            buf.populate([1.0], 0, 0)
+        with pytest.raises(ValueError):
+            buf.populate([1.0], 1, -1)
+
+    def test_mark_empty_resets(self):
+        buf = make_full(2, [1.0, 2.0], weight=3, level=2)
+        buf.mark_empty()
+        assert buf.is_empty
+        assert buf.data == []
+        assert buf.weight == 0
+        assert buf.level == 0
+
+    def test_store_collapse_output_requires_exact_size(self):
+        buf = Buffer(3)
+        with pytest.raises(ValueError):
+            buf.store_collapse_output([1.0], 2, 1)
+
+    def test_as_weighted_on_empty_refuses(self):
+        with pytest.raises(RuntimeError):
+            Buffer(2).as_weighted()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Buffer(0)
+
+
+class TestCollapseOffset:
+    def test_odd_weight_unique_offset(self):
+        assert collapse_offset(5, low_for_even=True) == 3
+        assert collapse_offset(5, low_for_even=False) == 3
+
+    def test_even_weight_two_choices(self):
+        assert collapse_offset(6, low_for_even=True) == 3
+        assert collapse_offset(6, low_for_even=False) == 4
+
+    def test_weight_two(self):
+        assert collapse_offset(2, low_for_even=True) == 1
+        assert collapse_offset(2, low_for_even=False) == 2
+
+    def test_rejects_tiny_weight(self):
+        with pytest.raises(ValueError):
+            collapse_offset(1, low_for_even=True)
+
+
+def brute_force_collapse(inputs, capacity, offset):
+    expanded = []
+    for data, weight in inputs:
+        for value in data:
+            expanded.extend([value] * weight)
+    expanded.sort()
+    stride = sum(weight for _, weight in inputs)
+    return [expanded[offset - 1 + j * stride] for j in range(capacity)]
+
+
+class TestSelectCollapseValues:
+    def test_two_equal_buffers(self):
+        inputs = [([1.0, 3.0, 5.0], 1), ([2.0, 4.0, 6.0], 1)]
+        # Expansion 1..6, stride 2, offset 1 -> positions 1, 3, 5.
+        assert select_collapse_values(inputs, 3, 1) == [1.0, 3.0, 5.0]
+        # offset 2 -> positions 2, 4, 6.
+        assert select_collapse_values(inputs, 3, 2) == [2.0, 4.0, 6.0]
+
+    def test_weighted_example_from_paper_structure(self):
+        # Weights 2 and 1: stride 3 (odd), offset 2 -> positions 2, 5, 8.
+        inputs = [([1.0, 4.0, 7.0], 2), ([2.0, 5.0, 8.0], 1)]
+        expected = brute_force_collapse(inputs, 3, 2)
+        assert select_collapse_values(inputs, 3, 2) == expected
+
+    def test_output_is_sorted(self):
+        inputs = [([1.0, 50.0, 99.0], 3), ([25.0, 60.0, 75.0], 2)]
+        out = select_collapse_values(inputs, 3, 3)
+        assert out == sorted(out)
+
+    def test_offset_bounds_enforced(self):
+        inputs = [([1.0], 1), ([2.0], 1)]
+        with pytest.raises(ValueError):
+            select_collapse_values(inputs, 1, 0)
+        with pytest.raises(ValueError):
+            select_collapse_values(inputs, 1, 3)
+
+    @given(
+        data=st.data(),
+        capacity=st.integers(1, 8),
+        weights=st.lists(st.integers(1, 7), min_size=2, max_size=5),
+    )
+    def test_matches_brute_force(self, data, capacity, weights):
+        inputs = []
+        for weight in weights:
+            values = data.draw(
+                st.lists(
+                    st.floats(-100, 100),
+                    min_size=capacity,
+                    max_size=capacity,
+                ).map(sorted)
+            )
+            inputs.append((values, weight))
+        stride = sum(weights)
+        offset = data.draw(st.integers(1, stride))
+        assert select_collapse_values(inputs, capacity, offset) == (
+            brute_force_collapse(inputs, capacity, offset)
+        )
+
+
+class TestCollapseBuffers:
+    def test_weight_is_sum_and_level_increments(self):
+        a = make_full(2, [1.0, 2.0], weight=2, level=1)
+        b = make_full(2, [3.0, 4.0], weight=3, level=1)
+        out = collapse_buffers([a, b], low_for_even=True)
+        assert out.weight == 5
+        assert out.level == 2
+        assert out.is_full
+
+    def test_inputs_reclaimed_in_situ(self):
+        buffers = [make_full(2, [float(i), float(i + 10)]) for i in range(3)]
+        out = collapse_buffers(buffers, low_for_even=True)
+        assert out is buffers[0]  # physically reuses an input slot
+        assert buffers[1].is_empty
+        assert buffers[2].is_empty
+
+    def test_mass_conservation(self):
+        # len(out) * w(out) == sum of len * w of inputs.
+        a = make_full(4, [1.0, 2.0, 3.0, 4.0], weight=2)
+        b = make_full(4, [5.0, 6.0, 7.0, 8.0], weight=6)
+        before = a.total_weight + b.total_weight
+        out = collapse_buffers([a, b], low_for_even=True)
+        assert out.total_weight == before
+
+    def test_requires_two_full_buffers(self):
+        a = make_full(2, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            collapse_buffers([a], low_for_even=True)
+        partial = Buffer(2)
+        partial.populate([1.0], 1, 0)
+        with pytest.raises(RuntimeError):
+            collapse_buffers([a, partial], low_for_even=True)
+
+    def test_requires_equal_capacity(self):
+        a = make_full(2, [1.0, 2.0])
+        b = make_full(3, [1.0, 2.0, 3.0])
+        with pytest.raises(RuntimeError):
+            collapse_buffers([a, b], low_for_even=True)
+
+    def test_even_offset_choice_changes_result(self):
+        lo = collapse_buffers(
+            [make_full(2, [1.0, 3.0]), make_full(2, [2.0, 4.0])],
+            low_for_even=True,
+        ).data
+        hi = collapse_buffers(
+            [make_full(2, [1.0, 3.0]), make_full(2, [2.0, 4.0])],
+            low_for_even=False,
+        ).data
+        assert lo == [1.0, 3.0]
+        assert hi == [2.0, 4.0]
+
+
+class TestOutputQuantile:
+    def test_position_formula(self):
+        # ceil(phi * total weight) over the weighted expansion.
+        weighted = [([1.0, 2.0, 3.0, 4.0], 1)]
+        assert output_quantile(weighted, 0.5) == 2.0
+        assert output_quantile(weighted, 0.51) == 3.0
+        assert output_quantile(weighted, 1.0) == 4.0
+
+    def test_includes_partial_buffers(self):
+        weighted = [([10.0, 20.0], 2), ([15.0], 1)]
+        # Expansion: 10 10 15 20 20; median position 3 -> 15.
+        assert output_quantile(weighted, 0.5) == 15.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            output_quantile([], 0.5)
+
+    @given(
+        phi=st.floats(0.01, 1.0),
+        values=st.lists(st.floats(-10, 10), min_size=1, max_size=20),
+        weight=st.integers(1, 4),
+    )
+    def test_result_is_an_input_element(self, phi, values, weight):
+        assert output_quantile([(sorted(values), weight)], phi) in values
+
+
+class TestOffsetAlternationEffect:
+    def test_alternation_centres_the_systematic_drift(self):
+        # Repeatedly collapsing with the *low* even offset drifts the
+        # selected ranks low; alternating balances them.  Build a chain of
+        # pairwise collapses over a long arithmetic sequence and compare
+        # the final median estimate.
+        def run(alternate: bool) -> float:
+            toggle = True
+            data = [float(i) for i in range(1024)]
+            buffers = [
+                make_full(64, data[i * 64 : (i + 1) * 64]) for i in range(16)
+            ]
+            while len(buffers) > 1:
+                merged = collapse_buffers(buffers[:2], low_for_even=toggle)
+                if alternate and merged.weight % 2 == 0:
+                    toggle = not toggle
+                buffers = [merged] + buffers[2:]
+            position = math.ceil(0.5 * 64)
+            return buffers[0].data[position - 1]
+
+        fixed = run(alternate=False)
+        alternating = run(alternate=True)
+        true_median = 511.0
+        assert abs(alternating - true_median) <= abs(fixed - true_median)

@@ -1,0 +1,106 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture()
+def values_file(tmp_path):
+    path = tmp_path / "values.txt"
+    path.write_text("\n".join(str(i) for i in range(10_000)) + "\n")
+    return str(path)
+
+
+class TestQuantileCommand:
+    def test_default_median(self, values_file, capsys):
+        code = main(["quantile", values_file, "--eps", "0.05", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phi=0.5" in out
+        value = float(out.split("\t")[1])
+        assert abs(value - 5000) <= 0.05 * 10_000
+
+    def test_multiple_phis_sorted(self, values_file, capsys):
+        code = main(
+            [
+                "quantile",
+                values_file,
+                "--eps",
+                "0.05",
+                "--phi",
+                "0.9",
+                "--phi",
+                "0.1",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("phi=0.1")
+        assert lines[1].startswith("phi=0.9")
+        assert float(lines[0].split("\t")[1]) < float(lines[1].split("\t")[1])
+
+    def test_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("1 2 3 4 5\n6 7 8 9 10\n"))
+        code = main(["quantile", "--eps", "0.1", "--seed", "3"])
+        assert code == 0
+        assert "phi=0.5" in capsys.readouterr().out
+
+    def test_empty_input_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        code = main(["quantile", str(empty)])
+        assert code == 1
+        assert "no input" in capsys.readouterr().err
+
+    def test_stats_on_stderr(self, values_file, capsys):
+        main(["quantile", values_file, "--eps", "0.05", "--seed", "4"])
+        err = capsys.readouterr().err
+        assert "n=10000" in err
+        assert "memory=" in err
+
+
+class TestPlanCommand:
+    def test_unknown_only(self, capsys):
+        code = main(["plan", "--eps", "0.01", "--delta", "1e-4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unknown-N:" in out
+        assert "memory=4266" in out
+
+    def test_with_known_n(self, capsys):
+        code = main(["plan", "--eps", "0.01", "--delta", "1e-4", "--n", "1000000000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "known-N" in out
+        assert "[sampled]" in out
+        assert "ratio unknown/known" in out
+
+    def test_exact_regime_label(self, capsys):
+        main(["plan", "--eps", "0.01", "--n", "10"])
+        assert "[exact]" in capsys.readouterr().out
+
+
+class TestHistogramCommand:
+    def test_boundaries(self, values_file, capsys):
+        code = main(
+            ["histogram", values_file, "--buckets", "4", "--eps", "0.05", "--seed", "5"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        boundaries = [float(line) for line in captured.out.strip().splitlines()]
+        assert len(boundaries) == 3
+        assert boundaries == sorted(boundaries)
+        for i, boundary in enumerate(boundaries, start=1):
+            assert abs(boundary - i * 2500) <= 0.05 * 10_000 + 1
+
+    def test_empty_input_fails(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        assert main(["histogram", str(empty)]) == 1

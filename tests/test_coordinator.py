@@ -1,0 +1,118 @@
+"""Unit tests for the Section 6 coordinator's partial-buffer handling.
+
+The coordinator P0 merges partial buffers through an auxiliary buffer B0
+with weight matching: equal weights copy, unequal weights shrink the
+lighter buffer by systematic sampling at the (integral, power-of-two)
+weight ratio.  These tests drive that machinery directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.parallel import _Coordinator
+
+
+def make_coordinator(k=4, b=3, seed=0):
+    return _Coordinator(b, k, None, random.Random(seed))
+
+
+class TestReceiveFull:
+    def test_full_buffers_enter_pool_with_weight(self):
+        coord = make_coordinator()
+        coord.receive_full([1.0, 2.0, 3.0, 4.0], weight=5)
+        assert coord.total_weight == 20
+        assert coord.query(0.5) == 2.0
+
+    def test_multiple_fulls_trigger_collapse_only_when_pool_fills(self):
+        coord = make_coordinator(b=2)
+        coord.receive_full([1.0, 2.0, 3.0, 4.0], weight=1)
+        coord.receive_full([5.0, 6.0, 7.0, 8.0], weight=1)
+        coord.receive_full([9.0, 10.0, 11.0, 12.0], weight=1)
+        assert coord.total_weight == 12
+
+
+class TestReceivePartialEqualWeights:
+    def test_accumulates_into_b0(self):
+        coord = make_coordinator(k=4)
+        coord.receive_partial([1.0, 2.0], weight=2)
+        coord.receive_partial([3.0], weight=2)
+        # 3 elements of weight 2 live in B0 (below k=4: not yet a buffer).
+        assert coord.total_weight == 6
+
+    def test_overflow_creates_full_buffer(self):
+        coord = make_coordinator(k=4)
+        coord.receive_partial([1.0, 2.0, 3.0], weight=2)
+        coord.receive_partial([4.0, 5.0, 6.0], weight=2)
+        # 6 elements: one full k=4 buffer deposited, 2 left in B0.
+        assert coord.total_weight == 12
+        assert coord.query(1.0) == 6.0
+
+    def test_exact_fill_leaves_empty_b0(self):
+        coord = make_coordinator(k=4)
+        coord.receive_partial([1.0, 2.0], weight=1)
+        coord.receive_partial([3.0, 4.0], weight=1)
+        assert coord.total_weight == 4
+        # A following partial with a different weight starts a fresh B0.
+        coord.receive_partial([9.0], weight=8)
+        assert coord.total_weight == 12
+
+
+class TestReceivePartialWeightMatching:
+    def test_incoming_lighter_is_shrunk(self):
+        coord = make_coordinator(k=8, seed=1)
+        coord.receive_partial([100.0, 200.0], weight=8)
+        # 8 elements of weight 2: ratio 4 -> ~2 survivors of weight 8.
+        coord.receive_partial([float(i) for i in range(8)], weight=2)
+        # Mass: 2*8 + (8 elements * weight 2 -> 2 elements * weight 8) = 32.
+        assert coord.total_weight == 32
+
+    def test_b0_lighter_is_shrunk_and_reweighted(self):
+        coord = make_coordinator(k=8, seed=2)
+        coord.receive_partial([float(i) for i in range(4)], weight=2)
+        coord.receive_partial([500.0], weight=8)
+        # B0's 4 weight-2 elements shrink at ratio 4 -> 1 element weight 8,
+        # joined by the incoming weight-8 element.
+        assert coord.total_weight == 16
+
+    def test_non_power_of_two_weight_rejected(self):
+        coord = make_coordinator()
+        with pytest.raises(ValueError):
+            coord.receive_partial([1.0], weight=3)
+        with pytest.raises(ValueError):
+            coord.receive_partial([1.0], weight=0)
+
+    def test_paper_example_weights_2_and_8(self):
+        # "if B_in has weight 8 and B_0 has weight 2, then B_0 is shrunk
+        #  by sampling at rate 4 ... After shrinking, B_0 is assigned 8."
+        coord = make_coordinator(k=16, seed=3)
+        coord.receive_partial([float(i) for i in range(8)], weight=2)  # mass 16
+        coord.receive_partial([1000.0, 2000.0], weight=8)  # mass 16
+        assert coord.total_weight == 32
+
+    def test_query_includes_leftover_b0(self):
+        coord = make_coordinator(k=8)
+        coord.receive_partial([7.0], weight=1)
+        assert coord.query(1.0) == 7.0
+
+
+class TestStatisticalUnbiasedness:
+    def test_shrink_preserves_value_distribution(self):
+        # Shrinking a partial buffer must not bias which values survive:
+        # over many trials every element survives equally often.
+        from collections import Counter
+
+        counts = Counter()
+        trials = 3000
+        for seed in range(trials):
+            coord = make_coordinator(k=64, seed=seed)
+            coord.receive_partial([999.0], weight=8)
+            coord.receive_partial([float(i) for i in range(8)], weight=2)
+            # Survivors of the shrink sit in B0 behind the 999 marker.
+            survivors = [v for v in coord._b0 if v != 999.0]
+            counts.update(survivors)
+        expected = trials * 2 / 8  # 2 of 8 elements survive a ratio-4 shrink
+        for value in range(8):
+            assert counts[float(value)] == pytest.approx(expected, rel=0.2)

@@ -1,0 +1,235 @@
+"""Tests for the database-application layer (Section 1.1 workloads)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db.histogram import Bucket, EquiDepthHistogram
+from repro.db.online_agg import OnlineQuantileAggregate
+from repro.db.selectivity import SelectivityEstimator
+from repro.db.splitters import Splitters, partition_counts
+from repro.streams.tables import synthetic_orders
+
+
+class TestEquiDepthHistogram:
+    def test_boundaries_sorted_and_counted(self):
+        hist = EquiDepthHistogram(10, 0.01, 1e-3, seed=1)
+        rng = random.Random(2)
+        hist.insert_many(rng.random() for _ in range(40_000))
+        bounds = hist.boundaries()
+        assert len(bounds) == 9
+        assert bounds == sorted(bounds)
+
+    def test_buckets_are_roughly_equal_depth(self):
+        rng = random.Random(3)
+        data = [rng.gauss(0, 1) for _ in range(50_000)]
+        hist = EquiDepthHistogram(10, 0.005, 1e-3, seed=4)
+        hist.insert_many(data)
+        bounds = hist.boundaries()
+        edges = [float("-inf"), *bounds, float("inf")]
+        for i in range(10):
+            count = sum(1 for v in data if edges[i] < v <= edges[i + 1])
+            assert count == pytest.approx(5000, abs=0.02 * 50_000)
+
+    def test_accurate_while_growing(self):
+        # The motivating scenario of Section 1.2: a histogram of a
+        # dynamically growing table, accurate at all times.
+        rng = random.Random(5)
+        hist = EquiDepthHistogram(4, 0.02, 1e-2, seed=6)
+        data = []
+        for checkpoint in (2_000, 20_000, 60_000):
+            while len(data) < checkpoint:
+                value = rng.expovariate(1.0)
+                data.append(value)
+                hist.insert(value)
+            bounds = hist.boundaries()
+            data_sorted = sorted(data)
+            for i, bound in enumerate(bounds, start=1):
+                target = i / 4
+                import bisect
+
+                rank = bisect.bisect_right(data_sorted, bound)
+                assert abs(rank - target * len(data)) <= 3 * 0.02 * len(data)
+
+    def test_buckets_objects(self):
+        hist = EquiDepthHistogram(5, 0.02, 1e-2, seed=7)
+        hist.insert_many(float(i) for i in range(10_000))
+        buckets = hist.buckets()
+        assert len(buckets) == 5
+        assert all(isinstance(bucket, Bucket) for bucket in buckets)
+        assert buckets[0].low == 0.0
+        assert buckets[-1].high == 9999.0
+        for left, right in zip(buckets, buckets[1:]):
+            assert left.high == right.low
+
+    def test_bucket_of(self):
+        hist = EquiDepthHistogram(4, 0.02, 1e-2, seed=8)
+        hist.insert_many(float(i) for i in range(8000))
+        assert hist.bucket_of(-100.0) == 0
+        assert hist.bucket_of(10**9) == 3
+        middle = hist.bucket_of(4000.0)
+        assert middle in (1, 2)
+
+    def test_skewed_data_beats_equal_width_intuition(self):
+        # Clustered values: equi-depth boundaries crowd into the clusters.
+        rng = random.Random(9)
+        data = [rng.gauss(0, 0.01) for _ in range(20_000)]
+        data += [rng.gauss(100, 0.01) for _ in range(20_000)]
+        hist = EquiDepthHistogram(4, 0.01, 1e-3, seed=10)
+        hist.insert_many(data)
+        bounds = hist.boundaries()
+        # Quartile boundaries crowd into the clusters themselves (outputs
+        # are always input elements, so nothing can land in the gap).
+        assert bounds[0] < 1.0  # 25% boundary inside the low cluster
+        assert bounds[2] > 99.0  # 75% boundary inside the high cluster
+
+    def test_empty_raises(self):
+        hist = EquiDepthHistogram(4, 0.02, 1e-2)
+        with pytest.raises(ValueError):
+            hist.boundaries()
+        with pytest.raises(ValueError):
+            hist.value_range
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            EquiDepthHistogram(1, 0.02, 1e-2)
+
+
+class TestSplitters:
+    def test_default_matches_paper_scenario(self):
+        # p=100, eps=0.001, delta=1e-4 (Section 1.1's acceptance example).
+        splitters = Splitters(seed=1)
+        assert splitters.parts == 100
+
+    def test_partitions_are_balanced(self):
+        rng = random.Random(2)
+        data = [rng.random() for _ in range(60_000)]
+        splitters = Splitters(parts=8, eps=0.005, delta=1e-3, seed=3)
+        splitters.observe_many(data)
+        counts = partition_counts(splitters.splitters(), data)
+        ideal = len(data) / 8
+        for count in counts:
+            assert count == pytest.approx(ideal, abs=2 * 0.005 * len(data) + 8)
+
+    def test_assign_routes_consistently(self):
+        splitters = Splitters(parts=4, eps=0.01, delta=1e-2, seed=4)
+        splitters.observe_many(float(i) for i in range(20_000))
+        assert splitters.assign(-1.0) == 0
+        assert splitters.assign(1.0e9) == 3
+        assert splitters.assign(10_000.0) in (1, 2)
+
+    def test_splitters_cached_until_new_data(self):
+        splitters = Splitters(parts=4, eps=0.01, delta=1e-2, seed=5)
+        splitters.observe_many(float(i) for i in range(5_000))
+        first = splitters.splitters()
+        assert splitters.splitters() == first
+        splitters.observe(123.0)
+        assert isinstance(splitters.splitters(), list)  # recomputed fine
+
+    def test_no_data_raises(self):
+        with pytest.raises(ValueError):
+            Splitters(parts=4).splitters()
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            Splitters(parts=1)
+
+
+class TestOnlineAggregate:
+    def test_reports_on_schedule(self):
+        agg = OnlineQuantileAggregate(
+            [0.5], 0.02, 1e-2, report_every=1000, seed=1
+        )
+        agg.feed_many(float(i) for i in range(5500))
+        assert len(agg.history) == 5
+        assert [r.rows_seen for r in agg.history] == [1000, 2000, 3000, 4000, 5000]
+
+    def test_report_contents(self):
+        agg = OnlineQuantileAggregate(
+            [0.25, 0.75], 0.02, 1e-2, report_every=500, expected_rows=2000, seed=2
+        )
+        agg.feed_many(float(i) for i in range(1000))
+        report = agg.history[-1]
+        assert set(report.estimates) == {0.25, 0.75}
+        assert report.rank_tolerance == pytest.approx(0.02 * 1000)
+        assert report.confidence == pytest.approx(0.99)
+        assert report.fraction_done == pytest.approx(0.5)
+
+    def test_estimates_refine_toward_truth(self):
+        rng = random.Random(3)
+        agg = OnlineQuantileAggregate(
+            [0.5], 0.01, 1e-3, report_every=10_000, seed=4
+        )
+        agg.feed_many(rng.random() for _ in range(50_000))
+        final = agg.history[-1].estimates[0.5]
+        assert abs(final - 0.5) < 0.02
+
+    def test_callback_invoked(self):
+        seen = []
+        agg = OnlineQuantileAggregate(
+            [0.5], 0.05, 1e-2, report_every=100, on_report=seen.append, seed=5
+        )
+        agg.feed_many(float(i) for i in range(350))
+        assert len(seen) == 3
+
+    def test_current_works_anytime(self):
+        agg = OnlineQuantileAggregate([0.5], 0.05, 1e-2, seed=6)
+        agg.feed(1.0)
+        report = agg.current()
+        assert report.rows_seen == 1
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            OnlineQuantileAggregate([], 0.05, 1e-2)
+        with pytest.raises(ValueError):
+            OnlineQuantileAggregate([1.5], 0.05, 1e-2)
+        with pytest.raises(ValueError):
+            OnlineQuantileAggregate([0.5], 0.05, 1e-2, report_every=0)
+        agg = OnlineQuantileAggregate([0.5], 0.05, 1e-2)
+        with pytest.raises(ValueError):
+            agg.current()
+
+
+class TestSelectivity:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        sel = SelectivityEstimator(buckets=50, eps=0.005, delta=1e-3, seed=1)
+        rng = random.Random(7)
+        sel.observe_many(rng.random() for _ in range(60_000))
+        return sel
+
+    def test_at_most_tracks_cdf(self, estimator):
+        for constant in (0.1, 0.3, 0.5, 0.7, 0.9):
+            assert estimator.at_most(constant) == pytest.approx(constant, abs=0.03)
+
+    def test_extremes(self, estimator):
+        assert estimator.at_most(-1.0) == 0.0
+        assert estimator.at_most(2.0) == 1.0
+
+    def test_between(self, estimator):
+        assert estimator.between(0.2, 0.4) == pytest.approx(0.2, abs=0.04)
+        with pytest.raises(ValueError):
+            estimator.between(0.5, 0.2)
+
+    def test_greater_than(self, estimator):
+        assert estimator.greater_than(0.75) == pytest.approx(0.25, abs=0.04)
+
+    def test_monotone_in_constant(self, estimator):
+        values = [estimator.at_most(c / 20) for c in range(21)]
+        assert values == sorted(values)
+
+    def test_no_data_raises(self):
+        with pytest.raises(ValueError):
+            SelectivityEstimator().at_most(0.5)
+
+
+class TestOrdersIntegration:
+    def test_histogram_over_orders_amounts(self):
+        hist = EquiDepthHistogram(10, 0.01, 1e-3, seed=11)
+        amounts = [row.amount for row in synthetic_orders(30_000, 12)]
+        hist.insert_many(amounts)
+        bounds = hist.boundaries()
+        # Log-normal amounts: heavily skewed, boundaries spread unevenly.
+        assert bounds[-1] > 3 * bounds[4] > 0

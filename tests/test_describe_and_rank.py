@@ -1,0 +1,155 @@
+"""Tests for inverse (rank/CDF) queries and the describe aggregators."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.params import Plan
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.stats.describe import MomentAccumulator, StreamSummary
+
+PLAN = Plan(0.05, 0.01, 3, 64, 2, 0.5, 6, 3, "mrl")
+
+
+class TestRankQueries:
+    def test_rank_matches_truth_on_small_exact_stream(self):
+        est = UnknownNQuantiles(plan=PLAN, seed=1)
+        est.extend(float(i) for i in range(100))  # fits without collapse
+        assert est.rank(49.0) == 50
+        assert est.rank(-1.0) == 0
+        assert est.rank(1e9) == 100
+
+    def test_rank_within_eps_after_collapses(self):
+        rng = random.Random(2)
+        data = sorted(rng.random() for _ in range(50_000))
+        est = UnknownNQuantiles(plan=PLAN, seed=3)
+        random.Random(4).shuffle(data)
+        est.extend(data)
+        data.sort()
+        for probe_index in (500, 12_500, 25_000, 45_000):
+            value = data[probe_index]
+            estimated = est.rank(value)
+            assert abs(estimated - (probe_index + 1)) <= 2 * 0.05 * len(data)
+
+    def test_rank_inverts_query(self):
+        rng = random.Random(5)
+        est = UnknownNQuantiles(plan=PLAN, seed=6)
+        est.extend(rng.random() for _ in range(30_000))
+        for phi in (0.1, 0.5, 0.9):
+            round_trip = est.rank(est.query(phi)) / est.n
+            assert round_trip == pytest.approx(phi, abs=2 * 0.05)
+
+    def test_cdf_monotone_and_bounded(self):
+        rng = random.Random(7)
+        est = UnknownNQuantiles(plan=PLAN, seed=8)
+        est.extend(rng.gauss(0, 1) for _ in range(20_000))
+        probes = [-3.0, -1.0, 0.0, 1.0, 3.0]
+        cdfs = [est.cdf(p) for p in probes]
+        assert cdfs == sorted(cdfs)
+        assert all(0.0 <= c <= 1.0 for c in cdfs)
+        assert est.cdf(0.0) == pytest.approx(0.5, abs=0.1)
+
+    def test_rank_requires_data(self):
+        est = UnknownNQuantiles(plan=PLAN, seed=9)
+        with pytest.raises(ValueError):
+            est.rank(1.0)
+
+
+class TestMomentAccumulator:
+    def test_known_moments(self):
+        acc = MomentAccumulator()
+        acc.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert acc.mean == pytest.approx(5.0)
+        assert acc.variance == pytest.approx(4.0)
+        assert acc.stddev == pytest.approx(2.0)
+        assert acc.minimum == 2.0
+        assert acc.maximum == 9.0
+        assert acc.count == 8
+
+    def test_sample_variance(self):
+        acc = MomentAccumulator()
+        acc.extend([1.0, 2.0, 3.0])
+        assert acc.sample_variance == pytest.approx(1.0)
+
+    def test_numerical_stability_large_offset(self):
+        # Welford's point: huge common offset must not destroy variance.
+        acc = MomentAccumulator()
+        acc.extend(1e12 + x for x in (0.0, 1.0, 2.0))
+        assert acc.variance == pytest.approx(2.0 / 3.0, rel=1e-6)
+
+    def test_empty_raises(self):
+        acc = MomentAccumulator()
+        with pytest.raises(ValueError):
+            acc.mean
+        with pytest.raises(ValueError):
+            acc.variance
+        with pytest.raises(ValueError):
+            acc.minimum
+        acc.update(1.0)
+        with pytest.raises(ValueError):
+            acc.sample_variance
+
+    def test_nan_rejected(self):
+        acc = MomentAccumulator()
+        with pytest.raises(ValueError):
+            acc.update(float("nan"))
+
+    def test_single_value(self):
+        acc = MomentAccumulator()
+        acc.update(5.0)
+        assert acc.mean == 5.0
+        assert acc.variance == 0.0
+
+
+class TestStreamSummary:
+    def test_describe_shape(self):
+        summary = StreamSummary(eps=0.02, delta=1e-3, seed=10)
+        rng = random.Random(11)
+        summary.extend(rng.gauss(100, 15) for _ in range(40_000))
+        row = summary.describe()
+        assert row["count"] == 40_000
+        assert row["mean"] == pytest.approx(100, abs=1)
+        assert row["stddev"] == pytest.approx(15, abs=1)
+        assert (
+            row["min"] <= row["q01"] <= row["q25"] <= row["median"]
+            <= row["q75"] <= row["q99"] <= row["max"]
+        )
+
+    def test_iqr(self):
+        summary = StreamSummary(eps=0.02, delta=1e-3, seed=12)
+        rng = random.Random(13)
+        summary.extend(rng.gauss(0, 1) for _ in range(40_000))
+        assert summary.iqr == pytest.approx(1.349, abs=0.1)  # normal IQR
+
+    def test_outlier_robustness_the_papers_claim(self):
+        # "Quantiles ... are less sensitive to outliers than the moments."
+        rng = random.Random(14)
+        clean = StreamSummary(eps=0.01, delta=1e-3, seed=15)
+        dirty = StreamSummary(eps=0.01, delta=1e-3, seed=15)
+        for _ in range(50_000):
+            value = rng.gauss(100.0, 10.0)
+            clean.update(value)
+            dirty.update(value)
+        for _ in range(50):  # 0.1% wild outliers
+            dirty.update(1e9)
+        mean_shift = abs(dirty.moments.mean - clean.moments.mean)
+        median_shift = abs(
+            dirty.quantiles.query(0.5) - clean.quantiles.query(0.5)
+        )
+        assert mean_shift > 100_000  # the mean is wrecked
+        assert median_shift < 1.0  # the median barely moves
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            StreamSummary(seed=16).describe()
+
+    def test_memory_constant(self):
+        summary = StreamSummary(eps=0.05, delta=1e-2, seed=17)
+        summary.extend(float(i) for i in range(10_000))
+        before = summary.memory_elements
+        summary.extend(float(i) for i in range(100_000))
+        assert summary.memory_elements == before
+        assert not math.isnan(summary.describe()["mean"])

@@ -1,0 +1,85 @@
+"""Tests for the disk-resident float-file substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.stats.rank import is_eps_approximate
+from repro.streams.diskfile import CHUNK_VALUES, count_floats, read_floats, write_floats
+
+
+class TestRoundTrip:
+    def test_small_roundtrip(self, tmp_path):
+        path = tmp_path / "data.f64"
+        values = [1.5, -2.25, 3.125, 0.0, float("inf")]
+        assert write_floats(path, values) == 5
+        assert list(read_floats(path)) == values
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.f64"
+        assert write_floats(path, []) == 0
+        assert list(read_floats(path)) == []
+        assert count_floats(path) == 0
+
+    def test_crosses_chunk_boundaries(self, tmp_path):
+        path = tmp_path / "big.f64"
+        n = CHUNK_VALUES * 2 + 137  # two full chunks plus a remainder
+        write_floats(path, (float(i) for i in range(n)))
+        assert count_floats(path) == n
+        total = 0
+        for expected, got in zip(range(n), read_floats(path)):
+            assert float(expected) == got
+            total += 1
+        assert total == n
+
+    def test_custom_chunk_size(self, tmp_path):
+        path = tmp_path / "data.f64"
+        write_floats(path, [float(i) for i in range(100)])
+        assert list(read_floats(path, chunk_values=7)) == [
+            float(i) for i in range(100)
+        ]
+
+    def test_lazy_write_of_generator(self, tmp_path):
+        # The writer must not materialise the input.
+        path = tmp_path / "gen.f64"
+        written = write_floats(path, (float(i) for i in range(200_000)))
+        assert written == 200_000
+        assert count_floats(path) == 200_000
+
+
+class TestValidation:
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "trunc.f64"
+        write_floats(path, [1.0, 2.0])
+        with open(path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")  # 3 stray bytes
+        with pytest.raises(ValueError):
+            list(read_floats(path))
+        with pytest.raises(ValueError):
+            count_floats(path)
+
+    def test_bad_chunk_size(self, tmp_path):
+        path = tmp_path / "data.f64"
+        write_floats(path, [1.0])
+        with pytest.raises(ValueError):
+            list(read_floats(path, chunk_values=0))
+
+
+class TestEndToEnd:
+    def test_quantiles_of_a_disk_resident_dataset(self, tmp_path):
+        # The abstract's scenario: one pass over a disk-resident dataset.
+        path = tmp_path / "dataset.f64"
+        rng = random.Random(9)
+        data = [rng.gauss(0, 1) for _ in range(120_000)]
+        write_floats(path, data)
+
+        est = UnknownNQuantiles(eps=0.02, delta=1e-3, seed=10)
+        for value in read_floats(path):
+            est.update(value)
+        sorted_data = sorted(data)
+        for phi in (0.1, 0.5, 0.9):
+            assert is_eps_approximate(sorted_data, est.query(phi), phi, 0.02)
+        assert est.memory_elements < len(data) / 25

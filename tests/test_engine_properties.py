@@ -1,0 +1,133 @@
+"""Stateful property tests of the CollapseEngine under arbitrary deposits.
+
+The estimators feed the engine a very particular weight/level schedule;
+these tests check the engine's own invariants under *arbitrary* (valid)
+schedules — random weights and levels, random policies — since Section 6's
+coordinator really does deposit buffers with arbitrary weights at level 0.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.framework import CollapseEngine
+from repro.core.policy import ARSPolicy, MRLPolicy, MunroPatersonPolicy
+from repro.stats.rank import rank_error
+
+
+class EngineMachine(RuleBasedStateMachine):
+    """Deposit weighted buffers at random; check conservation + Lemma 4."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.k = 8
+        self.engine = CollapseEngine(4, self.k, MRLPolicy(), trace=True)
+        self.rng = random.Random(123)
+        # The weighted multiset the engine is summarising, expanded.
+        self.expanded: list[float] = []
+
+    @rule(weight=st.integers(1, 9), level=st.integers(0, 3))
+    def deposit(self, weight, level):
+        values = [self.rng.uniform(-100, 100) for _ in range(self.k)]
+        self.engine.deposit(values, weight, level)
+        for value in values:
+            self.expanded.extend([value] * weight)
+
+    @precondition(lambda self: self.expanded)
+    @rule(phi=st.sampled_from([0.1, 0.5, 0.9]))
+    def query_within_lemma4(self, phi):
+        answer = self.engine.query(phi)
+        self.expanded.sort()
+        err = rank_error(self.expanded, answer, phi)
+        assert err <= self.engine.error_bound_elements() + 1
+
+    @invariant()
+    def mass_conserved(self):
+        assert self.engine.total_weight == len(self.expanded)
+
+    @invariant()
+    def memory_capped(self):
+        assert self.engine.buffers_allocated <= 4
+        assert self.engine.memory_elements <= 4 * self.k
+
+    @invariant()
+    def trace_agrees(self):
+        trace = self.engine.trace
+        assert trace is not None
+        assert trace.collapse_count == self.engine.collapse_count
+        assert trace.collapse_weight_sum == self.engine.collapse_weight_sum
+
+    @invariant()
+    def lemma5_holds(self):
+        trace = self.engine.trace
+        assert trace is not None
+        assert trace.collapse_weight_sum <= trace.lemma5_bound()
+
+
+TestEngineStateMachine = EngineMachine.TestCase
+TestEngineStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)
+
+
+class EagerEngineMachine(RuleBasedStateMachine):
+    """Same checks under the eager Munro-Paterson discipline."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.k = 4
+        self.engine = CollapseEngine(6, self.k, MunroPatersonPolicy())
+        self.rng = random.Random(321)
+        self.expanded: list[float] = []
+
+    @rule()
+    def deposit_leaf(self):
+        values = [self.rng.uniform(-10, 10) for _ in range(self.k)]
+        self.engine.deposit(values, 1, 0)
+        self.expanded.extend(values)
+
+    @invariant()
+    def mass_conserved(self):
+        assert self.engine.total_weight == len(self.expanded)
+
+    @invariant()
+    def one_buffer_per_level(self):
+        levels = [buf.level for buf in self.engine.full_buffers()]
+        assert len(levels) == len(set(levels))
+
+
+TestEagerEngineStateMachine = EagerEngineMachine.TestCase
+TestEagerEngineStateMachine.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
+)
+
+
+class ARSEngineMachine(RuleBasedStateMachine):
+    """ARS policy: collapse-all keeps at most one full buffer post-collapse."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.k = 4
+        self.engine = CollapseEngine(3, self.k, ARSPolicy())
+        self.rng = random.Random(213)
+        self.expanded: list[float] = []
+
+    @rule()
+    def deposit_leaf(self):
+        values = [self.rng.uniform(-10, 10) for _ in range(self.k)]
+        self.engine.deposit(values, 1, 0)
+        self.expanded.extend(values)
+
+    @invariant()
+    def mass_conserved(self):
+        assert self.engine.total_weight == len(self.expanded)
+
+
+TestARSEngineStateMachine = ARSEngineMachine.TestCase
+TestARSEngineStateMachine.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,115 @@
+"""Error-path and edge coverage across modules (the unhappy paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CollapseEngine,
+    MemoryLimits,
+    ParallelQuantiles,
+    UnknownNQuantiles,
+    plan_parameters,
+)
+from repro.core.buffers import Buffer
+from repro.core.params import Plan
+from repro.core.tree import TreeTrace
+
+
+class TestEngineErrorPaths:
+    def test_allocator_that_always_refuses_still_functions(self):
+        # Collapse substitutes for allocation once two buffers exist.
+        engine = CollapseEngine(5, 2, allocator=lambda leaves, alloc: False)
+        for i in range(40):
+            engine.deposit([float(i), float(i) + 0.5], 1, 0)
+        assert engine.buffers_allocated == 2
+        assert engine.collapse_count > 0
+        assert engine.total_weight == 80
+
+    def test_collapse_once_without_enough_buffers(self):
+        engine = CollapseEngine(3, 2)
+        engine.deposit([1.0, 2.0], 1, 0)
+        with pytest.raises(RuntimeError):
+            engine.collapse_once()
+
+    def test_weighted_rank_empty_engine(self):
+        engine = CollapseEngine(3, 2)
+        assert engine.weighted_rank(1.0) == 0
+
+
+class TestBufferErrorPaths:
+    def test_store_collapse_output_overwrites_any_state(self):
+        buf = Buffer(2)
+        buf.populate([1.0, 2.0], 1, 0)
+        buf.mark_empty()
+        buf.store_collapse_output([3.0, 4.0], 5, 2)
+        assert buf.is_full
+        assert buf.weight == 5
+
+    def test_repr_is_informative(self):
+        buf = Buffer(3)
+        text = repr(buf)
+        assert "empty" in text and "0/3" in text
+
+
+class TestTraceErrorPaths:
+    def test_empty_trace_statistics(self):
+        trace = TreeTrace()
+        assert trace.height() == 0
+        assert trace.lemma5_bound() == 0
+        assert trace.weak_error_bound([]) == 0.0
+        assert trace.max_collapse_level() == -1
+        assert trace.render() == "root"
+
+
+class TestPlanValidation:
+    def test_plan_is_frozen(self):
+        plan = plan_parameters(0.05, 1e-2)
+        with pytest.raises(AttributeError):
+            plan.b = 99  # type: ignore[misc]
+
+    def test_memory_property(self):
+        plan = Plan(0.05, 0.01, 3, 100, 2, 0.5, 6, 3, "mrl")
+        assert plan.memory == 300
+
+
+class TestEstimatorErrorPaths:
+    def test_phi_validation_flows_through(self):
+        est = UnknownNQuantiles(0.1, 0.1, seed=1)
+        est.update(1.0)
+        with pytest.raises(ValueError):
+            est.query(0.0)
+        with pytest.raises(ValueError):
+            est.query(1.5)
+
+    def test_update_batch_empty_sequence_is_noop(self):
+        est = UnknownNQuantiles(0.1, 0.1, seed=2)
+        est.update_batch([])
+        assert est.n == 0
+
+    def test_parallel_bad_worker_index(self):
+        pq = ParallelQuantiles(2, eps=0.1, delta=0.1, seed=3)
+        with pytest.raises(IndexError):
+            pq.update(5, 1.0)
+
+
+class TestMemoryLimitsEdges:
+    def test_single_point_applies_everywhere(self):
+        limits = MemoryLimits([(100, 500)])
+        assert limits.at(0) == 500
+        assert limits.at(10**12) == 500
+        assert limits.final == 500
+
+
+class TestCliErrorPaths:
+    def test_missing_file_raises_cleanly(self):
+        from repro.__main__ import main
+
+        with pytest.raises(FileNotFoundError):
+            main(["quantile", "/nonexistent/file.txt"])
+
+    def test_unknown_command_exits(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,63 @@
+"""Integration layer: every example script must run clean.
+
+Each example is executed as a subprocess (fresh interpreter, the way a
+user runs it) and its output spot-checked.  These are the slowest tests in
+the suite by design — they exercise full end-to-end scenarios.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize(
+    "name,expectations",
+    [
+        ("quickstart.py", ["median=", "sampling 1-in-", "processed 2,000,000"]),
+        ("equidepth_histogram.py", ["bucket 0", "worst boundary deviation"]),
+        ("distributed_sort.py", ["splitters:", "worst deviation"]),
+        ("latency_monitor.py", ["rank audit", "less memory than the general"]),
+        ("online_aggregation.py", ["scanned]", "scan complete"]),
+        ("groupby_quantiles.py", ["region", "total rows 300,000"]),
+        ("streaming_monitor.py", ["period 0:", "all-time p999"]),
+        ("disk_resident.py", ["MB on disk", "values/s"]),
+    ],
+)
+def test_example_runs_and_reports(name, expectations):
+    output = run_example(name)
+    for needle in expectations:
+        assert needle in output, f"{name}: missing {needle!r} in output"
+
+
+def test_every_example_is_covered():
+    # Adding a new example without wiring it into this test is an easy
+    # mistake; fail loudly instead.
+    listed = {
+        "quickstart.py",
+        "equidepth_histogram.py",
+        "distributed_sort.py",
+        "latency_monitor.py",
+        "online_aggregation.py",
+        "groupby_quantiles.py",
+        "streaming_monitor.py",
+        "disk_resident.py",
+    }
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == listed

@@ -1,0 +1,140 @@
+"""Tests for the Section 7 extreme-value estimator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.extreme import ExtremeValueEstimator
+from repro.core.params import plan_parameters
+from repro.stats.rank import is_eps_approximate, rank_error
+
+
+class TestValidation:
+    def test_eps_must_be_smaller_than_tail(self):
+        # eps >= phi: the minimum already qualifies; estimator refuses.
+        with pytest.raises(ValueError):
+            ExtremeValueEstimator(phi=0.01, eps=0.01, delta=1e-4, n=1000)
+        with pytest.raises(ValueError):
+            ExtremeValueEstimator(phi=0.99, eps=0.02, delta=1e-4, n=1000)
+
+    def test_phi_bounds(self):
+        with pytest.raises(ValueError):
+            ExtremeValueEstimator(phi=0.0, eps=0.001, delta=1e-4, n=1000)
+        with pytest.raises(ValueError):
+            ExtremeValueEstimator(phi=1.0, eps=0.001, delta=1e-4, n=1000)
+
+    def test_n_positive(self):
+        with pytest.raises(ValueError):
+            ExtremeValueEstimator(phi=0.01, eps=0.001, delta=1e-4, n=0)
+
+    def test_query_empty_raises(self):
+        est = ExtremeValueEstimator(phi=0.01, eps=0.001, delta=1e-4, n=10**6)
+        with pytest.raises(ValueError):
+            est.query()
+
+
+class TestSizing:
+    def test_memory_is_k_plus_cushion(self):
+        est = ExtremeValueEstimator(phi=0.01, eps=0.001, delta=1e-4, n=10**8)
+        assert est.k <= est.memory_elements <= est.k + 4 * est.k**0.5 + 20
+
+    def test_memory_tiny_versus_general_algorithm(self):
+        # The paper's claim: extreme values need far less space than the
+        # general quantile machinery at the same (eps, delta).
+        est = ExtremeValueEstimator(phi=0.01, eps=0.001, delta=1e-4, n=10**9)
+        general = plan_parameters(0.001, 1e-4)
+        assert est.memory_elements < general.memory / 10
+
+    def test_memory_grows_toward_median(self):
+        # At fixed eps, k = phi * s grows roughly like phi^2 as phi moves
+        # inward: the extreme-value advantage erodes toward the median.
+        sizes = [
+            ExtremeValueEstimator(
+                phi=phi, eps=0.0005, delta=1e-4, n=10**9
+            ).memory_elements
+            for phi in (0.002, 0.01, 0.05)
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 5 * sizes[0]
+
+    def test_sample_capped_by_stream(self):
+        est = ExtremeValueEstimator(phi=0.01, eps=0.001, delta=1e-4, n=1000)
+        assert est.sample_size <= 1000
+        assert est.achieved_delta > 1e-4  # honesty about the degradation
+
+    def test_achieved_delta_equals_delta_when_feasible(self):
+        est = ExtremeValueEstimator(phi=0.01, eps=0.001, delta=1e-4, n=10**9)
+        assert est.achieved_delta == pytest.approx(1e-4)
+
+
+class TestAccuracyLowTail:
+    @pytest.mark.parametrize("phi,eps", [(0.01, 0.002), (0.05, 0.01), (0.02, 0.004)])
+    def test_guarantee_on_uniform(self, phi, eps):
+        n = 200_000
+        rng = random.Random(101)
+        data = [rng.random() for _ in range(n)]
+        est = ExtremeValueEstimator(phi=phi, eps=eps, delta=1e-3, n=n, seed=5)
+        est.extend(data)
+        assert is_eps_approximate(sorted(data), est.query(), phi, eps)
+
+    def test_result_is_input_element(self):
+        n = 50_000
+        data = [float(i) for i in range(n)]
+        est = ExtremeValueEstimator(phi=0.03, eps=0.005, delta=1e-3, n=n, seed=6)
+        est.extend(data)
+        assert est.query() in data
+
+
+class TestAccuracyHighTail:
+    def test_p99_latency_style(self):
+        n = 200_000
+        rng = random.Random(7)
+        data = [rng.expovariate(1.0) for _ in range(n)]
+        est = ExtremeValueEstimator(phi=0.99, eps=0.002, delta=1e-3, n=n, seed=8)
+        est.extend(data)
+        assert is_eps_approximate(sorted(data), est.query(), 0.99, 0.002)
+
+    def test_symmetry_of_tails(self):
+        # phi and 1-phi should need identical sample sizes and memory.
+        low = ExtremeValueEstimator(phi=0.01, eps=0.001, delta=1e-4, n=10**7)
+        high = ExtremeValueEstimator(phi=0.99, eps=0.001, delta=1e-4, n=10**7)
+        assert low.sample_size == high.sample_size
+        assert low.k == high.k
+
+
+class TestFailureRate:
+    def test_empirical_failure_rate_below_delta(self):
+        # 200 independent runs at delta = 0.05: expect ~<= 10 failures;
+        # allow generous slack to keep the test stable.
+        n, phi, eps, delta = 20_000, 0.02, 0.006, 0.05
+        rng = random.Random(9)
+        data = [rng.random() for _ in range(n)]
+        sorted_data = sorted(data)
+        failures = 0
+        for seed in range(200):
+            est = ExtremeValueEstimator(
+                phi=phi, eps=eps, delta=delta, n=n, seed=seed
+            )
+            est.extend(data)
+            if not is_eps_approximate(sorted_data, est.query(), phi, eps):
+                failures += 1
+        assert failures <= 200 * delta * 2
+
+    def test_mean_rank_near_target(self):
+        # The estimator's expected rank is phi * n (the design identity
+        # k = phi * s); average the observed rank over repetitions.
+        n, phi = 20_000, 0.02
+        rng = random.Random(10)
+        data = [rng.random() for _ in range(n)]
+        sorted_data = sorted(data)
+        errors = []
+        for seed in range(60):
+            est = ExtremeValueEstimator(
+                phi=phi, eps=0.005, delta=0.05, n=n, seed=seed
+            )
+            est.extend(data)
+            errors.append(rank_error(sorted_data, est.query(), phi))
+        mean_error = sum(errors) / len(errors)
+        assert mean_error < 0.004 * n  # well inside eps on average

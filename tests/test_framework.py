@@ -1,0 +1,199 @@
+"""Tests for the CollapseEngine buffer pool."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import CollapseEngine
+from repro.core.policy import ARSPolicy, MRLPolicy, MunroPatersonPolicy
+from repro.stats.rank import rank_error
+
+
+def feed(engine, values, weight=1, level=0):
+    staged = []
+    for value in values:
+        staged.append(value)
+        if len(staged) == engine.k:
+            engine.deposit(staged, weight=weight, level=level)
+            staged = []
+    return staged
+
+
+class TestConstruction:
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            CollapseEngine(1, 4)
+        with pytest.raises(ValueError):
+            CollapseEngine(3, 0)
+
+    def test_defaults_to_mrl_policy(self):
+        assert isinstance(CollapseEngine(3, 4).policy, MRLPolicy)
+
+
+class TestLazyAllocation:
+    def test_no_buffers_until_first_deposit(self):
+        engine = CollapseEngine(4, 2)
+        assert engine.buffers_allocated == 0
+        assert engine.memory_elements == 0
+
+    def test_allocates_one_at_a_time(self):
+        engine = CollapseEngine(4, 2)
+        engine.deposit([1.0, 2.0], 1, 0)
+        assert engine.buffers_allocated == 1
+        engine.deposit([3.0, 4.0], 1, 0)
+        assert engine.buffers_allocated == 2
+
+    def test_never_exceeds_b(self):
+        engine = CollapseEngine(3, 2)
+        feed(engine, [float(i) for i in range(100)])
+        assert engine.buffers_allocated == 3
+        assert engine.memory_elements == 6
+
+    def test_allocator_hook_delays_allocation(self):
+        # Refuse the third buffer until 5 leaves exist.
+        def hook(leaves, allocated):
+            return allocated < 2 or leaves >= 5
+
+        engine = CollapseEngine(4, 2, allocator=hook)
+        feed(engine, [float(i) for i in range(8)])  # 4 leaves
+        assert engine.buffers_allocated == 2
+        assert engine.collapse_count >= 1  # forced to collapse instead
+        feed(engine, [float(i) for i in range(8)])  # past 5 leaves
+        assert engine.buffers_allocated >= 3
+
+    def test_allocator_cannot_block_below_two(self):
+        engine = CollapseEngine(4, 2, allocator=lambda leaves, alloc: False)
+        feed(engine, [float(i) for i in range(8)])
+        assert engine.buffers_allocated == 2
+
+
+class TestDepositAndCollapse:
+    def test_deposit_requires_exactly_k(self):
+        engine = CollapseEngine(3, 4)
+        with pytest.raises(ValueError):
+            engine.deposit([1.0], 1, 0)
+
+    def test_collapse_when_pool_full(self):
+        engine = CollapseEngine(3, 2)
+        for i in range(3):
+            engine.deposit([float(i), float(i) + 0.5], 1, 0)
+        assert engine.collapse_count == 0
+        engine.deposit([9.0, 9.5], 1, 0)
+        assert engine.collapse_count == 1
+
+    def test_total_weight_conserved_at_leaf_boundaries(self):
+        engine = CollapseEngine(4, 8)
+        rng = random.Random(0)
+        count = 0
+        for _ in range(64):
+            engine.deposit([rng.random() for _ in range(8)], 1, 0)
+            count += 8
+            assert engine.total_weight == count
+
+    def test_max_collapse_level_monotone(self):
+        engine = CollapseEngine(2, 2)
+        seen = [-1]
+        for i in range(64):
+            engine.deposit([float(i), float(i) + 0.5], 1, 0)
+            assert engine.max_collapse_level >= seen[-1]
+            seen.append(engine.max_collapse_level)
+        assert seen[-1] >= 1
+
+    def test_ensure_empty_collapses_ahead_of_need(self):
+        engine = CollapseEngine(2, 2)
+        engine.deposit([1.0, 2.0], 1, 0)
+        engine.deposit([3.0, 4.0], 1, 0)
+        assert engine.collapse_count == 0
+        engine.ensure_empty()
+        assert engine.collapse_count == 1
+
+    def test_final_collapse_merges_everything(self):
+        engine = CollapseEngine(4, 2)
+        for i in range(3):
+            engine.deposit([float(i), float(i) + 0.5], 1, 0)
+        out = engine.final_collapse()
+        assert out is not None
+        assert out.weight == 3
+        assert len(engine.full_buffers()) == 1
+
+    def test_final_collapse_single_buffer_noop(self):
+        engine = CollapseEngine(3, 2)
+        engine.deposit([1.0, 2.0], 1, 0)
+        out = engine.final_collapse()
+        assert out is not None and out.weight == 1
+        assert engine.collapse_count == 0
+
+    def test_final_collapse_empty_returns_none(self):
+        assert CollapseEngine(3, 2).final_collapse() is None
+
+
+class TestQueries:
+    def test_query_with_extras(self):
+        engine = CollapseEngine(3, 2)
+        engine.deposit([10.0, 20.0], 1, 0)
+        # extras: a staged value 15 with weight 1.
+        assert engine.query(0.5, [([15.0], 1)]) == 15.0
+
+    def test_query_empty_raises(self):
+        with pytest.raises(ValueError):
+            CollapseEngine(3, 2).query(0.5)
+
+    def test_query_many_matches_single(self):
+        engine = CollapseEngine(4, 8)
+        rng = random.Random(2)
+        feed(engine, [rng.random() for _ in range(256)])
+        phis = [0.05, 0.25, 0.5, 0.75, 0.95]
+        assert engine.query_many(phis) == [engine.query(phi) for phi in phis]
+
+    def test_query_is_nondestructive(self):
+        engine = CollapseEngine(3, 4)
+        feed(engine, [float(i) for i in range(48)])
+        first = engine.query(0.5)
+        for _ in range(5):
+            assert engine.query(0.5) == first
+        assert engine.collapse_count == engine.collapse_count  # unchanged
+
+
+class TestPoliciesEndToEnd:
+    @pytest.mark.parametrize(
+        "policy", [MRLPolicy(), MunroPatersonPolicy(), ARSPolicy()]
+    )
+    def test_reasonable_median_every_policy(self, policy):
+        engine = CollapseEngine(5, 32, policy)
+        rng = random.Random(7)
+        data = [rng.random() for _ in range(5 * 32 * 20)]
+        staged = feed(engine, data)
+        extras = [(sorted(staged), 1)] if staged else []
+        err = rank_error(sorted(data), engine.query(0.5, extras), 0.5)
+        assert err <= engine.error_bound_elements() + 1
+
+    def test_munro_paterson_keeps_one_buffer_per_level(self):
+        engine = CollapseEngine(8, 4, MunroPatersonPolicy())
+        feed(engine, [float(i) for i in range(4 * 32)])
+        levels = [buf.level for buf in engine.full_buffers()]
+        assert len(levels) == len(set(levels))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    b=st.integers(2, 5),
+    k=st.integers(2, 16),
+    n_leaves=st.integers(1, 60),
+    seed=st.integers(0, 10_000),
+)
+def test_property_error_bounded_for_all_phis(b, k, n_leaves, seed):
+    """Lemma 4 (weak): engine error <= W/2 + w_max on random runs."""
+    rng = random.Random(seed)
+    data = [rng.uniform(-1000, 1000) for _ in range(n_leaves * k)]
+    engine = CollapseEngine(b, k)
+    staged = feed(engine, data)
+    extras = [(sorted(staged), 1)] if staged else []
+    sorted_data = sorted(data)
+    bound = engine.error_bound_elements()
+    for phi in (0.1, 0.5, 0.9):
+        err = rank_error(sorted_data, engine.query(phi, extras), phi)
+        assert err <= bound + 1

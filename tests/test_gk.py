@@ -1,0 +1,135 @@
+"""Tests for the Greenwald-Khanna successor summary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gk import GKQuantiles
+from repro.stats.rank import is_eps_approximate
+from repro.streams.generators import DISTRIBUTIONS
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GKQuantiles(0.0)
+        with pytest.raises(ValueError):
+            GKQuantiles(1.0)
+        gk = GKQuantiles(0.05)
+        with pytest.raises(ValueError):
+            gk.query(0.5)
+        gk.update(1.0)
+        with pytest.raises(ValueError):
+            gk.query(0.0)
+        with pytest.raises(ValueError):
+            gk.update(float("nan"))
+
+    def test_small_streams_exact(self):
+        gk = GKQuantiles(0.1)
+        data = [5.0, 1.0, 3.0, 2.0, 4.0]
+        gk.extend(data)
+        assert gk.n == 5
+        assert gk.query(0.5) in data
+
+    def test_counts(self):
+        gk = GKQuantiles(0.05)
+        gk.extend(float(i) for i in range(1000))
+        assert gk.n == 1000
+        assert len(gk) == 1000
+
+
+class TestInvariantAndGuarantee:
+    @pytest.mark.parametrize(
+        "name", ["uniform", "sorted", "reversed", "organ_pipe", "adversarial", "zipf"]
+    )
+    def test_deterministic_guarantee(self, name):
+        eps = 0.02
+        data = list(DISTRIBUTIONS[name](50_000, 3))
+        gk = GKQuantiles(eps)
+        gk.extend(data)
+        assert gk.invariant_ok()
+        sorted_data = sorted(data)
+        for phi in (0.01, 0.1, 0.5, 0.9, 0.99):
+            assert is_eps_approximate(sorted_data, gk.query(phi), phi, eps), (
+                name,
+                phi,
+            )
+
+    def test_guarantee_at_every_prefix(self):
+        # GK is deterministic: NO prefix may ever violate eps.
+        eps = 0.05
+        rng = random.Random(4)
+        data = [rng.random() for _ in range(20_000)]
+        gk = GKQuantiles(eps)
+        for i, value in enumerate(data, 1):
+            gk.update(value)
+            if i % 2_500 == 0:
+                prefix = sorted(data[:i])
+                for phi in (0.25, 0.5, 0.75):
+                    assert is_eps_approximate(prefix, gk.query(phi), phi, eps)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        eps=st.sampled_from([0.05, 0.1, 0.2]),
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 2_000),
+    )
+    def test_property_guarantee_random_streams(self, eps, seed, n):
+        rng = random.Random(seed)
+        data = [rng.uniform(-100, 100) for _ in range(n)]
+        gk = GKQuantiles(eps)
+        gk.extend(data)
+        assert gk.invariant_ok()
+        sorted_data = sorted(data)
+        for phi in (0.1, 0.5, 1.0):
+            assert is_eps_approximate(sorted_data, gk.query(phi), phi, eps)
+
+
+class TestSpace:
+    def test_memory_far_below_n(self):
+        gk = GKQuantiles(0.01)
+        rng = random.Random(5)
+        gk.extend(rng.random() for _ in range(100_000))
+        assert gk.memory_elements < 1_000
+
+    def test_memory_stays_near_inverse_eps(self):
+        # The worst-case bound is O(eps^-1 log(eps N)); in practice (and
+        # with this simplified compress) the summary hovers around a small
+        # multiple of 1/(2 eps) regardless of N, since the merge threshold
+        # 2 eps n grows with the stream.
+        eps = 0.01
+        gk = GKQuantiles(eps)
+        rng = random.Random(6)
+        gk.extend(rng.random() for _ in range(10_000))
+        small = gk.memory_elements
+        gk.extend(rng.random() for _ in range(190_000))
+        large = gk.memory_elements
+        floor = 1.0 / (2.0 * eps)
+        for size in (small, large):
+            assert floor * 0.5 <= size <= floor * 20
+
+    def test_extremes_always_retained(self):
+        gk = GKQuantiles(0.1)
+        data = [50.0] * 1000 + [-1e9] + [50.0] * 1000 + [1e9] + [50.0] * 1000
+        gk.extend(data)
+        # Min and max never compress away (delta = 0 tuples at the ends).
+        assert gk.query(1.0) == 1e9
+
+
+class TestRankBounds:
+    def test_brackets_contain_true_rank(self):
+        rng = random.Random(7)
+        data = [rng.random() for _ in range(5_000)]
+        gk = GKQuantiles(0.05)
+        gk.extend(data)
+        sorted_data = sorted(data)
+        for probe in (0.1, 0.5, 0.9):
+            value = sorted_data[int(probe * len(data))]
+            lo, hi = gk.rank_bounds(value)
+            true_rank = int(probe * len(data)) + 1
+            slack = 2 * 0.05 * len(data)
+            assert lo - slack <= true_rank <= hi + slack

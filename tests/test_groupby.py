@@ -1,0 +1,91 @@
+"""Tests for the GROUP BY quantile aggregation operator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db.groupby import GroupByQuantiles
+from repro.stats.rank import is_eps_approximate
+from repro.streams.tables import synthetic_orders
+
+
+class TestBasics:
+    def test_groups_tracked_in_first_seen_order(self):
+        agg = GroupByQuantiles(0.05, 1e-2, seed=1)
+        agg.update("b", 1.0)
+        agg.update("a", 2.0)
+        agg.update("b", 3.0)
+        assert agg.groups() == ["b", "a"]
+        assert agg.group_rows("b") == 2
+        assert agg.group_rows("a") == 1
+        assert agg.rows == 3
+
+    def test_query_unknown_group_raises(self):
+        agg = GroupByQuantiles(0.05, 1e-2, seed=1)
+        agg.update("a", 1.0)
+        with pytest.raises(KeyError):
+            agg.query("zzz", 0.5)
+
+    def test_shared_plan(self):
+        agg = GroupByQuantiles(0.05, 1e-2, seed=2)
+        for group in ("x", "y", "z"):
+            agg.update(group, 1.0)
+        assert agg.memory_elements <= 3 * agg.plan.memory
+
+    def test_update_many_and_query_all(self):
+        agg = GroupByQuantiles(0.05, 1e-2, seed=3)
+        agg.update_many([("a", float(i)) for i in range(1000)])
+        agg.update_many([("b", float(i) + 10_000) for i in range(1000)])
+        answers = agg.query_all(0.5)
+        assert set(answers) == {"a", "b"}
+        assert answers["a"] < answers["b"]
+
+
+class TestGroupCap:
+    def test_cap_enforced(self):
+        agg = GroupByQuantiles(0.05, 1e-2, max_groups=2, seed=4)
+        agg.update("a", 1.0)
+        agg.update("b", 1.0)
+        with pytest.raises(RuntimeError):
+            agg.update("c", 1.0)
+        agg.update("a", 2.0)  # existing groups still fine
+
+    def test_worst_case_memory(self):
+        agg = GroupByQuantiles(0.05, 1e-2, max_groups=8, seed=5)
+        assert agg.worst_case_memory_elements == 8 * agg.plan.memory
+        unbounded = GroupByQuantiles(0.05, 1e-2, seed=6)
+        assert unbounded.worst_case_memory_elements is None
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            GroupByQuantiles(0.05, 1e-2, max_groups=0)
+
+
+class TestAccuracyPerGroup:
+    def test_each_group_meets_eps(self):
+        rng = random.Random(7)
+        agg = GroupByQuantiles(0.02, 1e-2, num_quantiles=3, seed=8)
+        data: dict[str, list[float]] = {"n": [], "u": [], "e": []}
+        for _ in range(30_000):
+            data["n"].append(rng.gauss(0, 1))
+            data["u"].append(rng.uniform(-5, 5))
+            data["e"].append(rng.expovariate(0.2))
+        for group, values in data.items():
+            for value in values:
+                agg.update(group, value)
+        for group, values in data.items():
+            ordered = sorted(values)
+            for phi, answer in zip([0.25, 0.5, 0.75], agg.query_many(group, [0.25, 0.5, 0.75])):
+                assert is_eps_approximate(ordered, answer, phi, 0.02), (group, phi)
+
+    def test_per_region_order_amounts(self):
+        agg = GroupByQuantiles(0.02, 1e-2, max_groups=4, seed=9)
+        regional: dict[str, list[float]] = {}
+        for row in synthetic_orders(40_000, seed=10):
+            agg.update(row.region, row.amount)
+            regional.setdefault(row.region, []).append(row.amount)
+        for region, amounts in regional.items():
+            median = agg.query(region, 0.5)
+            assert is_eps_approximate(sorted(amounts), median, 0.5, 0.02), region

@@ -1,0 +1,141 @@
+"""Tests for the known-N (MRL98) comparator estimator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.known_n import KnownNQuantiles
+from repro.core.params import plan_known_n
+from repro.stats.rank import exact_quantile
+from tests.helpers import PHI_GRID, assert_all_quantiles_close
+
+
+class TestConstruction:
+    def test_requires_full_spec_or_plan(self):
+        with pytest.raises(ValueError):
+            KnownNQuantiles(0.01, 1e-4)  # n missing
+        with pytest.raises(ValueError):
+            KnownNQuantiles()
+
+    def test_plan_override(self):
+        plan = plan_known_n(0.05, 1e-2, 1000)
+        est = KnownNQuantiles(plan=plan)
+        assert est.plan is plan
+
+    def test_query_before_data_raises(self):
+        est = KnownNQuantiles(0.05, 1e-2, 1000, seed=0)
+        with pytest.raises(ValueError):
+            est.query(0.5)
+
+
+class TestDeclaredLength:
+    def test_feeding_past_n_raises(self):
+        est = KnownNQuantiles(0.05, 1e-2, 100, seed=0)
+        for i in range(100):
+            est.update(float(i))
+        with pytest.raises(RuntimeError):
+            est.update(100.0)
+
+    def test_shorter_stream_is_fine(self):
+        est = KnownNQuantiles(0.05, 1e-2, 10_000, seed=0)
+        for i in range(500):
+            est.update(float(i))
+        assert est.query(0.5) is not None
+
+
+class TestExactRegime:
+    def test_tiny_n_gives_exact_quantiles(self):
+        rng = random.Random(1)
+        data = [rng.random() for _ in range(40)]
+        est = KnownNQuantiles(0.01, 1e-4, 40, seed=2)
+        est.extend(data)
+        for phi in PHI_GRID:
+            assert est.query(phi) == exact_quantile(data, phi)
+
+    def test_weight_invariant(self):
+        est = KnownNQuantiles(0.01, 1e-4, 40, seed=2)
+        for i in range(1, 31):
+            est.update(float(i))
+            assert est.total_weight == i
+
+
+class TestDeterministicRegime:
+    def test_accuracy_no_sampling(self):
+        n = 100_000
+        rng = random.Random(3)
+        data = [rng.random() for _ in range(n)]
+        est = KnownNQuantiles(0.01, 1e-4, n, seed=4)
+        assert est.plan.rate == 1
+        est.extend(data)
+        assert_all_quantiles_close(est, sorted(data), eps=0.01)
+
+    def test_weight_invariant_at_checkpoints(self):
+        n = 50_000
+        est = KnownNQuantiles(0.02, 1e-3, n, seed=5)
+        rng = random.Random(6)
+        for i in range(1, n + 1):
+            est.update(rng.random())
+            if i % 9973 == 0:
+                assert est.total_weight == i
+
+
+class TestSampledRegime:
+    def test_plan_samples_for_huge_n(self):
+        # Declare a huge stream but feed a prefix: the sampler must be
+        # active from the start.
+        n = 10**8
+        est = KnownNQuantiles(0.05, 1e-2, n, seed=7)
+        assert est.plan.rate > 1
+
+    def test_accuracy_with_sampling(self):
+        # A hand-built sampling plan (rate 4) exercised at its declared n:
+        # the only point where the known-N algorithm promises anything.
+        from repro.core.params import KnownNPlan
+
+        n = 100_000
+        plan = KnownNPlan(
+            eps=0.05,
+            delta=1e-2,
+            n=n,
+            b=5,
+            k=500,
+            h=3,
+            alpha=0.5,
+            rate=4,
+            exact=False,
+        )
+        rng = random.Random(8)
+        data = [rng.random() for _ in range(n)]
+        est = KnownNQuantiles(plan=plan, seed=9)
+        est.extend(data)
+        assert_all_quantiles_close(est, sorted(data), eps=0.05)
+
+    def test_prefix_of_oversized_plan_is_the_known_weakness(self):
+        # Feeding a small prefix to a plan sized for 10^9 elements leaves
+        # almost no samples — the failure mode the unknown-N algorithm
+        # exists to fix.  We assert the *mechanism* (tiny sample), not
+        # accuracy.
+        plan = plan_known_n(0.05, 1e-2, 10**9)
+        assert plan.rate > 1
+        est = KnownNQuantiles(plan=plan, seed=9)
+        est.extend(float(i) for i in range(10_000))
+        assert est.total_weight == 10_000  # mass is still accounted for
+        assert est.memory_elements <= plan.memory
+
+    def test_memory_far_below_n(self):
+        n = 10**7
+        est = KnownNQuantiles(0.01, 1e-4, n, seed=10)
+        assert est.memory_elements == 0  # lazy; bounded by plan
+        assert est.plan.memory < n / 100
+
+
+class TestAgainstUnknownN:
+    def test_same_guarantee_less_memory(self):
+        # The known-N advantage the paper quantifies in Table 1.
+        from repro.core.params import plan_parameters
+
+        known = plan_known_n(0.01, 1e-4, 10**9)
+        unknown = plan_parameters(0.01, 1e-4)
+        assert known.memory <= unknown.memory

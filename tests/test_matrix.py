@@ -1,0 +1,112 @@
+"""Cross-product validation matrix: estimators × policies × workloads.
+
+The targeted suites test each axis in isolation; this matrix sweeps the
+combinations a downstream user could actually configure, at moderate
+stream sizes so the whole module stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.known_n import KnownNQuantiles
+from repro.core.policy import MRLPolicy, MunroPatersonPolicy
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.stats.rank import is_eps_approximate
+from repro.streams.diskfile import read_floats, write_floats
+from repro.streams.generators import DISTRIBUTIONS
+
+POLICIES = [MRLPolicy, MunroPatersonPolicy]
+WORKLOADS = ["uniform", "sorted", "reversed", "zipf", "organ_pipe", "latency"]
+N = 30_000
+EPS, DELTA = 0.03, 1e-2
+PHIS = [0.05, 0.25, 0.5, 0.75, 0.95]
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestUnknownNMatrix:
+    def test_guarantee(self, policy_cls, workload):
+        data = list(DISTRIBUTIONS[workload](N, 11))
+        est = UnknownNQuantiles(EPS, DELTA, policy=policy_cls(), seed=13)
+        est.extend(data)
+        ordered = sorted(data)
+        for phi in PHIS:
+            assert is_eps_approximate(ordered, est.query(phi), phi, EPS), (
+                policy_cls.__name__,
+                workload,
+                phi,
+            )
+
+    def test_mass_invariant(self, policy_cls, workload):
+        data = list(DISTRIBUTIONS[workload](N, 17))
+        est = UnknownNQuantiles(EPS, DELTA, policy=policy_cls(), seed=19)
+        est.extend(data)
+        assert est.total_weight == N
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestKnownNMatrix:
+    def test_guarantee(self, workload):
+        data = list(DISTRIBUTIONS[workload](N, 23))
+        est = KnownNQuantiles(EPS, DELTA, N, seed=29)
+        est.extend(data)
+        ordered = sorted(data)
+        for phi in PHIS:
+            assert is_eps_approximate(ordered, est.query(phi), phi, EPS), (
+                workload,
+                phi,
+            )
+
+
+class TestDiskRoundTripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=True, width=64),
+            max_size=300,
+        )
+    )
+    def test_float64_roundtrip_is_exact(self, values):
+        import tempfile
+        import os
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "v.f64")
+            assert write_floats(path, values) == len(values)
+            back = list(read_floats(path))
+            assert back == values  # bit-exact for every float64, ±inf, ±0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(0, 5_000),
+        chunk=st.integers(1, 777),
+    )
+    def test_chunking_never_changes_content(self, n, chunk):
+        import tempfile
+        import os
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "v.f64")
+            write_floats(path, (float(i) for i in range(n)))
+            assert list(read_floats(path, chunk_values=chunk)) == [
+                float(i) for i in range(n)
+            ]
+
+
+class TestEstimatorsAgreeOnTheSameStream:
+    def test_unknown_and_known_close_to_each_other(self):
+        data = list(DISTRIBUTIONS["normal"](N, 31))
+        unknown = UnknownNQuantiles(EPS, DELTA, seed=37)
+        known = KnownNQuantiles(EPS, DELTA, N, seed=41)
+        unknown.extend(data)
+        known.extend(data)
+        ordered = sorted(data)
+        for phi in PHIS:
+            a = unknown.query(phi)
+            b = known.query(phi)
+            # Both within eps of truth => within 2 eps of each other (ranks).
+            assert is_eps_approximate(ordered, a, phi, EPS)
+            assert is_eps_approximate(ordered, b, phi, EPS)

@@ -1,0 +1,136 @@
+"""Tests for simultaneous quantiles and the pre-computation trick."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.multi import (
+    MultiQuantiles,
+    PrecomputedQuantiles,
+    ceil_inverse,
+    precomputation_plan,
+)
+from repro.core.params import plan_parameters
+from repro.stats.rank import is_eps_approximate
+
+
+class TestCeilInverse:
+    def test_exact_inverses(self):
+        assert ceil_inverse(0.01) == 100
+        assert ceil_inverse(0.05) == 20
+        assert ceil_inverse(0.001) == 1000
+
+    def test_non_exact_rounds_up(self):
+        assert ceil_inverse(0.03) == 34
+
+    def test_float_drift_does_not_overcount(self):
+        # 1/0.02 is 49.999999... in floats; must still be 50.
+        assert ceil_inverse(0.02) == 50
+
+
+class TestMultiQuantiles:
+    def test_budget_enforced(self):
+        mq = MultiQuantiles(0.05, 1e-2, num_quantiles=3, seed=1)
+        mq.extend(float(i) for i in range(1000))
+        with pytest.raises(ValueError):
+            mq.query_many([0.2, 0.4, 0.6, 0.8])
+
+    def test_plan_uses_union_bound(self):
+        mq = MultiQuantiles(0.05, 1e-2, num_quantiles=10, seed=1)
+        direct = plan_parameters(0.05, 1e-3)  # delta / 10
+        assert mq.plan.memory == direct.memory
+
+    def test_all_quantiles_simultaneously_accurate(self):
+        rng = random.Random(2)
+        data = [rng.random() for _ in range(60_000)]
+        phis = [i / 10 for i in range(1, 10)]
+        mq = MultiQuantiles(0.02, 1e-3, num_quantiles=9, seed=3)
+        mq.extend(data)
+        sorted_data = sorted(data)
+        for phi, value in zip(phis, mq.query_many(phis)):
+            assert is_eps_approximate(sorted_data, value, phi, 0.02)
+
+    def test_equidepth_boundaries_sorted_and_sized(self):
+        rng = random.Random(4)
+        mq = MultiQuantiles(0.02, 1e-3, num_quantiles=9, seed=5)
+        mq.extend(rng.gauss(0, 1) for _ in range(30_000))
+        bounds = mq.equidepth_boundaries(10)
+        assert len(bounds) == 9
+        assert bounds == sorted(bounds)
+
+    def test_equidepth_validations(self):
+        mq = MultiQuantiles(0.05, 1e-2, num_quantiles=3, seed=1)
+        mq.update(1.0)
+        with pytest.raises(ValueError):
+            mq.equidepth_boundaries(1)
+        with pytest.raises(ValueError):
+            mq.equidepth_boundaries(9)  # needs 8 > 3 quantiles
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MultiQuantiles(0.05, 1e-2, num_quantiles=0)
+
+    def test_single_query_passthrough(self):
+        mq = MultiQuantiles(0.05, 1e-2, num_quantiles=2, seed=6)
+        mq.extend(float(i) for i in range(5000))
+        assert abs(mq.query(0.5) - 2500) < 300
+
+
+class TestPrecomputedQuantiles:
+    def test_grid_covers_unit_interval(self):
+        pc = PrecomputedQuantiles(0.05, 1e-2, seed=0)
+        assert len(pc.grid) == 20
+        assert pc.grid[0] == pytest.approx(0.025)
+        assert pc.grid[-1] == pytest.approx(0.975)
+
+    def test_snap_is_within_half_eps(self):
+        pc = PrecomputedQuantiles(0.05, 1e-2, seed=0)
+        for phi in (0.01, 0.26, 0.5, 0.513, 0.999):
+            assert abs(pc.snap(phi) - phi) <= 0.025 + 1e-12
+
+    def test_snap_validation(self):
+        pc = PrecomputedQuantiles(0.05, 1e-2, seed=0)
+        with pytest.raises(ValueError):
+            pc.snap(0.0)
+        with pytest.raises(ValueError):
+            pc.snap(1.5)
+
+    def test_total_error_within_eps(self):
+        rng = random.Random(7)
+        data = [rng.random() for _ in range(50_000)]
+        pc = PrecomputedQuantiles(0.04, 1e-3, seed=8)
+        pc.extend(data)
+        sorted_data = sorted(data)
+        for phi in (0.07, 0.33, 0.5, 0.81, 0.96):
+            assert is_eps_approximate(sorted_data, pc.query(phi), phi, 0.04)
+
+    def test_precompute_all_matches_queries(self):
+        pc = PrecomputedQuantiles(0.1, 1e-2, seed=9)
+        pc.extend(float(i) for i in range(10_000))
+        table = pc.precompute_all()
+        assert len(table) == len(pc.grid)
+        for phi, value in table.items():
+            assert pc.query(phi) == value
+
+    def test_memory_independent_of_queries(self):
+        pc = PrecomputedQuantiles(0.05, 1e-2, seed=10)
+        pc.extend(float(i) for i in range(20_000))
+        before = pc.memory_elements
+        for phi in [i / 100 for i in range(1, 100)]:
+            pc.query(phi)
+        assert pc.memory_elements == before
+
+
+class TestPrecomputationPlan:
+    def test_costs_more_than_modest_p(self):
+        # Table 2's lesson: precomputation at eps/2 costs much more than a
+        # direct p=1000 plan; it wins only for huge or unknown p.
+        pre = precomputation_plan(0.01, 1e-4)
+        direct = plan_parameters(0.01, 1e-4, num_quantiles=1000)
+        assert pre.memory > direct.memory
+
+    def test_runs_at_half_eps(self):
+        pre = precomputation_plan(0.02, 1e-3)
+        assert pre.eps == pytest.approx(0.01)

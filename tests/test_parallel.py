@@ -1,0 +1,165 @@
+"""Tests for the Section 6 parallel/distributed scheme."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.parallel import ParallelQuantiles, _shrink
+from repro.core.params import Plan
+from repro.stats.rank import is_eps_approximate
+
+SMALL_PLAN = Plan(
+    eps=0.05,
+    delta=0.01,
+    b=4,
+    k=64,
+    h=3,
+    alpha=0.5,
+    leaves_before_sampling=20,
+    leaves_per_level=10,
+    policy_name="mrl",
+)
+
+
+class TestShrink:
+    def test_integral_ratio_required(self):
+        with pytest.raises(ValueError):
+            _shrink([1.0, 2.0], 3, 8, random.Random(0))
+
+    def test_size_reduced_by_ratio(self):
+        rng = random.Random(1)
+        values = [float(i) for i in range(16)]
+        kept = _shrink(values, 2, 8, rng)  # ratio 4
+        assert len(kept) == 4
+
+    def test_trailing_block_randomised_rounding(self):
+        # 5 elements at ratio 4: one full block plus a 1-element tail kept
+        # with probability 1/4; expected mass preserved.
+        rng = random.Random(2)
+        sizes = []
+        for _ in range(2000):
+            kept = _shrink([1.0, 2.0, 3.0, 4.0, 5.0], 1, 4, rng)
+            sizes.append(len(kept))
+        mean_mass = 4 * sum(sizes) / len(sizes)
+        assert mean_mass == pytest.approx(5.0, rel=0.1)
+
+    def test_kept_elements_come_from_input(self):
+        rng = random.Random(3)
+        values = [float(i) for i in range(12)]
+        assert set(_shrink(values, 1, 4, rng)) <= set(values)
+
+    def test_one_per_block(self):
+        rng = random.Random(4)
+        kept = _shrink([0.0, 1.0, 2.0, 3.0], 1, 2, rng)  # ratio 2, 2 blocks
+        assert len(kept) == 2
+        assert kept[0] in (0.0, 1.0)
+        assert kept[1] in (2.0, 3.0)
+
+
+class TestConstruction:
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            ParallelQuantiles(0, eps=0.05, delta=0.01)
+        with pytest.raises(ValueError):
+            ParallelQuantiles(2)
+        with pytest.raises(ValueError):
+            ParallelQuantiles(2, plan=SMALL_PLAN, coordinator_buffers=1)
+
+    def test_query_before_data_raises(self):
+        pq = ParallelQuantiles(2, plan=SMALL_PLAN, seed=0)
+        with pytest.raises(ValueError):
+            pq.query(0.5)
+
+    def test_worker_access(self):
+        pq = ParallelQuantiles(3, plan=SMALL_PLAN, seed=0)
+        pq.update(1, 42.0)
+        assert pq.worker(1).n == 1
+        assert pq.worker(0).n == 0
+        assert pq.n == 1
+
+
+class TestUnionSemantics:
+    def test_matches_union_of_streams(self):
+        rng = random.Random(5)
+        streams = [[rng.random() for _ in range(15_000)] for _ in range(4)]
+        pq = ParallelQuantiles(4, plan=SMALL_PLAN, seed=6)
+        for worker_id, stream in enumerate(streams):
+            pq.extend(worker_id, stream)
+        union = sorted(value for stream in streams for value in stream)
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
+            # Allow modest slack: the merge's shrink step adds rounding on
+            # top of the per-worker eps guarantee.
+            assert is_eps_approximate(union, pq.query(phi), phi, 2 * 0.05)
+
+    def test_skewed_stream_lengths(self):
+        # "Any input sequence may terminate at any time": one worker sees
+        # 50k elements, another 300, one nothing at all.
+        rng = random.Random(7)
+        big = [rng.gauss(0, 1) for _ in range(50_000)]
+        small = [rng.gauss(5, 1) for _ in range(300)]
+        pq = ParallelQuantiles(3, plan=SMALL_PLAN, seed=8)
+        pq.extend(0, big)
+        pq.extend(1, small)
+        union = sorted(big + small)
+        for phi in (0.25, 0.5, 0.9):
+            assert is_eps_approximate(union, pq.query(phi), phi, 2 * 0.05)
+
+    def test_single_worker_reduces_to_serial(self):
+        rng = random.Random(9)
+        data = [rng.random() for _ in range(20_000)]
+        pq = ParallelQuantiles(1, plan=SMALL_PLAN, seed=10)
+        pq.extend(0, data)
+        assert is_eps_approximate(sorted(data), pq.query(0.5), 0.5, 0.05)
+
+    def test_disjoint_value_ranges(self):
+        # Each worker holds a distinct value band: the merged quantiles
+        # must land in the correct band.
+        pq = ParallelQuantiles(4, plan=SMALL_PLAN, seed=11)
+        for worker_id in range(4):
+            base = worker_id * 1000.0
+            pq.extend(worker_id, (base + i / 10.0 for i in range(8000)))
+        # Median of the union sits in worker 2's band boundary region.
+        median = pq.query(0.5)
+        assert 900.0 <= median <= 2100.0
+        p875 = pq.query(0.875)
+        assert 3000.0 <= p875 <= 3800.0
+
+
+class TestMergeMechanics:
+    def test_query_is_repeatable_and_nondestructive(self):
+        rng = random.Random(12)
+        pq = ParallelQuantiles(2, plan=SMALL_PLAN, seed=13)
+        pq.extend(0, (rng.random() for _ in range(9000)))
+        pq.extend(1, (rng.random() for _ in range(4000)))
+        n_before = pq.n
+        first = pq.query(0.5)
+        assert pq.query(0.5) == first  # same RNG path each merge
+        assert pq.n == n_before
+        # workers still usable
+        pq.update(0, 0.5)
+        assert pq.n == n_before + 1
+
+    def test_merged_weight_close_to_total(self):
+        rng = random.Random(14)
+        pq = ParallelQuantiles(4, plan=SMALL_PLAN, seed=15)
+        for worker_id in range(4):
+            pq.extend(worker_id, (rng.random() for _ in range(12_345)))
+        coordinator = pq._merge()
+        # Shrinking and randomised rounding perturb mass by at most a few
+        # partial buffers' worth.
+        slack = 4 * SMALL_PLAN.k * 8
+        assert abs(coordinator.total_weight - pq.n) <= slack
+
+    def test_query_many(self):
+        rng = random.Random(16)
+        pq = ParallelQuantiles(2, plan=SMALL_PLAN, seed=17)
+        pq.extend(0, (rng.random() for _ in range(5000)))
+        values = pq.query_many([0.25, 0.75])
+        assert values[0] < values[1]
+
+    def test_memory_accounting(self):
+        pq = ParallelQuantiles(3, plan=SMALL_PLAN, seed=18)
+        expected_coordinator = SMALL_PLAN.b * SMALL_PLAN.k
+        assert pq.memory_elements == expected_coordinator  # workers lazy

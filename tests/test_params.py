@@ -1,0 +1,192 @@
+"""Tests for the parameter planner (Section 4.5) and known-N comparator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    KnownNPlan,
+    Plan,
+    known_n_memory,
+    plan_known_n,
+    plan_parameters,
+    tree_error_requirement,
+)
+from repro.core.policy import MRLPolicy, MunroPatersonPolicy
+from repro.stats.bounds import required_block_mass
+
+
+def check_constraints(plan: Plan) -> None:
+    """Every plan must satisfy Eqs 1-3 with its own alpha."""
+    l_d, l_s = plan.leaves_before_sampling, plan.leaves_per_level
+    # Eq 1.
+    mass = min(l_d * plan.k, 8.0 * l_s * plan.k / 3.0)
+    assert mass >= required_block_mass(plan.eps, plan.delta, plan.alpha) * 0.9999
+    # Eq 2.
+    requirement = tree_error_requirement(l_d, l_s, plan.h)
+    assert plan.alpha * plan.eps * plan.k >= requirement * 0.9999
+    # Eq 3.
+    assert plan.h + 1 <= 2.0 * plan.eps * plan.k + 1e-9
+
+
+class TestTreeErrorRequirement:
+    def test_munro_paterson_limit_is_h_plus_one(self):
+        # With beta = 2 the paper's closed form gives f(H) -> h + 1.
+        policy = MunroPatersonPolicy()
+        l_d = policy.leaves_before_height(10, 9)
+        l_s = policy.leaves_per_sampled_level(10, 9)
+        h = 9
+        requirement = tree_error_requirement(l_d, l_s, h)
+        assert requirement == pytest.approx((h + 1) / 2.0 + 1.0, rel=0.01)
+
+    def test_grows_with_height(self):
+        policy = MRLPolicy()
+        small = tree_error_requirement(
+            policy.leaves_before_height(5, 3), policy.leaves_per_sampled_level(5, 3), 3
+        )
+        large = tree_error_requirement(
+            policy.leaves_before_height(5, 8), policy.leaves_per_sampled_level(5, 8), 8
+        )
+        assert large > small
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            tree_error_requirement(0, 1, 1)
+        with pytest.raises(ValueError):
+            tree_error_requirement(1, 1, 0)
+
+
+class TestPlanParameters:
+    @pytest.mark.parametrize("eps", [0.1, 0.05, 0.01, 0.005, 0.001])
+    @pytest.mark.parametrize("delta", [1e-2, 1e-4])
+    def test_constraints_hold_across_grid(self, eps, delta):
+        check_constraints(plan_parameters(eps, delta))
+
+    def test_memory_grows_as_eps_shrinks(self):
+        memories = [
+            plan_parameters(eps, 1e-4).memory for eps in (0.1, 0.01, 0.001)
+        ]
+        assert memories[0] < memories[1] < memories[2]
+
+    def test_memory_grows_slowly_in_delta(self):
+        m4 = plan_parameters(0.01, 1e-4).memory
+        m8 = plan_parameters(0.01, 1e-8).memory
+        assert m4 <= m8 <= 2 * m4  # log log-ish growth, not linear
+
+    def test_subquadratic_in_inverse_eps(self):
+        # Memory ~ eps^-1 polylog, vastly below the reservoir's eps^-2.
+        m1 = plan_parameters(0.01, 1e-4).memory
+        m2 = plan_parameters(0.001, 1e-4).memory
+        assert m2 < 40 * m1  # 10x eps shrink => far less than 100x memory
+
+    def test_multiple_quantiles_union_bound(self):
+        single = plan_parameters(0.01, 1e-4)
+        many = plan_parameters(0.01, 1e-4, num_quantiles=100)
+        equivalent = plan_parameters(0.01, 1e-6)
+        assert many.memory >= single.memory
+        assert many.memory == equivalent.memory  # delta/p == 1e-6
+
+    def test_table2_shape_memory_vs_p(self):
+        # Table 2: memory grows slowly (log log p) with quantile count.
+        memories = [
+            plan_parameters(0.01, 1e-4, num_quantiles=p).memory
+            for p in (1, 10, 100, 1000)
+        ]
+        assert memories == sorted(memories)
+        assert memories[-1] <= 1.6 * memories[0]
+
+    def test_respects_explicit_policy(self):
+        mp = plan_parameters(0.05, 1e-3, policy=MunroPatersonPolicy())
+        assert mp.policy_name == "munro-paterson"
+        check_constraints_mp(mp)
+
+    def test_mrl_policy_beats_munro_paterson(self):
+        # The MRL policy's leaf-rich trees should never need more memory.
+        mrl = plan_parameters(0.01, 1e-4).memory
+        mp = plan_parameters(0.01, 1e-4, policy=MunroPatersonPolicy()).memory
+        assert mrl <= mp
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            plan_parameters(0.0, 1e-4)
+        with pytest.raises(ValueError):
+            plan_parameters(0.01, 1.0)
+        with pytest.raises(ValueError):
+            plan_parameters(0.01, 1e-4, num_quantiles=0)
+
+    def test_alpha_in_open_interval(self):
+        plan = plan_parameters(0.01, 1e-4)
+        assert 0.0 < plan.alpha < 1.0
+
+
+def check_constraints_mp(plan: Plan) -> None:
+    mass = min(plan.leaves_before_sampling * plan.k, 8.0 * plan.leaves_per_level * plan.k / 3.0)
+    assert mass >= required_block_mass(plan.eps, plan.delta, plan.alpha) * 0.9999
+
+
+class TestPlanKnownN:
+    def test_tiny_n_stores_exactly(self):
+        plan = plan_known_n(0.01, 1e-4, 10)
+        assert plan.exact
+        assert plan.memory <= 11
+
+    def test_moderate_n_deterministic(self):
+        plan = plan_known_n(0.01, 1e-4, 100_000)
+        assert not plan.exact
+        assert plan.rate == 1
+        assert plan.memory < 100_000
+
+    def test_huge_n_samples(self):
+        plan = plan_known_n(0.01, 1e-4, 10**10)
+        assert plan.rate > 1
+        assert plan.memory < 10_000
+
+    def test_memory_monotone_then_flat(self):
+        # Figure 4's known-N curve: grows with N, then plateaus once
+        # sampling takes over.
+        memories = [
+            known_n_memory(0.01, 1e-4, 10**e) for e in range(2, 11)
+        ]
+        plateau = memories[-1]
+        assert memories[0] < plateau
+        assert memories[-1] == memories[-2]  # flat at the top end
+        assert max(memories) <= plateau * 1.05
+
+    def test_deterministic_capacity_sufficient(self):
+        plan = plan_known_n(0.01, 1e-4, 500_000)
+        if plan.rate == 1 and not plan.exact:
+            l_d = MRLPolicy().leaves_before_height(plan.b, plan.h)
+            assert plan.k * l_d >= plan.n
+
+    def test_sampled_capacity_sufficient(self):
+        plan = plan_known_n(0.001, 1e-4, 10**9)
+        if plan.rate > 1:
+            l_d = MRLPolicy().leaves_before_height(plan.b, plan.h)
+            assert plan.k * l_d >= math.ceil(plan.n / plan.rate)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            plan_known_n(0.01, 1e-4, 0)
+
+
+class TestTable1Shape:
+    """The headline comparison: unknown-N within ~2x of known-N memory."""
+
+    @pytest.mark.parametrize("eps", [0.1, 0.05, 0.01, 0.005, 0.001])
+    @pytest.mark.parametrize("delta", [1e-2, 1e-3, 1e-4])
+    def test_unknown_n_at_most_twice_known_n(self, eps, delta):
+        unknown = plan_parameters(eps, delta).memory
+        known = plan_known_n(eps, delta, 10**9).memory
+        assert unknown <= 2.0 * known
+
+    def test_unknown_n_flat_in_n_by_construction(self):
+        # The unknown-N plan does not depend on N at all — that is the
+        # point of the paper; the planner takes no N argument.
+        plan = plan_parameters(0.01, 1e-4)
+        assert isinstance(plan, Plan)
+        assert not hasattr(plan, "n")
+
+    def test_known_n_plan_type(self):
+        assert isinstance(plan_known_n(0.01, 1e-4, 10**6), KnownNPlan)

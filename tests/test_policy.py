@@ -1,0 +1,156 @@
+"""Tests for collapse policies, including leaf-count formula validation.
+
+The planner's correctness rests on the closed-form ``L_d`` / ``L_s``
+predictions; here they are checked against direct simulation of the real
+engine (shape depends only on levels, so ``k = 1`` simulations are exact).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffers import Buffer
+from repro.core.framework import CollapseEngine
+from repro.core.policy import ARSPolicy, MRLPolicy, MunroPatersonPolicy
+
+
+def full_buffer(level, weight=1):
+    buf = Buffer(1)
+    buf.populate([0.0], weight=weight, level=level)
+    return buf
+
+
+def simulate_leaf_counts(policy, b, target_height):
+    """Feed weight-1 leaves until the first collapse output at each level.
+
+    Returns ``{level: leaves_at_first_output}`` — the ground truth for
+    ``L_d(b, h)`` — plus, for ``L_s``, the leaves consumed between onset at
+    ``target_height`` and the first output one level higher when leaves
+    enter at level 1 (the post-onset regime).
+    """
+    engine = CollapseEngine(b, 1, policy)
+    first_at: dict[int, int] = {}
+    leaves = 0
+    while len(first_at) < target_height and leaves < 2_000_000:
+        engine.ensure_empty()
+        level = engine.max_collapse_level
+        if level >= 1 and level not in first_at:
+            for missing in range(1, level + 1):
+                first_at.setdefault(missing, leaves)
+        engine.deposit([0.0], weight=1, level=0)
+        leaves += 1
+    return first_at
+
+
+class TestLowestGroupPromotion:
+    def test_collapses_all_at_lowest_level(self):
+        buffers = [full_buffer(0), full_buffer(0), full_buffer(2)]
+        chosen = MRLPolicy().choose(buffers)
+        assert len(chosen) == 2
+        assert all(buf.level == 0 for buf in chosen)
+
+    def test_lone_minimum_promoted(self):
+        lone = full_buffer(0)
+        buffers = [lone, full_buffer(2), full_buffer(2)]
+        chosen = MRLPolicy().choose(buffers)
+        assert lone.level == 2  # promoted up to the next occupied level
+        assert len(chosen) == 3
+
+    def test_cascading_promotion(self):
+        a, b = full_buffer(0), full_buffer(3)
+        chosen = MRLPolicy().choose([a, b])
+        assert a.level == 3
+        assert set(chosen) == {a, b}
+
+    def test_refuses_single_buffer(self):
+        with pytest.raises(RuntimeError):
+            MRLPolicy().choose([full_buffer(0)])
+
+
+class TestMunroPaterson:
+    def test_collapses_exactly_two(self):
+        buffers = [full_buffer(1) for _ in range(4)]
+        chosen = MunroPatersonPolicy().choose(buffers)
+        assert len(chosen) == 2
+
+    def test_binary_tree_leaf_count(self):
+        # 2^h leaves to the first level-h output.
+        policy = MunroPatersonPolicy()
+        first_at = simulate_leaf_counts(policy, b=6, target_height=5)
+        for h in range(1, 6):
+            assert first_at[h] == 2**h == policy.leaves_before_height(6, h)
+
+    def test_height_capped_by_buffers(self):
+        with pytest.raises(ValueError):
+            MunroPatersonPolicy().leaves_before_height(3, 3)
+
+    def test_l_s_is_half_l_d(self):
+        policy = MunroPatersonPolicy()
+        # The paper's beta = L_d / L_s = 2 for Munro-Paterson.
+        for b, h in [(4, 3), (6, 5), (8, 7)]:
+            assert (
+                policy.leaves_before_height(b, h)
+                == 2 * policy.leaves_per_sampled_level(b, h)
+            )
+
+
+class TestARS:
+    def test_collapses_everything(self):
+        buffers = [full_buffer(0), full_buffer(1), full_buffer(3)]
+        chosen = ARSPolicy().choose(buffers)
+        assert len(chosen) == 3
+
+    def test_leaf_count_formula_matches_simulation(self):
+        policy = ARSPolicy()
+        for b in (3, 5):
+            first_at = simulate_leaf_counts(policy, b, target_height=4)
+            for h in range(1, 5):
+                assert first_at[h] == policy.leaves_before_height(b, h)
+
+
+class TestMRLLeafCounts:
+    @pytest.mark.parametrize("b", [2, 3, 5, 7])
+    def test_l_d_formula_matches_simulation(self, b):
+        policy = MRLPolicy()
+        max_h = 6 if b <= 3 else 4
+        first_at = simulate_leaf_counts(policy, b, target_height=max_h)
+        for h in range(1, max_h + 1):
+            assert first_at[h] == policy.leaves_before_height(b, h), (b, h)
+
+    @pytest.mark.parametrize("b,h", [(3, 2), (5, 2), (4, 3), (2, 4)])
+    def test_l_s_formula_matches_postonset_simulation(self, b, h):
+        # After onset: one full buffer sits at level h; leaves now enter at
+        # level 1.  Count leaves until the first level-(h+1) output.
+        policy = MRLPolicy()
+        engine = CollapseEngine(b, 1, policy)
+        # Drive to onset with weight-1 level-0 leaves.
+        while engine.max_collapse_level < h:
+            engine.ensure_empty()
+            engine.deposit([0.0], weight=1, level=0)
+        leaves_at_onset = engine.leaves_created
+        while engine.max_collapse_level < h + 1:
+            engine.ensure_empty()
+            engine.deposit([0.0], weight=2, level=1)
+        observed_l_s = engine.leaves_created - leaves_at_onset
+        assert observed_l_s == policy.leaves_per_sampled_level(b, h), (b, h)
+
+    def test_first_values_of_pascal_recurrence(self):
+        policy = MRLPolicy()
+        # L(b, 1) = b: one collapse of all b level-0 buffers.
+        assert policy.leaves_before_height(5, 1) == 5
+        # b=5, h=2: 5+4+3+2+1 = 15 (the Figure 2 tree).
+        assert policy.leaves_before_height(5, 2) == 15
+
+    def test_covers_more_leaves_than_munro_paterson(self):
+        # The reason MRL98's policy wins: far more leaves per (b, h).
+        mrl = MRLPolicy().leaves_before_height(8, 7)
+        mp = MunroPatersonPolicy().leaves_before_height(8, 7)
+        assert mrl > 5 * mp
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            MRLPolicy().leaves_before_height(1, 2)
+        with pytest.raises(ValueError):
+            MRLPolicy().leaves_before_height(3, 0)
+        with pytest.raises(ValueError):
+            MRLPolicy().leaves_per_sampled_level(3, 0)

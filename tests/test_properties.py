@@ -1,0 +1,161 @@
+"""Property-based and stateful tests of the core invariants.
+
+These complement the targeted unit tests with machine-generated usage:
+hypothesis drives random interleavings of updates and queries and random
+parameterisations, checking the invariants that must hold *always*:
+
+* total query weight == elements consumed (mass conservation);
+* answers are elements of the input;
+* answers are monotone in phi (up to duplicate selection);
+* memory never exceeds the plan's b*k;
+* the deterministic engine's error respects Lemma 4;
+* snapshots are faithful (mass-preserving) at arbitrary instants.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.params import Plan
+from repro.core.unknown_n import UnknownNQuantiles
+
+SMALL_PLANS = st.sampled_from(
+    [
+        Plan(0.05, 0.01, 2, 8, 1, 0.5, 2, 1, "mrl"),
+        Plan(0.05, 0.01, 3, 16, 2, 0.5, 6, 3, "mrl"),
+        Plan(0.05, 0.01, 4, 32, 3, 0.5, 20, 10, "mrl"),
+        Plan(0.05, 0.01, 3, 5, 4, 0.5, 15, 10, "mrl"),
+    ]
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    plan=SMALL_PLANS,
+    seed=st.integers(0, 2**20),
+    chunks=st.lists(st.integers(1, 400), min_size=1, max_size=8),
+)
+def test_mass_conservation_at_arbitrary_cut_points(plan, seed, chunks):
+    est = UnknownNQuantiles(plan=plan, seed=seed)
+    rng = random.Random(seed ^ 0xABCDEF)
+    consumed = 0
+    for chunk in chunks:
+        for _ in range(chunk):
+            est.update(rng.uniform(-100, 100))
+        consumed += chunk
+        assert est.total_weight == consumed
+        snap = est.snapshot()
+        mass = sum(len(d) * w for d, w in snap.full_buffers)
+        mass += len(snap.staged) * snap.rate
+        if snap.pending is not None:
+            mass += snap.pending[1]
+        assert mass == consumed
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    plan=SMALL_PLANS,
+    seed=st.integers(0, 2**20),
+    n=st.integers(1, 3000),
+)
+def test_answers_are_input_elements_and_monotone(plan, seed, n):
+    est = UnknownNQuantiles(plan=plan, seed=seed)
+    rng = random.Random(seed + 1)
+    universe = [rng.uniform(-1000, 1000) for _ in range(n)]
+    est.extend(universe)
+    members = set(universe)
+    phis = [0.05, 0.25, 0.5, 0.75, 0.95, 1.0]
+    answers = est.query_many(phis)
+    for answer in answers:
+        assert answer in members
+    assert answers == sorted(answers)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    plan=SMALL_PLANS,
+    seed=st.integers(0, 2**20),
+    n=st.integers(1, 5000),
+)
+def test_memory_never_exceeds_plan(plan, seed, n):
+    est = UnknownNQuantiles(plan=plan, seed=seed)
+    rng = random.Random(seed + 2)
+    cap = plan.b * plan.k
+    for _ in range(n):
+        est.update(rng.random())
+        assert est.memory_elements <= cap
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    plan=SMALL_PLANS,
+    seed=st.integers(0, 2**20),
+    n=st.integers(100, 4000),
+    phi=st.floats(0.02, 1.0),
+)
+def test_query_does_not_mutate(plan, seed, n, phi):
+    est = UnknownNQuantiles(plan=plan, seed=seed)
+    rng = random.Random(seed + 3)
+    est.extend(rng.random() for _ in range(n))
+    first = est.query(phi)
+    for _ in range(3):
+        assert est.query(phi) == first
+    assert est.total_weight == n
+
+
+class UnknownNMachine(RuleBasedStateMachine):
+    """Random interleavings of update / query / snapshot / rate checks."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.plan = Plan(0.05, 0.01, 3, 16, 2, 0.5, 6, 3, "mrl")
+        self.est = UnknownNQuantiles(plan=self.plan, seed=99)
+        self.rng = random.Random(77)
+        self.shadow: list[float] = []
+
+    @rule(count=st.integers(1, 200))
+    def feed(self, count):
+        for _ in range(count):
+            value = self.rng.uniform(-50, 50)
+            self.shadow.append(value)
+            self.est.update(value)
+
+    @precondition(lambda self: self.shadow)
+    @rule(phi=st.floats(0.05, 1.0))
+    def query(self, phi):
+        answer = self.est.query(phi)
+        assert answer in set(self.shadow)
+
+    @precondition(lambda self: self.shadow)
+    @rule()
+    def snapshot_mass(self):
+        snap = self.est.snapshot()
+        mass = sum(len(d) * w for d, w in snap.full_buffers)
+        mass += len(snap.staged) * snap.rate
+        if snap.pending is not None:
+            mass += snap.pending[1]
+        assert mass == len(self.shadow)
+
+    @invariant()
+    def weight_equals_n(self):
+        assert self.est.total_weight == len(self.shadow)
+        assert self.est.n == len(self.shadow)
+
+    @invariant()
+    def memory_capped(self):
+        assert self.est.memory_elements <= self.plan.b * self.plan.k
+
+    @invariant()
+    def rate_is_power_of_two(self):
+        rate = self.est.sampling_rate
+        assert rate >= 1 and (rate & (rate - 1)) == 0
+
+
+TestUnknownNStateMachine = UnknownNMachine.TestCase
+TestUnknownNStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

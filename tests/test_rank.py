@@ -1,0 +1,252 @@
+"""Unit and property tests for repro.stats.rank."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.rank import (
+    exact_quantile,
+    is_eps_approximate,
+    quantile_position,
+    rank_error,
+    rank_range,
+    weighted_quantile,
+    weighted_select,
+    weighted_select_many,
+)
+
+
+class TestQuantilePosition:
+    def test_median_of_ten(self):
+        assert quantile_position(0.5, 10) == 5
+
+    def test_phi_one_is_max(self):
+        assert quantile_position(1.0, 10) == 10
+
+    def test_tiny_phi_clamps_to_min(self):
+        assert quantile_position(1e-9, 10) == 1
+
+    def test_ceil_semantics(self):
+        assert quantile_position(0.51, 10) == 6
+        assert quantile_position(0.5, 11) == 6
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            quantile_position(0.5, 0)
+        with pytest.raises(ValueError):
+            quantile_position(0.0, 10)
+        with pytest.raises(ValueError):
+            quantile_position(1.1, 10)
+
+    @given(phi=st.floats(0.001, 1.0), n=st.integers(1, 10_000))
+    def test_always_in_range(self, phi, n):
+        assert 1 <= quantile_position(phi, n) <= n
+
+
+class TestExactQuantile:
+    def test_median_odd(self):
+        assert exact_quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_does_not_mutate_input(self):
+        data = [3.0, 1.0, 2.0]
+        exact_quantile(data, 0.5)
+        assert data == [3.0, 1.0, 2.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            exact_quantile([], 0.5)
+
+    @given(
+        data=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200),
+        phi=st.floats(0.01, 1.0),
+    )
+    def test_result_belongs_to_data(self, data, phi):
+        assert exact_quantile(data, phi) in data
+
+
+class TestRankRange:
+    def test_unique_values(self):
+        assert rank_range([1.0, 2.0, 3.0], 2.0) == (2, 2)
+
+    def test_ties_span_a_range(self):
+        assert rank_range([1.0, 2.0, 2.0, 2.0, 3.0], 2.0) == (2, 4)
+
+    def test_absent_value_brackets_gap(self):
+        assert rank_range([1.0, 3.0], 2.0) == (1, 2)
+
+    def test_absent_below_everything(self):
+        assert rank_range([1.0, 3.0], 0.0) == (0, 1)
+
+    def test_absent_above_everything(self):
+        assert rank_range([1.0, 3.0], 9.0) == (2, 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rank_range([], 1.0)
+
+
+class TestRankError:
+    def test_exact_hit_is_zero(self):
+        data = [float(i) for i in range(1, 101)]
+        assert rank_error(data, 50.0, 0.5) == 0
+
+    def test_off_by_ranks(self):
+        data = [float(i) for i in range(1, 101)]
+        assert rank_error(data, 53.0, 0.5) == 3
+
+    def test_ties_use_nearest_rank(self):
+        data = [1.0] * 50 + [2.0] * 50
+        # value 1.0 occupies ranks 1..50; target for phi=0.5 is rank 50.
+        assert rank_error(data, 1.0, 0.5) == 0
+
+
+class TestIsEpsApproximate:
+    def test_within_band(self):
+        data = [float(i) for i in range(1, 1001)]
+        assert is_eps_approximate(data, 510.0, 0.5, 0.01)
+
+    def test_outside_band(self):
+        data = [float(i) for i in range(1, 1001)]
+        assert not is_eps_approximate(data, 515.0, 0.5, 0.01)
+
+    def test_eps_zero_requires_exact(self):
+        data = [float(i) for i in range(1, 11)]
+        assert is_eps_approximate(data, 5.0, 0.5, 0.0)
+        assert not is_eps_approximate(data, 6.0, 0.5, 0.0)
+
+    def test_heavy_ties_count_by_rank_not_value(self):
+        data = [1.0] * 999 + [1000.0]
+        # Value 1.0 spans ranks 1..999, so it approximates almost any phi.
+        assert is_eps_approximate(data, 1.0, 0.9, 0.001)
+
+
+def brute_force_select(buffers, position):
+    """Reference implementation: literally materialise the copies."""
+    expanded = []
+    for data, weight in buffers:
+        for value in data:
+            expanded.extend([value] * weight)
+    expanded.sort()
+    return expanded[position - 1]
+
+
+class TestWeightedSelect:
+    def test_single_buffer_weight_one(self):
+        assert weighted_select([([1.0, 2.0, 3.0], 1)], 2) == 2.0
+
+    def test_weights_replicate(self):
+        # 1 1 1 2 (weights 3 and 1): position 4 is the 2.
+        assert weighted_select([([1.0], 3), ([2.0], 1)], 4) == 2.0
+        assert weighted_select([([1.0], 3), ([2.0], 1)], 3) == 1.0
+
+    def test_interleaved_buffers(self):
+        buffers = [([1.0, 3.0], 2), ([2.0, 4.0], 1)]
+        # Expansion: 1 1 2 3 3 4.
+        for pos, expected in enumerate([1.0, 1.0, 2.0, 3.0, 3.0, 4.0], start=1):
+            assert weighted_select(buffers, pos) == expected
+
+    def test_position_out_of_range(self):
+        with pytest.raises(ValueError):
+            weighted_select([([1.0], 2)], 3)
+        with pytest.raises(ValueError):
+            weighted_select([([1.0], 2)], 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_select([], 1)
+
+    def test_distinct_weights_not_confused(self):
+        # Regression: an inline generator-expression closure once tagged
+        # every buffer with the last buffer's weight.
+        buffers = [([10.0], 5), ([20.0], 1)]
+        assert weighted_select(buffers, 5) == 10.0
+        assert weighted_select(buffers, 6) == 20.0
+
+    @given(
+        buffers=st.lists(
+            st.tuples(
+                st.lists(st.floats(-100, 100), min_size=1, max_size=8).map(sorted),
+                st.integers(1, 6),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        data=st.data(),
+    )
+    def test_matches_brute_force(self, buffers, data):
+        total = sum(len(values) * weight for values, weight in buffers)
+        position = data.draw(st.integers(1, total))
+        assert weighted_select(buffers, position) == brute_force_select(
+            buffers, position
+        )
+
+
+class TestWeightedSelectMany:
+    def test_matches_individual_selects(self):
+        buffers = [([1.0, 5.0, 9.0], 3), ([2.0, 4.0], 2), ([7.0], 1)]
+        total = 3 * 3 + 2 * 2 + 1
+        positions = [1, 4, 7, total, 2]
+        got = weighted_select_many(buffers, positions)
+        assert got == [weighted_select(buffers, p) for p in positions]
+
+    def test_preserves_request_order(self):
+        buffers = [([1.0, 2.0, 3.0], 1)]
+        assert weighted_select_many(buffers, [3, 1, 2]) == [3.0, 1.0, 2.0]
+
+    def test_duplicate_positions(self):
+        buffers = [([1.0, 2.0], 2)]
+        assert weighted_select_many(buffers, [2, 2]) == [1.0, 1.0]
+
+    def test_rejects_bad_positions(self):
+        with pytest.raises(ValueError):
+            weighted_select_many([([1.0], 1)], [0])
+        with pytest.raises(ValueError):
+            weighted_select_many([([1.0], 1)], [2])
+
+    @given(
+        buffers=st.lists(
+            st.tuples(
+                st.lists(st.floats(-50, 50), min_size=1, max_size=6).map(sorted),
+                st.integers(1, 5),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        data=st.data(),
+    )
+    def test_property_matches_single(self, buffers, data):
+        total = sum(len(values) * weight for values, weight in buffers)
+        positions = data.draw(
+            st.lists(st.integers(1, total), min_size=1, max_size=6)
+        )
+        got = weighted_select_many(buffers, positions)
+        assert got == [weighted_select(buffers, p) for p in positions]
+
+
+class TestWeightedQuantile:
+    def test_equal_weights_match_exact(self):
+        data = sorted([5.0, 1.0, 9.0, 3.0, 7.0])
+        assert weighted_quantile([(data, 1)], 0.5) == exact_quantile(data, 0.5)
+
+    def test_weighted_median_shifts(self):
+        # 1 has weight 9, 100 weight 1: the weighted median is 1.
+        assert weighted_quantile([([1.0], 9), ([100.0], 1)], 0.5) == 1.0
+        assert weighted_quantile([([1.0], 9), ([100.0], 1)], 1.0) == 100.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_quantile([], 0.5)
+
+    @given(
+        values=st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+        weight=st.integers(1, 5),
+        phi=st.floats(0.05, 1.0),
+    )
+    def test_uniform_weights_equal_plain_quantile(self, values, weight, phi):
+        # Replicating every element the same number of times never moves
+        # any quantile (ceil arithmetic aside, the value is identical).
+        plain = exact_quantile(values, phi)
+        weighted = weighted_quantile([(sorted(values), weight)], phi)
+        assert weighted == plain

@@ -1,0 +1,68 @@
+"""Tests for the terminal rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import ascii_chart, format_table, kb
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        lines = format_table(["a", "long"], [["1", "2"], ["333", "4"]])
+        assert lines[0] == "  a  long"
+        assert lines[1] == "---  ----"
+        assert lines[2] == "  1     2"
+        assert lines[3] == "333     4"
+
+    def test_all_rows_same_width(self):
+        lines = format_table(["x", "y"], [["1", "22"], ["333", "4444"]])
+        assert len({len(line) for line in lines}) == 1
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        lines = format_table(["a"], [])
+        assert len(lines) == 2  # header + rule
+
+
+class TestKb:
+    def test_paper_units(self):
+        assert kb(4266) == "4.27K"
+        assert kb(300) == "0.30K"
+        assert kb(61_908) == "61.91K"
+
+
+class TestAsciiChart:
+    def test_basic_shape(self):
+        lines = ascii_chart(["a", "b", "c"], {"s": [1.0, 2.0, 3.0]}, height=5)
+        # 5 chart rows + axis + labels + legend.
+        assert len(lines) == 8
+        assert "s" in lines[-1]  # legend
+        assert "a" in lines[-2] and "c" in lines[-2]  # x labels
+
+    def test_min_on_bottom_max_on_top(self):
+        lines = ascii_chart(["a", "b"], {"s": [0.0, 10.0]}, height=4)
+        assert "o" in lines[3]  # min value on the bottom chart row
+        assert "o" in lines[0]  # max value on the top chart row
+
+    def test_two_series_two_glyphs(self):
+        lines = ascii_chart(
+            ["a", "b"], {"one": [1.0, 1.0], "two": [2.0, 2.0]}, height=4
+        )
+        body = "\n".join(lines[:-3])
+        assert "o" in body and "*" in body
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        lines = ascii_chart(["a", "b"], {"s": [5.0, 5.0]})
+        assert any("o" in line for line in lines)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], {})
+        with pytest.raises(ValueError):
+            ascii_chart(["a", "b"], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], {"s": [1.0]}, height=1)

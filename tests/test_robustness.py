@@ -1,0 +1,145 @@
+"""Robustness: hostile inputs, serialisation, and failure injection."""
+
+from __future__ import annotations
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro import (
+    ExtremeValueEstimator,
+    KnownNQuantiles,
+    StreamingExtremeEstimator,
+    UnknownNQuantiles,
+)
+from repro.core.params import Plan
+from repro.stats.rank import is_eps_approximate
+
+TINY_PLAN = Plan(
+    eps=0.05,
+    delta=0.01,
+    b=3,
+    k=50,
+    h=2,
+    alpha=0.5,
+    leaves_before_sampling=6,
+    leaves_per_level=3,
+    policy_name="mrl",
+)
+
+
+class TestNaN:
+    def test_unknown_n_rejects_nan(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=0)
+        with pytest.raises(ValueError, match="NaN"):
+            est.update(float("nan"))
+        # State is unharmed: the NaN was rejected before any mutation.
+        est.update(1.0)
+        assert est.n == 1
+
+    def test_known_n_rejects_nan(self):
+        est = KnownNQuantiles(0.05, 1e-2, 100, seed=0)
+        with pytest.raises(ValueError, match="NaN"):
+            est.update(float("nan"))
+
+    def test_extreme_rejects_nan(self):
+        est = ExtremeValueEstimator(phi=0.01, eps=0.002, delta=1e-3, n=1000)
+        with pytest.raises(ValueError, match="NaN"):
+            est.update(float("nan"))
+
+    def test_streaming_extreme_rejects_nan(self):
+        est = StreamingExtremeEstimator(phi=0.01, eps=0.002, delta=1e-3)
+        with pytest.raises(ValueError, match="NaN"):
+            est.update(float("nan"))
+
+
+class TestInfinities:
+    def test_infinities_are_rankable(self):
+        # +/-inf are legitimate orderable values; they must flow through
+        # without breaking merges, and answers stay eps-approximate (an
+        # approximate sketch may of course drop the exact min/max).
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=1)
+        data = [float("-inf"), float("inf")] + [float(i) for i in range(998)]
+        est.extend(data)
+        ordered = sorted(data)
+        for phi in (0.001, 0.5, 1.0):
+            assert is_eps_approximate(ordered, est.query(phi), phi, 0.05)
+        assert math.isfinite(est.query(0.5))
+
+
+class TestExtremeValues:
+    def test_huge_magnitudes(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=2)
+        values = [1e308, -1e308, 1e-308, -1e-308, 0.0] * 400
+        est.extend(values)
+        assert est.query(0.5) in values
+
+    def test_all_identical_values(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=3)
+        est.extend([7.0] * 10_000)
+        for phi in (0.01, 0.5, 1.0):
+            assert est.query(phi) == 7.0
+
+    def test_two_distinct_values(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=4)
+        est.extend([0.0] * 9_000)
+        est.extend([1.0] * 1_000)
+        assert est.query(0.5) == 0.0
+        assert est.query(0.999) == 1.0
+
+    def test_singleton_stream(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=5)
+        est.update(42.0)
+        for phi in (0.001, 0.5, 1.0):
+            assert est.query(phi) == 42.0
+
+
+class TestPickle:
+    def test_unknown_n_roundtrip_preserves_answers(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=6)
+        rng = random.Random(7)
+        est.extend(rng.random() for _ in range(20_000))
+        clone = pickle.loads(pickle.dumps(est))
+        phis = [0.1, 0.5, 0.9]
+        assert clone.query_many(phis) == est.query_many(phis)
+        assert clone.n == est.n
+
+    def test_roundtrip_then_continue_streaming(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=8)
+        rng = random.Random(9)
+        data = [rng.random() for _ in range(30_000)]
+        est.extend(data[:15_000])
+        clone = pickle.loads(pickle.dumps(est))
+        # Both continue with the remaining data; same RNG state => same path.
+        est.extend(data[15_000:])
+        clone.extend(data[15_000:])
+        assert clone.query(0.5) == est.query(0.5)
+        assert is_eps_approximate(sorted(data), clone.query(0.5), 0.5, 0.05)
+
+    def test_extreme_estimator_roundtrip(self):
+        est = ExtremeValueEstimator(phi=0.05, eps=0.01, delta=1e-2, n=50_000, seed=10)
+        rng = random.Random(11)
+        est.extend(rng.random() for _ in range(20_000))
+        clone = pickle.loads(pickle.dumps(est))
+        assert clone.query() == est.query()
+
+
+class TestGeneratorInputs:
+    def test_extend_accepts_any_iterable(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=12)
+        est.extend(range(1000))  # ints are fine: they are orderable numbers
+        est.extend(x / 10 for x in range(1000))
+        assert est.n == 2000
+
+    def test_interleaved_update_query_never_corrupts(self):
+        # Failure injection of the usage pattern kind: query between every
+        # update for a while, including mid-block and mid-buffer.
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=13)
+        rng = random.Random(14)
+        for i in range(1, 3000):
+            est.update(rng.random())
+            if i % 7 == 0:
+                est.query(0.5)
+            assert est.total_weight == i

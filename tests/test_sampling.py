@@ -1,0 +1,205 @@
+"""Tests for the sampling substrate: block, reservoir, and rate samplers."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sampling.block import BlockSampler
+from repro.sampling.rate import BernoulliSampler, SystematicSampler
+from repro.sampling.reservoir import ReservoirSampler
+
+
+class TestBlockSampler:
+    def test_rate_one_passes_everything_through(self):
+        sampler = BlockSampler(1, random.Random(0))
+        out = [sampler.offer(float(i)) for i in range(10)]
+        assert out == [float(i) for i in range(10)]
+
+    def test_emits_once_per_block(self):
+        sampler = BlockSampler(4, random.Random(0))
+        emissions = [sampler.offer(float(i)) for i in range(12)]
+        chosen = [value for value in emissions if value is not None]
+        assert len(chosen) == 3
+        # Each representative comes from its own block.
+        for index, value in enumerate(chosen):
+            assert index * 4 <= value < (index + 1) * 4
+
+    def test_within_block_choice_is_uniform(self):
+        counts = Counter()
+        rng = random.Random(42)
+        trials = 4000
+        for _ in range(trials):
+            sampler = BlockSampler(4, rng)
+            for position in range(4):
+                chosen = sampler.offer(position)
+            counts[chosen] += 1
+        for position in range(4):
+            assert counts[position] == pytest.approx(trials / 4, rel=0.15)
+
+    def test_pending_exposes_partial_block(self):
+        sampler = BlockSampler(4, random.Random(1))
+        sampler.offer(1.0)
+        sampler.offer(2.0)
+        pending = sampler.pending()
+        assert pending is not None
+        candidate, seen = pending
+        assert seen == 2
+        assert candidate in (1.0, 2.0)
+
+    def test_pending_none_at_block_boundary(self):
+        sampler = BlockSampler(3, random.Random(1))
+        for i in range(3):
+            sampler.offer(float(i))
+        assert sampler.pending() is None
+
+    def test_pending_weight_tracks_mass(self):
+        # pending weight == elements consumed since the last emission, the
+        # invariant that keeps total query weight equal to stream length.
+        sampler = BlockSampler(8, random.Random(2))
+        for i in range(5):
+            sampler.offer(float(i))
+        assert sampler.pending()[1] == 5
+
+    def test_reset_changes_rate_between_blocks(self):
+        sampler = BlockSampler(2, random.Random(0))
+        sampler.offer(1.0)
+        sampler.offer(2.0)
+        sampler.reset(4)
+        assert sampler.rate == 4
+        for i in range(3):
+            assert sampler.offer(float(i)) is None
+        assert sampler.offer(3.0) is not None
+
+    def test_reset_mid_block_refuses(self):
+        sampler = BlockSampler(3, random.Random(0))
+        sampler.offer(1.0)
+        with pytest.raises(RuntimeError):
+            sampler.reset(6)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            BlockSampler(0, random.Random(0))
+        sampler = BlockSampler(2, random.Random(0))
+        with pytest.raises(ValueError):
+            sampler.reset(0)
+
+
+class TestReservoirSampler:
+    def test_fill_phase_keeps_everything(self):
+        sampler = ReservoirSampler(10, random.Random(0))
+        for i in range(7):
+            sampler.update(float(i))
+        assert sorted(sampler.sample) == [float(i) for i in range(7)]
+
+    def test_size_never_exceeded(self):
+        sampler = ReservoirSampler(5, random.Random(0))
+        for i in range(1000):
+            sampler.update(float(i))
+        assert len(sampler.sample) == 5
+        assert sampler.seen == 1000
+
+    def test_inclusion_probability_is_uniform(self):
+        # Each element of a 60-long stream should be retained with
+        # probability 10/60; chi-square-ish tolerance over 3000 trials.
+        trials, n, size = 3000, 60, 10
+        counts = Counter()
+        rng = random.Random(7)
+        for _ in range(trials):
+            sampler = ReservoirSampler(size, rng)
+            for i in range(n):
+                sampler.update(i)
+            counts.update(sampler.sample)
+        expected = trials * size / n
+        for i in range(n):
+            assert counts[i] == pytest.approx(expected, rel=0.25)
+
+    def test_extend_matches_update_statistically(self):
+        # Algorithm X (skips) must give the same inclusion distribution as
+        # per-element Algorithm R.
+        trials, n, size = 2000, 80, 8
+        rng = random.Random(9)
+        counts = Counter()
+        for _ in range(trials):
+            sampler = ReservoirSampler(size, rng)
+            sampler.extend(range(n))
+            assert sampler.seen == n
+            counts.update(sampler.sample)
+        expected = trials * size / n
+        for i in range(0, n, 7):
+            assert counts[i] == pytest.approx(expected, rel=0.3)
+
+    def test_skip_zero_while_filling(self):
+        sampler = ReservoirSampler(10, random.Random(0))
+        assert sampler.skip() == 0
+
+    def test_skip_grows_with_stream_position(self):
+        rng = random.Random(5)
+        early, late = [], []
+        for _ in range(300):
+            sampler = ReservoirSampler(10, rng)
+            for i in range(20):
+                sampler.update(i)
+            early.append(sampler.skip())
+            for i in range(2000):
+                sampler.update(i)
+            late.append(sampler.skip())
+        assert sum(late) / len(late) > 10 * sum(early) / len(early)
+
+    def test_quantile_of_reservoir(self):
+        sampler = ReservoirSampler(1001, random.Random(3))
+        sampler.extend(float(i) for i in range(100_000))
+        median = sampler.quantile(0.5)
+        assert abs(median - 50_000) < 6000  # ~ 3 / sqrt(1001) of the range
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(5).quantile(0.5)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+    def test_memory_is_reservoir_size(self):
+        assert ReservoirSampler(123).memory_elements == 123
+
+
+class TestBernoulliSampler:
+    def test_probability_one_keeps_all(self):
+        sampler = BernoulliSampler(1.0, random.Random(0))
+        kept = [sampler.offer(float(i)) for i in range(50)]
+        assert all(value is not None for value in kept)
+
+    def test_keep_rate_near_probability(self):
+        sampler = BernoulliSampler(0.1, random.Random(4))
+        for i in range(50_000):
+            sampler.offer(float(i))
+        assert sampler.kept == pytest.approx(5000, rel=0.1)
+        assert sampler.offered == 50_000
+
+    def test_returns_the_value_itself(self):
+        sampler = BernoulliSampler(1.0, random.Random(0))
+        assert sampler.offer(42.0) == 42.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliSampler(0.0)
+        with pytest.raises(ValueError):
+            BernoulliSampler(1.5)
+
+
+class TestSystematicSampler:
+    def test_one_per_block(self):
+        sampler = SystematicSampler(5, random.Random(0))
+        kept = [sampler.offer(float(i)) for i in range(25)]
+        assert sum(value is not None for value in kept) == 5
+
+    def test_counts(self):
+        sampler = SystematicSampler(4, random.Random(1))
+        for i in range(10):
+            sampler.offer(float(i))
+        assert sampler.offered == 10
+        assert sampler.kept == 2
+        assert sampler.pending() is not None

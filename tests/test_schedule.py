@@ -1,0 +1,120 @@
+"""Tests for Section 5 dynamic buffer-allocation schedules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.schedule import AllocationSchedule, MemoryLimits, plan_schedule
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.stats.bounds import required_block_mass
+from repro.stats.rank import is_eps_approximate
+
+EPS, DELTA = 0.05, 1e-2
+LIMITS = MemoryLimits([(500, 400), (5_000, 700), (10**12, 2000)])
+
+
+@pytest.fixture(scope="module")
+def schedule() -> AllocationSchedule:
+    return plan_schedule(EPS, DELTA, LIMITS)
+
+
+class TestMemoryLimits:
+    def test_step_function(self):
+        limits = MemoryLimits([(100, 10), (1000, 50), (10**6, 200)])
+        assert limits.at(0) == 10
+        assert limits.at(100) == 10
+        assert limits.at(101) == 50
+        assert limits.at(10**6) == 200
+        assert limits.at(10**9) == 200  # beyond the last point
+        assert limits.final == 200
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            MemoryLimits([])
+        with pytest.raises(ValueError):
+            MemoryLimits([(100, 10), (50, 20)])  # not ascending
+        with pytest.raises(ValueError):
+            MemoryLimits([(100, 10), (100, 20)])  # duplicate n
+        with pytest.raises(ValueError):
+            MemoryLimits([(100, 0)])
+
+    def test_points_roundtrip(self):
+        points = [(100, 10), (1000, 50)]
+        assert MemoryLimits(points).points == points
+
+
+class TestPlanSchedule:
+    def test_satisfies_sampling_constraint(self, schedule):
+        mass = min(
+            schedule.leaves_before_sampling * schedule.k,
+            8.0 * schedule.leaves_per_level * schedule.k / 3.0,
+        )
+        assert mass >= required_block_mass(EPS, DELTA, schedule.alpha) * 0.999
+
+    def test_alpha_open_interval(self, schedule):
+        assert 0.0 < schedule.alpha < 1.0
+
+    def test_peak_memory_within_final_limit(self, schedule):
+        assert schedule.memory <= LIMITS.final
+
+    def test_memory_profile_respects_limits(self, schedule):
+        for n in (0, 100, 500, 501, 2000, 5000, 5001, 10**6, 10**9):
+            assert schedule.memory_at(n) <= LIMITS.at(n), n
+
+    def test_allocation_leaves_monotone(self, schedule):
+        thresholds = list(schedule.allocation_leaves)
+        assert thresholds == sorted(thresholds)
+        assert len(thresholds) <= schedule.b
+
+    def test_infeasible_limits_raise(self):
+        # Final limit below any workable b*k for this eps: impossible.
+        with pytest.raises(ValueError):
+            plan_schedule(0.01, 1e-4, MemoryLimits([(10**12, 50)]))
+
+    def test_plan_conversion(self, schedule):
+        plan = schedule.plan()
+        assert plan.b == schedule.b
+        assert plan.k == schedule.k
+        assert plan.leaves_before_sampling == schedule.leaves_before_sampling
+
+
+class TestScheduleAtRuntime:
+    def test_runtime_memory_never_exceeds_limits(self, schedule):
+        est = UnknownNQuantiles(
+            plan=schedule.plan(), allocator=schedule.allocator(), seed=1
+        )
+        rng = random.Random(2)
+        for i in range(1, 60_001):
+            est.update(rng.random())
+            if i % 100 == 0 or i < 2000:
+                assert est.memory_elements <= LIMITS.at(i), i
+
+    def test_accuracy_preserved_under_schedule(self, schedule):
+        rng = random.Random(3)
+        data = [rng.random() for _ in range(60_000)]
+        est = UnknownNQuantiles(
+            plan=schedule.plan(), allocator=schedule.allocator(), seed=4
+        )
+        checkpoints = {200, 2_000, 20_000, 60_000}
+        for i, value in enumerate(data, 1):
+            est.update(value)
+            if i in checkpoints:
+                sorted_prefix = sorted(data[:i])
+                for phi in (0.25, 0.5, 0.75):
+                    assert is_eps_approximate(
+                        sorted_prefix, est.query(phi), phi, EPS
+                    ), (i, phi)
+
+    def test_memory_grows_with_stream(self, schedule):
+        est = UnknownNQuantiles(
+            plan=schedule.plan(), allocator=schedule.allocator(), seed=5
+        )
+        est.update(0.0)
+        early = est.memory_elements
+        for i in range(200_000):
+            est.update(float(i % 1013))
+        late = est.memory_elements
+        assert early < late
+        assert late == schedule.memory  # eventually the full b*k

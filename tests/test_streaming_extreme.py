@@ -1,0 +1,116 @@
+"""Tests for the unknown-N extreme-value extension (rate-halving sample)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.extreme import ExtremeValueEstimator
+from repro.core.streaming_extreme import StreamingExtremeEstimator
+from repro.stats.rank import is_eps_approximate
+
+
+class TestValidation:
+    def test_eps_versus_tail(self):
+        with pytest.raises(ValueError):
+            StreamingExtremeEstimator(phi=0.01, eps=0.02, delta=1e-3)
+        with pytest.raises(ValueError):
+            StreamingExtremeEstimator(phi=0.0, eps=0.001, delta=1e-3)
+
+    def test_nan_rejected(self):
+        est = StreamingExtremeEstimator(phi=0.01, eps=0.002, delta=1e-3, seed=0)
+        with pytest.raises(ValueError):
+            est.update(float("nan"))
+
+    def test_query_empty_raises(self):
+        est = StreamingExtremeEstimator(phi=0.01, eps=0.002, delta=1e-3, seed=0)
+        with pytest.raises(ValueError):
+            est.query()
+
+
+class TestAdaptiveSampling:
+    def test_no_sampling_while_small(self):
+        est = StreamingExtremeEstimator(phi=0.05, eps=0.01, delta=1e-2, seed=1)
+        for i in range(100):
+            est.update(float(i))
+        assert est.probability == 1.0
+        assert est.sampled == 100
+
+    def test_rate_halves_as_stream_grows(self):
+        est = StreamingExtremeEstimator(phi=0.05, eps=0.01, delta=1e-2, seed=2)
+        rng = random.Random(3)
+        probabilities = set()
+        for _ in range(200_000):
+            est.update(rng.random())
+            probabilities.add(est.probability)
+        assert est.probability < 1.0
+        # Probabilities form the halving chain 1, 1/2, 1/4, ...
+        for p in probabilities:
+            assert math.log2(1.0 / p) == int(math.log2(1.0 / p))
+
+    def test_sample_size_bounded_by_budget(self):
+        est = StreamingExtremeEstimator(phi=0.05, eps=0.01, delta=1e-2, seed=4)
+        rng = random.Random(5)
+        for _ in range(300_000):
+            est.update(rng.random())
+            assert est.sampled <= est._budget
+
+    def test_sample_tracks_p_times_n(self):
+        est = StreamingExtremeEstimator(phi=0.05, eps=0.01, delta=1e-2, seed=6)
+        rng = random.Random(7)
+        for _ in range(250_000):
+            est.update(rng.random())
+        expected = est.probability * est.seen
+        assert est.sampled == pytest.approx(expected, rel=0.15)
+
+    def test_memory_constant(self):
+        est = StreamingExtremeEstimator(phi=0.01, eps=0.002, delta=1e-3, seed=8)
+        before = est.memory_elements
+        rng = random.Random(9)
+        for _ in range(150_000):
+            est.update(rng.random())
+        assert est.memory_elements == before
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("phi,eps", [(0.01, 0.003), (0.99, 0.003), (0.05, 0.01)])
+    def test_guarantee_without_knowing_n(self, phi, eps):
+        # Feed far past several halvings and audit at multiple prefixes —
+        # N is never declared anywhere.
+        rng = random.Random(11)
+        data = [rng.random() for _ in range(150_000)]
+        est = StreamingExtremeEstimator(phi=phi, eps=eps, delta=1e-3, seed=12)
+        for i, value in enumerate(data, 1):
+            est.update(value)
+            if i in (5_000, 50_000, 150_000):
+                prefix = sorted(data[:i])
+                assert is_eps_approximate(prefix, est.query(), phi, eps), i
+
+    def test_early_stream_near_exact(self):
+        est = StreamingExtremeEstimator(phi=0.1, eps=0.02, delta=1e-2, seed=13)
+        data = [float(i) for i in range(200)]
+        est.extend(data)
+        # Sample == stream: the answer is the exact 10th percentile.
+        assert est.query() == 19.0  # ceil(0.1 * 200) = 20th smallest = 19.0
+
+    def test_memory_within_2x_of_known_n_version(self):
+        streaming = StreamingExtremeEstimator(phi=0.01, eps=0.002, delta=1e-3)
+        fixed = ExtremeValueEstimator(phi=0.01, eps=0.002, delta=1e-3, n=10**9)
+        assert streaming.memory_elements <= 2.5 * fixed.memory_elements
+
+    def test_failure_rate_sane(self):
+        # 100 runs at delta=0.05 on a stream past one halving.
+        rng = random.Random(14)
+        data = [rng.random() for _ in range(40_000)]
+        ordered = sorted(data)
+        failures = 0
+        for seed in range(100):
+            est = StreamingExtremeEstimator(
+                phi=0.05, eps=0.015, delta=0.05, seed=seed
+            )
+            est.extend(data)
+            if not is_eps_approximate(ordered, est.query(), 0.05, 0.015):
+                failures += 1
+        assert failures <= 100 * 0.05 * 2 + 1

@@ -1,0 +1,152 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.streams.generators import (
+    DISTRIBUTIONS,
+    adversarial_stream,
+    clustered_stream,
+    latency_stream,
+    organ_pipe_stream,
+    reversed_stream,
+    sales_stream,
+    sawtooth_stream,
+    sorted_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.tables import OrderRow, synthetic_orders
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_uniform_signature_and_length(self, name):
+        values = list(DISTRIBUTIONS[name](500, 1))
+        assert len(values) == 500
+        assert all(isinstance(v, float) for v in values)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_seed_reproducibility(self, name):
+        a = list(DISTRIBUTIONS[name](300, 7))
+        b = list(DISTRIBUTIONS[name](300, 7))
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "name", ["uniform", "normal", "zipf", "clustered", "sales", "latency"]
+    )
+    def test_different_seeds_differ(self, name):
+        a = list(DISTRIBUTIONS[name](300, 1))
+        b = list(DISTRIBUTIONS[name](300, 2))
+        assert a != b
+
+    def test_zero_length(self):
+        for name, factory in DISTRIBUTIONS.items():
+            assert list(factory(0, 0)) == [], name
+
+    def test_negative_length_rejected(self):
+        for factory in DISTRIBUTIONS.values():
+            with pytest.raises(ValueError):
+                list(factory(-1, 0))
+
+
+class TestShapes:
+    def test_sorted_is_sorted(self):
+        values = list(sorted_stream(100))
+        assert values == sorted(values)
+
+    def test_reversed_is_reverse_sorted(self):
+        values = list(reversed_stream(100))
+        assert values == sorted(values, reverse=True)
+
+    def test_sorted_and_reversed_same_multiset(self):
+        assert sorted(sorted_stream(50)) == sorted(reversed_stream(50))
+
+    def test_uniform_range(self):
+        values = list(uniform_stream(1000, 3, low=5.0, high=6.0))
+        assert all(5.0 <= v < 6.0 for v in values)
+
+    def test_zipf_is_heavily_skewed(self):
+        values = list(zipf_stream(10_000, 4))
+        ones = sum(1 for v in values if v == 1.0)
+        assert ones > len(values) / 20  # value 1 dominates
+
+    def test_zipf_universe_respected(self):
+        values = list(zipf_stream(2000, 5, universe=10))
+        assert all(1.0 <= v <= 10.0 for v in values)
+
+    def test_clustered_concentrates_around_centres(self):
+        values = list(clustered_stream(5000, 6, clusters=3, spread=0.001))
+        rounded = {round(v, 1) for v in values}
+        assert len(rounded) < 30  # values pile up around 3 centres
+
+    def test_sawtooth_periodicity(self):
+        values = list(sawtooth_stream(3000, period=100))
+        assert int(values[0]) == int(values[100]) == int(values[200])
+
+    def test_organ_pipe_alternates_extremes(self):
+        values = list(organ_pipe_stream(6))
+        assert values == [0.0, 5.0, 1.0, 4.0, 2.0, 3.0]
+
+    def test_organ_pipe_is_permutation(self):
+        values = list(organ_pipe_stream(101))
+        assert sorted(values) == [float(i) for i in range(101)]
+
+    def test_adversarial_plants_outliers_periodically(self):
+        values = list(adversarial_stream(6400, block_hint=64))
+        outliers = [v for v in values if v >= 1.0e6]
+        assert len(outliers) == 100  # one per block
+
+    def test_sales_has_heavy_upper_tail(self):
+        values = list(sales_stream(20_000, 8))
+        values.sort()
+        median = values[len(values) // 2]
+        top = values[-1]
+        assert top > 20 * median
+
+    def test_latency_has_spikes(self):
+        values = list(latency_stream(20_000, 9))
+        assert max(values) > 500.0
+        values.sort()
+        assert values[len(values) // 2] < 50.0
+
+
+class TestSyntheticOrders:
+    def test_row_shape(self):
+        rows = list(synthetic_orders(100, 1))
+        assert len(rows) == 100
+        assert all(isinstance(row, OrderRow) for row in rows)
+        assert all(row.amount > 0 for row in rows)
+        assert all(row.region in ("NA", "EMEA", "APAC", "LATAM") for row in rows)
+
+    def test_order_ids_sequential(self):
+        rows = list(synthetic_orders(50, 2))
+        assert [row.order_id for row in rows] == list(range(50))
+
+    def test_quarters_partition_the_table(self):
+        rows = list(synthetic_orders(400, 3))
+        quarters = {row.quarter for row in rows}
+        assert quarters == {1, 2, 3, 4}
+
+    def test_reproducible(self):
+        a = [row.amount for row in synthetic_orders(100, 5)]
+        b = [row.amount for row in synthetic_orders(100, 5)]
+        assert a == b
+
+    def test_lazy_generation(self):
+        # Generators must not materialise the whole table up front.
+        rows = synthetic_orders(10**9, 1)
+        first = next(iter(rows))
+        assert first.order_id == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(synthetic_orders(-5))
+
+    def test_outlier_mega_orders_exist(self):
+        amounts = [row.amount for row in synthetic_orders(50_000, 4)]
+        amounts.sort()
+        assert amounts[-1] > 40 * amounts[len(amounts) // 2]

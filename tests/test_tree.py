@@ -1,0 +1,132 @@
+"""Tests for collapse-tree tracing and the Lemma 4/5 error accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.framework import CollapseEngine
+from repro.core.policy import MRLPolicy, MunroPatersonPolicy
+from repro.core.tree import TreeTrace
+from repro.stats.rank import quantile_position, rank_error
+
+
+class TestTraceRecording:
+    def test_leaf_and_collapse_counts(self):
+        trace = TreeTrace()
+        leaves = [trace.new_leaf(1, 0) for _ in range(4)]
+        trace.new_collapse(leaves[:2], weight=2, level=1)
+        trace.new_collapse(leaves[2:], weight=2, level=1)
+        assert trace.collapse_count == 2
+        assert trace.collapse_weight_sum == 4
+        assert trace.node_count == 6
+        assert len(trace.leaves()) == 4
+
+    def test_roots_are_unconsumed_nodes(self):
+        trace = TreeTrace()
+        a = trace.new_leaf(1, 0)
+        b = trace.new_leaf(1, 0)
+        c = trace.new_leaf(1, 0)
+        merged = trace.new_collapse([a, b], 2, 1)
+        roots = {node.node_id for node in trace.roots()}
+        assert roots == {merged, c}
+
+    def test_depths(self):
+        trace = TreeTrace()
+        a = trace.new_leaf(1, 0)
+        b = trace.new_leaf(1, 0)
+        merged = trace.new_collapse([a, b], 2, 1)
+        assert trace.depth_from_root(merged) == 1
+        assert trace.depth_from_root(a) == 2
+        assert trace.height() == 2
+
+    def test_collapse_needs_two_children(self):
+        trace = TreeTrace()
+        a = trace.new_leaf(1, 0)
+        with pytest.raises(ValueError):
+            trace.new_collapse([a], 1, 1)
+
+    def test_max_collapse_level(self):
+        trace = TreeTrace()
+        assert trace.max_collapse_level() == -1
+        a, b = trace.new_leaf(1, 0), trace.new_leaf(1, 0)
+        trace.new_collapse([a, b], 2, 3)
+        assert trace.max_collapse_level() == 3
+
+    def test_render_mentions_weights_and_levels(self):
+        trace = TreeTrace()
+        a, b = trace.new_leaf(1, 0), trace.new_leaf(1, 0)
+        trace.new_collapse([a, b], 2, 1)
+        text = trace.render()
+        assert "root" in text
+        assert "2@L1" in text
+        assert "(leaf)" in text
+
+
+class TestLemma5:
+    def test_bound_holds_on_engine_runs(self):
+        # Lemma 5: W <= sum_i w_i (h_i - 1) over leaves.
+        for policy in (MRLPolicy(), MunroPatersonPolicy()):
+            engine = CollapseEngine(4, 8, policy, trace=True)
+            rng = random.Random(11)
+            staged = []
+            for _ in range(4096):
+                staged.append(rng.random())
+                if len(staged) == 8:
+                    engine.deposit(staged, weight=1, level=0)
+                    staged = []
+            trace = engine.trace
+            assert trace is not None
+            assert trace.collapse_weight_sum <= trace.lemma5_bound()
+
+    def test_engine_counter_agrees_with_trace(self):
+        engine = CollapseEngine(3, 4, trace=True)
+        for i in range(30):
+            engine.deposit([float(i)] * 4, weight=1, level=0)
+        assert engine.collapse_weight_sum == engine.trace.collapse_weight_sum
+        assert engine.collapse_count == engine.trace.collapse_count
+
+
+class TestLemma4Weak:
+    """The deterministic backbone: observed rank error <= W/2 + w_max."""
+
+    @pytest.mark.parametrize("b,k,seed", [(3, 16, 0), (5, 32, 1), (4, 8, 2), (7, 64, 3)])
+    def test_error_within_bound_every_phi(self, b, k, seed):
+        rng = random.Random(seed)
+        n = b * k * 12
+        data = [rng.random() for _ in range(n)]
+        engine = CollapseEngine(b, k, MRLPolicy(), trace=True)
+        staged = []
+        for value in data:
+            staged.append(value)
+            if len(staged) == k:
+                engine.deposit(staged, weight=1, level=0)
+                staged = []
+        extras = [(sorted(staged), 1)] if staged else []
+        sorted_data = sorted(data)
+        bound = engine.error_bound_elements()
+        for phi in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99]:
+            value = engine.query(phi, extras)
+            err = rank_error(sorted_data, value, phi)
+            assert err <= bound + 1, (phi, err, bound)
+
+    def test_weak_bound_from_trace_matches_engine(self):
+        engine = CollapseEngine(4, 4, trace=True)
+        for i in range(64):
+            engine.deposit([float(i)] * 4, weight=1, level=0)
+        live = [buf.weight for buf in engine.full_buffers()]
+        assert engine.error_bound_elements() == engine.trace.weak_error_bound(live)
+
+
+class TestOutputPositionAgainstTruth:
+    def test_no_collapse_is_exact(self):
+        # When everything fits in the buffers, Output is the exact quantile.
+        engine = CollapseEngine(4, 8)
+        data = [random.Random(5).random() for _ in range(32)]
+        for i in range(0, 32, 8):
+            engine.deposit(data[i : i + 8], weight=1, level=0)
+        sorted_data = sorted(data)
+        for phi in (0.1, 0.5, 0.9, 1.0):
+            expected = sorted_data[quantile_position(phi, 32) - 1]
+            assert engine.query(phi) == expected

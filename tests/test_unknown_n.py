@@ -1,0 +1,211 @@
+"""End-to-end tests for the paper's unknown-N estimator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import Plan, plan_parameters
+from repro.core.policy import MunroPatersonPolicy
+from repro.core.unknown_n import UnknownNQuantiles
+from repro.stats.rank import is_eps_approximate, rank_error
+from repro.streams.generators import DISTRIBUTIONS
+
+from tests.helpers import PHI_GRID, assert_all_quantiles_close
+
+TINY_PLAN = Plan(
+    eps=0.05,
+    delta=0.01,
+    b=3,
+    k=50,
+    h=2,
+    alpha=0.5,
+    leaves_before_sampling=6,
+    leaves_per_level=3,
+    policy_name="mrl",
+)
+
+
+class TestConstruction:
+    def test_requires_eps_delta_or_plan(self):
+        with pytest.raises(ValueError):
+            UnknownNQuantiles()
+        with pytest.raises(ValueError):
+            UnknownNQuantiles(eps=0.01)
+
+    def test_plan_overrides(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN)
+        assert est.plan.b == 3
+        assert est.plan.k == 50
+
+    def test_policy_flows_into_plan(self):
+        est = UnknownNQuantiles(0.05, 1e-2, policy=MunroPatersonPolicy())
+        assert est.plan.policy_name == "munro-paterson"
+
+    def test_query_before_data_raises(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN)
+        with pytest.raises(ValueError):
+            est.query(0.5)
+        with pytest.raises(ValueError):
+            est.query_many([0.5])
+
+
+class TestWeightInvariant:
+    """Total query weight == elements seen, at *every* prefix."""
+
+    def test_every_prefix_small(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=3)
+        rng = random.Random(1)
+        for i in range(1, 2000):
+            est.update(rng.random())
+            assert est.total_weight == i
+            assert est.n == i
+            assert len(est) == i
+
+    def test_across_sampling_onset(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=5)
+        rng = random.Random(2)
+        for i in range(1, 20_001):
+            est.update(rng.random())
+            if i % 997 == 0:  # checking every step is O(n^2); sample it
+                assert est.total_weight == i
+        assert est.sampling_rate > 1  # onset definitely crossed
+
+
+class TestSamplingSchedule:
+    def test_rate_one_before_onset(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=0)
+        onset = TINY_PLAN.leaves_before_sampling * TINY_PLAN.k
+        for _ in range(onset):
+            est.update(0.0)
+        assert est.sampling_rate == 1
+
+    def test_rates_double_in_order(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=0)
+        seen_rates = []
+        for i in range(100_000):
+            est.update(float(i % 977))
+            if not seen_rates or est.sampling_rate != seen_rates[-1]:
+                seen_rates.append(est.sampling_rate)
+        assert seen_rates[0] == 1
+        for previous, current in zip(seen_rates, seen_rates[1:]):
+            assert current == 2 * previous
+
+    def test_memory_constant_after_warmup(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=0)
+        cap = TINY_PLAN.b * TINY_PLAN.k
+        for i in range(50_000):
+            est.update(float(i))
+            assert est.memory_elements <= cap
+        assert est.memory_elements == cap
+
+
+class TestAccuracyAcrossDistributions:
+    """Data independence: the guarantee must hold for every arrival order
+    and value distribution (Section 1.3)."""
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_eps_guarantee(self, name):
+        n = 60_000
+        data = list(DISTRIBUTIONS[name](n, 7))
+        est = UnknownNQuantiles(eps=0.02, delta=1e-3, seed=11)
+        est.extend(data)
+        assert_all_quantiles_close(est, sorted(data), eps=0.02)
+
+    def test_anytime_queries_on_growing_stream(self):
+        # The histogram-of-a-growing-table scenario: accuracy at every
+        # checkpoint, not just the end.
+        rng = random.Random(13)
+        data = [rng.gauss(0, 1) for _ in range(80_000)]
+        est = UnknownNQuantiles(eps=0.02, delta=1e-3, seed=17)
+        checkpoints = {10, 1000, 5000, 25_000, 80_000}
+        for i, value in enumerate(data, 1):
+            est.update(value)
+            if i in checkpoints:
+                sorted_prefix = sorted(data[:i])
+                for phi in (0.25, 0.5, 0.75):
+                    assert is_eps_approximate(
+                        sorted_prefix, est.query(phi), phi, 0.02
+                    ), (i, phi)
+
+    def test_output_is_always_an_input_element(self):
+        data = list(DISTRIBUTIONS["zipf"](30_000, 3))
+        est = UnknownNQuantiles(eps=0.05, delta=1e-2, seed=19)
+        est.extend(data)
+        universe = set(data)
+        for phi in PHI_GRID:
+            assert est.query(phi) in universe
+
+
+class TestQueryMany:
+    def test_matches_individual_queries(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=23)
+        rng = random.Random(4)
+        est.extend(rng.random() for _ in range(10_000))
+        phis = [0.1, 0.5, 0.9]
+        assert est.query_many(phis) == [est.query(phi) for phi in phis]
+
+    def test_order_preserved(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=23)
+        est.extend(float(i) for i in range(1000))
+        a, b = est.query_many([0.9, 0.1])
+        assert a > b
+
+
+class TestReproducibility:
+    def test_same_seed_same_answers(self):
+        rng = random.Random(6)
+        data = [rng.random() for _ in range(30_000)]
+        first = UnknownNQuantiles(plan=TINY_PLAN, seed=42)
+        second = UnknownNQuantiles(plan=TINY_PLAN, seed=42)
+        first.extend(data)
+        second.extend(data)
+        assert first.query_many(PHI_GRID) == second.query_many(PHI_GRID)
+
+    def test_different_seeds_usually_differ_after_sampling(self):
+        rng = random.Random(6)
+        data = [rng.random() for _ in range(30_000)]
+        answers = set()
+        for seed in range(5):
+            est = UnknownNQuantiles(plan=TINY_PLAN, seed=seed)
+            est.extend(data)
+            answers.add(est.query(0.5))
+        assert len(answers) > 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_consistent(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=1)
+        rng = random.Random(9)
+        est.extend(rng.random() for _ in range(7777))
+        snap = est.snapshot()
+        mass = sum(len(d) * w for d, w in snap.full_buffers)
+        mass += len(snap.staged) * snap.rate
+        if snap.pending is not None:
+            mass += snap.pending[1]
+        assert mass == est.n == snap.n
+
+    def test_snapshot_does_not_disturb(self):
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=1)
+        est.extend(float(i) for i in range(5000))
+        before = est.query(0.5)
+        est.snapshot()
+        assert est.query(0.5) == before
+
+
+class TestPlannedEndToEnd:
+    def test_planned_parameters_beat_their_own_eps(self):
+        # Run with the planner's own (b, k, h): observed error should be
+        # far inside eps (the analysis is pessimistic).
+        eps = 0.05
+        plan = plan_parameters(eps, 1e-2)
+        rng = random.Random(31)
+        data = [rng.random() for _ in range(150_000)]
+        est = UnknownNQuantiles(plan=plan, seed=37)
+        est.extend(data)
+        sorted_data = sorted(data)
+        worst = max(
+            rank_error(sorted_data, est.query(phi), phi) for phi in PHI_GRID
+        )
+        assert worst <= eps * len(data)

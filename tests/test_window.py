@@ -1,0 +1,152 @@
+"""Tests for tumbling and sliding window quantiles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db.window import SlidingWindowQuantiles, TumblingWindowQuantiles
+from repro.stats.rank import exact_quantile, is_eps_approximate
+
+
+class TestTumbling:
+    def test_reports_one_per_window(self):
+        windows = TumblingWindowQuantiles(
+            window=1000, phis=[0.5], eps=0.05, delta=1e-2, seed=1
+        )
+        windows.extend(float(i) for i in range(3500))
+        assert len(windows.reports) == 3
+        spans = [(r.start, r.end) for r in windows.reports]
+        assert spans == [(0, 1000), (1000, 2000), (2000, 3000)]
+
+    def test_window_answers_reflect_their_window_only(self):
+        # Window 0 holds values ~0..999, window 1 holds ~1000..1999: the
+        # medians must track the windows, not the global stream.
+        windows = TumblingWindowQuantiles(
+            window=1000, phis=[0.5], eps=0.05, delta=1e-2, seed=2
+        )
+        windows.extend(float(i) for i in range(2000))
+        first, second = windows.reports
+        assert abs(first.quantiles[0.5] - 500) <= 60
+        assert abs(second.quantiles[0.5] - 1500) <= 60
+
+    def test_callback(self):
+        seen = []
+        windows = TumblingWindowQuantiles(
+            window=100,
+            phis=[0.5],
+            eps=0.1,
+            delta=1e-1,
+            on_close=seen.append,
+            seed=3,
+        )
+        windows.extend(float(i) for i in range(250))
+        assert len(seen) == 2
+        assert seen[0].index == 0
+
+    def test_partial_window_query(self):
+        windows = TumblingWindowQuantiles(
+            window=10_000, phis=[0.5], eps=0.05, delta=1e-2, seed=4
+        )
+        windows.extend(float(i) for i in range(100))
+        assert windows.query(0.5) == pytest.approx(50, abs=5)
+
+    def test_accuracy_per_window(self):
+        rng = random.Random(5)
+        shadow: list[float] = []
+        checked = []
+
+        def audit(report):
+            window_values = shadow[report.start : report.end]
+            for phi, answer in report.quantiles.items():
+                assert is_eps_approximate(
+                    sorted(window_values), answer, phi, 0.02
+                )
+            checked.append(report.index)
+
+        windows = TumblingWindowQuantiles(
+            window=20_000,
+            phis=[0.25, 0.5, 0.99],
+            eps=0.02,
+            delta=1e-3,
+            on_close=audit,
+            seed=6,
+        )
+        for _ in range(65_000):
+            value = rng.expovariate(1.0)
+            shadow.append(value)
+            windows.update(value)
+        assert checked == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TumblingWindowQuantiles(0, [0.5], 0.05, 1e-2)
+        with pytest.raises(ValueError):
+            TumblingWindowQuantiles(10, [], 0.05, 1e-2)
+
+
+class TestSliding:
+    def test_covers_about_one_window(self):
+        sliding = SlidingWindowQuantiles(
+            window=1000, eps=0.05, delta=1e-2, panes=5, seed=1
+        )
+        sliding.extend(float(i) for i in range(10_000))
+        assert abs(sliding.covered - 1000) <= sliding.pane_size
+        assert sliding.seen == 10_000
+
+    def test_tracks_a_shifting_distribution(self):
+        # Stream drifts from N(0,1) to N(100,1): the sliding median must
+        # follow the recent data; an all-time summary would sit in between.
+        rng = random.Random(2)
+        sliding = SlidingWindowQuantiles(
+            window=5_000, eps=0.02, delta=1e-2, panes=10, seed=3
+        )
+        for _ in range(20_000):
+            sliding.update(rng.gauss(0.0, 1.0))
+        early = sliding.query(0.5)
+        for _ in range(20_000):
+            sliding.update(rng.gauss(100.0, 1.0))
+        late = sliding.query(0.5)
+        assert abs(early - 0.0) < 1.0
+        assert abs(late - 100.0) < 1.0
+
+    def test_quantiles_of_recent_suffix(self):
+        values = [float(i) for i in range(50_000)]
+        sliding = SlidingWindowQuantiles(
+            window=10_000, eps=0.02, delta=1e-2, panes=10, seed=4
+        )
+        sliding.extend(values)
+        suffix = values[-sliding.covered :]
+        answer = sliding.query(0.5)
+        expected = exact_quantile(suffix, 0.5)
+        # eps on the suffix plus one pane of boundary slack.
+        assert abs(answer - expected) <= 0.02 * len(suffix) + sliding.pane_size
+
+    def test_query_many_sorted(self):
+        sliding = SlidingWindowQuantiles(
+            window=2_000, eps=0.05, delta=1e-2, panes=4, seed=5
+        )
+        sliding.extend(float(i) for i in range(5_000))
+        low, mid, high = sliding.query_many([0.1, 0.5, 0.9])
+        assert low < mid < high
+
+    def test_empty_raises(self):
+        sliding = SlidingWindowQuantiles(window=100, eps=0.1, delta=0.1, panes=2)
+        with pytest.raises(ValueError):
+            sliding.query(0.5)
+
+    def test_memory_bounded_by_panes(self):
+        sliding = SlidingWindowQuantiles(
+            window=4_000, eps=0.05, delta=1e-2, panes=8, seed=6
+        )
+        sliding.extend(float(i) for i in range(100_000))
+        # At most `panes` snapshots plus the live estimator.
+        ceiling = (8 + 1) * sliding._plan.memory
+        assert sliding.memory_elements <= ceiling
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowQuantiles(window=10, eps=0.05, delta=1e-2, panes=0)
+        with pytest.raises(ValueError):
+            SlidingWindowQuantiles(window=2, eps=0.05, delta=1e-2, panes=5)
