@@ -1,0 +1,117 @@
+"""E-R: recovery cost vs checkpoint interval for the sharded runtime.
+
+A ``ShardSupervisor`` ingests the same partitioned stream under the same
+deterministic fault plan (two of eight shards crash mid-stream) at several
+checkpoint intervals, including "never checkpoint".  Shape claims:
+
+* replayed work falls as the interval shrinks — each crash costs at most
+  one interval of replay (plus the crash-free tail of the stream);
+* checkpoint count rises in proportion as the interval shrinks (the
+  durability/overhead trade);
+* accuracy is *invariant*: restore is bit-identical, so every configuration
+  answers exactly like the crash-free run, and coverage is always 1.0.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+
+from conftest import format_table, report
+
+from repro.cluster import FaultPlan, ShardSupervisor, partition_stream
+from repro.core.params import plan_parameters
+from repro.stats.rank import rank_error
+
+EPS, DELTA = 0.02, 1e-3
+NUM_SHARDS = 8
+STREAM_N = 160_000
+CRASHES = {2: 15_300, 5: 6_700}  # off the checkpoint grid: replay is real
+INTERVALS = [None, 16_000, 4_000, 1_000, 250]  # None = no checkpointing
+PHIS = [0.1, 0.5, 0.9, 0.99]
+
+
+def run_interval(plan, streams, interval, tmp_dir):
+    sup = ShardSupervisor(
+        num_shards=NUM_SHARDS,
+        plan=plan,
+        checkpoint_dir=None if interval is None else tmp_dir,
+        checkpoint_interval=interval if interval is not None else 1_000_000,
+        fault_plan=FaultPlan(crash_at=dict(CRASHES)),
+        seed=33,
+    )
+    result = sup.run(streams)
+    return result
+
+
+def run_all():
+    plan = plan_parameters(EPS, DELTA)
+    rng = random.Random(42)
+    data = [rng.random() for _ in range(STREAM_N)]
+    streams = partition_stream(data, NUM_SHARDS)
+    union = sorted(data)
+    results = []
+    for interval in INTERVALS:
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            result = run_interval(plan, streams, interval, tmp_dir)
+        worst = max(
+            rank_error(union, result.query(phi), phi) / len(union) for phi in PHIS
+        )
+        results.append((interval, result, worst))
+    return results
+
+
+def test_recovery_cost_vs_checkpoint_interval(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1)
+    rows = []
+    answers = set()
+    for interval, result, worst in results:
+        assert result.stats.restarts == len(CRASHES)
+        assert result.report.weight_coverage == 1.0
+        answers.add(tuple(result.query_many(PHIS)))
+        rows.append(
+            [
+                "off" if interval is None else str(interval),
+                str(result.stats.checkpoints_written),
+                str(result.stats.replayed_elements),
+                f"{result.stats.replayed_elements / STREAM_N:.4f}",
+                f"{worst:.5f}",
+                f"{result.report.weight_coverage:g}",
+            ]
+        )
+
+    # Shape claim 1: accuracy is invariant — bit-identical restore means
+    # every interval (and no checkpointing at all) answers identically.
+    assert len(answers) == 1
+    worst_errors = [worst for _, _, worst in results]
+    assert max(worst_errors) <= 2 * EPS
+
+    # Shape claim 2: replay falls monotonically as the interval shrinks,
+    # and each crash costs at most one interval of replay.
+    replays = [r.stats.replayed_elements for _, r, _ in results]
+    assert all(a >= b for a, b in zip(replays, replays[1:]))
+    for interval, result, _ in results:
+        if interval is not None:
+            assert result.stats.replayed_elements <= len(CRASHES) * interval
+
+    # Shape claim 3: durability overhead rises as the interval shrinks.
+    checkpoint_counts = [r.stats.checkpoints_written for _, r, _ in results]
+    assert all(a <= b for a, b in zip(checkpoint_counts, checkpoint_counts[1:]))
+
+    lines = format_table(
+        [
+            "ckpt interval",
+            "ckpts written",
+            "replayed",
+            "replay / N",
+            "worst err / N",
+            "coverage",
+        ],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        f"{NUM_SHARDS} shards, N={STREAM_N}, crashes at "
+        + ", ".join(f"shard {s}: n={n}" for s, n in sorted(CRASHES.items()))
+    )
+    report("er_recovery_cost", lines)

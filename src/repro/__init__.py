@@ -34,11 +34,25 @@ Quickstart::
 """
 
 from repro.audit import AuditReport, audit_failure_rate, audit_run
+from repro.cluster import (
+    FaultPlan,
+    ShardLostError,
+    ShardSupervisor,
+    ShipTimeoutError,
+    SupervisorResult,
+    SupervisorStats,
+    partition_stream,
+)
 from repro.core.extreme import ExtremeValueEstimator
 from repro.core.framework import CollapseEngine
 from repro.core.known_n import KnownNQuantiles
 from repro.core.multi import MultiQuantiles, PrecomputedQuantiles
-from repro.core.parallel import MergedSummary, ParallelQuantiles, merge_snapshots
+from repro.core.parallel import (
+    MergedSummary,
+    MergeReport,
+    ParallelQuantiles,
+    merge_snapshots,
+)
 from repro.core.params import (
     KnownNPlan,
     Plan,
@@ -50,6 +64,13 @@ from repro.core.policy import ARSPolicy, CollapsePolicy, MRLPolicy, MunroPaterso
 from repro.core.schedule import AllocationSchedule, MemoryLimits, plan_schedule
 from repro.core.streaming_extreme import StreamingExtremeEstimator
 from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+from repro.persist import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.sampling.reservoir import ReservoirSampler
 
 __version__ = "1.0.0"
@@ -63,8 +84,21 @@ __all__ = [
     "PrecomputedQuantiles",
     "ParallelQuantiles",
     "MergedSummary",
+    "MergeReport",
     "merge_snapshots",
     "ReservoirSampler",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "FaultPlan",
+    "ShardSupervisor",
+    "SupervisorResult",
+    "SupervisorStats",
+    "ShardLostError",
+    "ShipTimeoutError",
+    "partition_stream",
     "CollapseEngine",
     "CollapsePolicy",
     "MRLPolicy",

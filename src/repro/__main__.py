@@ -29,13 +29,34 @@ from repro.core.unknown_n import UnknownNQuantiles
 __all__ = ["main"]
 
 
+class _InputError(Exception):
+    """A malformed input token, located for the user (file:line token)."""
+
+
 def _read_values(path: str | None) -> Iterator[float]:
-    """Whitespace-separated floats from a file, or stdin when path is None."""
+    """Whitespace-separated floats from a file, or stdin when path is None.
+
+    Malformed tokens raise :class:`_InputError` naming the offending token
+    and its line number instead of surfacing a raw ``float()`` traceback;
+    NaN tokens are rejected here too (they have no rank downstream).
+    """
     stream = open(path, "r", encoding="utf-8") if path else sys.stdin
+    source = path if path else "<stdin>"
     try:
-        for line in stream:
+        for lineno, line in enumerate(stream, start=1):
             for token in line.split():
-                yield float(token)
+                try:
+                    value = float(token)
+                except ValueError:
+                    raise _InputError(
+                        f"{source}:{lineno}: {token!r} is not a number"
+                    ) from None
+                if value != value:
+                    raise _InputError(
+                        f"{source}:{lineno}: {token!r} is NaN, which has no "
+                        "rank and cannot be summarised"
+                    )
+                yield value
     finally:
         if path:
             stream.close()
@@ -88,8 +109,12 @@ def _cmd_quantile(args: argparse.Namespace) -> int:
     estimator = UnknownNQuantiles(
         args.eps, args.delta, num_quantiles=len(phis), seed=args.seed
     )
-    for value in _read_values(args.file):
-        estimator.update(value)
+    try:
+        for value in _read_values(args.file):
+            estimator.update(value)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if estimator.n == 0:
         print("no input values", file=sys.stderr)
         return 1
@@ -128,8 +153,12 @@ def _cmd_histogram(args: argparse.Namespace) -> int:
     estimator = MultiQuantiles(
         args.eps, args.delta, num_quantiles=args.buckets - 1, seed=args.seed
     )
-    for value in _read_values(args.file):
-        estimator.update(value)
+    try:
+        for value in _read_values(args.file):
+            estimator.update(value)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if estimator.n == 0:
         print("no input values", file=sys.stderr)
         return 1

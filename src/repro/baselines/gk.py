@@ -80,7 +80,16 @@ class GKQuantiles:
             self._since_compress = 0
 
     def extend(self, values: Iterable[float]) -> None:
-        """Consume many stream elements."""
+        """Consume many stream elements.
+
+        Random-access inputs are NaN-scanned *before* any mutation, so a
+        poisoned batch is rejected atomically (the scalar path's
+        guarantee); one-shot iterators are checked element-by-element.
+        """
+        from repro.core.unknown_n import _contains_nan, _is_random_access
+
+        if _is_random_access(values) and _contains_nan(values):
+            raise ValueError("NaN values have no rank and cannot be summarised")
         for value in values:
             self.update(value)
 

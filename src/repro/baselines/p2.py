@@ -113,7 +113,16 @@ class P2Quantile:
         return q[i] + step * (q[i + step] - q[i]) / (n[i + step] - n[i])
 
     def extend(self, values: Iterable[float]) -> None:
-        """Consume many elements."""
+        """Consume many elements.
+
+        Random-access inputs are NaN-scanned *before* any mutation, so a
+        poisoned batch is rejected atomically (the scalar path's
+        guarantee); one-shot iterators are checked element-by-element.
+        """
+        from repro.core.unknown_n import _contains_nan, _is_random_access
+
+        if _is_random_access(values) and _contains_nan(values):
+            raise ValueError("NaN values have no rank and cannot be summarised")
         for value in values:
             self.update(value)
 

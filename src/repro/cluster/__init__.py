@@ -1,0 +1,43 @@
+"""Supervised sharded ingestion with crash recovery (beyond Section 6).
+
+Section 6 of the paper assumes every processor survives to ship its one
+full + one partial buffer to the coordinator.  This package drops that
+assumption:
+
+* :class:`~repro.cluster.faults.FaultPlan` — deterministic fault injection
+  (crash-at-n, drop-ship, duplicate-ship, truncate-checkpoint) used by the
+  tests and the recovery benchmark.
+* :class:`~repro.cluster.supervisor.ShardSupervisor` — runs N shard
+  workers over partitioned streams with periodic checkpoints
+  (:mod:`repro.persist`), restarts a crashed worker from its last
+  checkpoint and replays only the tail, ships buffers with exponential
+  backoff + jitter, and deduplicates re-shipped buffers by ship-id.
+* Degraded merges — when a shard is unrecoverable, the supervisor falls
+  back to ``merge_snapshots(..., strict=False)`` and the result carries a
+  :class:`~repro.core.parallel.MergeReport` so callers serve the partial
+  answer *knowingly*.
+"""
+
+from repro.cluster.faults import (
+    FaultPlan,
+    ShardCrash,
+    ShardLostError,
+    ShipTimeoutError,
+)
+from repro.cluster.supervisor import (
+    ShardSupervisor,
+    SupervisorResult,
+    SupervisorStats,
+    partition_stream,
+)
+
+__all__ = [
+    "FaultPlan",
+    "ShardCrash",
+    "ShardLostError",
+    "ShipTimeoutError",
+    "ShardSupervisor",
+    "SupervisorResult",
+    "SupervisorStats",
+    "partition_stream",
+]

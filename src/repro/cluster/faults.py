@@ -1,0 +1,89 @@
+"""Deterministic fault injection for the sharded-ingestion runtime.
+
+A :class:`FaultPlan` is a *script* of failures: it names, in advance,
+exactly which shard crashes after consuming how many elements, which ship
+attempts the network eats, which ships arrive twice, and which checkpoint
+writes get torn.  Because the script is data — not timing or randomness —
+every test and benchmark built on it replays identically, which is what
+lets the recovery tests assert byte-identical restore behaviour.
+
+Faults are one-shot: a crash scheduled at ``n`` fires the first time the
+shard reaches ``n`` elements and never again, so a worker restarted from a
+checkpoint replays through the crash point instead of crash-looping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultPlan", "ShardCrash", "ShardLostError", "ShipTimeoutError"]
+
+
+class ShardCrash(Exception):
+    """A shard worker 'process' died mid-stream (injected)."""
+
+    def __init__(self, shard_id: int, at_n: int) -> None:
+        super().__init__(f"shard {shard_id} crashed after {at_n} elements")
+        self.shard_id = shard_id
+        self.at_n = at_n
+
+
+class ShipTimeoutError(Exception):
+    """A shard exhausted its ship retries without a delivery."""
+
+
+class ShardLostError(Exception):
+    """A strict-mode merge was asked to proceed without every shard."""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic script of failures to inject into one supervised run.
+
+    :ivar crash_at: ``{shard_id: n}`` — the shard raises :class:`ShardCrash`
+        the first time it has consumed ``n`` elements (before consuming
+        element ``n``; fires once).
+    :ivar drop_ships: ``{shard_id: count}`` — the first ``count`` ship
+        attempts from that shard are silently dropped by the 'network'.
+    :ivar duplicate_ships: shard ids whose successful ship is delivered
+        twice (same ship-id; the coordinator must deduplicate).
+    :ivar truncate_checkpoints: ``{shard_id: checkpoint_index}`` — that
+        shard's ``index``-th checkpoint write (0-based) is torn in half
+        after the atomic rename, simulating media corruption.
+
+    A plan is single-use: it tracks which faults have fired.  Build a fresh
+    plan per run.
+    """
+
+    crash_at: dict[int, int] = field(default_factory=dict)
+    drop_ships: dict[int, int] = field(default_factory=dict)
+    duplicate_ships: frozenset[int] | set[int] = field(default_factory=frozenset)
+    truncate_checkpoints: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._fired_crashes: set[int] = set()
+        self._drops_left: dict[int, int] = dict(self.drop_ships)
+
+    def take_crash(self, shard_id: int, n: int) -> bool:
+        """True exactly once, when shard ``shard_id`` reaches ``n`` elements."""
+        planned = self.crash_at.get(shard_id)
+        if planned is None or shard_id in self._fired_crashes or n < planned:
+            return False
+        self._fired_crashes.add(shard_id)
+        return True
+
+    def take_drop_ship(self, shard_id: int) -> bool:
+        """True while the shard still has ship attempts scripted to drop."""
+        left = self._drops_left.get(shard_id, 0)
+        if left <= 0:
+            return False
+        self._drops_left[shard_id] = left - 1
+        return True
+
+    def duplicates_ship(self, shard_id: int) -> bool:
+        """True when the shard's delivery should arrive twice."""
+        return shard_id in self.duplicate_ships
+
+    def truncates_checkpoint(self, shard_id: int, checkpoint_index: int) -> bool:
+        """True when this checkpoint write should be torn."""
+        return self.truncate_checkpoints.get(shard_id) == checkpoint_index

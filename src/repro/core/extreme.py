@@ -31,6 +31,7 @@ import heapq
 import math
 import random
 
+from repro.core.unknown_n import _contains_nan, _is_random_access
 from repro.sampling.rate import BernoulliSampler
 from repro.stats.bounds import extreme_sample_size, stein_failure_bound
 
@@ -122,9 +123,56 @@ class ExtremeValueEstimator:
             heapq.heapreplace(self._heap, key)
 
     def extend(self, values) -> None:
-        """Consume many stream elements."""
+        """Consume many stream elements.
+
+        Random-access inputs are NaN-scanned *before* any mutation, so a
+        poisoned batch is rejected atomically (the scalar path's guarantee);
+        one-shot iterators are necessarily checked element-by-element.
+        """
+        if _is_random_access(values) and _contains_nan(values):
+            raise ValueError("NaN values have no rank and cannot be summarised")
         for value in values:
             self.update(value)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.persist for the durable file format)
+    # ------------------------------------------------------------------
+    def to_state_dict(self) -> dict:
+        """The estimator's complete restorable state (including RNG state)."""
+        return {
+            "kind": "extreme",
+            "state_version": 1,
+            "phi": self._phi,
+            "eps": self._eps,
+            "delta": self._delta,
+            "n": self._n,
+            "sample_size": self._sample_size,
+            "k": self._k,
+            "capacity": self._capacity,
+            "sampler": self._sampler.state_dict(),
+            "heap": list(self._heap),
+            "seen": self._seen,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ExtremeValueEstimator":
+        """Rebuild an estimator exactly as :meth:`to_state_dict` captured it."""
+        est = object.__new__(cls)
+        est._phi = float(state["phi"])
+        est._eps = float(state["eps"])
+        est._delta = float(state["delta"])
+        est._n = int(state["n"])
+        est._low_tail = est._phi <= 0.5
+        est._tail_phi = min(est._phi, 1.0 - est._phi)
+        est._sample_size = int(state["sample_size"])
+        est._k = int(state["k"])
+        est._capacity = int(state["capacity"])
+        est._sampler = BernoulliSampler.from_state_dict(state["sampler"])
+        heap = [float(v) for v in state["heap"]]
+        heapq.heapify(heap)
+        est._heap = heap
+        est._seen = int(state["seen"])
+        return est
 
     # ------------------------------------------------------------------
     # Queries

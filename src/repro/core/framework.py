@@ -23,9 +23,9 @@ from __future__ import annotations
 import bisect
 from collections.abc import Callable, Sequence
 
-from repro.core.buffers import Buffer
+from repro.core.buffers import Buffer, BufferState
 from repro.core.operations import collapse_buffers, output_quantile
-from repro.core.policy import CollapsePolicy, MRLPolicy
+from repro.core.policy import POLICY_REGISTRY, CollapsePolicy, MRLPolicy, policy_from_name
 from repro.core.tree import TreeTrace
 from repro.stats.rank import quantile_position, weighted_select_many
 
@@ -258,6 +258,72 @@ class CollapseEngine:
                 output.level,
             )
         return output
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The engine's full restorable state (buffers, flags, counters).
+
+        Checkpointing covers the algorithmic state only: a trace or a
+        custom allocator hook cannot be serialised, and a policy outside
+        the built-in registry cannot be reconstructed by name, so all
+        three are refused loudly instead of silently dropped.
+        """
+        if self._trace is not None:
+            raise ValueError("a traced engine cannot be checkpointed; disable trace")
+        if self._allocator is not None:
+            raise ValueError(
+                "an engine with a custom allocator hook cannot be checkpointed"
+            )
+        if type(self._policy) is not POLICY_REGISTRY.get(self._policy.name):
+            raise ValueError(
+                f"policy {type(self._policy).__name__!r} is not a registered "
+                "built-in policy and cannot be checkpointed"
+            )
+        return {
+            "b": self._b,
+            "k": self._k,
+            "policy": self._policy.name,
+            "low_for_even": self._low_for_even,
+            "alternate_even_offsets": self._alternate,
+            "leaves_created": self._leaves_created,
+            "max_collapse_level": self._max_collapse_level,
+            "collapse_count": self._collapse_count,
+            "collapse_weight_sum": self._collapse_weight_sum,
+            "buffers": [
+                {
+                    "data": list(buf.data),
+                    "weight": buf.weight,
+                    "level": buf.level,
+                    "state": buf.state.value,
+                }
+                for buf in self._buffers
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "CollapseEngine":
+        """Rebuild an engine exactly as :meth:`state_dict` captured it."""
+        engine = cls(
+            int(state["b"]),
+            int(state["k"]),
+            policy_from_name(state["policy"]),
+            alternate_even_offsets=bool(state["alternate_even_offsets"]),
+        )
+        engine._low_for_even = bool(state["low_for_even"])
+        engine._leaves_created = int(state["leaves_created"])
+        engine._max_collapse_level = int(state["max_collapse_level"])
+        engine._collapse_count = int(state["collapse_count"])
+        engine._collapse_weight_sum = int(state["collapse_weight_sum"])
+        for entry in state["buffers"]:
+            buf = Buffer(engine._k)
+            buf.data = [float(v) for v in entry["data"]]
+            buf.weight = int(entry["weight"])
+            buf.level = int(entry["level"])
+            buf.state = BufferState(entry["state"])
+            engine._buffers.append(buf)
+        return engine
 
     # ------------------------------------------------------------------
     # Queries (the Output operation; never modifies state)

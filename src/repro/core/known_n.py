@@ -15,9 +15,9 @@ from collections.abc import Iterable, Sequence
 
 from repro.core.framework import CollapseEngine
 from repro.core.params import KnownNPlan, plan_known_n
-from repro.core.policy import CollapsePolicy
+from repro.core.policy import CollapsePolicy, policy_from_name
 from repro.core.unknown_n import _contains_nan
-from repro.sampling.block import BlockSampler
+from repro.sampling.block import BlockSampler, restore_rng
 
 __all__ = ["KnownNQuantiles"]
 
@@ -117,6 +117,54 @@ class KnownNQuantiles:
             if len(self._staged) == self._engine.k:
                 self._engine.deposit(self._staged, rate, level=0)
                 self._staged = []
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.persist for the durable file format)
+    # ------------------------------------------------------------------
+    def to_state_dict(self) -> dict:
+        """The estimator's complete restorable state (including RNG state)."""
+        return {
+            "kind": "known_n",
+            "state_version": 1,
+            "plan": {
+                "eps": self._plan.eps,
+                "delta": self._plan.delta,
+                "n": self._plan.n,
+                "b": self._plan.b,
+                "k": self._plan.k,
+                "h": self._plan.h,
+                "alpha": self._plan.alpha,
+                "rate": self._plan.rate,
+                "exact": self._plan.exact,
+            },
+            "engine": self._engine.state_dict(),
+            "rng": self._rng.getstate(),
+            "sampler": self._sampler.state_dict(),
+            "staged": list(self._staged),
+            "n": self._n,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "KnownNQuantiles":
+        """Rebuild an estimator exactly as :meth:`to_state_dict` captured it."""
+        plan = KnownNPlan(
+            eps=float(state["plan"]["eps"]),
+            delta=float(state["plan"]["delta"]),
+            n=int(state["plan"]["n"]),
+            b=int(state["plan"]["b"]),
+            k=int(state["plan"]["k"]),
+            h=int(state["plan"]["h"]),
+            alpha=float(state["plan"]["alpha"]),
+            rate=int(state["plan"]["rate"]),
+            exact=bool(state["plan"]["exact"]),
+        )
+        est = cls(plan=plan, policy=policy_from_name(state["engine"]["policy"]))
+        est._engine = CollapseEngine.from_state_dict(state["engine"])
+        est._rng = restore_rng(state["rng"])
+        est._sampler = BlockSampler.from_state_dict(state["sampler"], est._rng)
+        est._staged = [float(v) for v in state["staged"]]
+        est._n = int(state["n"])
+        return est
 
     # ------------------------------------------------------------------
     # Queries

@@ -85,6 +85,23 @@ class MultiQuantiles:
             )
         return self._inner.query_many(phis)
 
+    def to_state_dict(self) -> dict:
+        """The estimator's complete restorable state (wraps the inner one)."""
+        return {
+            "kind": "multi",
+            "state_version": 1,
+            "num_quantiles": self._p,
+            "inner": self._inner.to_state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MultiQuantiles":
+        """Rebuild exactly as :meth:`to_state_dict` captured it."""
+        est = object.__new__(cls)
+        est._p = int(state["num_quantiles"])
+        est._inner = UnknownNQuantiles.from_state_dict(state["inner"])
+        return est
+
     def equidepth_boundaries(self, buckets: int) -> list[float]:
         """The ``buckets - 1`` splitters of an equi-depth histogram."""
         if buckets < 2:

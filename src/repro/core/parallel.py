@@ -33,14 +33,58 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
 from repro.core.framework import CollapseEngine
 from repro.core.operations import collapse_offset, select_collapse_values
 from repro.core.params import Plan, plan_parameters
-from repro.core.policy import CollapsePolicy
+from repro.core.policy import CollapsePolicy, policy_from_name
 from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+from repro.sampling.block import restore_rng
 
-__all__ = ["ParallelQuantiles", "MergedSummary", "merge_snapshots"]
+__all__ = ["ParallelQuantiles", "MergedSummary", "MergeReport", "merge_snapshots"]
+
+
+@dataclass(frozen=True, slots=True)
+class MergeReport:
+    """What a (possibly degraded) merge actually covered.
+
+    Produced by :func:`merge_snapshots`; in ``strict=False`` mode missing
+    or corrupt shard snapshots are tolerated, and this report is how the
+    caller learns the answer is partial *before* serving it.
+
+    :ivar shards_total: shard slots presented to the merge.
+    :ivar shards_included: shards whose data entered the merge.
+    :ivar shards_lost: indices of the shards that were missing.
+    :ivar n_included: stream elements covered by the surviving shards.
+    :ivar n_expected: total elements the full union was expected to hold
+        (caller-supplied, or estimated as survivors-mean x shard count).
+    :ivar weight_coverage: ``n_included / n_expected`` — the fraction of
+        the union's weight the answer actually rests on.
+    """
+
+    shards_total: int
+    shards_included: int
+    shards_lost: tuple[int, ...]
+    n_included: int
+    n_expected: int
+    weight_coverage: float
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard made it into the merge."""
+        return not self.shards_lost
+
+    def effective_eps(self, eps: float) -> float:
+        """The rank guarantee inflated by the lost weight.
+
+        A value at rank ``r`` among the surviving ``n_inc`` elements can sit
+        anywhere in ``[r, r + n_lost]`` of the full union, so the per-rank
+        uncertainty grows from ``eps * n_inc`` to ``eps * n_inc + n_lost``;
+        normalising by ``n_expected`` gives
+        ``eps * coverage + (1 - coverage)``.
+        """
+        return eps * self.weight_coverage + (1.0 - self.weight_coverage)
 
 
 class MergedSummary:
@@ -53,9 +97,15 @@ class MergedSummary:
     again.
     """
 
-    def __init__(self, coordinator: "_Coordinator", n: int) -> None:
+    def __init__(
+        self,
+        coordinator: "_Coordinator",
+        n: int,
+        report: MergeReport | None = None,
+    ) -> None:
         self._coordinator = coordinator
         self._n = n
+        self._report = report
 
     def query(self, phi: float) -> float:
         """The weighted phi-quantile of the merged summaries."""
@@ -75,13 +125,60 @@ class MergedSummary:
         """Weight mass Output covers (≈ n, up to shrink rounding)."""
         return self._coordinator.total_weight
 
+    @property
+    def report(self) -> MergeReport | None:
+        """Coverage report of the merge (always set by ``strict=False``)."""
+        return self._report
+
+    def to_state_dict(self) -> dict:
+        """The merge's complete restorable state, as plain data."""
+        state = {
+            "kind": "merged",
+            "state_version": 1,
+            "n": self._n,
+            "coordinator": self._coordinator.state_dict(),
+            "report": None,
+        }
+        if self._report is not None:
+            state["report"] = {
+                "shards_total": self._report.shards_total,
+                "shards_included": self._report.shards_included,
+                "shards_lost": list(self._report.shards_lost),
+                "n_included": self._report.n_included,
+                "n_expected": self._report.n_expected,
+                "weight_coverage": self._report.weight_coverage,
+            }
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MergedSummary":
+        """Rebuild a merge exactly as :meth:`to_state_dict` captured it."""
+        report = None
+        if state["report"] is not None:
+            raw = state["report"]
+            report = MergeReport(
+                shards_total=int(raw["shards_total"]),
+                shards_included=int(raw["shards_included"]),
+                shards_lost=tuple(int(i) for i in raw["shards_lost"]),
+                n_included=int(raw["n_included"]),
+                n_expected=int(raw["n_expected"]),
+                weight_coverage=float(raw["weight_coverage"]),
+            )
+        return cls(
+            _Coordinator.from_state_dict(state["coordinator"]),
+            int(state["n"]),
+            report,
+        )
+
 
 def merge_snapshots(
-    snapshots: Sequence[EstimatorSnapshot],
+    snapshots: Sequence[EstimatorSnapshot | None],
     *,
     b: int | None = None,
     policy: CollapsePolicy | None = None,
     seed: int | None = None,
+    strict: bool = True,
+    expected_n: int | None = None,
 ) -> MergedSummary:
     """Merge estimator snapshots into one queryable summary (Section 6).
 
@@ -94,8 +191,26 @@ def merge_snapshots(
         global_median = merged.query(0.5)
 
     :param b: coordinator buffer count (default: max(2, #snapshots)).
+    :param strict: when True (default), a ``None`` entry — a shard whose
+        snapshot was lost or failed checkpoint verification — raises
+        :class:`ValueError`.  With ``strict=False`` the merge degrades
+        gracefully: lost shards are skipped and the result's
+        :attr:`MergedSummary.report` says exactly how much of the union's
+        weight the answer covers (and, via
+        :meth:`MergeReport.effective_eps`, what the guarantee inflates to).
+    :param expected_n: total union size the caller expected; used by the
+        degraded-mode coverage fraction.  When omitted, each lost shard is
+        assumed to have carried the surviving shards' mean load.
     """
-    populated = [snap for snap in snapshots if snap.n > 0]
+    snapshots = list(snapshots)
+    lost = tuple(i for i, snap in enumerate(snapshots) if snap is None)
+    if lost and strict:
+        raise ValueError(
+            f"snapshots for shards {list(lost)} are missing; pass strict=False "
+            "to merge the surviving shards into a partial answer"
+        )
+    present = [snap for snap in snapshots if snap is not None]
+    populated = [snap for snap in present if snap.n > 0]
     if not populated:
         raise ValueError("no snapshot contains any data")
     k = populated[0].k
@@ -111,7 +226,43 @@ def merge_snapshots(
             coordinator.receive_full(*full)
         if partial is not None:
             coordinator.receive_partial(*partial)
-    return MergedSummary(coordinator, sum(snap.n for snap in populated))
+    n_included = sum(snap.n for snap in populated)
+    report = _coverage_report(
+        shards_total=len(snapshots),
+        shards_lost=lost,
+        n_included=n_included,
+        included_count=len(present),
+        expected_n=expected_n,
+    )
+    return MergedSummary(coordinator, n_included, report)
+
+
+def _coverage_report(
+    *,
+    shards_total: int,
+    shards_lost: tuple[int, ...],
+    n_included: int,
+    included_count: int,
+    expected_n: int | None,
+) -> MergeReport:
+    """Build the :class:`MergeReport` for a (possibly degraded) merge."""
+    if expected_n is None:
+        if shards_lost and included_count > 0:
+            # Best-effort estimate: each lost shard carried the mean load of
+            # the survivors (exact under even partitioning).
+            mean_load = n_included / included_count
+            expected_n = round(n_included + mean_load * len(shards_lost))
+        else:
+            expected_n = n_included
+    coverage = n_included / expected_n if expected_n > 0 else 0.0
+    return MergeReport(
+        shards_total=shards_total,
+        shards_included=included_count,
+        shards_lost=shards_lost,
+        n_included=n_included,
+        n_expected=expected_n,
+        weight_coverage=min(1.0, coverage),
+    )
 
 
 class ParallelQuantiles:
@@ -172,17 +323,36 @@ class ParallelQuantiles:
     # ------------------------------------------------------------------
     # Stream consumption
     # ------------------------------------------------------------------
+    def _worker_at(self, worker_id: int) -> UnknownNQuantiles:
+        """Range-checked worker lookup.
+
+        Rejects negative ids explicitly: Python's list wrap-around would
+        otherwise silently route ``worker_id=-1`` into the *last* worker's
+        stream, corrupting per-shard attribution.
+        """
+        if not isinstance(worker_id, int) or isinstance(worker_id, bool):
+            raise TypeError(
+                f"worker_id must be an int, got {type(worker_id).__name__}"
+            )
+        if not 0 <= worker_id < len(self._workers):
+            raise IndexError(
+                f"worker_id {worker_id} out of range: this ParallelQuantiles "
+                f"has {len(self._workers)} workers (valid ids are "
+                f"0..{len(self._workers) - 1})"
+            )
+        return self._workers[worker_id]
+
     def update(self, worker_id: int, value: float) -> None:
         """Feed one element into one worker's stream."""
-        self._workers[worker_id].update(value)
+        self._worker_at(worker_id).update(value)
 
     def extend(self, worker_id: int, values: Iterable[float]) -> None:
         """Feed many elements into one worker's stream."""
-        self._workers[worker_id].extend(values)
+        self._worker_at(worker_id).extend(values)
 
     def worker(self, worker_id: int) -> UnknownNQuantiles:
         """Direct access to one worker (e.g. for per-stream queries)."""
-        return self._workers[worker_id]
+        return self._worker_at(worker_id)
 
     @property
     def num_workers(self) -> int:
@@ -204,6 +374,39 @@ class ParallelQuantiles:
         """Element slots across workers plus the coordinator's pool."""
         per_worker = sum(worker.memory_elements for worker in self._workers)
         return per_worker + self._coordinator_buffers * self._plan.k
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.persist for the durable file format)
+    # ------------------------------------------------------------------
+    def to_state_dict(self) -> dict:
+        """Complete restorable state: every worker plus the merge seed."""
+        return {
+            "kind": "parallel",
+            "state_version": 1,
+            "policy": self._policy.name if self._policy is not None else None,
+            "coordinator_buffers": self._coordinator_buffers,
+            "merge_seed": self._merge_seed,
+            "rng": self._rng.getstate(),
+            "workers": [worker.to_state_dict() for worker in self._workers],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ParallelQuantiles":
+        """Rebuild exactly as :meth:`to_state_dict` captured it."""
+        if not state["workers"]:
+            raise ValueError("a ParallelQuantiles state needs at least one worker")
+        pq = object.__new__(cls)
+        pq._workers = [
+            UnknownNQuantiles.from_state_dict(worker) for worker in state["workers"]
+        ]
+        pq._plan = pq._workers[0].plan
+        pq._policy = (
+            policy_from_name(state["policy"]) if state["policy"] is not None else None
+        )
+        pq._coordinator_buffers = int(state["coordinator_buffers"])
+        pq._merge_seed = int(state["merge_seed"])
+        pq._rng = restore_rng(state["rng"])
+        return pq
 
     # ------------------------------------------------------------------
     # Merge + query
@@ -327,6 +530,26 @@ class _Coordinator:
         """The final Output over P0's buffers plus the leftover B0."""
         extra = [(sorted(self._b0), self._b0_weight)] if self._b0 else []
         return self._engine.query(phi, extra)
+
+    def state_dict(self) -> dict:
+        """P0's full restorable state (engine pool, B0, merge RNG)."""
+        return {
+            "engine": self._engine.state_dict(),
+            "rng": self.rng.getstate(),
+            "b0": list(self._b0),
+            "b0_weight": self._b0_weight,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "_Coordinator":
+        """Rebuild P0 exactly as :meth:`state_dict` captured it."""
+        coordinator = object.__new__(cls)
+        coordinator._engine = CollapseEngine.from_state_dict(state["engine"])
+        coordinator._k = coordinator._engine.k
+        coordinator.rng = restore_rng(state["rng"])
+        coordinator._b0 = [float(v) for v in state["b0"]]
+        coordinator._b0_weight = int(state["b0_weight"])
+        return coordinator
 
     @property
     def total_weight(self) -> int:

@@ -35,6 +35,7 @@ __all__ = [
     "MRLPolicy",
     "MunroPatersonPolicy",
     "ARSPolicy",
+    "policy_from_name",
 ]
 
 
@@ -169,6 +170,27 @@ class ARSPolicy(CollapsePolicy):
     def leaves_per_sampled_level(self, b: int, h: int) -> int:
         _check_tree_args(b, h)
         return b - 1
+
+
+#: The named, stateless policies a checkpoint can reconstruct by name.
+#: Custom policy objects fall outside this registry and therefore cannot be
+#: checkpointed (repro.persist refuses them loudly rather than guessing).
+POLICY_REGISTRY: dict[str, type[CollapsePolicy]] = {
+    MRLPolicy.name: MRLPolicy,
+    MunroPatersonPolicy.name: MunroPatersonPolicy,
+    ARSPolicy.name: ARSPolicy,
+}
+
+
+def policy_from_name(name: str) -> CollapsePolicy:
+    """Reconstruct a built-in collapse policy from its registry name."""
+    try:
+        return POLICY_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown collapse policy {name!r}; checkpointable policies are "
+            f"{sorted(POLICY_REGISTRY)}"
+        ) from None
 
 
 def _check_tree_args(b: int, h: int) -> None:

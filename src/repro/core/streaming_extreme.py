@@ -34,6 +34,8 @@ import heapq
 import math
 import random
 
+from repro.core.unknown_n import _contains_nan, _is_random_access
+from repro.sampling.block import restore_rng
 from repro.stats.bounds import extreme_sample_size, stein_failure_bound
 
 __all__ = ["StreamingExtremeEstimator"]
@@ -110,9 +112,58 @@ class StreamingExtremeEstimator:
             self._halve()
 
     def extend(self, values) -> None:
-        """Consume many stream elements."""
+        """Consume many stream elements.
+
+        Random-access inputs are NaN-scanned *before* any mutation, so a
+        poisoned batch is rejected atomically (the scalar path's guarantee);
+        one-shot iterators are necessarily checked element-by-element.
+        """
+        if _is_random_access(values) and _contains_nan(values):
+            raise ValueError("NaN values have no rank and cannot be summarised")
         for value in values:
             self.update(value)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.persist for the durable file format)
+    # ------------------------------------------------------------------
+    def to_state_dict(self) -> dict:
+        """The estimator's complete restorable state (including RNG state)."""
+        return {
+            "kind": "streaming_extreme",
+            "state_version": 1,
+            "phi": self._phi,
+            "eps": self._eps,
+            "delta": self._delta,
+            "stein_size": self._stein_size,
+            "budget": self._budget,
+            "capacity": self._capacity,
+            "rng": self._rng.getstate(),
+            "probability": self._probability,
+            "sampled": self._sampled,
+            "heap": list(self._heap),
+            "seen": self._seen,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StreamingExtremeEstimator":
+        """Rebuild an estimator exactly as :meth:`to_state_dict` captured it."""
+        est = object.__new__(cls)
+        est._phi = float(state["phi"])
+        est._eps = float(state["eps"])
+        est._delta = float(state["delta"])
+        est._tail_phi = min(est._phi, 1.0 - est._phi)
+        est._low_tail = est._phi <= 0.5
+        est._stein_size = int(state["stein_size"])
+        est._budget = int(state["budget"])
+        est._capacity = int(state["capacity"])
+        est._rng = restore_rng(state["rng"])
+        est._probability = float(state["probability"])
+        est._sampled = int(state["sampled"])
+        heap = [float(v) for v in state["heap"]]
+        heapq.heapify(heap)
+        est._heap = heap
+        est._seen = int(state["seen"])
+        return est
 
     def _halve(self) -> None:
         """Halve the sampling rate; thin the live sample by fair coins.

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from repro.core.framework import AllocatorHook, CollapseEngine
 from repro.core.params import Plan, plan_parameters
 from repro.core.policy import CollapsePolicy
-from repro.sampling.block import BlockSampler
+from repro.sampling.block import BlockSampler, restore_rng
 
 __all__ = ["UnknownNQuantiles", "EstimatorSnapshot"]
 
@@ -49,6 +49,13 @@ def _contains_nan(values: Sequence[float]) -> bool:
     if _numpy is not None and isinstance(values, _numpy.ndarray):
         return bool(_numpy.isnan(values).any())
     return any(value != value for value in values)
+
+
+def _is_random_access(values: object) -> bool:
+    """True for inputs that can be pre-scanned without consuming them."""
+    return hasattr(values, "__len__") and hasattr(values, "__getitem__")
+
+
 
 
 @dataclass(frozen=True, slots=True)
@@ -286,6 +293,67 @@ class UnknownNQuantiles:
     def engine(self) -> CollapseEngine:
         """The underlying buffer engine (tests, diagnostics)."""
         return self._engine
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.persist for the durable file format)
+    # ------------------------------------------------------------------
+    def to_state_dict(self) -> dict:
+        """The estimator's complete restorable state, as plain data.
+
+        Includes the RNG state, so restore-then-stream is bit-identical to
+        an uninterrupted run: the estimator makes exactly the same sampling
+        choices either way.
+        """
+        return {
+            "kind": "unknown_n",
+            "state_version": 1,
+            "plan": {
+                "eps": self._plan.eps,
+                "delta": self._plan.delta,
+                "b": self._plan.b,
+                "k": self._plan.k,
+                "h": self._plan.h,
+                "alpha": self._plan.alpha,
+                "leaves_before_sampling": self._plan.leaves_before_sampling,
+                "leaves_per_level": self._plan.leaves_per_level,
+                "policy_name": self._plan.policy_name,
+            },
+            "engine": self._engine.state_dict(),
+            "rng": self._rng.getstate(),
+            "sampler": self._sampler.state_dict(),
+            "staged": list(self._staged),
+            "n": self._n,
+            "rate": self._rate,
+            "level": self._level,
+            "new_pending": self._new_pending,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "UnknownNQuantiles":
+        """Rebuild an estimator exactly as :meth:`to_state_dict` captured it."""
+        from repro.core.policy import policy_from_name
+
+        plan = Plan(
+            eps=float(state["plan"]["eps"]),
+            delta=float(state["plan"]["delta"]),
+            b=int(state["plan"]["b"]),
+            k=int(state["plan"]["k"]),
+            h=int(state["plan"]["h"]),
+            alpha=float(state["plan"]["alpha"]),
+            leaves_before_sampling=int(state["plan"]["leaves_before_sampling"]),
+            leaves_per_level=int(state["plan"]["leaves_per_level"]),
+            policy_name=state["plan"]["policy_name"],
+        )
+        est = cls(plan=plan, policy=policy_from_name(plan.policy_name))
+        est._engine = CollapseEngine.from_state_dict(state["engine"])
+        est._rng = restore_rng(state["rng"])
+        est._sampler = BlockSampler.from_state_dict(state["sampler"], est._rng)
+        est._staged = [float(v) for v in state["staged"]]
+        est._n = int(state["n"])
+        est._rate = int(state["rate"])
+        est._level = int(state["level"])
+        est._new_pending = bool(state["new_pending"])
+        return est
 
     def snapshot(self) -> "EstimatorSnapshot":
         """A read-only copy of the estimator's state.

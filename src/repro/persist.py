@@ -1,0 +1,242 @@
+"""Durable, verifiable checkpoints for every estimator in the library.
+
+Sketch summaries earn their keep in production precisely because they can
+be persisted, shipped, and merged (the operational case t-digest and KLL
+made canonical); this module gives the MRL99 estimators the same property
+with three layers:
+
+* **State dicts** — each estimator exposes ``to_state_dict()`` /
+  ``from_state_dict()`` returning plain data (including RNG state, so a
+  restored estimator continues the stream *bit-identically* to one that
+  never stopped).  :func:`to_state_dict` / :func:`from_state_dict` here
+  dispatch on the embedded ``kind`` tag.
+* **Framed bytes** — :func:`dumps` / :func:`loads` wrap the state dict in a
+  magic + format-version + length + CRC32 frame.  ``loads`` never trusts
+  unverified bytes: a wrong magic, a short read, a flipped bit, or a
+  length mismatch raises :class:`CheckpointCorruptError`; an unknown frame
+  or state version raises :class:`CheckpointVersionError`.  The payload is
+  JSON, not pickle, so a corrupt or hostile file can never execute code.
+* **Atomic files** — :func:`save_checkpoint` writes to a temporary file in
+  the target directory, fsyncs, then ``os.replace``\\ s into place, so a
+  crash mid-write leaves either the old checkpoint or the new one — never
+  a torn file.  :func:`load_checkpoint` reads and verifies.
+
+The crash-recovery runtime in :mod:`repro.cluster` is built on this layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+
+from repro.core.extreme import ExtremeValueEstimator
+from repro.core.known_n import KnownNQuantiles
+from repro.core.multi import MultiQuantiles
+from repro.core.parallel import MergedSummary, ParallelQuantiles
+from repro.core.streaming_extreme import StreamingExtremeEstimator
+from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "to_state_dict",
+    "from_state_dict",
+    "dumps",
+    "loads",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+#: 8-byte file signature; never reused across incompatible layouts.
+MAGIC = b"RPROCKPT"
+#: Version of the byte frame (magic/length/CRC layout).
+FORMAT_VERSION = 1
+#: Version of the state-dict schemas the estimators emit.
+STATE_VERSION = 1
+
+_HEADER = struct.Struct(">II Q")  # format version, CRC32, payload length
+
+
+class CheckpointError(Exception):
+    """Base class for checkpoint load/save failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The checkpoint bytes fail verification (truncated, flipped, torn)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint is well-formed but written by an incompatible version."""
+
+
+# ----------------------------------------------------------------------
+# State-dict dispatch
+# ----------------------------------------------------------------------
+
+_CHECKPOINTABLE = {
+    "unknown_n": UnknownNQuantiles,
+    "known_n": KnownNQuantiles,
+    "multi": MultiQuantiles,
+    "extreme": ExtremeValueEstimator,
+    "streaming_extreme": StreamingExtremeEstimator,
+    "parallel": ParallelQuantiles,
+    "merged": MergedSummary,
+}
+
+
+def _snapshot_to_state_dict(snap: EstimatorSnapshot) -> dict:
+    """EstimatorSnapshot is a frozen value object; serialised field-wise."""
+    return {
+        "kind": "snapshot",
+        "state_version": STATE_VERSION,
+        "full_buffers": [[list(data), weight] for data, weight in snap.full_buffers],
+        "staged": list(snap.staged),
+        "rate": snap.rate,
+        "pending": list(snap.pending) if snap.pending is not None else None,
+        "n": snap.n,
+        "k": snap.k,
+    }
+
+
+def _snapshot_from_state_dict(state: dict) -> EstimatorSnapshot:
+    pending = state["pending"]
+    return EstimatorSnapshot(
+        full_buffers=[
+            ([float(v) for v in data], int(weight))
+            for data, weight in state["full_buffers"]
+        ],
+        staged=[float(v) for v in state["staged"]],
+        rate=int(state["rate"]),
+        pending=(float(pending[0]), int(pending[1])) if pending is not None else None,
+        n=int(state["n"]),
+        k=int(state["k"]),
+    )
+
+
+def to_state_dict(obj) -> dict:
+    """The plain-data state of any checkpointable object."""
+    if isinstance(obj, EstimatorSnapshot):
+        return _snapshot_to_state_dict(obj)
+    for cls in _CHECKPOINTABLE.values():
+        if isinstance(obj, cls):
+            return obj.to_state_dict()
+    raise TypeError(
+        f"{type(obj).__name__} is not checkpointable; supported types are "
+        f"{sorted(c.__name__ for c in _CHECKPOINTABLE.values())} and "
+        "EstimatorSnapshot"
+    )
+
+
+def from_state_dict(state: dict):
+    """Rebuild the object a state dict describes, dispatching on its kind."""
+    if not isinstance(state, dict) or "kind" not in state:
+        raise CheckpointCorruptError("state dict has no 'kind' tag")
+    version = state.get("state_version")
+    if version != STATE_VERSION:
+        raise CheckpointVersionError(
+            f"state version {version!r} is not supported "
+            f"(this build reads version {STATE_VERSION})"
+        )
+    kind = state["kind"]
+    if kind == "snapshot":
+        return _snapshot_from_state_dict(state)
+    try:
+        cls = _CHECKPOINTABLE[kind]
+    except KeyError:
+        raise CheckpointCorruptError(f"unknown checkpoint kind {kind!r}") from None
+    try:
+        return cls.from_state_dict(state)
+    except (KeyError, TypeError, IndexError) as exc:
+        raise CheckpointCorruptError(
+            f"malformed {kind!r} state dict: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Byte framing
+# ----------------------------------------------------------------------
+
+def dumps(obj) -> bytes:
+    """Serialise a checkpointable object to verified, framed bytes."""
+    payload = json.dumps(to_state_dict(obj), separators=(",", ":")).encode("utf-8")
+    header = MAGIC + _HEADER.pack(FORMAT_VERSION, zlib.crc32(payload), len(payload))
+    return header + payload
+
+
+def loads(data: bytes):
+    """Rebuild an object from framed bytes, verifying every layer first."""
+    header_size = len(MAGIC) + _HEADER.size
+    if len(data) < header_size:
+        raise CheckpointCorruptError(
+            f"checkpoint truncated: {len(data)} bytes is shorter than the "
+            f"{header_size}-byte header"
+        )
+    if data[: len(MAGIC)] != MAGIC:
+        raise CheckpointCorruptError("bad magic: not a repro checkpoint")
+    version, crc, length = _HEADER.unpack_from(data, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise CheckpointVersionError(
+            f"checkpoint format version {version} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    payload = data[header_size:]
+    if len(payload) != length:
+        raise CheckpointCorruptError(
+            f"checkpoint truncated: header promises {length} payload bytes, "
+            f"found {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CheckpointCorruptError("CRC mismatch: checkpoint bytes are corrupt")
+    try:
+        state = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(f"checkpoint payload is not valid JSON: {exc}") from exc
+    return from_state_dict(state)
+
+
+# ----------------------------------------------------------------------
+# Atomic file persistence
+# ----------------------------------------------------------------------
+
+def save_checkpoint(obj, path: str | os.PathLike) -> None:
+    """Atomically write a checkpoint: temp file + fsync + rename.
+
+    A crash at any instant leaves ``path`` holding either the previous
+    checkpoint in full or the new one in full.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    data = dumps(obj)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:  # make the rename itself durable where the platform allows
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+
+
+def load_checkpoint(path: str | os.PathLike):
+    """Read and verify a checkpoint file; raises the typed errors on damage."""
+    with open(path, "rb") as handle:
+        return loads(handle.read())

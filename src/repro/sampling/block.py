@@ -19,7 +19,26 @@ import random
 from collections.abc import Sequence
 from typing import Optional
 
-__all__ = ["BlockSampler"]
+__all__ = ["BlockSampler", "restore_rng"]
+
+
+def restore_rng(state: Sequence) -> random.Random:
+    """Rebuild a ``random.Random`` from a (possibly JSON-decoded) getstate().
+
+    JSON round-trips turn the state's tuples into lists, so the exact
+    ``(int, tuple[int, ...], float | None)`` shape ``setstate`` demands is
+    re-imposed here.
+    """
+    version, internal, gauss_next = state
+    rng = random.Random()
+    rng.setstate(
+        (
+            int(version),
+            tuple(int(word) for word in internal),
+            None if gauss_next is None else float(gauss_next),
+        )
+    )
+    return rng
 
 
 class BlockSampler:
@@ -125,6 +144,22 @@ class BlockSampler:
             if result is not None:  # cannot happen (tail < rate), but be safe
                 chosen.append(result)
         return chosen
+
+    def state_dict(self) -> dict:
+        """The sampler's restorable state (the RNG is owned by the caller)."""
+        return {
+            "rate": self._rate,
+            "seen_in_block": self._seen_in_block,
+            "candidate": self._candidate,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict, rng: random.Random) -> "BlockSampler":
+        """Rebuild a sampler mid-block; ``rng`` is the caller's restored RNG."""
+        sampler = cls(rate=int(state["rate"]), rng=rng)
+        sampler._seen_in_block = int(state["seen_in_block"])
+        sampler._candidate = state["candidate"]
+        return sampler
 
     def reset(self, rate: int) -> None:
         """Start afresh with a new block size, discarding any partial block.

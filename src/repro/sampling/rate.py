@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.sampling.block import BlockSampler
+from repro.sampling.block import BlockSampler, restore_rng
 
 __all__ = ["BernoulliSampler", "SystematicSampler"]
 
@@ -57,6 +57,23 @@ class BernoulliSampler:
             self._kept += 1
             return value
         return None
+
+    def state_dict(self) -> dict:
+        """The sampler's restorable state, including its RNG state."""
+        return {
+            "probability": self._probability,
+            "offered": self._offered,
+            "kept": self._kept,
+            "rng": self._rng.getstate(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "BernoulliSampler":
+        """Rebuild a sampler exactly as :meth:`state_dict` captured it."""
+        sampler = cls(float(state["probability"]), restore_rng(state["rng"]))
+        sampler._offered = int(state["offered"])
+        sampler._kept = int(state["kept"])
+        return sampler
 
 
 class SystematicSampler:

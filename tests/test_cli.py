@@ -66,6 +66,46 @@ class TestQuantileCommand:
         assert "memory=" in err
 
 
+class TestMalformedInput:
+    def test_bad_token_reports_location_and_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3\n4 five 6\n7 8 9\n")
+        code = main(["quantile", str(bad), "--seed", "1"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # no partial answer on stdout
+        assert "error:" in captured.err
+        assert f"{bad}:2" in captured.err  # the offending line number
+        assert "'five'" in captured.err  # the offending token
+
+    def test_bad_token_on_stdin_names_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("1 2\noops\n"))
+        code = main(["quantile", "--seed", "1"])
+        assert code == 2
+        assert "<stdin>:2" in capsys.readouterr().err
+
+    def test_nan_token_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "nan.txt"
+        bad.write_text("1 2\n3 nan 5\n")
+        code = main(["quantile", str(bad), "--seed", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"{bad}:2" in err
+        assert "NaN" in err
+
+    def test_histogram_bad_token_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3 4 5 6 7 8 9 x\n")
+        code = main(["histogram", str(bad), "--buckets", "4", "--seed", "1"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert f"{bad}:1" in captured.err
+        assert "'x'" in captured.err
+
+
 class TestPlanCommand:
     def test_unknown_only(self, capsys):
         code = main(["plan", "--eps", "0.01", "--delta", "1e-4"])

@@ -80,6 +80,43 @@ class TestConstruction:
         assert pq.n == 1
 
 
+class TestWorkerIdValidation:
+    """Negative ids must not silently wrap around to the last worker."""
+
+    @pytest.fixture
+    def pq(self):
+        return ParallelQuantiles(3, plan=SMALL_PLAN, seed=0)
+
+    @pytest.mark.parametrize("bad_id", [-1, -3, 3, 100])
+    def test_out_of_range_update_raises(self, pq, bad_id):
+        with pytest.raises(IndexError, match="3 workers"):
+            pq.update(bad_id, 1.0)
+        assert pq.n == 0  # nothing was ingested anywhere
+
+    @pytest.mark.parametrize("bad_id", [-1, 3])
+    def test_out_of_range_extend_raises(self, pq, bad_id):
+        with pytest.raises(IndexError, match="valid ids are 0..2"):
+            pq.extend(bad_id, [1.0, 2.0])
+        assert pq.n == 0
+
+    @pytest.mark.parametrize("bad_id", [-1, 3])
+    def test_out_of_range_worker_raises(self, pq, bad_id):
+        with pytest.raises(IndexError, match="3 workers"):
+            pq.worker(bad_id)
+
+    @pytest.mark.parametrize("bad_id", [1.0, "1", None, True])
+    def test_non_int_worker_id_raises_type_error(self, pq, bad_id):
+        with pytest.raises(TypeError):
+            pq.update(bad_id, 1.0)
+
+    def test_negative_id_no_longer_hits_last_worker(self, pq):
+        # The historical bug: list indexing made worker_id=-1 ingest into
+        # worker 2. Verify the last worker stays untouched.
+        with pytest.raises(IndexError):
+            pq.update(-1, 42.0)
+        assert pq.worker(2).n == 0
+
+
 class TestUnionSemantics:
     def test_matches_union_of_streams(self):
         rng = random.Random(5)

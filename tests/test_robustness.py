@@ -55,6 +55,63 @@ class TestNaN:
             est.update(float("nan"))
 
 
+class TestNaNBatch:
+    """A poisoned batch must be rejected atomically: nothing is ingested."""
+
+    POISONED = [1.0, 2.0, float("nan"), 4.0]
+
+    def _assert_atomic_rejection(self, estimator) -> None:
+        with pytest.raises(ValueError, match="NaN"):
+            estimator.extend(self.POISONED)
+        assert estimator.n == 0
+
+    def test_unknown_n_batch(self):
+        self._assert_atomic_rejection(UnknownNQuantiles(plan=TINY_PLAN, seed=0))
+
+    def test_known_n_batch(self):
+        self._assert_atomic_rejection(KnownNQuantiles(0.05, 1e-2, 100, seed=0))
+
+    def test_extreme_batch(self):
+        est = ExtremeValueEstimator(phi=0.95, eps=0.01, delta=1e-2, n=1000, seed=0)
+        with pytest.raises(ValueError, match="NaN"):
+            est.extend(self.POISONED)
+        assert est.seen == 0
+        assert est.sampled == 0
+
+    def test_streaming_extreme_batch(self):
+        est = StreamingExtremeEstimator(phi=0.95, eps=0.01, delta=1e-2, seed=0)
+        with pytest.raises(ValueError, match="NaN"):
+            est.extend(self.POISONED)
+        assert est.seen == 0
+        assert est.sampled == 0
+
+    def test_gk_batch(self):
+        from repro.baselines.gk import GKQuantiles
+
+        self._assert_atomic_rejection(GKQuantiles(eps=0.05))
+
+    def test_p2_batch(self):
+        from repro.baselines.p2 import P2Quantile
+
+        self._assert_atomic_rejection(P2Quantile(phi=0.5))
+
+    def test_exact_store_batch(self):
+        from repro.baselines.exact import SortedStore
+
+        store = SortedStore()
+        with pytest.raises(ValueError, match="NaN"):
+            store.extend(self.POISONED)
+        assert store.n == 0
+
+    def test_one_shot_iterator_stops_at_nan(self):
+        # Generators can't be pre-scanned; the NaN is still rejected, and
+        # only the clean prefix was consumed.
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=0)
+        with pytest.raises(ValueError, match="NaN"):
+            est.extend(iter(self.POISONED))
+        assert est.n == 2
+
+
 class TestInfinities:
     def test_infinities_are_rankable(self):
         # +/-inf are legitimate orderable values; they must flow through
