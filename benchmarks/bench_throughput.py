@@ -6,19 +6,40 @@ adopt needs ingest numbers.  Real pytest-benchmark timings of consuming a
 per element once sampling starts (most elements are discarded after one
 RNG call), and no estimator is pathologically slower than the reservoir
 baseline.
+
+This file is also a standalone script: ``python benchmarks/bench_throughput.py``
+runs the kernel-backend perf trajectory (1M-element batch ingest and
+cached-vs-uncached ``query_many`` on every available backend) and writes
+the machine-readable ``BENCH_throughput.json`` at the repo root, so the
+speedups claimed in docs/PERFORMANCE.md stay pinned to measurements.
+Use ``--smoke`` for the fast CI variant.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import pathlib
 import random
+import time
+
+import pytest
 
 from repro.core.extreme import ExtremeValueEstimator
 from repro.core.known_n import KnownNQuantiles
 from repro.core.unknown_n import UnknownNQuantiles
+from repro.kernels import available_backends
 from repro.sampling.reservoir import ReservoirSampler
 
 N = 50_000
 EPS, DELTA = 0.01, 1e-3
+
+BACKENDS = available_backends()
+
+#: Seed-revision constants the perf criteria are measured against
+#: (pure-python, element-at-a-time ingest; uncached heapq-merge queries).
+SEED_BATCH_INGEST_ELEMS_PER_S = 1_571_605
+SEED_QUERY_MANY_MS = 1.635
 
 
 def make_data():
@@ -96,10 +117,12 @@ def test_throughput_reservoir(benchmark):
     assert sampler.seen == N
 
 
-def test_throughput_unknown_n_batch_ingest(benchmark):
-    # The bulk path: one RNG draw per sampling block instead of per element.
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_throughput_unknown_n_batch_ingest(benchmark, backend):
+    # The bulk path: one RNG draw per sampling block instead of per element,
+    # on every backend the host has (python always; numpy when installed).
     def run():
-        est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=7)
+        est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=7, backend=backend)
         est.update_batch(DATA)
         return est
 
@@ -131,8 +154,11 @@ def test_throughput_p2_heuristic(benchmark):
     assert p2.n == N
 
 
-def test_throughput_query_many(benchmark):
-    est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=6)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_throughput_query_many(benchmark, backend):
+    # Repeated queries between updates hit the engine's memoised combined
+    # view: every call after the first is b*k binary searches, no re-merge.
+    est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=6, backend=backend)
     est.extend(DATA)
     phis = [i / 100 for i in range(1, 100)]
 
@@ -141,3 +167,138 @@ def test_throughput_query_many(benchmark):
 
     values = benchmark(run)
     assert len(values) == 99
+
+
+def test_throughput_query_many_uncached(benchmark):
+    # The cache ablation: same queries with the engine's memoised views
+    # disabled, i.e. a full weighted re-merge on every call (the seed
+    # behaviour).  The cached variant above should win by >= 10x.
+    est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=6)
+    est.extend(DATA)
+    est._engine._cache_enabled = False
+    phis = [i / 100 for i in range(1, 100)]
+
+    def run():
+        return est.query_many(phis)
+
+    values = benchmark(run)
+    assert len(values) == 99
+
+
+# ----------------------------------------------------------------------
+# Standalone perf trajectory: writes BENCH_throughput.json at repo root
+# ----------------------------------------------------------------------
+
+_QUERY_PHIS = [i / 100 for i in range(1, 100)]
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_batch_ingest(backend: str, n: int, repeats: int) -> float:
+    """Elements per second of one update_batch over an n-element list."""
+    rng = random.Random(99)
+    data = [rng.random() for _ in range(n)]
+
+    def run():
+        est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=1, backend=backend)
+        est.update_batch(data)
+
+    return n / _best_of(repeats, run)
+
+
+def _measure_query_many(backend: str, n: int, repeats: int, cached: bool) -> float:
+    """Milliseconds per query_many(99 phis) between updates."""
+    rng = random.Random(99)
+    est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=1, backend=backend)
+    est.update_batch([rng.random() for _ in range(n)])
+    if not cached:
+        est._engine._cache_enabled = False
+    est.query_many(_QUERY_PHIS)  # warm (populates the cache when enabled)
+    per_call = _best_of(repeats, lambda: est.query_many(_QUERY_PHIS))
+    return per_call * 1_000
+
+
+def run_perf_trajectory(n: int = 1_000_000, repeats: int = 3) -> dict:
+    """Measure every backend's ingest + query numbers; return the report."""
+    report: dict = {
+        "bench": "throughput",
+        "n_batch_ingest": n,
+        "query_phis": len(_QUERY_PHIS),
+        "seed_baseline": {
+            "batch_ingest_elems_per_s": SEED_BATCH_INGEST_ELEMS_PER_S,
+            "query_many_ms": SEED_QUERY_MANY_MS,
+        },
+        "backends": {},
+    }
+    for backend in available_backends():
+        report["backends"][backend] = {
+            "batch_ingest_elems_per_s": round(
+                _measure_batch_ingest(backend, n, repeats), 1
+            ),
+            "query_many_cached_ms": round(
+                _measure_query_many(backend, n // 20, repeats, cached=True), 4
+            ),
+            "query_many_uncached_ms": round(
+                _measure_query_many(backend, n // 20, repeats, cached=False), 4
+            ),
+        }
+    criteria: dict = {}
+    if "numpy" in report["backends"]:
+        ingest = report["backends"]["numpy"]["batch_ingest_elems_per_s"]
+        speedup = ingest / SEED_BATCH_INGEST_ELEMS_PER_S
+        criteria["numpy_batch_ingest_speedup_vs_seed"] = {
+            "measured": round(speedup, 2),
+            "required": 5.0,
+            "pass": speedup >= 5.0,
+        }
+    python_stats = report["backends"]["python"]
+    cache_speedup = (
+        python_stats["query_many_uncached_ms"] / python_stats["query_many_cached_ms"]
+    )
+    criteria["query_cache_speedup_vs_uncached"] = {
+        "measured": round(cache_speedup, 2),
+        "required": 10.0,
+        "pass": cache_speedup >= 10.0,
+    }
+    report["criteria"] = criteria
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Kernel-backend perf trajectory -> BENCH_throughput.json"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small-n fast run (CI); criteria are reported but not enforced",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_throughput.json"),
+        help="output path (default: <repo root>/BENCH_throughput.json)",
+    )
+    args = parser.parse_args(argv)
+    n = 100_000 if args.smoke else 1_000_000
+    report = run_perf_trajectory(n=n, repeats=2 if args.smoke else 3)
+    report["smoke"] = args.smoke
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not args.smoke:
+        failed = [k for k, c in report["criteria"].items() if not c["pass"]]
+        if failed:
+            print(f"FAILED criteria: {failed}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

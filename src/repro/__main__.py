@@ -25,23 +25,33 @@ from repro.core.known_n import KnownNQuantiles  # noqa: F401  (re-exported inten
 from repro.core.multi import MultiQuantiles
 from repro.core.params import plan_known_n, plan_parameters
 from repro.core.unknown_n import UnknownNQuantiles
+from repro.kernels import BackendUnavailableError, available_backends
 
 __all__ = ["main"]
+
+#: Parsed values per bulk-ingest chunk (matches the disk-file chunk size).
+INGEST_CHUNK = 65_536
 
 
 class _InputError(Exception):
     """A malformed input token, located for the user (file:line token)."""
 
 
-def _read_values(path: str | None) -> Iterator[float]:
-    """Whitespace-separated floats from a file, or stdin when path is None.
+def _read_value_chunks(
+    path: str | None, chunk_values: int = INGEST_CHUNK
+) -> Iterator[list[float]]:
+    """Whitespace-separated floats from a file (or stdin), in bulk chunks.
 
-    Malformed tokens raise :class:`_InputError` naming the offending token
-    and its line number instead of surfacing a raw ``float()`` traceback;
-    NaN tokens are rejected here too (they have no rank downstream).
+    Chunks feed the estimators' ``update_batch`` (one RNG draw per
+    sampling block; vectorised on the numpy backend) instead of boxing
+    every value through a scalar ``update``.  Malformed tokens raise
+    :class:`_InputError` naming the offending token and its line number
+    instead of surfacing a raw ``float()`` traceback; NaN tokens are
+    rejected here too (they have no rank downstream).
     """
     stream = open(path, "r", encoding="utf-8") if path else sys.stdin
     source = path if path else "<stdin>"
+    chunk: list[float] = []
     try:
         for lineno, line in enumerate(stream, start=1):
             for token in line.split():
@@ -56,7 +66,12 @@ def _read_values(path: str | None) -> Iterator[float]:
                         f"{source}:{lineno}: {token!r} is NaN, which has no "
                         "rank and cannot be summarised"
                     )
-                yield value
+                chunk.append(value)
+                if len(chunk) == chunk_values:
+                    yield chunk
+                    chunk = []
+        if chunk:
+            yield chunk
     finally:
         if path:
             stream.close()
@@ -85,6 +100,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="quantile(s) to report (repeatable; default: 0.5)",
     )
     quantile.add_argument("--seed", type=int, default=None)
+    quantile.add_argument(
+        "--backend",
+        choices=["python", "numpy"],
+        default=None,
+        help="kernel backend (default: $REPRO_BACKEND, else python)",
+    )
 
     plan = sub.add_parser("plan", help="memory plan for (eps, delta)")
     plan.add_argument("--eps", type=float, required=True)
@@ -101,17 +122,31 @@ def _build_parser() -> argparse.ArgumentParser:
     histogram.add_argument("--eps", type=float, default=0.005)
     histogram.add_argument("--delta", type=float, default=1e-4)
     histogram.add_argument("--seed", type=int, default=None)
+    histogram.add_argument(
+        "--backend",
+        choices=["python", "numpy"],
+        default=None,
+        help="kernel backend (default: $REPRO_BACKEND, else python)",
+    )
     return parser
 
 
 def _cmd_quantile(args: argparse.Namespace) -> int:
     phis = sorted(set(args.phi)) if args.phi else [0.5]
-    estimator = UnknownNQuantiles(
-        args.eps, args.delta, num_quantiles=len(phis), seed=args.seed
-    )
     try:
-        for value in _read_values(args.file):
-            estimator.update(value)
+        estimator = UnknownNQuantiles(
+            args.eps,
+            args.delta,
+            num_quantiles=len(phis),
+            seed=args.seed,
+            backend=args.backend,
+        )
+    except BackendUnavailableError as exc:
+        print(f"error: {exc} (available: {available_backends()})", file=sys.stderr)
+        return 2
+    try:
+        for chunk in _read_value_chunks(args.file):
+            estimator.update_batch(chunk)
     except _InputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -150,12 +185,20 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_histogram(args: argparse.Namespace) -> int:
-    estimator = MultiQuantiles(
-        args.eps, args.delta, num_quantiles=args.buckets - 1, seed=args.seed
-    )
     try:
-        for value in _read_values(args.file):
-            estimator.update(value)
+        estimator = MultiQuantiles(
+            args.eps,
+            args.delta,
+            num_quantiles=args.buckets - 1,
+            seed=args.seed,
+            backend=args.backend,
+        )
+    except BackendUnavailableError as exc:
+        print(f"error: {exc} (available: {available_backends()})", file=sys.stderr)
+        return 2
+    try:
+        for chunk in _read_value_chunks(args.file):
+            estimator.extend(chunk)
     except _InputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -72,15 +72,20 @@ class Buffer:
         """Weight mass represented: ``len(data) * weight``."""
         return len(self.data) * self.weight
 
-    def populate(self, values: list[float], weight: int, level: int) -> None:
+    def populate(
+        self, values: list[float], weight: int, level: int, *, backend=None
+    ) -> None:
         """Fill an empty buffer with (unsorted) values — the tail of New.
 
         Marks the buffer full when exactly ``capacity`` values are given,
-        partial otherwise (the input stream ran dry mid-fill).
+        partial otherwise (the input stream ran dry mid-fill).  When a
+        kernel backend is supplied its sort kernel decides the storage
+        form (a plain list for the python backend, a float64 array for
+        the numpy one).
         """
         if not self.is_empty:
             raise RuntimeError(f"cannot populate a non-empty buffer: {self!r}")
-        if not values:
+        if len(values) == 0:
             raise ValueError("cannot populate a buffer with zero values")
         if len(values) > self.capacity:
             raise ValueError(
@@ -90,15 +95,18 @@ class Buffer:
             raise ValueError(f"weight must be >= 1, got {weight}")
         if level < 0:
             raise ValueError(f"level must be >= 0, got {level}")
-        self.data = sorted(values)
+        self.data = sorted(values) if backend is None else backend.sort_values(values)
         self.weight = weight
         self.level = level
         self.state = (
             BufferState.FULL if len(values) == self.capacity else BufferState.PARTIAL
         )
 
-    def store_collapse_output(self, values: list[float], weight: int, level: int) -> None:
-        """Overwrite this buffer with a Collapse result (already sorted)."""
+    def store_collapse_output(self, values, weight: int, level: int) -> None:
+        """Overwrite this buffer with a Collapse result (already sorted).
+
+        ``values`` may be a list or a backend array; it is stored as-is.
+        """
         if len(values) != self.capacity:
             raise ValueError(
                 f"collapse output must have exactly {self.capacity} elements, "

@@ -31,7 +31,13 @@ import heapq
 import math
 import random
 
-from repro.core.unknown_n import _contains_nan, _is_random_access
+from repro.kernels import (
+    KernelBackend,
+    backend_from_checkpoint,
+    get_backend,
+    is_random_access,
+    reject_text_batch,
+)
 from repro.sampling.rate import BernoulliSampler
 from repro.stats.bounds import extreme_sample_size, stein_failure_bound
 
@@ -67,6 +73,7 @@ class ExtremeValueEstimator:
         *,
         seed: int | None = None,
         rng: random.Random | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if not 0.0 < phi < 1.0:
             raise ValueError(f"phi must be in (0, 1), got {phi}")
@@ -96,9 +103,10 @@ class ExtremeValueEstimator:
         # keeps a small cushion beyond k to cover upward fluctuations.
         cushion = max(8, math.ceil(4.0 * math.sqrt(tail_phi * self._sample_size)))
         self._capacity = self._k + cushion
+        self._backend = get_backend(backend)
         probability = min(1.0, self._sample_size / n)
         self._sampler = BernoulliSampler(
-            probability, rng if rng is not None else random.Random(seed)
+            probability, rng if rng is not None else self._backend.make_rng(seed)
         )
         # Max-heap of the `capacity` smallest sampled values (low tail) or
         # min-heap of the largest (high tail); Python's heapq is a
@@ -116,6 +124,10 @@ class ExtremeValueEstimator:
         self._seen += 1
         if self._sampler.offer(value) is None:
             return
+        self._push(value)
+
+    def _push(self, value: float) -> None:
+        """Admit a sampled value into the bounded extreme heap."""
         key = -value if self._low_tail else value
         if len(self._heap) < self._capacity:
             heapq.heappush(self._heap, key)
@@ -126,11 +138,22 @@ class ExtremeValueEstimator:
         """Consume many stream elements.
 
         Random-access inputs are NaN-scanned *before* any mutation, so a
-        poisoned batch is rejected atomically (the scalar path's guarantee);
-        one-shot iterators are necessarily checked element-by-element.
+        poisoned batch is rejected atomically (the scalar path's
+        guarantee), then offered to the Bernoulli sampler as one batch —
+        a single vectorised draw on the numpy backend; only the O(p * n)
+        kept elements touch the heap.  One-shot iterators are necessarily
+        checked element-by-element.
         """
-        if _is_random_access(values) and _contains_nan(values):
-            raise ValueError("NaN values have no rank and cannot be summarised")
+        reject_text_batch(values)
+        if is_random_access(values):
+            values = self._backend.as_batch(values)
+            if self._backend.batch_contains_nan(values):
+                raise ValueError("NaN values have no rank and cannot be summarised")
+            kept = self._sampler.offer_many(values)
+            self._seen += len(values)
+            for value in kept:
+                self._push(value)
+            return
         for value in values:
             self.update(value)
 
@@ -142,6 +165,7 @@ class ExtremeValueEstimator:
         return {
             "kind": "extreme",
             "state_version": 1,
+            "backend": self._backend.name,
             "phi": self._phi,
             "eps": self._eps,
             "delta": self._delta,
@@ -150,7 +174,7 @@ class ExtremeValueEstimator:
             "k": self._k,
             "capacity": self._capacity,
             "sampler": self._sampler.state_dict(),
-            "heap": list(self._heap),
+            "heap": [float(v) for v in self._heap],
             "seen": self._seen,
         }
 
@@ -167,6 +191,7 @@ class ExtremeValueEstimator:
         est._sample_size = int(state["sample_size"])
         est._k = int(state["k"])
         est._capacity = int(state["capacity"])
+        est._backend = backend_from_checkpoint(state.get("backend"))
         est._sampler = BernoulliSampler.from_state_dict(state["sampler"])
         heap = [float(v) for v in state["heap"]]
         heapq.heapify(heap)
@@ -229,6 +254,11 @@ class ExtremeValueEstimator:
     def memory_elements(self) -> int:
         """Element slots held: the heap's capacity (k plus a small cushion)."""
         return self._capacity
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend this estimator runs on."""
+        return self._backend
 
     @property
     def seen(self) -> int:

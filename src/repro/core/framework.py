@@ -20,14 +20,20 @@ how the Section 5 buffer-allocation schedules plug in.
 
 from __future__ import annotations
 
-import bisect
 from collections.abc import Callable, Sequence
 
 from repro.core.buffers import Buffer, BufferState
-from repro.core.operations import collapse_buffers, output_quantile
+from repro.core.operations import collapse_buffers
 from repro.core.policy import POLICY_REGISTRY, CollapsePolicy, MRLPolicy, policy_from_name
 from repro.core.tree import TreeTrace
-from repro.stats.rank import quantile_position, weighted_select_many
+from repro.kernels import (
+    KernelBackend,
+    MergedView,
+    backend_from_checkpoint,
+    get_backend,
+    merge_views,
+)
+from repro.stats.rank import quantile_position
 
 __all__ = ["CollapseEngine"]
 
@@ -50,6 +56,13 @@ class CollapseEngine:
     :param alternate_even_offsets: keep the paper's alternation between the
         two even-weight Collapse offsets; disabling it exists only for the
         offset ablation benchmark.
+    :param backend: kernel backend (a name, an instance, or None) for the
+        Collapse and query kernels; None resolves ``REPRO_BACKEND`` and
+        falls back to the pure-python reference backend.
+    :param cache: memoise the merged weighted view of the full buffers
+        between mutations, so repeated queries cost two binary searches
+        instead of a full re-merge.  On by default; turning it off exists
+        for the cache ablation benchmark and to shave O(b*k) memory.
     """
 
     def __init__(
@@ -61,6 +74,8 @@ class CollapseEngine:
         trace: bool = False,
         allocator: AllocatorHook | None = None,
         alternate_even_offsets: bool = True,
+        backend: str | KernelBackend | None = None,
+        cache: bool = True,
     ) -> None:
         if b < 2:
             raise ValueError(f"need at least 2 buffers, got b={b}")
@@ -78,6 +93,14 @@ class CollapseEngine:
         self._max_collapse_level = -1
         self._collapse_count = 0
         self._collapse_weight_sum = 0
+        self._backend = get_backend(backend)
+        self._cache_enabled = cache
+        self._version = 0
+        self._cached_view: MergedView | None = None
+        self._cached_version = -1
+        # (version, extras object, combined view) — valid while the pool is
+        # unmutated and the caller passes the *same* extras view object.
+        self._combined_cache: tuple[int, MergedView, MergedView] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -96,6 +119,21 @@ class CollapseEngine:
     def policy(self) -> CollapsePolicy:
         """The collapse policy in force."""
         return self._policy
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend performing Collapse and query merges."""
+        return self._backend
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every deposit and Collapse.
+
+        Estimators key their own derived caches (e.g. the staged-extras
+        view) on this, so anything computed from the buffer pool can be
+        invalidated without the engine knowing it exists.
+        """
+        return self._version
 
     @property
     def buffers_allocated(self) -> int:
@@ -175,7 +213,8 @@ class CollapseEngine:
                 f"deposit needs exactly k={self._k} values, got {len(values)}"
             )
         target = self._acquire_empty()
-        target.populate(list(values), weight, level)
+        target.populate(values, weight, level, backend=self._backend)
+        self._version += 1
         self._leaves_created += 1
         if self._trace is not None:
             target.node_id = self._trace.new_leaf(weight, level)
@@ -245,7 +284,10 @@ class CollapseEngine:
 
     def _collapse(self, chosen: Sequence[Buffer]) -> Buffer:
         child_ids = [buf.node_id for buf in chosen]
-        output = collapse_buffers(chosen, low_for_even=self._low_for_even)
+        output = collapse_buffers(
+            chosen, low_for_even=self._low_for_even, backend=self._backend
+        )
+        self._version += 1
         if self._alternate and output.weight % 2 == 0:
             self._low_for_even = not self._low_for_even
         self._collapse_count += 1
@@ -291,9 +333,10 @@ class CollapseEngine:
             "max_collapse_level": self._max_collapse_level,
             "collapse_count": self._collapse_count,
             "collapse_weight_sum": self._collapse_weight_sum,
+            "backend": self._backend.name,
             "buffers": [
                 {
-                    "data": list(buf.data),
+                    "data": [float(v) for v in buf.data],
                     "weight": buf.weight,
                     "level": buf.level,
                     "state": buf.state.value,
@@ -303,13 +346,27 @@ class CollapseEngine:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "CollapseEngine":
-        """Rebuild an engine exactly as :meth:`state_dict` captured it."""
+    def from_state_dict(
+        cls, state: dict, *, backend: str | KernelBackend | None = None
+    ) -> "CollapseEngine":
+        """Rebuild an engine exactly as :meth:`state_dict` captured it.
+
+        ``backend`` overrides the checkpointed backend name (absent in
+        pre-kernel checkpoints, which default to ``python``) — buffer
+        contents are backend-agnostic plain floats, so a checkpoint taken
+        under one backend restores cleanly under another.  A checkpointed
+        backend that is unavailable on the restoring host degrades to the
+        pure-python reference backend with a warning (an explicit
+        ``backend=`` request still raises).
+        """
+        if backend is None:
+            backend = backend_from_checkpoint(state.get("backend"))
         engine = cls(
             int(state["b"]),
             int(state["k"]),
             policy_from_name(state["policy"]),
             alternate_even_offsets=bool(state["alternate_even_offsets"]),
+            backend=backend,
         )
         engine._low_for_even = bool(state["low_for_even"])
         engine._leaves_created = int(state["leaves_created"])
@@ -338,27 +395,86 @@ class CollapseEngine:
         view.extend(extra)
         return view
 
+    def merged_full_view(self) -> MergedView:
+        """The flattened weighted view of the full buffers, memoised.
+
+        Rebuilt (through the backend's merge kernel) only when a deposit
+        or Collapse has mutated the pool since the last query; between
+        mutations every query is a binary search over this view.
+        """
+        if self._cache_enabled and self._cached_version == self._version:
+            assert self._cached_view is not None
+            return self._cached_view
+        view = self._backend.merged_view(
+            [buf.as_weighted() for buf in self._buffers if buf.is_full]
+        )
+        if self._cache_enabled:
+            self._cached_view = view
+            self._cached_version = self._version
+        return view
+
+    def extras_view(
+        self, extra: Sequence[tuple[Sequence[float], int]]
+    ) -> MergedView | None:
+        """Merge query-time extras (partial buffer, in-flight samples).
+
+        Estimators that can cache this themselves (extras only change
+        when ``n`` does) pass the resulting :class:`MergedView` straight
+        back into :meth:`query` / :meth:`query_many` / :meth:`weighted_rank`.
+        """
+        if isinstance(extra, MergedView):
+            return extra if len(extra) else None
+        pairs = [(data, weight) for data, weight in extra if len(data)]
+        if not pairs:
+            return None
+        return self._backend.merged_view(pairs)
+
+    def _combined_view(self, extras: MergedView | None) -> MergedView:
+        """Full buffers and extras merged into one flattened view.
+
+        Memoised per (pool version, extras object): estimators cache
+        their extras view between updates and pass the same object back,
+        so a burst of queries pays the merge once and then binary-searches.
+        """
+        if extras is None or len(extras) == 0:
+            return self.merged_full_view()
+        cached = self._combined_cache
+        if (
+            self._cache_enabled
+            and cached is not None
+            and cached[0] == self._version
+            and cached[1] is extras
+        ):
+            return cached[2]
+        combined = merge_views(self.merged_full_view(), extras)
+        if self._cache_enabled:
+            self._combined_cache = (self._version, extras, combined)
+        return combined
+
     def query(
-        self, phi: float, extra: Sequence[tuple[Sequence[float], int]] = ()
+        self,
+        phi: float,
+        extra: Sequence[tuple[Sequence[float], int]] | MergedView = (),
     ) -> float:
         """The weighted phi-quantile of the engine's contents plus extras."""
-        return output_quantile(self.weighted_view(extra), phi)
+        return self.query_many([phi], extra)[0]
 
     def query_many(
         self,
         phis: Sequence[float],
-        extra: Sequence[tuple[Sequence[float], int]] = (),
+        extra: Sequence[tuple[Sequence[float], int]] | MergedView = (),
     ) -> list[float]:
-        """Several quantiles in one merge pass (order preserved)."""
-        view = self.weighted_view(extra)
-        total = sum(len(data) * weight for data, weight in view)
+        """Several quantiles against the memoised view (order preserved)."""
+        combined = self._combined_view(self.extras_view(extra))
+        total = combined.total_weight
         if total <= 0:
             raise ValueError("Output invoked with no data")
-        positions = [quantile_position(phi, total) for phi in phis]
-        return weighted_select_many(view, positions)
+        return [combined.select(quantile_position(phi, total)) for phi in phis]
 
     def weighted_rank(
-        self, value: float, extra: Sequence[tuple[Sequence[float], int]] = ()
+        self,
+        value: float,
+        extra: Sequence[tuple[Sequence[float], int]] | MergedView = (),
     ) -> int:
         """The inverse query: weighted count of stored mass <= ``value``.
 
@@ -366,7 +482,4 @@ class CollapseEngine:
         rank of ``value`` in the stream, with the same error structure as
         the forward quantile query.
         """
-        rank = 0
-        for data, weight in self.weighted_view(extra):
-            rank += bisect.bisect_right(data, value) * weight
-        return rank
+        return self._combined_view(self.extras_view(extra)).cum_at(value)

@@ -16,8 +16,17 @@ from collections.abc import Iterable, Sequence
 from repro.core.framework import CollapseEngine
 from repro.core.params import KnownNPlan, plan_known_n
 from repro.core.policy import CollapsePolicy, policy_from_name
-from repro.core.unknown_n import _contains_nan
-from repro.sampling.block import BlockSampler, restore_rng
+from repro.kernels import (
+    KernelBackend,
+    MergedView,
+    backend_from_checkpoint,
+    get_backend,
+    is_random_access,
+    reject_text_batch,
+    rng_from_state,
+    rng_state_dict,
+)
+from repro.sampling.block import BlockSampler
 
 __all__ = ["KnownNQuantiles"]
 
@@ -44,17 +53,23 @@ class KnownNQuantiles:
         seed: int | None = None,
         rng: random.Random | None = None,
         trace: bool = False,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if plan is None:
             if eps is None or delta is None or n is None:
                 raise ValueError("provide either (eps, delta, n) or an explicit plan")
             plan = plan_known_n(eps, delta, n, policy=policy)
         self._plan = plan
-        self._engine = CollapseEngine(plan.b, plan.k, policy, trace=trace)
-        self._rng = rng if rng is not None else random.Random(seed)
+        self._backend = get_backend(backend)
+        self._engine = CollapseEngine(
+            plan.b, plan.k, policy, trace=trace, backend=self._backend
+        )
+        self._rng = rng if rng is not None else self._backend.make_rng(seed)
         self._sampler = BlockSampler(rate=plan.rate, rng=self._rng)
         self._staged: list[float] = []
         self._n = 0
+        self._extras_cache: MergedView | None = None
+        self._extras_cache_key: tuple[int, int] = (-1, -1)
 
     # ------------------------------------------------------------------
     # Stream consumption
@@ -85,7 +100,8 @@ class KnownNQuantiles:
         path (one RNG draw per sampling block); other iterables stream
         element-by-element.
         """
-        if hasattr(values, "__len__") and hasattr(values, "__getitem__"):
+        reject_text_batch(values)
+        if is_random_access(values):
             self.update_batch(values)  # type: ignore[arg-type]
             return
         for value in values:
@@ -94,7 +110,9 @@ class KnownNQuantiles:
     def update_batch(self, values: Sequence[float]) -> None:
         """Bulk-ingest a random-access batch (fixed rate; simpler than
         the unknown-N version since the rate never changes mid-batch)."""
-        if _contains_nan(values):
+        reject_text_batch(values)
+        values = self._backend.as_batch(values)
+        if self._backend.batch_contains_nan(values):
             raise ValueError("NaN values have no rank and cannot be summarised")
         if self._n + len(values) > self._plan.n:
             raise RuntimeError(
@@ -109,11 +127,12 @@ class KnownNQuantiles:
                 (self._engine.k - len(self._staged)) * rate
                 - self._sampler.seen_in_block
             )
-            chunk = values[index : index + needed]
-            self._staged.extend(self._sampler.offer_many(chunk))
-            consumed = len(chunk)
-            self._n += consumed
-            index += consumed
+            stop = min(index + needed, total)
+            self._staged.extend(
+                self._sampler.offer_window(values, index, stop, backend=self._backend)
+            )
+            self._n += stop - index
+            index = stop
             if len(self._staged) == self._engine.k:
                 self._engine.deposit(self._staged, rate, level=0)
                 self._staged = []
@@ -126,6 +145,7 @@ class KnownNQuantiles:
         return {
             "kind": "known_n",
             "state_version": 1,
+            "backend": self._backend.name,
             "plan": {
                 "eps": self._plan.eps,
                 "delta": self._plan.delta,
@@ -138,7 +158,7 @@ class KnownNQuantiles:
                 "exact": self._plan.exact,
             },
             "engine": self._engine.state_dict(),
-            "rng": self._rng.getstate(),
+            "rng": rng_state_dict(self._rng),
             "sampler": self._sampler.state_dict(),
             "staged": list(self._staged),
             "n": self._n,
@@ -158,9 +178,15 @@ class KnownNQuantiles:
             rate=int(state["plan"]["rate"]),
             exact=bool(state["plan"]["exact"]),
         )
-        est = cls(plan=plan, policy=policy_from_name(state["engine"]["policy"]))
-        est._engine = CollapseEngine.from_state_dict(state["engine"])
-        est._rng = restore_rng(state["rng"])
+        est = cls(
+            plan=plan,
+            policy=policy_from_name(state["engine"]["policy"]),
+            backend=backend_from_checkpoint(state.get("backend")),
+        )
+        est._engine = CollapseEngine.from_state_dict(
+            state["engine"], backend=est._backend
+        )
+        est._rng = rng_from_state(state["rng"])
         est._sampler = BlockSampler.from_state_dict(state["sampler"], est._rng)
         est._staged = [float(v) for v in state["staged"]]
         est._n = int(state["n"])
@@ -179,17 +205,25 @@ class KnownNQuantiles:
             extras.append(([candidate], seen))
         return extras
 
+    def _extras_view(self) -> MergedView:
+        """Merged view of the in-flight extras, cached between updates."""
+        key = (self._n, self._engine.version)
+        if self._extras_cache is None or self._extras_cache_key != key:
+            self._extras_cache = self._backend.merged_view(self._extras())
+            self._extras_cache_key = key
+        return self._extras_cache
+
     def query(self, phi: float) -> float:
         """An eps-approximate phi-quantile of everything seen so far."""
         if self._n == 0:
             raise ValueError("no data has been observed yet")
-        return self._engine.query(phi, self._extras())
+        return self._engine.query(phi, self._extras_view())
 
     def query_many(self, phis: Sequence[float]) -> list[float]:
         """Several quantiles in one pass over the summary (order preserved)."""
         if self._n == 0:
             raise ValueError("no data has been observed yet")
-        return self._engine.query_many(phis, self._extras())
+        return self._engine.query_many(phis, self._extras_view())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -223,3 +257,8 @@ class KnownNQuantiles:
     def engine(self) -> CollapseEngine:
         """The underlying buffer engine (tests, diagnostics)."""
         return self._engine
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend this estimator runs on."""
+        return self._backend

@@ -22,6 +22,7 @@ from collections.abc import Iterable, Sequence
 from repro.core.params import Plan, plan_parameters
 from repro.core.policy import CollapsePolicy
 from repro.core.unknown_n import UnknownNQuantiles
+from repro.kernels import KernelBackend
 
 __all__ = [
     "MultiQuantiles",
@@ -51,6 +52,7 @@ class MultiQuantiles:
         policy: CollapsePolicy | None = None,
         seed: int | None = None,
         rng: random.Random | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if num_quantiles < 1:
             raise ValueError(f"num_quantiles must be >= 1, got {num_quantiles}")
@@ -62,6 +64,7 @@ class MultiQuantiles:
             policy=policy,
             seed=seed,
             rng=rng,
+            backend=backend,
         )
 
     def update(self, value: float) -> None:
@@ -153,6 +156,7 @@ class PrecomputedQuantiles:
         policy: CollapsePolicy | None = None,
         seed: int | None = None,
         rng: random.Random | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if not 0.0 < eps < 1.0:
             raise ValueError(f"eps must be in (0, 1), got {eps}")
@@ -168,6 +172,7 @@ class PrecomputedQuantiles:
             policy=policy,
             seed=seed,
             rng=rng,
+            backend=backend,
         )
 
     def update(self, value: float) -> None:

@@ -88,13 +88,17 @@ def select_collapse_values(
     return kept
 
 
-def collapse_buffers(buffers: Sequence[Buffer], *, low_for_even: bool) -> Buffer:
+def collapse_buffers(
+    buffers: Sequence[Buffer], *, low_for_even: bool, backend=None
+) -> Buffer:
     """Collapse full buffers in place; returns the buffer holding the output.
 
     All inputs must be full and share one capacity.  The output weight is
     the sum of input weights; the output *level* is one more than the
     maximum input level (the collapse policy's convention); all inputs but
-    the output holder are marked empty.
+    the output holder are marked empty.  When a kernel backend is given,
+    its Collapse kernel performs the keep-selection (the numpy backend
+    vectorises it); the default is the heapq-merge reference below.
     """
     if len(buffers) < 2:
         raise ValueError(f"Collapse needs at least 2 buffers, got {len(buffers)}")
@@ -106,9 +110,11 @@ def collapse_buffers(buffers: Sequence[Buffer], *, low_for_even: bool) -> Buffer
             raise RuntimeError("Collapse requires equal-capacity buffers")
     total_weight = sum(buf.weight for buf in buffers)
     offset = collapse_offset(total_weight, low_for_even=low_for_even)
-    kept = select_collapse_values(
-        [buf.as_weighted() for buf in buffers], capacity, offset
-    )
+    inputs = [buf.as_weighted() for buf in buffers]
+    if backend is None:
+        kept = select_collapse_values(inputs, capacity, offset)
+    else:
+        kept = backend.select_collapse(inputs, capacity, offset)
     out_level = max(buf.level for buf in buffers) + 1
     holder = buffers[0]
     for buf in buffers[1:]:

@@ -40,6 +40,7 @@ from repro.core.operations import collapse_offset, select_collapse_values
 from repro.core.params import Plan, plan_parameters
 from repro.core.policy import CollapsePolicy, policy_from_name
 from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+from repro.kernels import KernelBackend, backend_from_checkpoint, get_backend
 from repro.sampling.block import restore_rng
 
 __all__ = ["ParallelQuantiles", "MergedSummary", "MergeReport", "merge_snapshots"]
@@ -179,6 +180,7 @@ def merge_snapshots(
     seed: int | None = None,
     strict: bool = True,
     expected_n: int | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> MergedSummary:
     """Merge estimator snapshots into one queryable summary (Section 6).
 
@@ -218,7 +220,8 @@ def merge_snapshots(
         raise ValueError("snapshots disagree on buffer size k; use one plan")
     rng = random.Random(seed)
     coordinator = _Coordinator(
-        b if b is not None else max(2, len(populated)), k, policy, rng
+        b if b is not None else max(2, len(populated)), k, policy, rng,
+        backend=backend,
     )
     for snap in populated:
         full, partial = _ship(snap, rng)
@@ -293,6 +296,7 @@ class ParallelQuantiles:
         policy: CollapsePolicy | None = None,
         coordinator_buffers: int | None = None,
         seed: int | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
@@ -302,12 +306,16 @@ class ParallelQuantiles:
             plan = plan_parameters(eps, delta, policy=policy)
         self._plan = plan
         self._policy = policy
+        self._backend = get_backend(backend)
+        # Orchestration randomness (worker seeds, the merge seed) stays a
+        # random.Random so the derived seeds match across backends.
         self._rng = random.Random(seed)
         self._workers = [
             UnknownNQuantiles(
                 plan=plan,
                 policy=policy,
                 seed=self._rng.randrange(2**62),
+                backend=self._backend,
             )
             for _ in range(num_workers)
         ]
@@ -383,6 +391,7 @@ class ParallelQuantiles:
         return {
             "kind": "parallel",
             "state_version": 1,
+            "backend": self._backend.name,
             "policy": self._policy.name if self._policy is not None else None,
             "coordinator_buffers": self._coordinator_buffers,
             "merge_seed": self._merge_seed,
@@ -396,6 +405,7 @@ class ParallelQuantiles:
         if not state["workers"]:
             raise ValueError("a ParallelQuantiles state needs at least one worker")
         pq = object.__new__(cls)
+        pq._backend = backend_from_checkpoint(state.get("backend"))
         pq._workers = [
             UnknownNQuantiles.from_state_dict(worker) for worker in state["workers"]
         ]
@@ -431,6 +441,7 @@ class ParallelQuantiles:
             self._plan.k,
             self._policy,
             random.Random(self._merge_seed),
+            backend=self._backend,
         )
         shipped_any = False
         for worker in self._workers:
@@ -493,8 +504,10 @@ class _Coordinator:
         k: int,
         policy: CollapsePolicy | None,
         rng: random.Random,
+        *,
+        backend: str | KernelBackend | None = None,
     ) -> None:
-        self._engine = CollapseEngine(b, k, policy)
+        self._engine = CollapseEngine(b, k, policy, backend=backend)
         self._k = k
         self.rng = rng
         self._b0: list[float] = []

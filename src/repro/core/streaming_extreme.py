@@ -34,8 +34,15 @@ import heapq
 import math
 import random
 
-from repro.core.unknown_n import _contains_nan, _is_random_access
-from repro.sampling.block import restore_rng
+from repro.kernels import (
+    KernelBackend,
+    backend_from_checkpoint,
+    get_backend,
+    is_random_access,
+    reject_text_batch,
+    rng_from_state,
+    rng_state_dict,
+)
 from repro.stats.bounds import extreme_sample_size, stein_failure_bound
 
 __all__ = ["StreamingExtremeEstimator"]
@@ -66,6 +73,7 @@ class StreamingExtremeEstimator:
         *,
         seed: int | None = None,
         rng: random.Random | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if not 0.0 < phi < 1.0:
             raise ValueError(f"phi must be in (0, 1), got {phi}")
@@ -86,7 +94,8 @@ class StreamingExtremeEstimator:
         self._budget = 2 * self._stein_size
         cushion = max(8, math.ceil(4.0 * math.sqrt(tail_phi * self._budget)))
         self._capacity = math.ceil(tail_phi * self._budget) + cushion
-        self._rng = rng if rng is not None else random.Random(seed)
+        self._backend = get_backend(backend)
+        self._rng = rng if rng is not None else self._backend.make_rng(seed)
         self._probability = 1.0
         self._sampled = 0  # live Bernoulli(p) sample size (heap + uncounted)
         self._heap: list[float] = []  # the extreme end of the sample
@@ -118,8 +127,11 @@ class StreamingExtremeEstimator:
         poisoned batch is rejected atomically (the scalar path's guarantee);
         one-shot iterators are necessarily checked element-by-element.
         """
-        if _is_random_access(values) and _contains_nan(values):
-            raise ValueError("NaN values have no rank and cannot be summarised")
+        reject_text_batch(values)
+        if is_random_access(values):
+            values = self._backend.as_batch(values)
+            if self._backend.batch_contains_nan(values):
+                raise ValueError("NaN values have no rank and cannot be summarised")
         for value in values:
             self.update(value)
 
@@ -131,16 +143,17 @@ class StreamingExtremeEstimator:
         return {
             "kind": "streaming_extreme",
             "state_version": 1,
+            "backend": self._backend.name,
             "phi": self._phi,
             "eps": self._eps,
             "delta": self._delta,
             "stein_size": self._stein_size,
             "budget": self._budget,
             "capacity": self._capacity,
-            "rng": self._rng.getstate(),
+            "rng": rng_state_dict(self._rng),
             "probability": self._probability,
             "sampled": self._sampled,
-            "heap": list(self._heap),
+            "heap": [float(v) for v in self._heap],
             "seen": self._seen,
         }
 
@@ -156,7 +169,8 @@ class StreamingExtremeEstimator:
         est._stein_size = int(state["stein_size"])
         est._budget = int(state["budget"])
         est._capacity = int(state["capacity"])
-        est._rng = restore_rng(state["rng"])
+        est._backend = backend_from_checkpoint(state.get("backend"))
+        est._rng = rng_from_state(state["rng"])
         est._probability = float(state["probability"])
         est._sampled = int(state["sampled"])
         heap = [float(v) for v in state["heap"]]
@@ -227,6 +241,11 @@ class StreamingExtremeEstimator:
     def memory_elements(self) -> int:
         """Element slots held: the heap capacity."""
         return self._capacity
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend this estimator runs on."""
+        return self._backend
 
     @property
     def worst_case_failure_bound(self) -> float:

@@ -33,27 +33,30 @@ from dataclasses import dataclass
 from repro.core.framework import AllocatorHook, CollapseEngine
 from repro.core.params import Plan, plan_parameters
 from repro.core.policy import CollapsePolicy
-from repro.sampling.block import BlockSampler, restore_rng
+from repro.kernels import (
+    KernelBackend,
+    MergedView,
+    backend_from_checkpoint,
+    get_backend,
+    is_random_access,
+    reject_text_batch,
+    rng_from_state,
+    rng_state_dict,
+)
+from repro.sampling.block import BlockSampler
 
 __all__ = ["UnknownNQuantiles", "EstimatorSnapshot"]
 
 
-try:  # optional acceleration only; the library itself is dependency-free
-    import numpy as _numpy
-except ImportError:  # pragma: no cover - exercised in numpy-free installs
-    _numpy = None
-
-
 def _contains_nan(values: Sequence[float]) -> bool:
-    """Fast NaN scan: vectorised for numpy arrays, generic otherwise."""
-    if _numpy is not None and isinstance(values, _numpy.ndarray):
-        return bool(_numpy.isnan(values).any())
-    return any(value != value for value in values)
+    """Fast NaN scan (kept as an alias; kernels own the implementation)."""
+    from repro.kernels.python_backend import PYTHON_BACKEND
+
+    return PYTHON_BACKEND.batch_contains_nan(values)
 
 
-def _is_random_access(values: object) -> bool:
-    """True for inputs that can be pre-scanned without consuming them."""
-    return hasattr(values, "__len__") and hasattr(values, "__getitem__")
+#: Back-compat alias — the predicate moved to :mod:`repro.kernels`.
+_is_random_access = is_random_access
 
 
 
@@ -93,6 +96,10 @@ class UnknownNQuantiles:
     :param seed: seed for the sampling randomness (reproducible runs).
     :param trace: record the collapse tree (diagnostics; costs memory).
     :param allocator: Section 5 buffer-allocation schedule hook.
+    :param backend: kernel backend (``"python"``, ``"numpy"``, an
+        instance, or None to consult ``REPRO_BACKEND``).  The numpy
+        backend vectorises bulk ingest and Collapse; answers follow the
+        same distribution either way.
 
     Example::
 
@@ -114,6 +121,7 @@ class UnknownNQuantiles:
         rng: random.Random | None = None,
         trace: bool = False,
         allocator: AllocatorHook | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if plan is None:
             if eps is None or delta is None:
@@ -122,16 +130,24 @@ class UnknownNQuantiles:
                 eps, delta, num_quantiles=num_quantiles, policy=policy
             )
         self._plan = plan
+        self._backend = get_backend(backend)
         self._engine = CollapseEngine(
-            plan.b, plan.k, policy, trace=trace, allocator=allocator
+            plan.b,
+            plan.k,
+            policy,
+            trace=trace,
+            allocator=allocator,
+            backend=self._backend,
         )
-        self._rng = rng if rng is not None else random.Random(seed)
+        self._rng = rng if rng is not None else self._backend.make_rng(seed)
         self._sampler = BlockSampler(rate=1, rng=self._rng)
         self._staged: list[float] = []
         self._n = 0
         self._rate = 1
         self._level = 0
         self._new_pending = True  # the next element begins a New operation
+        self._extras_cache: MergedView | None = None
+        self._extras_cache_key: tuple[int, int] = (-1, -1)
 
     # ------------------------------------------------------------------
     # Stream consumption
@@ -159,7 +175,8 @@ class UnknownNQuantiles:
         through :meth:`update_batch`, which resolves whole sampling blocks
         with one RNG draw each; other iterables stream element-by-element.
         """
-        if hasattr(values, "__len__") and hasattr(values, "__getitem__"):
+        reject_text_batch(values)
+        if is_random_access(values):
             self.update_batch(values)  # type: ignore[arg-type]
             return
         for value in values:
@@ -170,10 +187,15 @@ class UnknownNQuantiles:
 
         Produces the same sampling distribution as per-element
         :meth:`update` (uniform choice per block), but touches the RNG
-        once per *block* instead of once per element, so ingest in the
-        sampled regime costs O(1/rate) RNG draws per element.
+        once per *block* — one vectorised draw per batch on the numpy
+        backend — and never copies the batch: the NaN gate below is the
+        only full traversal (rejecting the batch atomically), after which
+        the sampler walks index windows of the original sequence and
+        touches only the O(n / rate) chosen representatives.
         """
-        if _contains_nan(values):
+        reject_text_batch(values)
+        values = self._backend.as_batch(values)
+        if self._backend.batch_contains_nan(values):
             raise ValueError("NaN values have no rank and cannot be summarised")
         total = len(values)
         index = 0
@@ -185,12 +207,13 @@ class UnknownNQuantiles:
                 (self._engine.k - len(self._staged)) * self._rate
                 - self._sampler.seen_in_block
             )
-            chunk = values[index : index + needed]
-            chosen = self._sampler.offer_many(chunk)
+            stop = min(index + needed, total)
+            chosen = self._sampler.offer_window(
+                values, index, stop, backend=self._backend
+            )
             self._staged.extend(chosen)
-            consumed = len(chunk)
-            self._n += consumed
-            index += consumed
+            self._n += stop - index
+            index = stop
             if len(self._staged) == self._engine.k:
                 self._engine.deposit(self._staged, self._rate, self._level)
                 self._staged = []
@@ -229,17 +252,30 @@ class UnknownNQuantiles:
             extras.append(([candidate], seen))
         return extras
 
+    def _extras_view(self) -> MergedView:
+        """Merged view of the in-flight extras, cached between updates.
+
+        The extras change exactly when elements are consumed, so keying
+        on ``(n, engine.version)`` makes repeated queries between updates
+        skip both the extras sort and the merge.
+        """
+        key = (self._n, self._engine.version)
+        if self._extras_cache is None or self._extras_cache_key != key:
+            self._extras_cache = self._backend.merged_view(self._extras())
+            self._extras_cache_key = key
+        return self._extras_cache
+
     def query(self, phi: float) -> float:
         """An eps-approximate phi-quantile of everything seen so far."""
         if self._n == 0:
             raise ValueError("no data has been observed yet")
-        return self._engine.query(phi, self._extras())
+        return self._engine.query(phi, self._extras_view())
 
     def query_many(self, phis: Sequence[float]) -> list[float]:
         """Several quantiles in one pass over the summary (order preserved)."""
         if self._n == 0:
             raise ValueError("no data has been observed yet")
-        return self._engine.query_many(phis, self._extras())
+        return self._engine.query_many(phis, self._extras_view())
 
     def rank(self, value: float) -> int:
         """Estimated number of stream elements <= ``value`` (inverse query).
@@ -249,7 +285,7 @@ class UnknownNQuantiles:
         """
         if self._n == 0:
             raise ValueError("no data has been observed yet")
-        return self._engine.weighted_rank(value, self._extras())
+        return self._engine.weighted_rank(value, self._extras_view())
 
     def cdf(self, value: float) -> float:
         """Estimated fraction of the stream that is <= ``value``."""
@@ -294,6 +330,11 @@ class UnknownNQuantiles:
         """The underlying buffer engine (tests, diagnostics)."""
         return self._engine
 
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend this estimator runs on."""
+        return self._backend
+
     # ------------------------------------------------------------------
     # Checkpointing (see repro.persist for the durable file format)
     # ------------------------------------------------------------------
@@ -307,6 +348,7 @@ class UnknownNQuantiles:
         return {
             "kind": "unknown_n",
             "state_version": 1,
+            "backend": self._backend.name,
             "plan": {
                 "eps": self._plan.eps,
                 "delta": self._plan.delta,
@@ -319,7 +361,7 @@ class UnknownNQuantiles:
                 "policy_name": self._plan.policy_name,
             },
             "engine": self._engine.state_dict(),
-            "rng": self._rng.getstate(),
+            "rng": rng_state_dict(self._rng),
             "sampler": self._sampler.state_dict(),
             "staged": list(self._staged),
             "n": self._n,
@@ -344,9 +386,15 @@ class UnknownNQuantiles:
             leaves_per_level=int(state["plan"]["leaves_per_level"]),
             policy_name=state["plan"]["policy_name"],
         )
-        est = cls(plan=plan, policy=policy_from_name(plan.policy_name))
-        est._engine = CollapseEngine.from_state_dict(state["engine"])
-        est._rng = restore_rng(state["rng"])
+        est = cls(
+            plan=plan,
+            policy=policy_from_name(plan.policy_name),
+            backend=backend_from_checkpoint(state.get("backend")),
+        )
+        est._engine = CollapseEngine.from_state_dict(
+            state["engine"], backend=est._backend
+        )
+        est._rng = rng_from_state(state["rng"])
         est._sampler = BlockSampler.from_state_dict(state["sampler"], est._rng)
         est._staged = [float(v) for v in state["staged"]]
         est._n = int(state["n"])

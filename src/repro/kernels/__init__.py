@@ -1,0 +1,341 @@
+"""Pluggable accelerated kernels behind the library's three hot paths.
+
+The paper's pitch is that sampling + buffer-collapse makes quantile
+summaries cheap enough to run inline with heavy scan traffic; the
+asymptotics being settled, the remaining wins are constant factors.  This
+package concentrates the per-element work of the whole library into a
+small kernel surface with two interchangeable backends:
+
+* ``python`` — pure standard library, dependency-free, bit-identical to
+  the historical element-at-a-time implementation.  Always available and
+  always the default.
+* ``numpy`` — vectorised kernels (one RNG draw per *batch* of sampling
+  blocks, argsort/cumsum/searchsorted Collapse, ``np.sort`` buffers).
+  Selected with ``backend="numpy"`` on any estimator or via the
+  ``REPRO_BACKEND`` environment variable; optional, and
+
+  distribution-identical to the python backend (property-tested).
+
+The kernel surface (see :class:`KernelBackend`):
+
+1. **Batch block sampling** — resolve every complete sampling block of a
+   random-access batch, one representative per block.
+2. **Collapse selection** — the weighted merge + equally-spaced keep of
+   Section 3.2.
+3. **Merged weighted views** — the flattened ``(values, cumweights)``
+   form of a set of weighted sorted buffers that turns the Output
+   operation into binary search; :class:`~repro.core.framework.CollapseEngine`
+   memoises this view between mutations, which is what makes repeated
+   queries between updates (the online-aggregation pattern of Section
+   1.5) cost O(log) instead of a full re-merge.
+
+Backends also own RNG construction (:meth:`KernelBackend.make_rng`) so a
+numpy-backed estimator is seed-reproducible and checkpointable with the
+same bit-identical restore-and-replay guarantee as the python one:
+:func:`rng_state_dict` / :func:`rng_from_state` capture and restore either
+a :class:`random.Random` or a ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from bisect import bisect_left, bisect_right
+from collections.abc import Sequence
+
+__all__ = [
+    "KernelBackend",
+    "MergedView",
+    "BackendUnavailableError",
+    "get_backend",
+    "backend_from_checkpoint",
+    "available_backends",
+    "reject_text_batch",
+    "is_random_access",
+    "rng_state_dict",
+    "rng_from_state",
+    "merge_views",
+    "BACKEND_ENV_VAR",
+]
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendUnavailableError(RuntimeError):
+    """An explicitly requested backend cannot be loaded (missing dependency)."""
+
+
+# ----------------------------------------------------------------------
+# Batch hygiene helpers (shared by every estimator's bulk-ingest path)
+# ----------------------------------------------------------------------
+
+def reject_text_batch(values: object) -> None:
+    """Refuse ``str``/``bytes`` batches loudly.
+
+    Text is random-access (``__len__`` + ``__getitem__``), so without this
+    check ``extend("123")`` would either ingest code points as floats or
+    fail deep inside the sampler; a :class:`TypeError` at the door names
+    the mistake instead.
+    """
+    if isinstance(values, (str, bytes, bytearray)):
+        raise TypeError(
+            f"cannot ingest a {type(values).__name__}: expected a sequence "
+            "of numbers (parse text into floats first, e.g. with "
+            "float() per token or repro's CLI)"
+        )
+
+
+def is_random_access(values: object) -> bool:
+    """True for inputs that can be pre-scanned without consuming them."""
+    return hasattr(values, "__len__") and hasattr(values, "__getitem__")
+
+
+# ----------------------------------------------------------------------
+# Merged weighted views: the query-side kernel currency
+# ----------------------------------------------------------------------
+
+class MergedView:
+    """A weighted sorted multiset, flattened for binary-search queries.
+
+    ``values[i]`` is the i-th element of the merged sort order and
+    ``cumweights[i]`` the total weight of elements ``0..i``.  Both are
+    plain lists regardless of the backend that built them, so query
+    answers are identical by construction across backends.
+    """
+
+    __slots__ = ("values", "cumweights", "total_weight")
+
+    def __init__(self, values: list[float], cumweights: list[int]) -> None:
+        self.values = values
+        self.cumweights = cumweights
+        self.total_weight = cumweights[-1] if cumweights else 0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def cum_at(self, value: float) -> int:
+        """Total weight of merged elements ``<= value``."""
+        index = bisect_right(self.values, value)
+        return self.cumweights[index - 1] if index else 0
+
+    def select(self, position: int) -> float:
+        """The smallest value whose cumulative weight reaches ``position``."""
+        index = bisect_left(self.cumweights, position)
+        if index >= len(self.values):
+            raise ValueError(
+                f"position {position} exceeds total weight {self.total_weight}"
+            )
+        return self.values[index]
+
+
+def merge_views(a: MergedView, b: MergedView) -> MergedView:
+    """Union of two flattened views, in one linear two-pointer pass.
+
+    The engine merges its (memoised) full-buffer view with the in-flight
+    extras view once per mutation; every query between mutations is then
+    a single binary search over the result.  Ties keep ``a`` first —
+    irrelevant to answers (a weighted multiset has no tie order), stated
+    for determinism.
+    """
+    if len(a) == 0:
+        return b
+    if len(b) == 0:
+        return a
+    values_a, cum_a = a.values, a.cumweights
+    values_b, cum_b = b.values, b.cumweights
+    size_a, size_b = len(values_a), len(values_b)
+    values: list[float] = []
+    cumweights: list[int] = []
+    i = j = 0
+    prev_a = prev_b = total = 0
+    while i < size_a and j < size_b:
+        if values_a[i] <= values_b[j]:
+            total += cum_a[i] - prev_a
+            prev_a = cum_a[i]
+            values.append(values_a[i])
+            i += 1
+        else:
+            total += cum_b[j] - prev_b
+            prev_b = cum_b[j]
+            values.append(values_b[j])
+            j += 1
+        cumweights.append(total)
+    while i < size_a:
+        total += cum_a[i] - prev_a
+        prev_a = cum_a[i]
+        values.append(values_a[i])
+        cumweights.append(total)
+        i += 1
+    while j < size_b:
+        total += cum_b[j] - prev_b
+        prev_b = cum_b[j]
+        values.append(values_b[j])
+        cumweights.append(total)
+        j += 1
+    return MergedView(values, cumweights)
+
+
+# ----------------------------------------------------------------------
+# RNG state capture (backend-polymorphic; used by every checkpoint)
+# ----------------------------------------------------------------------
+
+def rng_state_dict(rng) -> object:
+    """Restorable state of a backend RNG.
+
+    A :class:`random.Random` serialises to its historical ``getstate()``
+    tuple (so python-backend checkpoints are byte-compatible with earlier
+    releases); a numpy-backed RNG serialises to a tagged dict.
+    """
+    if hasattr(rng, "getstate"):
+        return rng.getstate()
+    return rng.state_dict()
+
+
+def rng_from_state(state):
+    """Rebuild the RNG :func:`rng_state_dict` captured (either kind)."""
+    if isinstance(state, dict) and state.get("kind") == "numpy":
+        from repro.kernels.numpy_backend import NumpyRNG
+
+        return NumpyRNG.from_state_dict(state)
+    from repro.sampling.block import restore_rng
+
+    return restore_rng(state)
+
+
+# ----------------------------------------------------------------------
+# Backend protocol + registry
+# ----------------------------------------------------------------------
+
+class KernelBackend:
+    """The kernel surface every backend implements.
+
+    See :mod:`repro.kernels.python_backend` for the reference
+    implementation and :mod:`repro.kernels.numpy_backend` for the
+    vectorised one.  Instances are stateless singletons; estimators hold
+    a reference and pass it down to samplers, buffers, and the engine.
+    """
+
+    name = "abstract"
+
+    def make_rng(self, seed: int | None = None):
+        raise NotImplementedError
+
+    def as_batch(self, values: Sequence[float]) -> Sequence[float]:
+        """Normalise a random-access batch for this backend's kernels."""
+        raise NotImplementedError
+
+    def batch_contains_nan(self, values: Sequence[float]) -> bool:
+        """Single full scan of a batch for NaN (the atomicity gate)."""
+        raise NotImplementedError
+
+    def tolist(self, values: Sequence[float]) -> list[float]:
+        """Plain-float list view of a kernel result (cheap for lists)."""
+        raise NotImplementedError
+
+    def sort_values(self, values: Sequence[float]) -> Sequence[float]:
+        """Sorted storage form of a New buffer's values."""
+        raise NotImplementedError
+
+    def block_representatives(
+        self, values: Sequence[float], start: int, n_blocks: int, rate: int, rng
+    ) -> list[float]:
+        """One uniform representative per complete block of ``rate``.
+
+        Resolves blocks ``values[start : start + n_blocks * rate]``; the
+        caller advances its cursor by ``n_blocks * rate``.
+        """
+        raise NotImplementedError
+
+    def select_collapse(
+        self,
+        inputs: Sequence[tuple[Sequence[float], int]],
+        capacity: int,
+        offset: int,
+    ) -> Sequence[float]:
+        """The Collapse keep-selection (Section 3.2), sorted output."""
+        raise NotImplementedError
+
+    def merged_view(
+        self, weighted: Sequence[tuple[Sequence[float], int]]
+    ) -> MergedView:
+        """Flatten weighted sorted buffers into one :class:`MergedView`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`get_backend`, in preference order."""
+    names = ["python"]
+    try:
+        import numpy  # noqa: F401
+
+        names.append("numpy")
+    except ImportError:
+        pass
+    return names
+
+
+def get_backend(backend: "str | KernelBackend | None" = None) -> KernelBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` consults the ``REPRO_BACKEND`` environment variable and
+    falls back to ``python``.  An *explicit* ``"numpy"`` raises
+    :class:`BackendUnavailableError` when numpy is missing; a numpy
+    request coming from the environment variable degrades to the python
+    backend with a warning instead, so deployments can set the variable
+    fleet-wide without breaking numpy-free hosts.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    explicit = backend is not None
+    name = backend if explicit else os.environ.get(BACKEND_ENV_VAR) or "python"
+    name = name.strip().lower()
+    if name == "python":
+        from repro.kernels.python_backend import PYTHON_BACKEND
+
+        return PYTHON_BACKEND
+    if name == "numpy":
+        try:
+            from repro.kernels.numpy_backend import NUMPY_BACKEND
+        except ImportError:
+            if explicit:
+                raise BackendUnavailableError(
+                    "backend 'numpy' was requested but numpy is not "
+                    "installed; install numpy or use backend='python'"
+                ) from None
+            warnings.warn(
+                f"{BACKEND_ENV_VAR}=numpy but numpy is not installed; "
+                "falling back to the pure-python backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            from repro.kernels.python_backend import PYTHON_BACKEND
+
+            return PYTHON_BACKEND
+        return NUMPY_BACKEND
+    raise ValueError(
+        f"unknown kernel backend {name!r}; available: {available_backends()}"
+    )
+
+
+def backend_from_checkpoint(name: "str | None") -> KernelBackend:
+    """Resolve a checkpointed backend name, degrading instead of failing.
+
+    Checkpoint payloads are backend-agnostic plain floats, so a summary
+    saved under numpy restores correctly on a numpy-free host — it just
+    runs on the python kernels from there on (with a warning).  Absent
+    names (pre-kernel checkpoints) mean python.
+    """
+    try:
+        return get_backend(name if name is not None else "python")
+    except BackendUnavailableError:
+        warnings.warn(
+            f"checkpoint was taken with the {name!r} backend, which is "
+            "unavailable here; restoring with the python reference backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return get_backend("python")

@@ -1,0 +1,96 @@
+"""The dependency-free reference backend.
+
+Bit-identical to the historical element-at-a-time implementation: the
+same RNG kind (:class:`random.Random`), the same draw sequence for block
+sampling, and Collapse delegating to the heapq-merge reference in
+:mod:`repro.core.operations`.  Every other backend is property-tested
+against this one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections.abc import Sequence
+
+from repro.kernels import KernelBackend, MergedView
+
+__all__ = ["PythonBackend", "PYTHON_BACKEND"]
+
+try:  # optional: only used to fast-path NaN scans of ndarray inputs
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised in numpy-free installs
+    _numpy = None
+
+
+class PythonBackend(KernelBackend):
+    """Pure standard-library kernels (the default)."""
+
+    name = "python"
+
+    def make_rng(self, seed: int | None = None) -> random.Random:
+        return random.Random(seed)
+
+    def as_batch(self, values: Sequence[float]) -> Sequence[float]:
+        return values
+
+    def batch_contains_nan(self, values: Sequence[float]) -> bool:
+        # Vectorised even on the python backend when the *input* is an
+        # ndarray — scanning it element-wise would box every value.
+        if _numpy is not None and isinstance(values, _numpy.ndarray):
+            return bool(_numpy.isnan(values).any())
+        return any(value != value for value in values)
+
+    def tolist(self, values: Sequence[float]) -> list[float]:
+        if isinstance(values, list):
+            return values
+        if _numpy is not None and isinstance(values, _numpy.ndarray):
+            return values.tolist()
+        return list(values)
+
+    def sort_values(self, values: Sequence[float]) -> list[float]:
+        return sorted(values)
+
+    def block_representatives(
+        self, values: Sequence[float], start: int, n_blocks: int, rate: int, rng
+    ) -> list[float]:
+        # One uniform draw per block, matching BlockSampler.offer_many's
+        # historical sequence exactly: int(random() * rate) per block.
+        chosen = []
+        rnd = rng.random
+        index = start
+        for _ in range(n_blocks):
+            chosen.append(values[index + int(rnd() * rate)])
+            index += rate
+        return chosen
+
+    def select_collapse(
+        self,
+        inputs: Sequence[tuple[Sequence[float], int]],
+        capacity: int,
+        offset: int,
+    ) -> list[float]:
+        from repro.core.operations import select_collapse_values
+
+        return select_collapse_values(inputs, capacity, offset)
+
+    def merged_view(
+        self, weighted: Sequence[tuple[Sequence[float], int]]
+    ) -> MergedView:
+        from repro.stats.rank import weighted_stream
+
+        merged = heapq.merge(
+            *(weighted_stream(data, weight) for data, weight in weighted if weight > 0)
+        )
+        values: list[float] = []
+        cumweights: list[int] = []
+        running = 0
+        for value, weight in merged:
+            running += weight
+            values.append(value)
+            cumweights.append(running)
+        return MergedView(values, cumweights)
+
+
+#: The singleton instance estimators share.
+PYTHON_BACKEND = PythonBackend()

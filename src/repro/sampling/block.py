@@ -119,26 +119,50 @@ class BlockSampler:
         draws, which is what the estimators' bulk-ingest paths build on.
         Any trailing incomplete block stays pending, as with :meth:`offer`.
         """
+        return self.offer_window(values, 0, len(values))
+
+    def offer_window(
+        self,
+        values: Sequence[float],
+        start: int,
+        stop: int,
+        backend=None,
+    ) -> list[float]:
+        """Feed ``values[start:stop]`` *in place* — no slice is materialised.
+
+        The workhorse behind the estimators' ``update_batch``: the open
+        block (if any) is finished element-by-element, whole interior
+        blocks are resolved through the kernel backend's batch kernel
+        (one vectorised draw per batch on the numpy backend, one scalar
+        draw per block on the python one), and the tail opens a new
+        partial block.  Returns the completed blocks' representatives as
+        plain floats.
+        """
+        if backend is None:
+            from repro.kernels.python_backend import PYTHON_BACKEND as backend
         chosen: list[float] = []
-        index = 0
-        total = len(values)
+        index = start
         # Finish the currently open block element-by-element (it already
         # has per-element reservoir state).
-        while index < total and self._seen_in_block != 0:
+        while index < stop and self._seen_in_block != 0:
             result = self.offer(values[index])
             index += 1
             if result is not None:
                 chosen.append(result)
         rate = self._rate
         if rate == 1:
-            chosen.extend(values[index:])
+            # Every element is its own block's representative.
+            if index < stop:
+                chosen.extend(backend.tolist(values[index:stop]))
             return chosen
-        # Whole blocks: one uniform index draw per block.
-        while index + rate <= total:
-            chosen.append(values[index + int(self._rng.random() * rate)])
-            index += rate
+        n_blocks = (stop - index) // rate
+        if n_blocks:
+            chosen.extend(
+                backend.block_representatives(values, index, n_blocks, rate, self._rng)
+            )
+            index += n_blocks * rate
         # Tail: open a new partial block.
-        while index < total:
+        while index < stop:
             result = self.offer(values[index])
             index += 1
             if result is not None:  # cannot happen (tail < rate), but be safe

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.sampling.block import BlockSampler, restore_rng
+from repro.sampling.block import BlockSampler
 
 __all__ = ["BernoulliSampler", "SystematicSampler"]
 
@@ -58,19 +58,51 @@ class BernoulliSampler:
             return value
         return None
 
+    def offer_many(self, values) -> list[float]:
+        """Offer a whole batch; return the kept elements in stream order.
+
+        Same independent-inclusion law as :meth:`offer`.  With an RNG that
+        supports vectorised draws (the numpy backend's), the whole batch
+        costs one uniform draw; a plain :class:`random.Random` falls back
+        to the per-element loop, bit-identical to repeated :meth:`offer`.
+        """
+        count = len(values)
+        if self._probability >= 1.0:
+            self._offered += count
+            self._kept += count
+            return [float(v) for v in values]
+        if hasattr(self._rng, "random_array"):
+            uniforms = self._rng.random_array(count)
+            kept = [
+                float(value)
+                for value, u in zip(values, uniforms)
+                if u < self._probability
+            ]
+        else:
+            rnd = self._rng.random
+            p = self._probability
+            kept = [float(value) for value in values if rnd() < p]
+        self._offered += count
+        self._kept += len(kept)
+        return kept
+
     def state_dict(self) -> dict:
         """The sampler's restorable state, including its RNG state."""
+        from repro.kernels import rng_state_dict
+
         return {
             "probability": self._probability,
             "offered": self._offered,
             "kept": self._kept,
-            "rng": self._rng.getstate(),
+            "rng": rng_state_dict(self._rng),
         }
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "BernoulliSampler":
         """Rebuild a sampler exactly as :meth:`state_dict` captured it."""
-        sampler = cls(float(state["probability"]), restore_rng(state["rng"]))
+        from repro.kernels import rng_from_state
+
+        sampler = cls(float(state["probability"]), rng_from_state(state["rng"]))
         sampler._offered = int(state["offered"])
         sampler._kept = int(state["kept"])
         return sampler

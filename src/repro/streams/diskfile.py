@@ -15,7 +15,14 @@ import os
 import sys
 from collections.abc import Iterable, Iterator
 
-__all__ = ["write_floats", "read_floats", "count_floats", "CHUNK_VALUES"]
+__all__ = [
+    "write_floats",
+    "read_floats",
+    "read_float_chunks",
+    "ingest_file",
+    "count_floats",
+    "CHUNK_VALUES",
+]
 
 #: Values per I/O chunk (8 bytes each -> 512 KiB reads by default).
 CHUNK_VALUES = 65_536
@@ -51,10 +58,16 @@ def write_floats(path: str | os.PathLike, values: Iterable[float]) -> int:
     return written
 
 
-def read_floats(
+def read_float_chunks(
     path: str | os.PathLike, chunk_values: int = CHUNK_VALUES
-) -> Iterator[float]:
-    """Stream the floats back from ``path`` in fixed-size chunks."""
+) -> Iterator["array.array"]:
+    """Stream ``array('d')`` chunks of up to ``chunk_values`` floats.
+
+    The bulk-ingest counterpart of :func:`read_floats`: each chunk is a
+    random-access sequence the estimators' ``update_batch`` can sample
+    with one RNG draw per block (and the numpy backend can vectorise)
+    instead of boxing every element through a Python float.
+    """
     if chunk_values < 1:
         raise ValueError(f"chunk_values must be >= 1, got {chunk_values}")
     with open(path, "rb") as handle:
@@ -71,7 +84,34 @@ def read_floats(
             chunk.frombytes(raw)
             if sys.byteorder == "big":
                 chunk.byteswap()
-            yield from chunk
+            yield chunk
+
+
+def read_floats(
+    path: str | os.PathLike, chunk_values: int = CHUNK_VALUES
+) -> Iterator[float]:
+    """Stream the floats back from ``path`` one at a time."""
+    for chunk in read_float_chunks(path, chunk_values):
+        yield from chunk
+
+
+def ingest_file(
+    estimator,
+    path: str | os.PathLike,
+    chunk_values: int = CHUNK_VALUES,
+) -> int:
+    """One-pass bulk ingest of a float64 file into an estimator.
+
+    Feeds the file through ``estimator.update_batch`` (or ``extend`` for
+    estimators without a batch path) chunk by chunk, keeping memory at
+    O(chunk) however large the file.  Returns the number of values fed.
+    """
+    ingest = getattr(estimator, "update_batch", None) or estimator.extend
+    total = 0
+    for chunk in read_float_chunks(path, chunk_values):
+        ingest(chunk)
+        total += len(chunk)
+    return total
 
 
 def count_floats(path: str | os.PathLike) -> int:

@@ -65,6 +65,30 @@ class TestQuantileCommand:
         assert "n=10000" in err
         assert "memory=" in err
 
+    def test_backend_flag(self, values_file, capsys):
+        from repro.kernels import available_backends
+
+        for backend in available_backends():
+            code = main(
+                [
+                    "quantile",
+                    values_file,
+                    "--eps",
+                    "0.05",
+                    "--seed",
+                    "1",
+                    "--backend",
+                    backend,
+                ]
+            )
+            assert code == 0
+            value = float(capsys.readouterr().out.split("\t")[1])
+            assert abs(value - 5000) <= 0.05 * 10_000
+
+    def test_unknown_backend_rejected_by_argparse(self, values_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["quantile", values_file, "--backend", "fortran"])
+
 
 class TestMalformedInput:
     def test_bad_token_reports_location_and_fails(self, tmp_path, capsys):

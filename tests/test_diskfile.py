@@ -8,7 +8,14 @@ import pytest
 
 from repro.core.unknown_n import UnknownNQuantiles
 from repro.stats.rank import is_eps_approximate
-from repro.streams.diskfile import CHUNK_VALUES, count_floats, read_floats, write_floats
+from repro.streams.diskfile import (
+    CHUNK_VALUES,
+    count_floats,
+    ingest_file,
+    read_float_chunks,
+    read_floats,
+    write_floats,
+)
 
 
 class TestRoundTrip:
@@ -66,6 +73,60 @@ class TestValidation:
         write_floats(path, [1.0])
         with pytest.raises(ValueError):
             list(read_floats(path, chunk_values=0))
+
+
+class TestChunkedReads:
+    def test_chunks_cover_the_file_in_order(self, tmp_path):
+        path = tmp_path / "data.f64"
+        values = [float(i) for i in range(100)]
+        write_floats(path, values)
+        chunks = list(read_float_chunks(path, chunk_values=32))
+        assert [len(c) for c in chunks] == [32, 32, 32, 4]
+        flat = [v for chunk in chunks for v in chunk]
+        assert flat == values
+
+    def test_chunks_are_random_access_sequences(self, tmp_path):
+        # update_batch needs __len__ + __getitem__ to sample blocks
+        # without copying; array('d') provides both.
+        path = tmp_path / "data.f64"
+        write_floats(path, [1.0, 2.0, 3.0])
+        (chunk,) = read_float_chunks(path)
+        assert len(chunk) == 3
+        assert chunk[1] == 2.0
+
+    def test_truncation_detected_mid_stream(self, tmp_path):
+        path = tmp_path / "trunc.f64"
+        write_floats(path, [1.0, 2.0])
+        with open(path, "ab") as handle:
+            handle.write(b"\xff" * 5)
+        with pytest.raises(ValueError, match="truncated"):
+            list(read_float_chunks(path))
+
+
+class TestIngestFile:
+    def test_ingest_uses_the_batch_path(self, tmp_path):
+        path = tmp_path / "data.f64"
+        write_floats(path, (float(i) for i in range(10_000)))
+        est = UnknownNQuantiles(eps=0.05, delta=0.01, seed=1)
+        assert ingest_file(est, path, chunk_values=1024) == 10_000
+        assert est.n == 10_000
+        assert is_eps_approximate(
+            [float(i) for i in range(10_000)], est.query(0.5), 0.5, 0.05
+        )
+
+    def test_ingest_falls_back_to_extend(self, tmp_path):
+        class ExtendOnly:
+            def __init__(self):
+                self.values = []
+
+            def extend(self, chunk):
+                self.values.extend(chunk)
+
+        path = tmp_path / "data.f64"
+        write_floats(path, [1.0, 2.0, 3.0])
+        sink = ExtendOnly()
+        assert ingest_file(sink, path) == 3
+        assert sink.values == [1.0, 2.0, 3.0]
 
 
 class TestEndToEnd:
