@@ -14,7 +14,7 @@ import random
 
 from conftest import format_table, report
 
-from repro.core.parallel import ParallelQuantiles, _ship
+from repro.core.parallel import ParallelQuantiles, merge_snapshots
 from repro.core.params import plan_parameters
 from repro.stats.rank import rank_error
 
@@ -38,13 +38,13 @@ def run_p(p: int):
     worst = max(
         rank_error(union, pq.query(phi), phi) / len(union) for phi in PHIS
     )
-    shipped = 0
-    for worker_id in range(p):
-        full, partial = _ship(
-            pq.worker(worker_id).snapshot(), random.Random(0)
-        )
-        shipped += (full is not None) + (partial is not None)
-    return worst, shipped, plan.memory, len(union)
+    # The communication cost is read off the merge's own accounting
+    # (MergeReport.shipments) rather than re-simulated privately.
+    merged = merge_snapshots(
+        [pq.worker(worker_id).snapshot() for worker_id in range(p)], seed=0
+    )
+    assert merged.report is not None and merged.report.within_communication_bound
+    return worst, merged.report.shipped_buffers, plan.memory, len(union)
 
 
 def run_all():

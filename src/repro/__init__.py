@@ -22,6 +22,9 @@ Main entry points:
 * :func:`plan_schedule` — dynamic buffer-allocation schedules (Figure 5).
 * :mod:`repro.db` — database applications: equi-depth histograms,
   splitters, online aggregation, selectivity estimation.
+* :mod:`repro.runtime` — the multi-process parallel ingest engine
+  (:func:`run_pool_on_file` / :func:`run_pool_on_stream`): Section 6's
+  protocol on real worker processes with measured communication cost.
 
 Quickstart::
 
@@ -51,6 +54,7 @@ from repro.core.parallel import (
     MergedSummary,
     MergeReport,
     ParallelQuantiles,
+    ShardShipment,
     merge_snapshots,
 )
 from repro.core.params import (
@@ -71,6 +75,13 @@ from repro.persist import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.runtime import (
+    PoolResult,
+    PoolWorkerError,
+    run_pool_on_file,
+    run_pool_on_stream,
+    seed_for_worker,
+)
 from repro.sampling.reservoir import ReservoirSampler
 
 __version__ = "1.0.0"
@@ -85,7 +96,13 @@ __all__ = [
     "ParallelQuantiles",
     "MergedSummary",
     "MergeReport",
+    "ShardShipment",
     "merge_snapshots",
+    "PoolResult",
+    "PoolWorkerError",
+    "run_pool_on_file",
+    "run_pool_on_stream",
+    "seed_for_worker",
     "ReservoirSampler",
     "CheckpointError",
     "CheckpointCorruptError",

@@ -106,6 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="kernel backend (default: $REPRO_BACKEND, else python)",
     )
+    _add_parallel_arguments(quantile)
 
     plan = sub.add_parser("plan", help="memory plan for (eps, delta)")
     plan.add_argument("--eps", type=float, required=True)
@@ -128,11 +129,117 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="kernel backend (default: $REPRO_BACKEND, else python)",
     )
+    _add_parallel_arguments(histogram)
     return parser
+
+
+def _add_parallel_arguments(subparser: argparse.ArgumentParser) -> None:
+    """The shared parallel-ingest flags of the streaming commands."""
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "ingest with N parallel worker processes (Section 6 on real "
+            "processes); with --float64 each worker scans its own byte "
+            "range of the file, otherwise parsed values are striped "
+            "across workers in chunks"
+        ),
+    )
+    subparser.add_argument(
+        "--float64",
+        action="store_true",
+        help=(
+            "treat the input file as packed little-endian float64 records "
+            "(the repro.streams.diskfile format) instead of whitespace-"
+            "separated text"
+        ),
+    )
+    subparser.add_argument(
+        "--start-method",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help="multiprocessing start method (default: platform default)",
+    )
+
+
+class _EmptyInput(Exception):
+    """The input stream held no values at all."""
+
+
+def _pool_ingest(args: argparse.Namespace, num_quantiles: int):
+    """Run the multi-process ingest pool for a streaming command.
+
+    Returns a :class:`repro.runtime.PoolResult`; raises :class:`_InputError`
+    on malformed text, :class:`_EmptyInput` when there is nothing to
+    summarise, and lets backend/worker errors propagate to the caller.
+    """
+    from repro.core.params import plan_parameters as _plan
+    from repro.runtime import run_pool_on_file, run_pool_on_stream
+    from repro.streams.diskfile import count_floats
+
+    if args.workers < 1:
+        raise _InputError(f"--workers must be >= 1, got {args.workers}")
+    plan = _plan(args.eps, args.delta, num_quantiles=num_quantiles)
+    if args.float64:
+        if not args.file:
+            raise _InputError(
+                "--float64 needs a file path (stdin is text-only)"
+            )
+        if count_floats(args.file) == 0:
+            raise _EmptyInput
+        return run_pool_on_file(
+            args.file,
+            args.workers,
+            plan=plan,
+            seed=args.seed,
+            backend=args.backend,
+            start_method=args.start_method,
+        )
+    chunks = _read_value_chunks(args.file)
+    try:
+        first = next(chunks)
+    except StopIteration:
+        raise _EmptyInput from None
+    values = (
+        value
+        for chunk in _chain_chunks(first, chunks)
+        for value in chunk
+    )
+    return run_pool_on_stream(
+        values,
+        args.workers,
+        plan=plan,
+        seed=args.seed,
+        backend=args.backend,
+        start_method=args.start_method,
+    )
+
+
+def _chain_chunks(first: list[float], rest: Iterator[list[float]]):
+    yield first
+    yield from rest
+
+
+def _pool_footer(args: argparse.Namespace, result) -> str:
+    """The stderr summary line of a parallel run."""
+    coverage = result.report.weight_coverage
+    return (
+        f"# n={result.n}  workers={args.workers} "
+        f"({result.start_method})  "
+        f"rate={result.elements_per_second:,.0f} elems/s  "
+        f"shipped={result.shipped_bytes} bytes "
+        f"({result.report.shipped_buffers} buffers)  "
+        f"merge={result.merge_seconds * 1000:.1f} ms  "
+        f"coverage={coverage:.3f}"
+    )
 
 
 def _cmd_quantile(args: argparse.Namespace) -> int:
     phis = sorted(set(args.phi)) if args.phi else [0.5]
+    if args.workers is not None:
+        return _cmd_quantile_parallel(args, phis)
     try:
         estimator = UnknownNQuantiles(
             args.eps,
@@ -145,9 +252,20 @@ def _cmd_quantile(args: argparse.Namespace) -> int:
         print(f"error: {exc} (available: {available_backends()})", file=sys.stderr)
         return 2
     try:
-        for chunk in _read_value_chunks(args.file):
-            estimator.update_batch(chunk)
-    except _InputError as exc:
+        if args.float64:
+            if not args.file:
+                print(
+                    "error: --float64 needs a file path (stdin is text-only)",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.streams.diskfile import ingest_file
+
+            ingest_file(estimator, args.file)
+        else:
+            for chunk in _read_value_chunks(args.file):
+                estimator.update_batch(chunk)
+    except (_InputError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if estimator.n == 0:
@@ -160,6 +278,32 @@ def _cmd_quantile(args: argparse.Namespace) -> int:
         f"guarantee=+/-{args.eps:g}*n ranks w.p. {1 - args.delta:g}",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_quantile_parallel(args: argparse.Namespace, phis: list[float]) -> int:
+    from repro.runtime import PoolWorkerError
+
+    try:
+        result = _pool_ingest(args, num_quantiles=len(phis))
+    except BackendUnavailableError as exc:
+        print(f"error: {exc} (available: {available_backends()})", file=sys.stderr)
+        return 2
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except _EmptyInput:
+        print("no input values", file=sys.stderr)
+        return 1
+    except PoolWorkerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for phi, answer in zip(phis, result.query_many(phis)):
+        print(f"phi={phi:g}\t{answer!r}")
+    print(_pool_footer(args, result), file=sys.stderr)
     return 0
 
 
@@ -185,6 +329,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_histogram(args: argparse.Namespace) -> int:
+    if args.buckets < 2:
+        print(f"error: need at least 2 buckets, got {args.buckets}", file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        return _cmd_histogram_parallel(args)
     try:
         estimator = MultiQuantiles(
             args.eps,
@@ -197,9 +346,20 @@ def _cmd_histogram(args: argparse.Namespace) -> int:
         print(f"error: {exc} (available: {available_backends()})", file=sys.stderr)
         return 2
     try:
-        for chunk in _read_value_chunks(args.file):
-            estimator.extend(chunk)
-    except _InputError as exc:
+        if args.float64:
+            if not args.file:
+                print(
+                    "error: --float64 needs a file path (stdin is text-only)",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.streams.diskfile import ingest_file
+
+            ingest_file(estimator, args.file)
+        else:
+            for chunk in _read_value_chunks(args.file):
+                estimator.extend(chunk)
+    except (_InputError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if estimator.n == 0:
@@ -210,6 +370,36 @@ def _cmd_histogram(args: argparse.Namespace) -> int:
     print(
         f"# n={estimator.n}  buckets={args.buckets}  "
         f"memory={estimator.memory_elements} elements",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_histogram_parallel(args: argparse.Namespace) -> int:
+    from repro.runtime import PoolWorkerError
+
+    try:
+        result = _pool_ingest(args, num_quantiles=args.buckets - 1)
+    except BackendUnavailableError as exc:
+        print(f"error: {exc} (available: {available_backends()})", file=sys.stderr)
+        return 2
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except _EmptyInput:
+        print("no input values", file=sys.stderr)
+        return 1
+    except PoolWorkerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    phis = [i / args.buckets for i in range(1, args.buckets)]
+    for boundary in result.query_many(phis):
+        print(repr(boundary))
+    print(
+        f"# buckets={args.buckets}  " + _pool_footer(args, result).lstrip("# "),
         file=sys.stderr,
     )
     return 0

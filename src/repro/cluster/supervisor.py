@@ -30,6 +30,7 @@ tests exercise.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
 import random
 from collections.abc import Callable, Sequence
@@ -40,6 +41,8 @@ from repro.core.params import Plan, plan_parameters
 from repro.core.parallel import MergedSummary, MergeReport, merge_snapshots
 from repro.core.policy import CollapsePolicy
 from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+from repro.kernels import KernelBackend, get_backend
+from repro.streams.diskfile import CHUNK_VALUES, count_floats, plan_byte_ranges
 from repro.persist import (
     CheckpointCorruptError,
     CheckpointVersionError,
@@ -182,6 +185,9 @@ class ShardSupervisor:
         self._worker_seeds = [rng.randrange(2**62) for _ in range(num_shards)]
         self._merge_seed = rng.randrange(2**62)
         self._jitter_rng = random.Random(rng.randrange(2**62))
+        # Master seed for the real multi-process pool (run_pool); drawn
+        # last so earlier seeds match runs of previous releases exactly.
+        self._pool_seed = rng.randrange(2**62)
         self._checkpoint_counts = [0] * num_shards
         self._received: dict[str, EstimatorSnapshot] = {}
         self.stats = SupervisorStats()
@@ -225,6 +231,116 @@ class ShardSupervisor:
         )
         assert summary.report is not None
         return SupervisorResult(summary=summary, report=summary.report, stats=self.stats)
+
+    def run_pool(
+        self,
+        path: str | os.PathLike,
+        *,
+        backend: "str | KernelBackend | None" = None,
+        start_method: str | None = None,
+        chunk_values: int = CHUNK_VALUES,
+        timeout: float | None = None,
+    ) -> SupervisorResult:
+        """Host a real multi-process ingest pool over a float64 file.
+
+        The supervised counterpart of
+        :func:`repro.runtime.run_pool_on_file`: the file is byte-range
+        partitioned into ``num_shards`` slices, each scanned by its own
+        worker *process*, and the supervisor's existing semantics apply
+        to real process deaths —
+
+        * a worker that dies (crash, OOM kill, injected
+          ``fault_plan.crash_at``) is retried with the configured
+          exponential backoff under the ``max_ship_attempts`` budget; a
+          retried slice is re-scanned under the *same* derived seed, so
+          its snapshot is bit-identical to one that never failed;
+        * a worker lost after the whole budget is surrendered: ``strict``
+          supervisors raise :class:`ShardLostError`, non-strict ones
+          serve a partial answer whose
+          :class:`~repro.core.parallel.MergeReport` quantifies the lost
+          weight — never a hang, because dead processes are reaped, not
+          awaited.
+
+        Pool workers do not checkpoint mid-scan (a slice re-scan *is* the
+        recovery path — sequential re-read beats checkpoint plumbing at
+        scan speeds), so ``checkpoint_dir`` is not consulted here.
+
+        :param backend: kernel backend for every pool worker
+            (``"python"``, ``"numpy"``, or None for the environment
+            default).
+        :param start_method: multiprocessing start method (``"fork"``,
+            ``"spawn"``, ``"forkserver"``; None = platform default).
+        """
+        from repro.runtime.pool import run_file_shards
+
+        backend_name = get_backend(backend).name
+        method = (
+            start_method
+            if start_method is not None
+            else multiprocessing.get_start_method()
+        )
+        policy_name = self._policy.name if self._policy is not None else None
+        expected_n = count_floats(path)
+        ranges = plan_byte_ranges(path, self._num_shards)
+        delivered: dict[int, EstimatorSnapshot] = {}
+        delivered_n: dict[int, int] = {}
+        pending = list(range(self._num_shards))
+        for attempt in range(1, self._max_ship_attempts + 1):
+            if not pending:
+                break
+            if attempt > 1:
+                self._backoff(attempt)
+                self.stats.restarts += len(pending)
+            fail_after: dict[int, int] = {}
+            for shard_id in pending:
+                planned = self._faults.crash_at.get(shard_id)
+                if planned is not None and self._faults.take_crash(
+                    shard_id, planned
+                ):
+                    fail_after[shard_id] = planned
+            round_delivered, _lost, _seconds = run_file_shards(
+                path,
+                ranges,
+                pending,
+                plan=self._plan,
+                policy_name=policy_name,
+                backend_name=backend_name,
+                master_seed=self._pool_seed,
+                start_method=method,
+                chunk_values=chunk_values,
+                timeout=timeout,
+                fail_after=fail_after,
+            )
+            for shard_id, (snapshot, n, _bytes, _secs) in round_delivered.items():
+                delivered[shard_id] = snapshot
+                delivered_n[shard_id] = n
+                self.stats.ships_delivered += 1
+                if attempt > 1:
+                    # A retried slice is re-consumed from byte zero.
+                    self.stats.replayed_elements += n
+            pending = sorted(set(pending) - set(round_delivered))
+        self.stats.shards_lost = pending
+        if pending and self._strict:
+            raise ShardLostError(
+                f"shards {pending} were lost after {self._max_ship_attempts} "
+                "pool attempts; construct the supervisor with strict=False "
+                "to serve a partial answer with a MergeReport"
+            )
+        snapshots: list[EstimatorSnapshot | None] = [
+            delivered.get(shard_id) for shard_id in range(self._num_shards)
+        ]
+        summary = merge_snapshots(
+            snapshots,
+            policy=self._policy,
+            seed=self._merge_seed,
+            strict=False,
+            expected_n=expected_n,
+            backend=backend_name,
+        )
+        assert summary.report is not None
+        return SupervisorResult(
+            summary=summary, report=summary.report, stats=self.stats
+        )
 
     def _ingest_shard(
         self, shard_id: int, stream: Sequence[float]

@@ -43,7 +43,52 @@ from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
 from repro.kernels import KernelBackend, backend_from_checkpoint, get_backend
 from repro.sampling.block import restore_rng
 
-__all__ = ["ParallelQuantiles", "MergedSummary", "MergeReport", "merge_snapshots"]
+__all__ = [
+    "ParallelQuantiles",
+    "MergedSummary",
+    "MergeReport",
+    "ShardShipment",
+    "merge_snapshots",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardShipment:
+    """What one shard actually sent to the coordinator.
+
+    Section 6's communication bound — each processor ships *at most one
+    full and at most one partial buffer* — is the claim that makes the
+    parallel protocol cheap; recording the payload per shard makes the
+    bound assertable in tests and measurable in benchmarks rather than
+    folklore.
+
+    :ivar shard_id: index of the shard in the merge's snapshot list.
+    :ivar full_buffers: full buffers shipped (0 or 1 by construction).
+    :ivar partial_buffers: partial buffers shipped (0 or 1).
+    :ivar full_elements: elements in the shipped full buffer.
+    :ivar partial_elements: elements in the shipped partial buffer.
+    """
+
+    shard_id: int
+    full_buffers: int
+    partial_buffers: int
+    full_elements: int
+    partial_elements: int
+
+    @property
+    def buffers(self) -> int:
+        """Total buffers this shard put on the wire."""
+        return self.full_buffers + self.partial_buffers
+
+    @property
+    def elements(self) -> int:
+        """Total elements this shard put on the wire."""
+        return self.full_elements + self.partial_elements
+
+    @property
+    def within_bound(self) -> bool:
+        """True when the shard respected the paper's ≤1+≤1 buffer bound."""
+        return self.full_buffers <= 1 and self.partial_buffers <= 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,6 +107,9 @@ class MergeReport:
         (caller-supplied, or estimated as survivors-mean x shard count).
     :ivar weight_coverage: ``n_included / n_expected`` — the fraction of
         the union's weight the answer actually rests on.
+    :ivar shipments: per-shard :class:`ShardShipment` payload accounting
+        for the shards that entered the merge (Section 6's communication
+        bound, made assertable).
     """
 
     shards_total: int
@@ -70,11 +118,27 @@ class MergeReport:
     n_included: int
     n_expected: int
     weight_coverage: float
+    shipments: tuple[ShardShipment, ...] = ()
 
     @property
     def complete(self) -> bool:
         """True when every shard made it into the merge."""
         return not self.shards_lost
+
+    @property
+    def shipped_buffers(self) -> int:
+        """Total buffers that crossed the wire into this merge."""
+        return sum(shipment.buffers for shipment in self.shipments)
+
+    @property
+    def shipped_elements(self) -> int:
+        """Total elements that crossed the wire into this merge."""
+        return sum(shipment.elements for shipment in self.shipments)
+
+    @property
+    def within_communication_bound(self) -> bool:
+        """True when every shard shipped ≤ 1 full + 1 partial buffer."""
+        return all(shipment.within_bound for shipment in self.shipments)
 
     def effective_eps(self, eps: float) -> float:
         """The rank guarantee inflated by the lost weight.
@@ -148,6 +212,16 @@ class MergedSummary:
                 "n_included": self._report.n_included,
                 "n_expected": self._report.n_expected,
                 "weight_coverage": self._report.weight_coverage,
+                "shipments": [
+                    [
+                        shipment.shard_id,
+                        shipment.full_buffers,
+                        shipment.partial_buffers,
+                        shipment.full_elements,
+                        shipment.partial_elements,
+                    ]
+                    for shipment in self._report.shipments
+                ],
             }
         return state
 
@@ -164,6 +238,11 @@ class MergedSummary:
                 n_included=int(raw["n_included"]),
                 n_expected=int(raw["n_expected"]),
                 weight_coverage=float(raw["weight_coverage"]),
+                # Absent in checkpoints written before shipment accounting.
+                shipments=tuple(
+                    ShardShipment(*(int(v) for v in row))
+                    for row in raw.get("shipments", [])
+                ),
             )
         return cls(
             _Coordinator.from_state_dict(state["coordinator"]),
@@ -223,12 +302,27 @@ def merge_snapshots(
         b if b is not None else max(2, len(populated)), k, policy, rng,
         backend=backend,
     )
-    for snap in populated:
+    shipments: list[ShardShipment] = []
+    for shard_id, snap in enumerate(snapshots):
+        if snap is None:
+            continue
+        if snap.n == 0:
+            shipments.append(ShardShipment(shard_id, 0, 0, 0, 0))
+            continue
         full, partial = _ship(snap, rng)
         if full is not None:
             coordinator.receive_full(*full)
         if partial is not None:
             coordinator.receive_partial(*partial)
+        shipments.append(
+            ShardShipment(
+                shard_id=shard_id,
+                full_buffers=0 if full is None else 1,
+                partial_buffers=0 if partial is None else 1,
+                full_elements=0 if full is None else len(full[0]),
+                partial_elements=0 if partial is None else len(partial[0]),
+            )
+        )
     n_included = sum(snap.n for snap in populated)
     report = _coverage_report(
         shards_total=len(snapshots),
@@ -236,6 +330,7 @@ def merge_snapshots(
         n_included=n_included,
         included_count=len(present),
         expected_n=expected_n,
+        shipments=tuple(shipments),
     )
     return MergedSummary(coordinator, n_included, report)
 
@@ -247,6 +342,7 @@ def _coverage_report(
     n_included: int,
     included_count: int,
     expected_n: int | None,
+    shipments: tuple[ShardShipment, ...] = (),
 ) -> MergeReport:
     """Build the :class:`MergeReport` for a (possibly degraded) merge."""
     if expected_n is None:
@@ -265,6 +361,7 @@ def _coverage_report(
         n_included=n_included,
         n_expected=expected_n,
         weight_coverage=min(1.0, coverage),
+        shipments=shipments,
     )
 
 

@@ -1,0 +1,35 @@
+"""Multi-process parallel ingest runtime: Section 6 on real processes.
+
+:mod:`repro.core.parallel` *simulates* the paper's parallel protocol in a
+single process; this package runs it on real operating-system processes.
+A stream (or a disk-resident float64 file) is sharded across ``W`` worker
+processes, each running one independent
+:class:`~repro.core.unknown_n.UnknownNQuantiles` with a deterministic
+per-worker seed; at end of stream every worker performs its final
+Collapse and ships a CRC-framed snapshot — at most one full and at most
+one partial buffer, the Section 6 communication bound, measured in bytes
+on the wire — back to the coordinator, which runs the existing
+weight-matched :func:`~repro.core.parallel.merge_snapshots`.
+
+See :mod:`repro.runtime.pool` for the engine itself.
+"""
+
+from repro.runtime.pool import (
+    PoolResult,
+    PoolWorkerError,
+    WorkerReport,
+    available_start_methods,
+    run_pool_on_file,
+    run_pool_on_stream,
+    seed_for_worker,
+)
+
+__all__ = [
+    "PoolResult",
+    "PoolWorkerError",
+    "WorkerReport",
+    "available_start_methods",
+    "run_pool_on_file",
+    "run_pool_on_stream",
+    "seed_for_worker",
+]

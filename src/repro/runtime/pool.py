@@ -1,0 +1,699 @@
+"""The multi-process pool engine behind :mod:`repro.runtime`.
+
+Design constraints, in the order they shaped the code:
+
+* **Spawn-safe, no estimator pickling.**  Workers are plain top-level
+  functions started through any :mod:`multiprocessing` start method
+  (``fork``, ``spawn``, ``forkserver``).  Everything that crosses a
+  process boundary is primitive data: a :class:`WorkerSpec` of ints and
+  strings on the way in, and the CRC-framed snapshot bytes of
+  :mod:`repro.persist` on the way out — the same verified wire format the
+  checkpoint layer already uses, so a torn or corrupt result is detected
+  by the frame, never trusted.
+* **Deterministic.**  Worker ``w`` always ingests the same sub-stream
+  (its byte range of the file, or every ``W``-th chunk of the stream) with
+  the seed :func:`seed_for_worker`\\ ``(seed, w)`` — a SHA-256 derivation
+  that is identical across runs, platforms, and start methods (unlike
+  ``hash()``), so a fixed-seed pool run is bit-identical wherever it runs.
+* **Crash != hang.**  The collector never blocks on a worker that died:
+  processes found dead with a non-zero exit code are reaped as lost
+  shards, and the merge degrades through the existing
+  ``merge_snapshots(strict=False)`` path with a
+  :class:`~repro.core.parallel.MergeReport` quantifying the loss.
+* **The communication bound is measured, not assumed.**  Each worker's
+  shipped payload is exactly one framed snapshot whose byte length the
+  coordinator records; the per-shard full/partial buffer counts appear on
+  ``MergeReport.shipments``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import random as random_mod
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro import persist
+from repro.core.parallel import MergedSummary, MergeReport, merge_snapshots
+from repro.core.params import Plan, plan_parameters
+from repro.core.policy import CollapsePolicy, policy_from_name
+from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+from repro.kernels import get_backend
+from repro.streams.diskfile import (
+    CHUNK_VALUES,
+    count_floats,
+    plan_byte_ranges,
+    read_float_chunks,
+)
+
+__all__ = [
+    "PoolResult",
+    "PoolWorkerError",
+    "WorkerReport",
+    "WorkerSpec",
+    "available_start_methods",
+    "run_pool_on_file",
+    "run_pool_on_stream",
+    "seed_for_worker",
+]
+
+#: Exit code of a deliberately injected worker death (fault testing).
+FAULT_EXIT_CODE = 70
+
+#: Default values per chunk for the stream-striping driver (small enough
+#: to keep per-worker queues shallow, large enough to amortise pickling).
+STREAM_CHUNK_VALUES = 8_192
+
+#: Depth of each worker's inbound chunk queue in stream mode.
+_QUEUE_DEPTH = 4
+
+#: Seconds between liveness sweeps while waiting on worker results.
+_POLL_SECONDS = 0.1
+
+
+class PoolWorkerError(RuntimeError):
+    """A strict-mode pool lost one or more workers.
+
+    Carries the lost worker ids and their exit codes so callers can
+    distinguish an injected fault from an OOM kill from a bug.
+    """
+
+    def __init__(self, lost: dict[int, int | None]) -> None:
+        self.lost = dict(lost)
+        codes = ", ".join(
+            f"worker {wid} (exit code {code})" for wid, code in sorted(lost.items())
+        )
+        super().__init__(
+            f"{len(lost)} pool worker(s) died without shipping a snapshot: "
+            f"{codes}; pass strict=False to merge the survivors into a "
+            "partial answer with a MergeReport"
+        )
+
+
+def seed_for_worker(seed: int, worker_id: int) -> int:
+    """The deterministic seed worker ``worker_id`` runs under.
+
+    Derived by SHA-256 over the master seed and the worker id, so it is
+    stable across processes, platforms, interpreter hash randomisation,
+    and multiprocessing start methods — the property that makes a
+    fixed-seed pool run bit-identical under both ``fork`` and ``spawn``.
+    Distinct workers get (cryptographically) independent seeds, matching
+    the paper's requirement that the P processors sample independently.
+    """
+    if worker_id < 0:
+        raise ValueError(f"worker_id must be >= 0, got {worker_id}")
+    return _derive_seed(seed, f"worker:{worker_id}")
+
+
+def _derive_seed(seed: int, label: str) -> int:
+    payload = f"repro.runtime:{seed}:{label}".encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def available_start_methods() -> list[str]:
+    """Multiprocessing start methods usable on this platform."""
+    return mp.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class WorkerSpec:
+    """Everything one pool worker needs, as picklable plain data.
+
+    ``plan`` is the :class:`~repro.core.params.Plan` serialised to a dict
+    of primitives and ``policy_name`` the collapse policy's registry name,
+    so the spec crosses a ``spawn`` boundary without importing anything
+    but this module on the far side.
+    """
+
+    worker_id: int
+    seed: int
+    backend: str
+    plan: dict
+    policy_name: str | None
+    chunk_values: int
+    #: File mode: scan ``path[start:stop)`` (byte offsets).  ``None`` path
+    #: means stream mode — chunks arrive on the worker's inbound queue.
+    path: str | None = None
+    start: int = 0
+    stop: int = 0
+    #: Fault injection: die (``os._exit``) after ingesting this many
+    #: elements — a deterministic stand-in for SIGKILL in tests.
+    fail_after: int | None = None
+
+
+def _plan_to_dict(plan: Plan) -> dict:
+    return {
+        "eps": plan.eps,
+        "delta": plan.delta,
+        "b": plan.b,
+        "k": plan.k,
+        "h": plan.h,
+        "alpha": plan.alpha,
+        "leaves_before_sampling": plan.leaves_before_sampling,
+        "leaves_per_level": plan.leaves_per_level,
+        "policy_name": plan.policy_name,
+    }
+
+
+def _plan_from_dict(state: dict) -> Plan:
+    return Plan(
+        eps=float(state["eps"]),
+        delta=float(state["delta"]),
+        b=int(state["b"]),
+        k=int(state["k"]),
+        h=int(state["h"]),
+        alpha=float(state["alpha"]),
+        leaves_before_sampling=int(state["leaves_before_sampling"]),
+        leaves_per_level=int(state["leaves_per_level"]),
+        policy_name=state["policy_name"],
+    )
+
+
+def _pool_worker(spec: WorkerSpec, chunk_queue, result_queue) -> None:
+    """One shard worker: build, ingest, final-collapse snapshot, ship.
+
+    Runs in a child process.  The only bytes shipped back are one framed
+    snapshot — after the estimator's own final state, that is at most one
+    full and one partial buffer (Section 6's bound).
+    """
+    estimator = UnknownNQuantiles(
+        plan=_plan_from_dict(spec.plan),
+        policy=(
+            policy_from_name(spec.policy_name)
+            if spec.policy_name is not None
+            else None
+        ),
+        seed=spec.seed,
+        backend=spec.backend,
+    )
+    if spec.path is not None:
+        chunks: Iterable[Sequence[float]] = read_float_chunks(
+            spec.path, spec.chunk_values, start=spec.start, stop=spec.stop
+        )
+    else:
+        chunks = iter(chunk_queue.get, None)
+    started = time.perf_counter()
+    for chunk in chunks:
+        if (
+            spec.fail_after is not None
+            and estimator.n + len(chunk) > spec.fail_after
+        ):
+            head = chunk[: spec.fail_after - estimator.n]
+            if len(head):
+                estimator.update_batch(head)
+            # Die the way a killed process does: no snapshot, no cleanup.
+            os._exit(FAULT_EXIT_CODE)
+        estimator.update_batch(chunk)
+    elapsed = time.perf_counter() - started
+    frame = persist.dumps(estimator.snapshot())
+    result_queue.put((spec.worker_id, frame, estimator.n, elapsed))
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerReport:
+    """Per-worker accounting of one pool run."""
+
+    worker_id: int
+    n: int = 0
+    shipped_bytes: int = 0
+    ingest_seconds: float = 0.0
+    lost: bool = False
+    exitcode: int | None = None
+    full_buffers: int = 0
+    partial_buffers: int = 0
+    full_elements: int = 0
+    partial_elements: int = 0
+
+
+@dataclass
+class PoolResult:
+    """The outcome of one multi-process pool run.
+
+    :ivar summary: the queryable coordinator merge of the survivors.
+    :ivar report: merge coverage + per-shard shipment accounting.
+    :ivar workers: per-worker ingest/ship stats (index = worker id).
+    :ivar n: elements the surviving workers ingested.
+    :ivar expected_n: elements the full input held (file size, or the
+        count dispatched by the stream driver — including chunks routed
+        to workers that later died).
+    :ivar ingest_seconds: wall time from pool start to the last result.
+    :ivar merge_seconds: wall time of the coordinator merge.
+    """
+
+    summary: MergedSummary
+    report: MergeReport
+    workers: list[WorkerReport] = field(default_factory=list)
+    n: int = 0
+    expected_n: int = 0
+    start_method: str = ""
+    ingest_seconds: float = 0.0
+    merge_seconds: float = 0.0
+
+    @property
+    def shipped_bytes(self) -> int:
+        """Total snapshot bytes that crossed the process boundary."""
+        return sum(worker.shipped_bytes for worker in self.workers)
+
+    @property
+    def elements_per_second(self) -> float:
+        """Aggregate ingest rate of the pool."""
+        if self.ingest_seconds <= 0:
+            return 0.0
+        return self.n / self.ingest_seconds
+
+    def query(self, phi: float) -> float:
+        """A phi-quantile of the union (passthrough to the summary)."""
+        return self.summary.query(phi)
+
+    def query_many(self, phis: Sequence[float]) -> list[float]:
+        """Several quantiles of the union."""
+        return self.summary.query_many(phis)
+
+
+def _resolve(
+    num_workers: int,
+    eps: float | None,
+    delta: float | None,
+    plan: Plan | None,
+    policy: CollapsePolicy | None,
+    backend,
+    seed: int | None,
+    start_method: str | None,
+):
+    """Shared argument resolution for both pool drivers."""
+    if num_workers < 1:
+        raise ValueError(f"need at least one worker, got {num_workers}")
+    if plan is None:
+        if eps is None or delta is None:
+            raise ValueError("provide either (eps, delta) or an explicit plan")
+        plan = plan_parameters(eps, delta, policy=policy)
+    backend_name = get_backend(backend).name  # validate in the parent
+    if seed is None:
+        # Fresh entropy per run, like an unseeded estimator; fixed seeds
+        # are what make pool runs reproducible.
+        seed = random_mod.SystemRandom().randrange(2**62)
+    method = start_method if start_method is not None else mp.get_start_method()
+    if method not in mp.get_all_start_methods():
+        raise ValueError(
+            f"start method {method!r} is not available on this platform; "
+            f"choose from {mp.get_all_start_methods()}"
+        )
+    policy_name = policy.name if policy is not None else None
+    return plan, policy_name, backend_name, seed, method
+
+
+def _collect(
+    procs: dict[int, mp.process.BaseProcess],
+    result_queue,
+    timeout: float | None,
+) -> tuple[dict[int, tuple[bytes, int, float]], dict[int, int | None]]:
+    """Wait for every worker to ship or die; never hang on a corpse.
+
+    Returns ``(results, lost)`` where ``results[wid] = (frame, n,
+    seconds)`` and ``lost[wid]`` is the exit code of a worker that died
+    without shipping.  A worker that exited cleanly is only considered
+    delivered once its queued result has been drained (the queue feeder
+    flushes before exit, so the data always arrives); a non-zero exit
+    code reaps the worker immediately.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    results: dict[int, tuple[bytes, int, float]] = {}
+    lost: dict[int, int | None] = {}
+    pending = set(procs)
+    while pending:
+        try:
+            worker_id, frame, n, seconds = result_queue.get(timeout=_POLL_SECONDS)
+        except queue_mod.Empty:
+            for worker_id in sorted(pending):
+                process = procs[worker_id]
+                if not process.is_alive() and process.exitcode not in (0, None):
+                    lost[worker_id] = process.exitcode
+                    pending.discard(worker_id)
+            if deadline is not None and time.monotonic() > deadline:
+                for worker_id in sorted(pending):
+                    procs[worker_id].terminate()
+                    lost[worker_id] = None  # timed out; no exit code yet
+                pending.clear()
+        else:
+            results[worker_id] = (frame, n, seconds)
+            pending.discard(worker_id)
+    for process in procs.values():
+        process.join(timeout=5)
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(timeout=5)
+    return results, lost
+
+
+def _load_snapshots(
+    results: dict[int, tuple[bytes, int, float]],
+    lost: dict[int, int | None],
+    num_workers: int,
+) -> tuple[list[EstimatorSnapshot | None], list[WorkerReport]]:
+    """Verify each shipped frame and build the per-worker reports."""
+    snapshots: list[EstimatorSnapshot | None] = [None] * num_workers
+    reports = [WorkerReport(worker_id=wid) for wid in range(num_workers)]
+    for worker_id, (frame, n, seconds) in results.items():
+        report = reports[worker_id]
+        try:
+            snapshot = persist.loads(frame)
+        except persist.CheckpointError:
+            # A corrupt frame is a lost shard, not a poisoned merge.
+            lost[worker_id] = None
+            continue
+        snapshots[worker_id] = snapshot
+        report.n = n
+        report.shipped_bytes = len(frame)
+        report.ingest_seconds = seconds
+    for worker_id, exitcode in lost.items():
+        reports[worker_id].lost = True
+        reports[worker_id].exitcode = exitcode
+    return snapshots, reports
+
+
+def _merge_pool(
+    snapshots: list[EstimatorSnapshot | None],
+    reports: list[WorkerReport],
+    lost: dict[int, int | None],
+    *,
+    policy: CollapsePolicy | None,
+    master_seed: int,
+    backend_name: str,
+    strict: bool,
+    expected_n: int,
+    start_method: str,
+    ingest_seconds: float,
+) -> PoolResult:
+    """Coordinator merge + result assembly shared by both drivers."""
+    if lost and strict:
+        raise PoolWorkerError(lost)
+    if lost and not any(snap is not None and snap.n > 0 for snap in snapshots):
+        # Degraded mode can survive lost shards, but not losing them all:
+        # with no surviving data there is no partial answer to give.
+        raise PoolWorkerError(lost)
+    merge_started = time.perf_counter()
+    summary = merge_snapshots(
+        snapshots,
+        policy=policy,
+        seed=_derive_seed(master_seed, "merge"),
+        strict=False,
+        expected_n=expected_n,
+        backend=backend_name,
+    )
+    merge_seconds = time.perf_counter() - merge_started
+    assert summary.report is not None
+    for shipment in summary.report.shipments:
+        report = reports[shipment.shard_id]
+        report.full_buffers = shipment.full_buffers
+        report.partial_buffers = shipment.partial_buffers
+        report.full_elements = shipment.full_elements
+        report.partial_elements = shipment.partial_elements
+    return PoolResult(
+        summary=summary,
+        report=summary.report,
+        workers=reports,
+        n=summary.n,
+        expected_n=expected_n,
+        start_method=start_method,
+        ingest_seconds=ingest_seconds,
+        merge_seconds=merge_seconds,
+    )
+
+
+def run_file_shards(
+    path: str | os.PathLike,
+    ranges: Sequence[tuple[int, int]],
+    worker_ids: Iterable[int],
+    *,
+    plan: Plan,
+    policy_name: str | None,
+    backend_name: str,
+    master_seed: int,
+    start_method: str,
+    chunk_values: int = CHUNK_VALUES,
+    timeout: float | None = None,
+    fail_after: dict[int, int] | None = None,
+) -> tuple[
+    dict[int, tuple[EstimatorSnapshot, int, int, float]],
+    dict[int, int | None],
+    float,
+]:
+    """One attempt at a set of byte-range workers; no merging, no policy.
+
+    The building block :func:`run_pool_on_file` runs once over all
+    workers and :meth:`repro.cluster.ShardSupervisor.run_pool` composes
+    into retry rounds (a lost worker's slice is simply re-scanned by a
+    fresh process under the *same* derived seed, so a retried shard's
+    snapshot is bit-identical to one that never failed).
+
+    Returns ``(delivered, lost, seconds)`` where ``delivered[wid] =
+    (snapshot, n, shipped_bytes, ingest_seconds)`` and ``lost[wid]`` is
+    the exit code of a worker that died without shipping a verifiable
+    frame.
+    """
+    ctx = mp.get_context(start_method)
+    result_queue = ctx.Queue()
+    procs: dict[int, mp.process.BaseProcess] = {}
+    started = time.perf_counter()
+    for wid in worker_ids:
+        start, stop = ranges[wid]
+        spec = WorkerSpec(
+            worker_id=wid,
+            seed=seed_for_worker(master_seed, wid),
+            backend=backend_name,
+            plan=_plan_to_dict(plan),
+            policy_name=policy_name,
+            chunk_values=chunk_values,
+            path=os.fspath(path),
+            start=start,
+            stop=stop,
+            fail_after=(fail_after or {}).get(wid),
+        )
+        process = ctx.Process(
+            target=_pool_worker,
+            args=(spec, None, result_queue),
+            name=f"repro-pool-{wid}",
+        )
+        process.start()
+        procs[wid] = process
+    results, lost = _collect(procs, result_queue, timeout)
+    seconds = time.perf_counter() - started
+    result_queue.close()
+    delivered: dict[int, tuple[EstimatorSnapshot, int, int, float]] = {}
+    for wid, (frame, n, secs) in results.items():
+        try:
+            snapshot = persist.loads(frame)
+        except persist.CheckpointError:
+            lost[wid] = None  # corrupt frame: the shard is lost, not trusted
+            continue
+        delivered[wid] = (snapshot, n, len(frame), secs)
+    return delivered, lost, seconds
+
+
+def run_pool_on_file(
+    path: str | os.PathLike,
+    num_workers: int,
+    *,
+    eps: float | None = None,
+    delta: float | None = None,
+    plan: Plan | None = None,
+    policy: CollapsePolicy | None = None,
+    seed: int | None = None,
+    backend=None,
+    start_method: str | None = None,
+    strict: bool = True,
+    chunk_values: int = CHUNK_VALUES,
+    timeout: float | None = None,
+    fail_after: dict[int, int] | None = None,
+) -> PoolResult:
+    """Parallel one-pass ingest of a float64 file across real processes.
+
+    The file is split by :func:`~repro.streams.diskfile.plan_byte_ranges`
+    into ``num_workers`` aligned byte ranges; each worker process scans
+    its own slice with sequential I/O, summarises it, and ships one
+    framed snapshot back.  With a fixed ``seed`` the answer is
+    bit-identical across runs and start methods.
+
+    :param strict: when True (default) a dead worker raises
+        :class:`PoolWorkerError`; when False the merge degrades and the
+        result's :attr:`PoolResult.report` quantifies the lost weight.
+    :param timeout: overall deadline in seconds for the ingest phase;
+        stragglers past it are terminated and counted lost.  ``None``
+        (default) waits indefinitely for *live* workers but still reaps
+        dead ones, so a killed worker can never hang the pool.
+    :param fail_after: ``{worker_id: n}`` fault injection — that worker
+        hard-exits after ingesting ``n`` elements (tests, benchmarks).
+    """
+    plan, policy_name, backend_name, master_seed, method = _resolve(
+        num_workers, eps, delta, plan, policy, backend, seed, start_method
+    )
+    expected_n = count_floats(path)
+    ranges = plan_byte_ranges(path, num_workers)
+    delivered, lost, ingest_seconds = run_file_shards(
+        path,
+        ranges,
+        range(num_workers),
+        plan=plan,
+        policy_name=policy_name,
+        backend_name=backend_name,
+        master_seed=master_seed,
+        start_method=method,
+        chunk_values=chunk_values,
+        timeout=timeout,
+        fail_after=fail_after,
+    )
+    snapshots: list[EstimatorSnapshot | None] = [None] * num_workers
+    reports = [WorkerReport(worker_id=wid) for wid in range(num_workers)]
+    for wid, (snapshot, n, shipped_bytes, seconds) in delivered.items():
+        snapshots[wid] = snapshot
+        reports[wid].n = n
+        reports[wid].shipped_bytes = shipped_bytes
+        reports[wid].ingest_seconds = seconds
+    for wid, exitcode in lost.items():
+        reports[wid].lost = True
+        reports[wid].exitcode = exitcode
+    return _merge_pool(
+        snapshots,
+        reports,
+        lost,
+        policy=policy,
+        master_seed=master_seed,
+        backend_name=backend_name,
+        strict=strict,
+        expected_n=expected_n,
+        start_method=method,
+        ingest_seconds=ingest_seconds,
+    )
+
+
+def _iter_chunks(values: Iterable[float], chunk_values: int):
+    """Slice any iterable into picklable list chunks of ``chunk_values``."""
+    chunk: list[float] = []
+    for value in values:
+        chunk.append(value)
+        if len(chunk) == chunk_values:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def run_pool_on_stream(
+    values: Iterable[float],
+    num_workers: int,
+    *,
+    eps: float | None = None,
+    delta: float | None = None,
+    plan: Plan | None = None,
+    policy: CollapsePolicy | None = None,
+    seed: int | None = None,
+    backend=None,
+    start_method: str | None = None,
+    strict: bool = True,
+    chunk_values: int = STREAM_CHUNK_VALUES,
+    timeout: float | None = None,
+    fail_after: dict[int, int] | None = None,
+) -> PoolResult:
+    """Parallel ingest of an in-memory or generator stream.
+
+    The chunk-striping driver: the parent slices the stream into chunks
+    and deals chunk ``i`` to worker ``i % num_workers`` over a bounded
+    queue, so an unboundedly large generator flows through with O(chunk)
+    parent memory.  Striping is deterministic, so fixed-seed runs are
+    bit-identical across repetitions and start methods.
+
+    Chunks dealt to a worker that has already died are dropped (their
+    elements are still counted in ``expected_n``, so a degraded merge's
+    ``weight_coverage`` stays honest).  See :func:`run_pool_on_file` for
+    the shared parameters.
+    """
+    if chunk_values < 1:
+        raise ValueError(f"chunk_values must be >= 1, got {chunk_values}")
+    plan, policy_name, backend_name, master_seed, method = _resolve(
+        num_workers, eps, delta, plan, policy, backend, seed, start_method
+    )
+    ctx = mp.get_context(method)
+    result_queue = ctx.Queue()
+    chunk_queues = [ctx.Queue(maxsize=_QUEUE_DEPTH) for _ in range(num_workers)]
+    procs: dict[int, mp.process.BaseProcess] = {}
+    started = time.perf_counter()
+    for wid in range(num_workers):
+        spec = WorkerSpec(
+            worker_id=wid,
+            seed=seed_for_worker(master_seed, wid),
+            backend=backend_name,
+            plan=_plan_to_dict(plan),
+            policy_name=policy_name,
+            chunk_values=chunk_values,
+            fail_after=(fail_after or {}).get(wid),
+        )
+        process = ctx.Process(
+            target=_pool_worker,
+            args=(spec, chunk_queues[wid], result_queue),
+            name=f"repro-pool-{wid}",
+        )
+        process.start()
+        procs[wid] = process
+
+    def feed(wid: int, item) -> None:
+        """Bounded put that drops instead of blocking on a dead worker."""
+        while True:
+            if not procs[wid].is_alive():
+                return
+            try:
+                chunk_queues[wid].put(item, timeout=_POLL_SECONDS)
+                return
+            except queue_mod.Full:
+                continue
+
+    dispatched = 0
+    try:
+        for index, chunk in enumerate(_iter_chunks(values, chunk_values)):
+            dispatched += len(chunk)
+            feed(index % num_workers, chunk)
+        for wid in range(num_workers):
+            feed(wid, None)  # end-of-stream sentinel
+    except BaseException:
+        # The *input* failed mid-dispatch (bad token, broken generator):
+        # don't leak workers blocked on their queues.
+        for process in procs.values():
+            process.terminate()
+        for process in procs.values():
+            process.join(timeout=5)
+        for chunk_queue in chunk_queues:
+            chunk_queue.close()
+            chunk_queue.cancel_join_thread()
+        result_queue.close()
+        result_queue.cancel_join_thread()
+        raise
+    results, lost = _collect(procs, result_queue, timeout)
+    ingest_seconds = time.perf_counter() - started
+    result_queue.close()
+    for chunk_queue in chunk_queues:
+        chunk_queue.close()
+        chunk_queue.cancel_join_thread()
+    snapshots, reports = _load_snapshots(results, lost, num_workers)
+    return _merge_pool(
+        snapshots,
+        reports,
+        lost,
+        policy=policy,
+        master_seed=master_seed,
+        backend_name=backend_name,
+        strict=strict,
+        expected_n=dispatched,
+        start_method=method,
+        ingest_seconds=ingest_seconds,
+    )

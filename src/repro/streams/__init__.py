@@ -8,7 +8,13 @@ produced here — including adversarial arrival patterns aligned with buffer
 boundaries.
 """
 
-from repro.streams.diskfile import count_floats, read_floats, write_floats
+from repro.streams.diskfile import (
+    count_floats,
+    plan_byte_ranges,
+    read_float_chunks,
+    read_floats,
+    write_floats,
+)
 from repro.streams.generators import (
     DISTRIBUTIONS,
     adversarial_stream,
@@ -29,6 +35,8 @@ from repro.streams.tables import OrderRow, synthetic_orders
 __all__ = [
     "DISTRIBUTIONS",
     "count_floats",
+    "plan_byte_ranges",
+    "read_float_chunks",
     "read_floats",
     "write_floats",
     "adversarial_stream",

@@ -21,13 +21,37 @@ __all__ = [
     "read_float_chunks",
     "ingest_file",
     "count_floats",
+    "plan_byte_ranges",
     "CHUNK_VALUES",
+    "ITEM_SIZE",
 ]
 
 #: Values per I/O chunk (8 bytes each -> 512 KiB reads by default).
 CHUNK_VALUES = 65_536
 
-_ITEM_SIZE = 8  # float64
+#: Bytes per record (packed little-endian float64).
+ITEM_SIZE = 8
+
+_ITEM_SIZE = ITEM_SIZE  # back-compat alias
+
+
+def _validated_size(path: str | os.PathLike) -> int:
+    """The file's size in bytes, rejecting trailing partial records.
+
+    A float64 file whose size is not a multiple of 8 holds a torn final
+    record (interrupted writer, truncated copy, wrong file); reading it
+    as if the remainder did not exist would silently drop data, so every
+    reader validates the size up front and names the damage precisely.
+    """
+    size = os.stat(path).st_size
+    remainder = size % ITEM_SIZE
+    if remainder:
+        raise ValueError(
+            f"{os.fspath(path)!r} is truncated or not a float64 file: size "
+            f"{size} bytes is not a multiple of {ITEM_SIZE}; the trailing "
+            f"{remainder} byte(s) form a partial record"
+        )
+    return size
 
 
 def _native_to_little(values: "array.array") -> "array.array":
@@ -59,7 +83,11 @@ def write_floats(path: str | os.PathLike, values: Iterable[float]) -> int:
 
 
 def read_float_chunks(
-    path: str | os.PathLike, chunk_values: int = CHUNK_VALUES
+    path: str | os.PathLike,
+    chunk_values: int = CHUNK_VALUES,
+    *,
+    start: int = 0,
+    stop: int | None = None,
 ) -> Iterator["array.array"]:
     """Stream ``array('d')`` chunks of up to ``chunk_values`` floats.
 
@@ -67,24 +95,72 @@ def read_float_chunks(
     random-access sequence the estimators' ``update_batch`` can sample
     with one RNG draw per block (and the numpy backend can vectorise)
     instead of boxing every element through a Python float.
+
+    ``start``/``stop`` are *byte* offsets bounding the scan (both must be
+    multiples of 8; ``stop=None`` means end-of-file), so several readers
+    can each scan their own slice of one file with sequential I/O — the
+    partitioned-scan access pattern :func:`plan_byte_ranges` produces for
+    the parallel ingest runtime.
     """
     if chunk_values < 1:
         raise ValueError(f"chunk_values must be >= 1, got {chunk_values}")
+    size = _validated_size(path)
+    if stop is None:
+        stop = size
+    if start % ITEM_SIZE or stop % ITEM_SIZE:
+        raise ValueError(
+            f"byte range [{start}, {stop}) is not aligned to the "
+            f"{ITEM_SIZE}-byte float64 record size"
+        )
+    if not 0 <= start <= stop <= size:
+        raise ValueError(
+            f"byte range [{start}, {stop}) is out of bounds for "
+            f"{os.fspath(path)!r} ({size} bytes)"
+        )
     with open(path, "rb") as handle:
-        while True:
-            raw = handle.read(chunk_values * _ITEM_SIZE)
-            if not raw:
-                return
-            if len(raw) % _ITEM_SIZE:
+        if start:
+            handle.seek(start)
+        position = start
+        while position < stop:
+            want = min(chunk_values * ITEM_SIZE, stop - position)
+            raw = handle.read(want)
+            if len(raw) < want:
                 raise ValueError(
-                    f"{os.fspath(path)!r} is truncated: {len(raw)} bytes is "
-                    f"not a multiple of {_ITEM_SIZE}"
+                    f"{os.fspath(path)!r} shrank while being read: expected "
+                    f"{want} bytes at offset {position}, got {len(raw)}"
                 )
+            position += len(raw)
             chunk = array.array("d")
             chunk.frombytes(raw)
             if sys.byteorder == "big":
                 chunk.byteswap()
             yield chunk
+
+
+def plan_byte_ranges(
+    path: str | os.PathLike, workers: int
+) -> list[tuple[int, int]]:
+    """Partition a float64 file into ``workers`` aligned byte ranges.
+
+    Returns ``workers`` contiguous, non-overlapping ``(start, stop)``
+    byte ranges that cover the whole file, every boundary aligned to the
+    8-byte record size and the element counts balanced to within one
+    record — each parallel ingest worker scans its own slice with pure
+    sequential I/O.  Files smaller than the worker count yield empty
+    ranges (``start == stop``) for the surplus workers.
+    """
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    total_values = _validated_size(path) // ITEM_SIZE
+    base, surplus = divmod(total_values, workers)
+    ranges: list[tuple[int, int]] = []
+    start_value = 0
+    for worker in range(workers):
+        span = base + (1 if worker < surplus else 0)
+        stop_value = start_value + span
+        ranges.append((start_value * ITEM_SIZE, stop_value * ITEM_SIZE))
+        start_value = stop_value
+    return ranges
 
 
 def read_floats(
@@ -115,10 +191,9 @@ def ingest_file(
 
 
 def count_floats(path: str | os.PathLike) -> int:
-    """Number of float64 values in the file, from its size (no read)."""
-    size = os.stat(path).st_size
-    if size % _ITEM_SIZE:
-        raise ValueError(
-            f"{os.fspath(path)!r} is not a float64 file: {size} bytes"
-        )
-    return size // _ITEM_SIZE
+    """Number of float64 values in the file, from its size (no read).
+
+    Raises :class:`ValueError` naming the path and the trailing byte
+    remainder when the size is not a multiple of 8 (a torn final record).
+    """
+    return _validated_size(path) // ITEM_SIZE

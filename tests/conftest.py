@@ -4,13 +4,25 @@ Statistical tests are seeded for reproducibility.  Ground truth is always
 the exact sorted prefix; "eps-approximate" checks go through
 :func:`repro.stats.rank.is_eps_approximate` so ties are handled the same
 way everywhere.
+
+``REPRO_START_METHOD=fork|spawn|forkserver`` forces the multiprocessing
+start method for the whole session, so CI can run the pool tests once per
+method (the runtime defaults to the platform method when none is given).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
 
 import pytest
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    method = os.environ.get("REPRO_START_METHOD")
+    if method:
+        multiprocessing.set_start_method(method, force=True)
 
 
 @pytest.fixture(scope="session")

@@ -168,3 +168,121 @@ class TestHistogramCommand:
         empty = tmp_path / "empty.txt"
         empty.write_text("")
         assert main(["histogram", str(empty)]) == 1
+
+
+class TestParallelFlags:
+    """--workers / --float64 / --start-method on the streaming commands."""
+
+    @pytest.fixture()
+    def float_file(self, tmp_path):
+        from repro.streams.diskfile import write_floats
+
+        path = tmp_path / "values.f64"
+        write_floats(path, (float(i) for i in range(10_000)))
+        return str(path)
+
+    def test_quantile_pool_over_text(self, values_file, capsys):
+        code = main(
+            ["quantile", values_file, "--eps", "0.05", "--workers", "2",
+             "--seed", "1"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        value = float(captured.out.split("\t")[1])
+        assert abs(value - 5000) <= 0.05 * 10_000
+        assert "workers=2" in captured.err
+        assert "shipped=" in captured.err
+        assert "coverage=1.000" in captured.err
+
+    def test_quantile_pool_over_float64(self, float_file, capsys):
+        code = main(
+            ["quantile", float_file, "--float64", "--eps", "0.05",
+             "--workers", "3", "--seed", "2"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        value = float(captured.out.split("\t")[1])
+        assert abs(value - 5000) <= 0.05 * 10_000
+        assert "workers=3" in captured.err
+
+    def test_pool_runs_are_deterministic(self, float_file, capsys):
+        argv = ["quantile", float_file, "--float64", "--eps", "0.05",
+                "--workers", "2", "--seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sequential_float64_matches_format(self, float_file, capsys):
+        code = main(
+            ["quantile", float_file, "--float64", "--eps", "0.05",
+             "--seed", "4"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "phi=0.5" in captured.out
+        assert "n=10000" in captured.err
+
+    def test_histogram_pool(self, float_file, capsys):
+        code = main(
+            ["histogram", float_file, "--float64", "--buckets", "4",
+             "--workers", "2", "--seed", "5", "--eps", "0.05"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        boundaries = [float(line) for line in captured.out.strip().splitlines()]
+        assert len(boundaries) == 3
+        assert boundaries == sorted(boundaries)
+        assert "workers=2" in captured.err
+
+    def test_float64_needs_a_file(self, capsys):
+        code = main(["quantile", "--float64", "--workers", "2"])
+        assert code == 2
+        assert "stdin is text-only" in capsys.readouterr().err
+
+    def test_float64_rejects_non_float64_file(self, values_file, capsys):
+        # A text file's size is (almost surely) not a multiple of 8; the
+        # CLI must fail cleanly, not dump a traceback.
+        code = main(["quantile", values_file, "--float64"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not a float64 file" in err
+
+    def test_float64_rejects_bad_file_in_pool_mode(self, values_file, capsys):
+        code = main(["quantile", values_file, "--float64", "--workers", "2"])
+        assert code == 2
+        assert "not a float64 file" in capsys.readouterr().err
+
+    def test_zero_workers_rejected(self, values_file, capsys):
+        code = main(["quantile", values_file, "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_empty_input_pool_fails_like_sequential(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        code = main(["quantile", str(empty), "--workers", "2"])
+        assert code == 1
+        assert "no input" in capsys.readouterr().err
+
+    def test_bad_token_fails_cleanly_in_pool_mode(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3\nfive 6\n")
+        code = main(["quantile", str(bad), "--workers", "2", "--seed", "1"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert f"{bad}:2" in captured.err
+
+    def test_start_method_flag(self, float_file, capsys):
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn not available")
+        code = main(
+            ["quantile", float_file, "--float64", "--eps", "0.05",
+             "--workers", "2", "--seed", "6", "--start-method", "spawn"]
+        )
+        assert code == 0
+        assert "(spawn)" in capsys.readouterr().err

@@ -17,6 +17,7 @@ from repro import (
 from repro.core.params import Plan
 from repro.core.unknown_n import UnknownNQuantiles
 from repro.stats.rank import rank_error
+from repro.streams.diskfile import write_floats
 
 TINY_PLAN = Plan(
     eps=0.05,
@@ -337,3 +338,85 @@ def test_fault_injection_smoke(tmp_path):
     assert result.stats.ships_dropped == 1
     assert result.stats.duplicate_ships_ignored == 1
     _assert_eps_accurate(result, data)
+
+
+class TestPoolSupervision:
+    """ShardSupervisor.run_pool: the retry/degrade semantics on real processes."""
+
+    @pytest.fixture()
+    def pool_file(self, tmp_path):
+        data = _stream(24_000, seed=11)
+        path = tmp_path / "pool.f64"
+        write_floats(path, data)
+        return str(path), data
+
+    def test_clean_run_is_accurate_and_complete(self, pool_file):
+        path, data = pool_file
+        sup = ShardSupervisor(num_shards=3, plan=TINY_PLAN, seed=21)
+        result = sup.run_pool(path, timeout=120)
+        assert result.report.complete
+        assert result.report.weight_coverage == 1.0
+        assert result.stats.ships_delivered == 3
+        assert result.stats.restarts == 0
+        _assert_eps_accurate(result, data)
+
+    def test_crashed_worker_retried_bit_identical(self, pool_file):
+        path, _data = pool_file
+        clean = ShardSupervisor(num_shards=3, plan=TINY_PLAN, seed=22)
+        faulty = ShardSupervisor(
+            num_shards=3,
+            plan=TINY_PLAN,
+            seed=22,
+            fault_plan=FaultPlan(crash_at={1: 3_000}),
+        )
+        clean_result = clean.run_pool(path, timeout=120)
+        faulty_result = faulty.run_pool(path, timeout=120)
+        # The retried slice re-scans under the same derived seed, so the
+        # recovered run is bit-identical to the one that never crashed.
+        assert (
+            faulty_result.summary.to_state_dict()
+            == clean_result.summary.to_state_dict()
+        )
+        assert faulty_result.stats.restarts == 1
+        assert faulty_result.stats.replayed_elements == 8_000
+        assert faulty_result.report.complete
+
+    def test_budget_exhausted_strict_raises(self, pool_file):
+        path, _data = pool_file
+        sup = ShardSupervisor(
+            num_shards=3,
+            plan=TINY_PLAN,
+            seed=23,
+            max_ship_attempts=1,
+            fault_plan=FaultPlan(crash_at={1: 3_000}),
+        )
+        with pytest.raises(ShardLostError, match=r"shards \[1\]"):
+            sup.run_pool(path, timeout=120)
+
+    def test_budget_exhausted_degrades_with_honest_coverage(self, pool_file):
+        path, data = pool_file
+        sup = ShardSupervisor(
+            num_shards=3,
+            plan=TINY_PLAN,
+            seed=23,
+            max_ship_attempts=1,
+            strict=False,
+            fault_plan=FaultPlan(crash_at={1: 3_000}),
+        )
+        result = sup.run_pool(path, timeout=120)
+        assert result.stats.shards_lost == [1]
+        assert result.report.shards_lost == (1,)
+        assert result.report.weight_coverage == pytest.approx(2 / 3)
+        assert result.report.effective_eps(EPS) > EPS
+
+    def test_pool_ignores_checkpoint_dir(self, pool_file, tmp_path):
+        # Slice re-scan is the recovery path; no checkpoints are written.
+        path, _data = pool_file
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        sup = ShardSupervisor(
+            num_shards=2, plan=TINY_PLAN, seed=24, checkpoint_dir=ckpt
+        )
+        result = sup.run_pool(path, timeout=120)
+        assert result.report.complete
+        assert list(ckpt.iterdir()) == []

@@ -10,8 +10,10 @@ from repro.core.unknown_n import UnknownNQuantiles
 from repro.stats.rank import is_eps_approximate
 from repro.streams.diskfile import (
     CHUNK_VALUES,
+    ITEM_SIZE,
     count_floats,
     ingest_file,
+    plan_byte_ranges,
     read_float_chunks,
     read_floats,
     write_floats,
@@ -74,6 +76,29 @@ class TestValidation:
         with pytest.raises(ValueError):
             list(read_floats(path, chunk_values=0))
 
+    def test_partial_record_error_names_path_and_remainder(self, tmp_path):
+        # The error must say *which* file and *how many* stray bytes, so
+        # a failed parallel ingest points straight at the bad input.
+        path = tmp_path / "trailing.f64"
+        write_floats(path, [1.0, 2.0, 3.0])
+        with open(path, "ab") as handle:
+            handle.write(b"\x00" * 5)
+        with pytest.raises(ValueError) as excinfo:
+            count_floats(path)
+        message = str(excinfo.value)
+        assert repr(str(path)) in message
+        assert "29 bytes" in message
+        assert "5 byte(s)" in message
+
+    @pytest.mark.parametrize("remainder", [1, 4, 7])
+    def test_every_partial_record_width_detected(self, tmp_path, remainder):
+        path = tmp_path / "trailing.f64"
+        write_floats(path, [1.0])
+        with open(path, "ab") as handle:
+            handle.write(b"\xab" * remainder)
+        with pytest.raises(ValueError, match=f"{remainder} byte"):
+            list(read_float_chunks(path))
+
 
 class TestChunkedReads:
     def test_chunks_cover_the_file_in_order(self, tmp_path):
@@ -101,6 +126,101 @@ class TestChunkedReads:
             handle.write(b"\xff" * 5)
         with pytest.raises(ValueError, match="truncated"):
             list(read_float_chunks(path))
+
+
+class TestRangeReads:
+    def test_range_read_covers_exactly_the_slice(self, tmp_path):
+        path = tmp_path / "data.f64"
+        values = [float(i) for i in range(100)]
+        write_floats(path, values)
+        got = [
+            v
+            for chunk in read_float_chunks(
+                path, chunk_values=16, start=10 * ITEM_SIZE, stop=37 * ITEM_SIZE
+            )
+            for v in chunk
+        ]
+        assert got == values[10:37]
+
+    def test_ranges_concatenate_to_the_whole_file(self, tmp_path):
+        path = tmp_path / "data.f64"
+        values = [float(i) for i in range(1_000)]
+        write_floats(path, values)
+        got: list[float] = []
+        for start, stop in plan_byte_ranges(path, 7):
+            for chunk in read_float_chunks(path, start=start, stop=stop):
+                got.extend(chunk)
+        assert got == values
+
+    def test_stop_none_means_end_of_file(self, tmp_path):
+        path = tmp_path / "data.f64"
+        write_floats(path, [1.0, 2.0, 3.0, 4.0])
+        got = [
+            v
+            for chunk in read_float_chunks(path, start=2 * ITEM_SIZE)
+            for v in chunk
+        ]
+        assert got == [3.0, 4.0]
+
+    def test_empty_range_yields_nothing(self, tmp_path):
+        path = tmp_path / "data.f64"
+        write_floats(path, [1.0, 2.0])
+        assert list(read_float_chunks(path, start=ITEM_SIZE, stop=ITEM_SIZE)) == []
+
+    @pytest.mark.parametrize("start,stop", [(3, 16), (0, 12), (5, 7)])
+    def test_unaligned_ranges_rejected(self, tmp_path, start, stop):
+        path = tmp_path / "data.f64"
+        write_floats(path, [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="aligned"):
+            list(read_float_chunks(path, start=start, stop=stop))
+
+    @pytest.mark.parametrize(
+        "start,stop", [(0, 4 * ITEM_SIZE), (-ITEM_SIZE, ITEM_SIZE), (2 * ITEM_SIZE, ITEM_SIZE)]
+    )
+    def test_out_of_bounds_ranges_rejected(self, tmp_path, start, stop):
+        path = tmp_path / "data.f64"
+        write_floats(path, [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="out of bounds"):
+            list(read_float_chunks(path, start=start, stop=stop))
+
+
+class TestPlanByteRanges:
+    def test_balanced_contiguous_cover(self, tmp_path):
+        path = tmp_path / "data.f64"
+        write_floats(path, [float(i) for i in range(10)])
+        ranges = plan_byte_ranges(path, 3)
+        assert ranges == [(0, 32), (32, 56), (56, 80)]
+        spans = [(stop - start) // ITEM_SIZE for start, stop in ranges]
+        assert max(spans) - min(spans) <= 1
+
+    def test_single_worker_gets_everything(self, tmp_path):
+        path = tmp_path / "data.f64"
+        write_floats(path, [float(i) for i in range(5)])
+        assert plan_byte_ranges(path, 1) == [(0, 5 * ITEM_SIZE)]
+
+    def test_surplus_workers_get_empty_ranges(self, tmp_path):
+        path = tmp_path / "tiny.f64"
+        write_floats(path, [1.0, 2.0])
+        ranges = plan_byte_ranges(path, 5)
+        assert ranges[:2] == [(0, 8), (8, 16)]
+        assert all(start == stop for start, stop in ranges[2:])
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.f64"
+        write_floats(path, [])
+        assert plan_byte_ranges(path, 3) == [(0, 0)] * 3
+
+    def test_zero_workers_rejected(self, tmp_path):
+        path = tmp_path / "data.f64"
+        write_floats(path, [1.0])
+        with pytest.raises(ValueError, match="worker"):
+            plan_byte_ranges(path, 0)
+
+    def test_partial_record_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.f64"
+        path.write_bytes(b"\x00" * 11)
+        with pytest.raises(ValueError, match="truncated"):
+            plan_byte_ranges(path, 2)
 
 
 class TestIngestFile:

@@ -114,3 +114,84 @@ class TestMergeSnapshots:
         union = sorted(v for data in shard_data for v in data)
         for phi in (0.25, 0.75, 0.95):
             assert is_eps_approximate(union, merged.query(phi), phi, 2 * PLAN.eps)
+
+
+class TestShipmentAccounting:
+    """MergeReport.shipments: the Section 6 bound measured, not assumed."""
+
+    def _merged(self, num_shards=3, per_shard=9_000):
+        rng = random.Random(31)
+        shard_data = [
+            [rng.random() for _ in range(per_shard)] for _ in range(num_shards)
+        ]
+        shards = make_shards(shard_data, seeds=range(num_shards))
+        return merge_snapshots([s.snapshot() for s in shards], seed=32)
+
+    def test_one_shipment_per_shard_in_order(self):
+        merged = self._merged(num_shards=3)
+        report = merged.report
+        assert report is not None
+        assert [s.shard_id for s in report.shipments] == [0, 1, 2]
+
+    def test_bound_holds_per_shard(self):
+        report = self._merged(num_shards=4).report
+        assert report.within_communication_bound
+        for shipment in report.shipments:
+            assert shipment.full_buffers <= 1
+            assert shipment.partial_buffers <= 1
+            assert shipment.buffers == (
+                shipment.full_buffers + shipment.partial_buffers
+            )
+            assert shipment.elements == (
+                shipment.full_elements + shipment.partial_elements
+            )
+            assert shipment.within_bound
+
+    def test_aggregates_sum_over_shards(self):
+        report = self._merged(num_shards=3).report
+        assert report.shipped_buffers == sum(
+            s.buffers for s in report.shipments
+        )
+        assert report.shipped_elements == sum(
+            s.elements for s in report.shipments
+        )
+        assert 0 < report.shipped_elements <= 3 * 2 * PLAN.k
+
+    def test_empty_shard_ships_nothing(self):
+        rng = random.Random(33)
+        busy = UnknownNQuantiles(plan=PLAN, seed=34)
+        busy.extend(rng.random() for _ in range(5_000))
+        idle = UnknownNQuantiles(plan=PLAN, seed=35)
+        merged = merge_snapshots([busy.snapshot(), idle.snapshot()], seed=36)
+        empty = merged.report.shipments[1]
+        assert empty.shard_id == 1
+        assert empty.buffers == 0
+        assert empty.elements == 0
+
+    def test_lost_shard_has_no_shipment_row(self):
+        rng = random.Random(37)
+        busy = UnknownNQuantiles(plan=PLAN, seed=38)
+        busy.extend(rng.random() for _ in range(5_000))
+        merged = merge_snapshots(
+            [busy.snapshot(), None], seed=39, strict=False
+        )
+        assert merged.report.shards_lost == (1,)
+        assert [s.shard_id for s in merged.report.shipments] == [0]
+
+    def test_shipments_survive_state_dict_round_trip(self):
+        from repro.core.parallel import MergedSummary
+
+        merged = self._merged(num_shards=2)
+        clone = MergedSummary.from_state_dict(merged.to_state_dict())
+        assert clone.report.shipments == merged.report.shipments
+
+    def test_state_dict_without_shipments_tolerated(self):
+        # Checkpoints written before shipment accounting lack the key.
+        from repro.core.parallel import MergedSummary
+
+        merged = self._merged(num_shards=2)
+        state = merged.to_state_dict()
+        del state["report"]["shipments"]
+        clone = MergedSummary.from_state_dict(state)
+        assert clone.report.shipments == ()
+        assert clone.query(0.5) == merged.query(0.5)

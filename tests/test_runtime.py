@@ -1,0 +1,329 @@
+"""Tests for the multi-process parallel ingest runtime (repro.runtime).
+
+The pool engine's three load-bearing promises are each pinned here:
+
+* **Determinism** — a fixed-seed pool is bit-identical across repeated
+  runs and across multiprocessing start methods (fork vs spawn).
+* **Crash != hang** — a worker killed mid-ingest degrades the merge
+  (``strict=False``) with honest ``weight_coverage``, or raises
+  :class:`PoolWorkerError` (``strict=True``); it never hangs the pool.
+* **The Section 6 bound is measured on the wire** — every worker ships
+  at most one full and at most one partial buffer, visible on
+  ``MergeReport.shipments`` and the per-worker reports.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import Plan
+from repro.runtime import (
+    PoolWorkerError,
+    available_start_methods,
+    run_pool_on_file,
+    run_pool_on_stream,
+    seed_for_worker,
+)
+from repro.runtime.pool import FAULT_EXIT_CODE
+from repro.stats.rank import is_eps_approximate
+from repro.streams.diskfile import write_floats
+
+#: Small but non-degenerate plan so pool tests stay fast.
+POOL_PLAN = Plan(
+    eps=0.05,
+    delta=0.01,
+    b=6,
+    k=128,
+    h=4,
+    alpha=0.5,
+    leaves_before_sampling=40,
+    leaves_per_level=12,
+    policy_name="mrl",
+)
+
+#: Generous per-test deadline: the collector reaps dead workers in
+#: fractions of a second, so hitting this means the crash-handling broke.
+DEADLINE = 120.0
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+def _start_methods() -> list[str]:
+    return [m for m in ("fork", "spawn") if m in available_start_methods()]
+
+
+@pytest.fixture(scope="module")
+def pool_values() -> list[float]:
+    rng = random.Random(20260806)
+    return [rng.random() for _ in range(30_000)]
+
+
+@pytest.fixture(scope="module")
+def pool_file(pool_values, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("pool") / "values.f64"
+    write_floats(path, pool_values)
+    return str(path)
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert seed_for_worker(42, 3) == seed_for_worker(42, 3)
+
+    def test_distinct_workers_distinct_seeds(self):
+        seeds = {seed_for_worker(42, wid) for wid in range(64)}
+        assert len(seeds) == 64
+
+    def test_distinct_masters_distinct_seeds(self):
+        assert seed_for_worker(1, 0) != seed_for_worker(2, 0)
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(ValueError, match="worker_id"):
+            seed_for_worker(42, -1)
+
+    def test_stable_value(self):
+        # Pinned: a change here silently breaks cross-version determinism.
+        assert seed_for_worker(42, 0) == 0x0D943D8642A94D22
+
+
+class TestFilePool:
+    def test_accuracy(self, pool_file, pool_values):
+        result = run_pool_on_file(
+            pool_file, 3, plan=POOL_PLAN, seed=7, timeout=DEADLINE
+        )
+        assert result.n == len(pool_values)
+        assert result.expected_n == len(pool_values)
+        data = sorted(pool_values)
+        for phi in PHIS:
+            assert is_eps_approximate(data, result.query(phi), phi, POOL_PLAN.eps)
+
+    def test_bit_identical_across_runs(self, pool_file):
+        results = [
+            run_pool_on_file(pool_file, 3, plan=POOL_PLAN, seed=11, timeout=DEADLINE)
+            for _ in range(2)
+        ]
+        assert (
+            results[0].summary.to_state_dict() == results[1].summary.to_state_dict()
+        )
+        assert results[0].query_many(PHIS) == results[1].query_many(PHIS)
+
+    @pytest.mark.skipif(
+        len(_start_methods()) < 2, reason="needs both fork and spawn"
+    )
+    def test_bit_identical_across_start_methods(self, pool_file):
+        states = []
+        for method in _start_methods():
+            result = run_pool_on_file(
+                pool_file,
+                2,
+                plan=POOL_PLAN,
+                seed=13,
+                start_method=method,
+                timeout=DEADLINE,
+            )
+            assert result.start_method == method
+            states.append(result.summary.to_state_dict())
+        assert states[0] == states[1]
+
+    def test_communication_bound_on_the_wire(self, pool_file, pool_values):
+        result = run_pool_on_file(
+            pool_file, 4, plan=POOL_PLAN, seed=17, timeout=DEADLINE
+        )
+        assert result.report.within_communication_bound
+        assert len(result.report.shipments) == 4
+        for worker in result.workers:
+            assert worker.full_buffers <= 1
+            assert worker.partial_buffers <= 1
+            assert worker.shipped_bytes > 0
+        assert result.shipped_bytes == sum(
+            worker.shipped_bytes for worker in result.workers
+        )
+        assert sum(worker.n for worker in result.workers) == len(pool_values)
+
+    def test_single_worker_pool(self, pool_file, pool_values):
+        result = run_pool_on_file(
+            pool_file, 1, plan=POOL_PLAN, seed=19, timeout=DEADLINE
+        )
+        assert result.n == len(pool_values)
+        assert result.report.complete
+
+    def test_more_workers_than_values(self, tmp_path):
+        path = tmp_path / "tiny.f64"
+        write_floats(path, [3.0, 1.0, 2.0])
+        result = run_pool_on_file(path, 8, plan=POOL_PLAN, seed=23, timeout=DEADLINE)
+        assert result.n == 3
+        assert result.query(0.5) == 2.0
+
+    def test_elements_per_second_positive(self, pool_file):
+        result = run_pool_on_file(
+            pool_file, 2, plan=POOL_PLAN, seed=29, timeout=DEADLINE
+        )
+        assert result.elements_per_second > 0
+        assert result.merge_seconds >= 0
+
+
+class TestStreamPool:
+    def test_accuracy(self, pool_values):
+        result = run_pool_on_stream(
+            iter(pool_values), 3, plan=POOL_PLAN, seed=7, timeout=DEADLINE
+        )
+        assert result.n == len(pool_values)
+        data = sorted(pool_values)
+        for phi in PHIS:
+            assert is_eps_approximate(data, result.query(phi), phi, POOL_PLAN.eps)
+
+    def test_bit_identical_across_runs(self, pool_values):
+        results = [
+            run_pool_on_stream(
+                iter(pool_values), 3, plan=POOL_PLAN, seed=11, timeout=DEADLINE
+            )
+            for _ in range(2)
+        ]
+        assert (
+            results[0].summary.to_state_dict() == results[1].summary.to_state_dict()
+        )
+
+    @pytest.mark.skipif(
+        len(_start_methods()) < 2, reason="needs both fork and spawn"
+    )
+    def test_bit_identical_across_start_methods(self, pool_values):
+        states = [
+            run_pool_on_stream(
+                iter(pool_values),
+                2,
+                plan=POOL_PLAN,
+                seed=13,
+                start_method=method,
+                timeout=DEADLINE,
+            ).summary.to_state_dict()
+            for method in _start_methods()
+        ]
+        assert states[0] == states[1]
+
+    def test_generator_input_not_materialised(self):
+        result = run_pool_on_stream(
+            (float(i) for i in range(20_000)),
+            2,
+            plan=POOL_PLAN,
+            seed=31,
+            timeout=DEADLINE,
+        )
+        assert result.n == 20_000
+        assert is_eps_approximate(
+            [float(i) for i in range(20_000)],
+            result.query(0.5),
+            0.5,
+            POOL_PLAN.eps,
+        )
+
+    def test_broken_input_does_not_leak_workers(self):
+        def poisoned():
+            for i in range(5_000):
+                yield float(i)
+            raise RuntimeError("upstream parse failure")
+
+        with pytest.raises(RuntimeError, match="upstream parse failure"):
+            run_pool_on_stream(
+                poisoned(), 2, plan=POOL_PLAN, seed=37, timeout=DEADLINE
+            )
+
+    def test_bad_chunk_values_rejected(self):
+        with pytest.raises(ValueError, match="chunk_values"):
+            run_pool_on_stream([1.0], 1, plan=POOL_PLAN, chunk_values=0)
+
+
+class TestFaults:
+    def test_strict_pool_raises_with_exit_code(self, pool_file):
+        with pytest.raises(PoolWorkerError) as excinfo:
+            run_pool_on_file(
+                pool_file,
+                3,
+                plan=POOL_PLAN,
+                seed=41,
+                fail_after={1: 2_000},
+                timeout=DEADLINE,
+            )
+        assert excinfo.value.lost == {1: FAULT_EXIT_CODE}
+        assert "exit code 70" in str(excinfo.value)
+
+    def test_degraded_merge_has_honest_coverage(self, pool_file, pool_values):
+        result = run_pool_on_file(
+            pool_file,
+            3,
+            plan=POOL_PLAN,
+            seed=41,
+            strict=False,
+            fail_after={1: 2_000},
+            timeout=DEADLINE,
+        )
+        assert not result.report.complete
+        assert result.report.shards_lost == (1,)
+        surviving = sum(w.n for w in result.workers if not w.lost)
+        assert result.n == surviving
+        assert result.report.weight_coverage == pytest.approx(
+            surviving / len(pool_values)
+        )
+        assert result.workers[1].lost
+        assert result.workers[1].exitcode == FAULT_EXIT_CODE
+        # Survivors still answer, inside the degraded error bound.
+        data = sorted(pool_values)
+        wider = result.report.effective_eps(POOL_PLAN.eps)
+        assert wider > POOL_PLAN.eps
+        assert is_eps_approximate(data, result.query(0.5), 0.5, wider)
+
+    def test_stream_pool_degrades_without_hanging(self, pool_values):
+        result = run_pool_on_stream(
+            iter(pool_values),
+            3,
+            plan=POOL_PLAN,
+            seed=43,
+            strict=False,
+            fail_after={0: 1_000},
+            timeout=DEADLINE,
+        )
+        assert result.report.shards_lost == (0,)
+        # Chunks dealt to the corpse are dropped but still expected, so
+        # coverage reflects what was actually summarised.
+        assert result.expected_n == len(pool_values)
+        assert result.n < len(pool_values)
+        assert 0.0 < result.report.weight_coverage < 1.0
+
+    def test_all_workers_lost_raises_even_degraded(self, pool_file):
+        # Degraded mode needs at least one survivor to build a partial
+        # answer from; losing every shard is an error, not a hang.
+        with pytest.raises(PoolWorkerError) as excinfo:
+            run_pool_on_file(
+                pool_file,
+                2,
+                plan=POOL_PLAN,
+                seed=47,
+                strict=False,
+                fail_after={0: 100, 1: 100},
+                timeout=DEADLINE,
+            )
+        assert excinfo.value.lost == {0: FAULT_EXIT_CODE, 1: FAULT_EXIT_CODE}
+
+
+class TestArgumentValidation:
+    def test_zero_workers(self, pool_file):
+        with pytest.raises(ValueError, match="at least one worker"):
+            run_pool_on_file(pool_file, 0, plan=POOL_PLAN)
+
+    def test_missing_plan_and_eps(self, pool_file):
+        with pytest.raises(ValueError, match="eps, delta"):
+            run_pool_on_file(pool_file, 2)
+
+    def test_unknown_start_method(self, pool_file):
+        with pytest.raises(ValueError, match="start method"):
+            run_pool_on_file(
+                pool_file, 2, plan=POOL_PLAN, start_method="teleport"
+            )
+
+    def test_eps_delta_without_plan(self, tmp_path):
+        path = tmp_path / "few.f64"
+        write_floats(path, [float(i) for i in range(2_000)])
+        result = run_pool_on_file(
+            path, 2, eps=0.1, delta=0.01, seed=53, timeout=DEADLINE
+        )
+        assert result.n == 2_000
