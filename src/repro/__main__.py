@@ -20,12 +20,16 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.known_n import KnownNQuantiles  # noqa: F401  (re-exported intent)
 from repro.core.multi import MultiQuantiles
 from repro.core.params import plan_known_n, plan_parameters
 from repro.core.unknown_n import UnknownNQuantiles
-from repro.kernels import BackendUnavailableError, available_backends
+from repro.kernels import BackendUnavailableError, available_backends, is_nan
+
+if TYPE_CHECKING:
+    from repro.runtime import PoolResult
 
 __all__ = ["main"]
 
@@ -49,7 +53,7 @@ def _read_value_chunks(
     instead of surfacing a raw ``float()`` traceback; NaN tokens are
     rejected here too (they have no rank downstream).
     """
-    stream = open(path, "r", encoding="utf-8") if path else sys.stdin
+    stream = open(path, encoding="utf-8") if path else sys.stdin  # noqa: SIM115
     source = path if path else "<stdin>"
     chunk: list[float] = []
     try:
@@ -61,7 +65,7 @@ def _read_value_chunks(
                     raise _InputError(
                         f"{source}:{lineno}: {token!r} is not a number"
                     ) from None
-                if value != value:
+                if is_nan(value):
                     raise _InputError(
                         f"{source}:{lineno}: {token!r} is NaN, which has no "
                         "rank and cannot be summarised"
@@ -130,6 +134,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="kernel backend (default: $REPRO_BACKEND, else python)",
     )
     _add_parallel_arguments(histogram)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="replint: the repo's invariant-aware static analysis gates",
+        description=(
+            "Run the replint passes (determinism, spawn-safety, "
+            "float-discipline, api-hygiene) over source trees; "
+            "the same engine as `python -m repro.analysis`."
+        ),
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories (default: [tool.replint] default-paths)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report (schema version 1)",
+    )
+    analyze.add_argument(
+        "--select",
+        action="append",
+        metavar="PASS",
+        help="run only the named pass (repeatable)",
+    )
+    analyze.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="pyproject.toml to read [tool.replint] from",
+    )
+    analyze.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list registered passes and their finding codes, then exit",
+    )
     return parser
 
 
@@ -168,7 +209,7 @@ class _EmptyInput(Exception):
     """The input stream held no values at all."""
 
 
-def _pool_ingest(args: argparse.Namespace, num_quantiles: int):
+def _pool_ingest(args: argparse.Namespace, num_quantiles: int) -> PoolResult:
     """Run the multi-process ingest pool for a streaming command.
 
     Returns a :class:`repro.runtime.PoolResult`; raises :class:`_InputError`
@@ -217,12 +258,14 @@ def _pool_ingest(args: argparse.Namespace, num_quantiles: int):
     )
 
 
-def _chain_chunks(first: list[float], rest: Iterator[list[float]]):
+def _chain_chunks(
+    first: list[float], rest: Iterator[list[float]]
+) -> Iterator[list[float]]:
     yield first
     yield from rest
 
 
-def _pool_footer(args: argparse.Namespace, result) -> str:
+def _pool_footer(args: argparse.Namespace, result: PoolResult) -> str:
     """The stderr summary line of a parallel run."""
     coverage = result.report.weight_coverage
     return (
@@ -405,6 +448,22 @@ def _cmd_histogram_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Delegate to the replint CLI (same engine, same exit codes)."""
+    from repro.analysis.__main__ import main as analysis_main
+
+    argv: list[str] = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.list_passes:
+        argv.append("--list-passes")
+    for selected in args.select or ():
+        argv.extend(["--select", selected])
+    if args.config is not None:
+        argv.extend(["--config", args.config])
+    return analysis_main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -412,6 +471,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "quantile": _cmd_quantile,
         "plan": _cmd_plan,
         "histogram": _cmd_histogram,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

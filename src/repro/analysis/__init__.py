@@ -1,0 +1,74 @@
+"""replint: invariant-aware static analysis for this reproduction.
+
+The paper's guarantees rest on invariants Python cannot enforce at
+runtime — seeded replayable randomness (Section 4.5), plain-data
+process boundaries (Section 6), honest float/NaN rank accounting, and a
+one-way layer graph.  This package machine-checks them:
+
+>>> from pathlib import Path
+>>> from repro.analysis import analyze_paths, load_config
+>>> report = analyze_paths([Path("src/repro")], load_config())
+>>> report.exit_code
+0
+
+Command line::
+
+    python -m repro.analysis src tests benchmarks examples
+    python -m repro.analysis --json src
+    repro analyze src            # same engine via the main CLI
+
+Passes (see each module's docstring for codes and rationale):
+
+* ``determinism`` — no global/unseeded RNG, no wall-clock entropy.
+* ``spawn-safety`` — plain data only across process boundaries.
+* ``float-discipline`` — no float equality; central NaN gate.
+* ``api-hygiene`` — declared ``__all__``; imports flow down layers.
+
+Per-pass configuration lives in ``[tool.replint]`` in pyproject.toml;
+line-level escapes are ``# replint: disable=<pass> -- <justification>``
+(the justification is mandatory).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Config,
+    Finding,
+    Pass,
+    Report,
+    SourceModule,
+    analyze_paths,
+    iter_source_files,
+    load_config,
+    module_name_for,
+    register,
+    registered_passes,
+)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Config",
+    "Finding",
+    "Pass",
+    "Report",
+    "SourceModule",
+    "analyze_paths",
+    "iter_source_files",
+    "load_config",
+    "main",
+    "module_name_for",
+    "register",
+    "registered_passes",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (defers to :mod:`repro.analysis.__main__`)."""
+    from repro.analysis.__main__ import main as _main
+
+    return _main(argv)

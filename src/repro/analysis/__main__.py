@@ -1,0 +1,102 @@
+"""Command line of the replint engine: ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/config error — so the command
+works unmodified as a CI gate and a pre-commit hook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import (
+    EXIT_ERROR,
+    analyze_paths,
+    load_config,
+    registered_passes,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "replint: invariant-aware static analysis "
+            "(determinism, spawn-safety, float-discipline, api-hygiene)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyse (default: [tool.replint] "
+        "default-paths, else 'src')",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report (schema version 1)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="PASS",
+        help="run only the named pass (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="pyproject.toml to read [tool.replint] from "
+        "(default: ./pyproject.toml when present)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list registered passes and their finding codes, then exit",
+    )
+    return parser
+
+
+def _list_passes() -> int:
+    for name, instance in registered_passes().items():
+        print(name)
+        for code, summary in sorted(instance.codes.items()):
+            print(f"  {code}  {summary}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the analysis; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_passes:
+        return _list_passes()
+    try:
+        config = load_config(Path(args.config) if args.config else None)
+    except (ValueError, OSError) as exc:
+        print(f"replint: config error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    raw_paths = args.paths or list(config.default_paths)
+    paths = [Path(p) for p in raw_paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"replint: no such path(s): {', '.join(missing)}", file=sys.stderr
+        )
+        return EXIT_ERROR
+    selected = None
+    if args.select:
+        selected = [name for entry in args.select for name in entry.split(",")]
+    try:
+        report = analyze_paths(paths, config, selected)
+    except ValueError as exc:
+        print(f"replint: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    print(report.render_json() if args.json else report.render())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

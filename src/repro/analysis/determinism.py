@@ -1,0 +1,177 @@
+"""replint pass ``determinism``: seeded, replayable randomness only.
+
+The Hoeffding argument behind the paper's (eps, delta) guarantee
+(Section 4.5) treats each sampler as an independent random variable the
+proof can reason about — which an implementation honours by drawing
+every bit of randomness from an RNG object that was *constructed from an
+explicit seed parameter*.  Global module-level RNGs (``random.random()``,
+``np.random.rand()``) share hidden state across components, and
+wall-clock or OS entropy (``time.time()``, ``os.urandom()``) makes a run
+unreplayable, so a failure seen once can never be debugged.  The
+checkpoint layer's bit-identical RNG restore and the parallel runtime's
+``seed_for_worker`` derivation both collapse if any code path draws from
+state the seed does not reach.
+
+Codes:
+
+* ``RPL101`` — call through the global :mod:`random` module
+  (``random.random()``, ``random.seed()`` …); construct and thread a
+  ``random.Random(seed)`` instead.
+* ``RPL102`` — call through the global :mod:`numpy.random` module;
+  use ``np.random.default_rng(seed)`` / ``Generator`` objects.
+* ``RPL103`` — wall-clock or OS entropy source (``time.time``,
+  ``datetime.now``, ``os.urandom``, ``uuid.uuid4``, :mod:`secrets`).
+* ``RPL104`` — RNG constructed without a seed argument
+  (``random.Random()``, ``default_rng()``); the seed must flow in from
+  a parameter even when callers may pass ``None``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.analysis.engine import Finding, Pass, SourceModule, register
+
+__all__ = ["DeterminismPass"]
+
+#: random.* attributes that are legitimate without drawing global state.
+_RANDOM_ALLOWED = {"random.Random"}
+
+#: numpy.random attributes that construct seedable generators rather
+#: than drawing from the hidden global state.
+_NUMPY_ALLOWED_TAILS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+#: Dotted names whose *call* is a wall-clock / OS-entropy draw.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: RNG constructors that must receive at least one (seed/state) argument.
+_SEEDED_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+}
+
+
+@register
+class DeterminismPass(Pass):
+    """No unseeded or global randomness; no wall-clock entropy."""
+
+    name = "determinism"
+    codes = {
+        "RPL101": "call through the global `random` module",
+        "RPL102": "call through the global `numpy.random` module",
+        "RPL103": "wall-clock or OS entropy source",
+        "RPL104": "RNG constructed without an explicit seed argument",
+    }
+    default_options: dict[str, Any] = {
+        "packages": [
+            "repro.core",
+            "repro.sampling",
+            "repro.kernels",
+            "repro.stats",
+            "repro.baselines",
+            "repro.audit",
+        ],
+    }
+
+    def check(
+        self, module: SourceModule, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve(node.func)
+            if dotted is None:
+                continue
+            finding = self._classify(module, node, dotted)
+            if finding is not None:
+                yield finding
+
+    def _classify(
+        self, module: SourceModule, node: ast.Call, dotted: str
+    ) -> Finding | None:
+        if dotted in _SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                return self._finding(
+                    module,
+                    node,
+                    "RPL104",
+                    f"`{dotted}()` without a seed cannot be replayed; "
+                    "accept a seed parameter and construct "
+                    f"`{dotted}(seed)`",
+                )
+            return None
+        if dotted == "random.SystemRandom":
+            return self._finding(
+                module,
+                node,
+                "RPL103",
+                "`random.SystemRandom` draws OS entropy and can never "
+                "be replayed from a seed",
+            )
+        if dotted.startswith("random."):
+            return self._finding(
+                module,
+                node,
+                "RPL101",
+                f"`{dotted}()` draws from the hidden module-level RNG; "
+                "thread a seeded `random.Random` instance instead",
+            )
+        if dotted.startswith("numpy.random.") or dotted.startswith("np.random."):
+            tail = dotted.rsplit(".", 1)[1]
+            if tail in _NUMPY_ALLOWED_TAILS:
+                return None
+            return self._finding(
+                module,
+                node,
+                "RPL102",
+                f"`{dotted}()` draws from numpy's hidden global state; "
+                "use a `numpy.random.default_rng(seed)` generator",
+            )
+        if dotted in _CLOCK_CALLS or dotted.startswith("secrets."):
+            return self._finding(
+                module,
+                node,
+                "RPL103",
+                f"`{dotted}()` is wall-clock/OS entropy; seeded code "
+                "paths must be replayable bit-for-bit",
+            )
+        return None
+
+    def _finding(
+        self, module: SourceModule, node: ast.AST, code: str, message: str
+    ) -> Finding:
+        return Finding(
+            module.rel,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            code,
+            self.name,
+            message,
+        )

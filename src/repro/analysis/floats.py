@@ -1,0 +1,117 @@
+"""replint pass ``float-discipline``: honest float comparison and NaN gating.
+
+The paper's guarantee is stated in *ranks*: an answer within
+``eps * n`` positions of the true quantile (Section 2).  Rank accounting
+stays honest only if the code never pretends floats have exact
+equality — a ``==`` against a float expression silently partitions
+values that compare unequal but are semantically the same rank
+neighbour — and if NaN (which has *no* rank: every comparison is false)
+is rejected at one central, well-tested gate rather than by scattered
+``x != x`` idioms that each reviewer must re-verify.  KLL and the
+Cormode–Veselý lower bound hinge on the same accounting.
+
+Codes:
+
+* ``RPL301`` — ``==`` / ``!=`` where an operand is a float literal or a
+  ``float(...)`` / ``math.inf`` / ``math.nan`` expression; compare with
+  an explicit tolerance, or restructure to avoid equality entirely.
+* ``RPL302`` — the self-comparison NaN idiom (``x != x`` / ``x == x``);
+  call the central gate (``nan-gate`` option, default
+  ``repro.kernels.is_nan``) so NaN policy lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.analysis.engine import Finding, Pass, SourceModule, register
+
+__all__ = ["FloatDisciplinePass"]
+
+#: Dotted names whose value is a float constant expression.
+_FLOAT_CONSTANTS = {"math.inf", "math.nan", "math.pi", "math.e", "math.tau"}
+
+
+@register
+class FloatDisciplinePass(Pass):
+    """No float equality; NaN checks go through the central gate."""
+
+    name = "float-discipline"
+    codes = {
+        "RPL301": "`==`/`!=` on a float expression",
+        "RPL302": "NaN self-comparison instead of the central gate",
+    }
+    default_options: dict[str, Any] = {
+        "packages": [
+            "repro.core",
+            "repro.stats",
+            "repro.sampling",
+            "repro.kernels",
+            "repro.baselines",
+        ],
+        "nan-gate": "repro.kernels.is_nan",
+    }
+
+    def check(
+        self, module: SourceModule, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        gate = str(options.get("nan-gate", "repro.kernels.is_nan"))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._same_expression(left, right):
+                    yield self._finding(
+                        module,
+                        node,
+                        "RPL302",
+                        f"`{ast.unparse(left)} "
+                        f"{'!=' if isinstance(op, ast.NotEq) else '=='} "
+                        f"{ast.unparse(right)}` is the NaN idiom; call "
+                        f"the central gate `{gate}` so NaN policy has "
+                        "one audited home",
+                    )
+                elif any(
+                    self._is_float_expression(module, side)
+                    for side in (left, right)
+                ):
+                    yield self._finding(
+                        module,
+                        node,
+                        "RPL301",
+                        "equality on a float expression; floats that "
+                        "differ in the last ulp are distinct ranks here "
+                        "— compare with a tolerance or restructure",
+                    )
+
+    @staticmethod
+    def _same_expression(left: ast.expr, right: ast.expr) -> bool:
+        return ast.dump(left) == ast.dump(right)
+
+    def _is_float_expression(self, module: SourceModule, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_float_expression(module, node.operand)
+        if isinstance(node, ast.Call):
+            return module.resolve(node.func) == "float"
+        if isinstance(node, ast.Attribute):
+            return module.resolve(node) in _FLOAT_CONSTANTS
+        return False
+
+    def _finding(
+        self, module: SourceModule, node: ast.AST, code: str, message: str
+    ) -> Finding:
+        return Finding(
+            module.rel,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            code,
+            self.name,
+            message,
+        )

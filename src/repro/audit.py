@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.reporting import format_table
 from repro.stats.rank import is_eps_approximate, rank_error
@@ -74,7 +75,7 @@ class AuditReport:
 
 
 def audit_run(
-    estimator,
+    estimator: Any,
     stream: Iterable[float],
     *,
     eps: float,
@@ -116,7 +117,7 @@ def audit_run(
 
 
 def _checkpoint(
-    estimator, shadow: list[float], eps: float, phis: Sequence[float]
+    estimator: Any, shadow: list[float], eps: float, phis: Sequence[float]
 ) -> CheckpointResult:
     ordered = sorted(shadow)
     n = len(ordered)

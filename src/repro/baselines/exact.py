@@ -17,6 +17,7 @@ from __future__ import annotations
 import bisect
 from collections.abc import Iterable, Sequence
 
+from repro.kernels import is_nan
 from repro.stats.rank import quantile_position
 
 __all__ = ["SortedStore"]
@@ -32,7 +33,7 @@ class SortedStore:
 
     def update(self, value: float) -> None:
         """Insert one element, keeping the store sorted."""
-        if value != value:  # NaN: unrankable
+        if is_nan(value):
             raise ValueError("NaN values have no rank and cannot be summarised")
         bisect.insort(self._data, value)
 
@@ -40,7 +41,7 @@ class SortedStore:
         """Insert many elements (sorts once: cheaper than repeated insort)."""
         added = [float(v) for v in values]
         for value in added:
-            if value != value:
+            if is_nan(value):
                 raise ValueError("NaN values have no rank and cannot be summarised")
         self._data.extend(added)
         self._data.sort()

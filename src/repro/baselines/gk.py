@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import bisect
 import math
+
+from repro.kernels import is_nan
 from collections.abc import Iterable, Sequence
 
 __all__ = ["GKQuantiles"]
@@ -63,7 +65,7 @@ class GKQuantiles:
     # ------------------------------------------------------------------
     def update(self, value: float) -> None:
         """Consume one stream element (amortised O(log(summary size)))."""
-        if value != value:  # NaN: unrankable
+        if is_nan(value):
             raise ValueError("NaN values have no rank and cannot be summarised")
         index = bisect.bisect_right(self._values, value)
         if index == 0 or index == len(self._values):
@@ -86,9 +88,9 @@ class GKQuantiles:
         poisoned batch is rejected atomically (the scalar path's
         guarantee); one-shot iterators are checked element-by-element.
         """
-        from repro.core.unknown_n import _contains_nan, _is_random_access
+        from repro.kernels import batch_contains_nan, is_random_access
 
-        if _is_random_access(values) and _contains_nan(values):
+        if is_random_access(values) and batch_contains_nan(values):
             raise ValueError("NaN values have no rank and cannot be summarised")
         for value in values:
             self.update(value)

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.kernels import is_nan
+
 __all__ = ["P2Quantile"]
 
 
@@ -59,7 +61,7 @@ class P2Quantile:
 
     def update(self, value: float) -> None:
         """Consume one element."""
-        if value != value:  # NaN: unrankable
+        if is_nan(value):
             raise ValueError("NaN values have no rank and cannot be summarised")
         self._count += 1
         if len(self._heights) < 5:
@@ -119,9 +121,9 @@ class P2Quantile:
         poisoned batch is rejected atomically (the scalar path's
         guarantee); one-shot iterators are checked element-by-element.
         """
-        from repro.core.unknown_n import _contains_nan, _is_random_access
+        from repro.kernels import batch_contains_nan, is_random_access
 
-        if _is_random_access(values) and _contains_nan(values):
+        if is_random_access(values) and batch_contains_nan(values):
             raise ValueError("NaN values have no rank and cannot be summarised")
         for value in values:
             self.update(value)

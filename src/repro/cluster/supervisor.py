@@ -142,7 +142,7 @@ class ShardSupervisor:
         *,
         plan: Plan | None = None,
         policy: CollapsePolicy | None = None,
-        checkpoint_dir: str | os.PathLike | None = None,
+        checkpoint_dir: str | os.PathLike[str] | None = None,
         checkpoint_interval: int = 5_000,
         fault_plan: FaultPlan | None = None,
         recover: bool = True,
@@ -234,7 +234,7 @@ class ShardSupervisor:
 
     def run_pool(
         self,
-        path: str | os.PathLike,
+        path: str | os.PathLike[str],
         *,
         backend: "str | KernelBackend | None" = None,
         start_method: str | None = None,

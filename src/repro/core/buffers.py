@@ -15,6 +15,11 @@ physical memory footprint stays at ``b * k`` elements.
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.kernels import KernelBackend
 
 __all__ = ["Buffer", "BufferState"]
 
@@ -73,7 +78,12 @@ class Buffer:
         return len(self.data) * self.weight
 
     def populate(
-        self, values: list[float], weight: int, level: int, *, backend=None
+        self,
+        values: list[float],
+        weight: int,
+        level: int,
+        *,
+        backend: KernelBackend | None = None,
     ) -> None:
         """Fill an empty buffer with (unsorted) values — the tail of New.
 
@@ -102,7 +112,9 @@ class Buffer:
             BufferState.FULL if len(values) == self.capacity else BufferState.PARTIAL
         )
 
-    def store_collapse_output(self, values, weight: int, level: int) -> None:
+    def store_collapse_output(
+        self, values: Sequence[float], weight: int, level: int
+    ) -> None:
         """Overwrite this buffer with a Collapse result (already sorted).
 
         ``values`` may be a list or a backend array; it is stored as-is.

@@ -30,11 +30,14 @@ from __future__ import annotations
 import heapq
 import math
 import random
+from collections.abc import Iterable
+from typing import Any
 
 from repro.kernels import (
     KernelBackend,
     backend_from_checkpoint,
     get_backend,
+    is_nan,
     is_random_access,
     reject_text_batch,
 )
@@ -119,7 +122,7 @@ class ExtremeValueEstimator:
     # ------------------------------------------------------------------
     def update(self, value: float) -> None:
         """Consume one stream element (O(log k) worst case, O(1) typical)."""
-        if value != value:  # NaN: unrankable, would poison the heap order
+        if is_nan(value):  # would poison the heap order
             raise ValueError("NaN values have no rank and cannot be summarised")
         self._seen += 1
         if self._sampler.offer(value) is None:
@@ -134,7 +137,7 @@ class ExtremeValueEstimator:
         elif key > self._heap[0]:
             heapq.heapreplace(self._heap, key)
 
-    def extend(self, values) -> None:
+    def extend(self, values: Iterable[float]) -> None:
         """Consume many stream elements.
 
         Random-access inputs are NaN-scanned *before* any mutation, so a
@@ -160,7 +163,7 @@ class ExtremeValueEstimator:
     # ------------------------------------------------------------------
     # Checkpointing (see repro.persist for the durable file format)
     # ------------------------------------------------------------------
-    def to_state_dict(self) -> dict:
+    def to_state_dict(self) -> dict[str, Any]:
         """The estimator's complete restorable state (including RNG state)."""
         return {
             "kind": "extreme",
@@ -179,7 +182,7 @@ class ExtremeValueEstimator:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "ExtremeValueEstimator":
+    def from_state_dict(cls, state: dict[str, Any]) -> "ExtremeValueEstimator":
         """Rebuild an estimator exactly as :meth:`to_state_dict` captured it."""
         est = object.__new__(cls)
         est._phi = float(state["phi"])

@@ -21,6 +21,7 @@ how the Section 5 buffer-allocation schedules plug in.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.core.buffers import Buffer, BufferState
 from repro.core.operations import collapse_buffers
@@ -304,7 +305,7 @@ class CollapseEngine:
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """The engine's full restorable state (buffers, flags, counters).
 
         Checkpointing covers the algorithmic state only: a trace or a
@@ -347,7 +348,7 @@ class CollapseEngine:
 
     @classmethod
     def from_state_dict(
-        cls, state: dict, *, backend: str | KernelBackend | None = None
+        cls, state: dict[str, Any], *, backend: str | KernelBackend | None = None
     ) -> "CollapseEngine":
         """Rebuild an engine exactly as :meth:`state_dict` captured it.
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.core.framework import CollapseEngine
 from repro.core.params import KnownNPlan, plan_known_n
@@ -21,6 +22,7 @@ from repro.kernels import (
     MergedView,
     backend_from_checkpoint,
     get_backend,
+    is_nan,
     is_random_access,
     reject_text_batch,
     rng_from_state,
@@ -76,7 +78,7 @@ class KnownNQuantiles:
     # ------------------------------------------------------------------
     def update(self, value: float) -> None:
         """Consume one stream element."""
-        if value != value:  # NaN: unrankable, would poison the sorted buffers
+        if is_nan(value):  # would poison the sorted buffers
             raise ValueError("NaN values have no rank and cannot be summarised")
         if self._n >= self._plan.n:
             raise RuntimeError(
@@ -140,7 +142,7 @@ class KnownNQuantiles:
     # ------------------------------------------------------------------
     # Checkpointing (see repro.persist for the durable file format)
     # ------------------------------------------------------------------
-    def to_state_dict(self) -> dict:
+    def to_state_dict(self) -> dict[str, Any]:
         """The estimator's complete restorable state (including RNG state)."""
         return {
             "kind": "known_n",
@@ -165,7 +167,7 @@ class KnownNQuantiles:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "KnownNQuantiles":
+    def from_state_dict(cls, state: dict[str, Any]) -> "KnownNQuantiles":
         """Rebuild an estimator exactly as :meth:`to_state_dict` captured it."""
         plan = KnownNPlan(
             eps=float(state["plan"]["eps"]),

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import random
 from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.core.params import Plan, plan_parameters
 from repro.core.policy import CollapsePolicy
@@ -88,7 +89,7 @@ class MultiQuantiles:
             )
         return self._inner.query_many(phis)
 
-    def to_state_dict(self) -> dict:
+    def to_state_dict(self) -> dict[str, Any]:
         """The estimator's complete restorable state (wraps the inner one)."""
         return {
             "kind": "multi",
@@ -98,7 +99,7 @@ class MultiQuantiles:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "MultiQuantiles":
+    def from_state_dict(cls, state: dict[str, Any]) -> "MultiQuantiles":
         """Rebuild exactly as :meth:`to_state_dict` captured it."""
         est = object.__new__(cls)
         est._p = int(state["num_quantiles"])

@@ -31,6 +31,7 @@ import heapq
 from collections.abc import Sequence
 
 from repro.core.buffers import Buffer
+from repro.kernels import KernelBackend
 from repro.stats.rank import quantile_position, weighted_select, weighted_stream
 
 __all__ = [
@@ -89,7 +90,10 @@ def select_collapse_values(
 
 
 def collapse_buffers(
-    buffers: Sequence[Buffer], *, low_for_even: bool, backend=None
+    buffers: Sequence[Buffer],
+    *,
+    low_for_even: bool,
+    backend: KernelBackend | None = None,
 ) -> Buffer:
     """Collapse full buffers in place; returns the buffer holding the output.
 

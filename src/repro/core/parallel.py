@@ -34,6 +34,7 @@ from __future__ import annotations
 import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.framework import CollapseEngine
 from repro.core.operations import collapse_offset, select_collapse_values
@@ -195,7 +196,7 @@ class MergedSummary:
         """Coverage report of the merge (always set by ``strict=False``)."""
         return self._report
 
-    def to_state_dict(self) -> dict:
+    def to_state_dict(self) -> dict[str, Any]:
         """The merge's complete restorable state, as plain data."""
         state = {
             "kind": "merged",
@@ -226,7 +227,7 @@ class MergedSummary:
         return state
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "MergedSummary":
+    def from_state_dict(cls, state: dict[str, Any]) -> "MergedSummary":
         """Rebuild a merge exactly as :meth:`to_state_dict` captured it."""
         report = None
         if state["report"] is not None:
@@ -483,7 +484,7 @@ class ParallelQuantiles:
     # ------------------------------------------------------------------
     # Checkpointing (see repro.persist for the durable file format)
     # ------------------------------------------------------------------
-    def to_state_dict(self) -> dict:
+    def to_state_dict(self) -> dict[str, Any]:
         """Complete restorable state: every worker plus the merge seed."""
         return {
             "kind": "parallel",
@@ -497,7 +498,7 @@ class ParallelQuantiles:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "ParallelQuantiles":
+    def from_state_dict(cls, state: dict[str, Any]) -> "ParallelQuantiles":
         """Rebuild exactly as :meth:`to_state_dict` captured it."""
         if not state["workers"]:
             raise ValueError("a ParallelQuantiles state needs at least one worker")
@@ -641,7 +642,7 @@ class _Coordinator:
         extra = [(sorted(self._b0), self._b0_weight)] if self._b0 else []
         return self._engine.query(phi, extra)
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """P0's full restorable state (engine pool, B0, merge RNG)."""
         return {
             "engine": self._engine.state_dict(),
@@ -651,7 +652,7 @@ class _Coordinator:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "_Coordinator":
+    def from_state_dict(cls, state: dict[str, Any]) -> "_Coordinator":
         """Rebuild P0 exactly as :meth:`state_dict` captured it."""
         coordinator = object.__new__(cls)
         coordinator._engine = CollapseEngine.from_state_dict(state["engine"])

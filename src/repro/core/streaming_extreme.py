@@ -33,11 +33,14 @@ from __future__ import annotations
 import heapq
 import math
 import random
+from collections.abc import Iterable
+from typing import Any
 
 from repro.kernels import (
     KernelBackend,
     backend_from_checkpoint,
     get_backend,
+    is_nan,
     is_random_access,
     reject_text_batch,
     rng_from_state,
@@ -106,7 +109,7 @@ class StreamingExtremeEstimator:
     # ------------------------------------------------------------------
     def update(self, value: float) -> None:
         """Consume one stream element."""
-        if value != value:  # NaN: unrankable
+        if is_nan(value):
             raise ValueError("NaN values have no rank and cannot be summarised")
         self._seen += 1
         if self._probability < 1.0 and self._rng.random() >= self._probability:
@@ -120,7 +123,7 @@ class StreamingExtremeEstimator:
         if self._sampled > self._budget:
             self._halve()
 
-    def extend(self, values) -> None:
+    def extend(self, values: Iterable[float]) -> None:
         """Consume many stream elements.
 
         Random-access inputs are NaN-scanned *before* any mutation, so a
@@ -138,7 +141,7 @@ class StreamingExtremeEstimator:
     # ------------------------------------------------------------------
     # Checkpointing (see repro.persist for the durable file format)
     # ------------------------------------------------------------------
-    def to_state_dict(self) -> dict:
+    def to_state_dict(self) -> dict[str, Any]:
         """The estimator's complete restorable state (including RNG state)."""
         return {
             "kind": "streaming_extreme",
@@ -158,7 +161,7 @@ class StreamingExtremeEstimator:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "StreamingExtremeEstimator":
+    def from_state_dict(cls, state: dict[str, Any]) -> "StreamingExtremeEstimator":
         """Rebuild an estimator exactly as :meth:`to_state_dict` captured it."""
         est = object.__new__(cls)
         est._phi = float(state["phi"])

@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.framework import AllocatorHook, CollapseEngine
 from repro.core.params import Plan, plan_parameters
@@ -38,6 +39,7 @@ from repro.kernels import (
     MergedView,
     backend_from_checkpoint,
     get_backend,
+    is_nan,
     is_random_access,
     reject_text_batch,
     rng_from_state,
@@ -46,17 +48,6 @@ from repro.kernels import (
 from repro.sampling.block import BlockSampler
 
 __all__ = ["UnknownNQuantiles", "EstimatorSnapshot"]
-
-
-def _contains_nan(values: Sequence[float]) -> bool:
-    """Fast NaN scan (kept as an alias; kernels own the implementation)."""
-    from repro.kernels.python_backend import PYTHON_BACKEND
-
-    return PYTHON_BACKEND.batch_contains_nan(values)
-
-
-#: Back-compat alias — the predicate moved to :mod:`repro.kernels`.
-_is_random_access = is_random_access
 
 
 
@@ -154,7 +145,7 @@ class UnknownNQuantiles:
     # ------------------------------------------------------------------
     def update(self, value: float) -> None:
         """Consume one stream element (amortised O(log(b k)) comparisons)."""
-        if value != value:  # NaN: unrankable, would poison the sorted buffers
+        if is_nan(value):  # would poison the sorted buffers
             raise ValueError("NaN values have no rank and cannot be summarised")
         if self._new_pending:
             self._begin_new()
@@ -338,7 +329,7 @@ class UnknownNQuantiles:
     # ------------------------------------------------------------------
     # Checkpointing (see repro.persist for the durable file format)
     # ------------------------------------------------------------------
-    def to_state_dict(self) -> dict:
+    def to_state_dict(self) -> dict[str, Any]:
         """The estimator's complete restorable state, as plain data.
 
         Includes the RNG state, so restore-then-stream is bit-identical to
@@ -371,7 +362,7 @@ class UnknownNQuantiles:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "UnknownNQuantiles":
+    def from_state_dict(cls, state: dict[str, Any]) -> "UnknownNQuantiles":
         """Rebuild an estimator exactly as :meth:`to_state_dict` captured it."""
         from repro.core.policy import policy_from_name
 

@@ -38,6 +38,7 @@ a :class:`random.Random` or a ``numpy.random.Generator``.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import warnings
 from bisect import bisect_left, bisect_right
@@ -51,6 +52,8 @@ __all__ = [
     "backend_from_checkpoint",
     "available_backends",
     "reject_text_batch",
+    "batch_contains_nan",
+    "is_nan",
     "is_random_access",
     "rng_state_dict",
     "rng_from_state",
@@ -89,6 +92,36 @@ def reject_text_batch(values: object) -> None:
 def is_random_access(values: object) -> bool:
     """True for inputs that can be pre-scanned without consuming them."""
     return hasattr(values, "__len__") and hasattr(values, "__getitem__")
+
+
+def is_nan(value: float) -> bool:
+    """The central scalar NaN gate: True iff ``value`` is NaN.
+
+    NaN has no rank — every comparison against it is false — so it must
+    be rejected before it reaches a sorted buffer, a heap, or a moment
+    accumulator.  All scalar NaN policy routes through this one function
+    (the batch twin is :meth:`KernelBackend.batch_contains_nan`) so the
+    invariant is auditable in one place; the replint ``float-discipline``
+    pass flags ad-hoc ``x != x`` checks elsewhere.
+
+    Implemented as IEEE-754 self-inequality rather than
+    :func:`math.isnan` so it accepts any real-typed value (including
+    ints too large for a float cast) without raising.
+    """
+    return value != value  # replint: disable=float-discipline -- this IS the gate
+
+
+def batch_contains_nan(values: Sequence[float]) -> bool:
+    """The central batch NaN gate: True iff any element is NaN.
+
+    The batch twin of :func:`is_nan`, used by every bulk-ingest path to
+    reject a poisoned random-access batch *before* any mutation (atomic
+    rejection).  Delegates to the python backend's scan, which
+    vectorises when the input is already an ndarray.
+    """
+    from repro.kernels.python_backend import PYTHON_BACKEND
+
+    return PYTHON_BACKEND.batch_contains_nan(values)
 
 
 # ----------------------------------------------------------------------
@@ -180,7 +213,7 @@ def merge_views(a: MergedView, b: MergedView) -> MergedView:
 # RNG state capture (backend-polymorphic; used by every checkpoint)
 # ----------------------------------------------------------------------
 
-def rng_state_dict(rng) -> object:
+def rng_state_dict(rng: Any) -> object:
     """Restorable state of a backend RNG.
 
     A :class:`random.Random` serialises to its historical ``getstate()``
@@ -192,7 +225,7 @@ def rng_state_dict(rng) -> object:
     return rng.state_dict()
 
 
-def rng_from_state(state):
+def rng_from_state(state: Any) -> Any:
     """Rebuild the RNG :func:`rng_state_dict` captured (either kind)."""
     if isinstance(state, dict) and state.get("kind") == "numpy":
         from repro.kernels.numpy_backend import NumpyRNG
@@ -218,7 +251,7 @@ class KernelBackend:
 
     name = "abstract"
 
-    def make_rng(self, seed: int | None = None):
+    def make_rng(self, seed: int | None = None) -> Any:
         raise NotImplementedError
 
     def as_batch(self, values: Sequence[float]) -> Sequence[float]:
@@ -238,7 +271,12 @@ class KernelBackend:
         raise NotImplementedError
 
     def block_representatives(
-        self, values: Sequence[float], start: int, n_blocks: int, rate: int, rng
+        self,
+        values: Sequence[float],
+        start: int,
+        n_blocks: int,
+        rate: int,
+        rng: Any,
     ) -> list[float]:
         """One uniform representative per complete block of ``rate``.
 
@@ -269,12 +307,10 @@ class KernelBackend:
 def available_backends() -> list[str]:
     """Names accepted by :func:`get_backend`, in preference order."""
     names = ["python"]
-    try:
+    with contextlib.suppress(ImportError):
         import numpy  # noqa: F401
 
         names.append("numpy")
-    except ImportError:
-        pass
     return names
 
 

@@ -15,6 +15,7 @@ numpy is absent, so the library itself stays dependency-free.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -72,12 +73,12 @@ class NumpyRNG:
         return self._generator.random(n)
 
     # -- checkpointing --------------------------------------------------
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """JSON-safe full state of the underlying bit generator."""
         return {"kind": "numpy", "state": self._generator.bit_generator.state}
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "NumpyRNG":
+    def from_state_dict(cls, state: dict[str, Any]) -> "NumpyRNG":
         inner = state["state"]
         name = inner["bit_generator"]
         try:
@@ -91,7 +92,7 @@ class NumpyRNG:
         return cls(np.random.Generator(bit_generator))
 
 
-def _intify(state):
+def _intify(state: Any) -> Any:
     """Re-impose exact ints on a JSON-round-tripped bit-generator state.
 
     JSON keeps Python ints exact, but defensive: nested dicts are copied
@@ -115,21 +116,21 @@ class NumpyBackend(KernelBackend):
     def as_batch(self, values: Sequence[float]) -> np.ndarray:
         return np.asarray(values, dtype=np.float64)
 
-    def batch_contains_nan(self, values) -> bool:
+    def batch_contains_nan(self, values: Any) -> bool:
         return bool(np.isnan(values).any())
 
-    def tolist(self, values) -> list[float]:
+    def tolist(self, values: Any) -> list[float]:
         if isinstance(values, np.ndarray):
             return values.tolist()
         if isinstance(values, list):
             return values
         return list(values)
 
-    def sort_values(self, values) -> np.ndarray:
+    def sort_values(self, values: Any) -> np.ndarray:
         return np.sort(np.asarray(values, dtype=np.float64))
 
     def block_representatives(
-        self, values, start: int, n_blocks: int, rate: int, rng
+        self, values: Any, start: int, n_blocks: int, rate: int, rng: Any
     ) -> list[float]:
         values = np.asarray(values, dtype=np.float64)
         if hasattr(rng, "block_offsets"):

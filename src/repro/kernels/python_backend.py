@@ -12,8 +12,9 @@ from __future__ import annotations
 import heapq
 import random
 from collections.abc import Sequence
+from typing import Any
 
-from repro.kernels import KernelBackend, MergedView
+from repro.kernels import KernelBackend, MergedView, is_nan
 
 __all__ = ["PythonBackend", "PYTHON_BACKEND"]
 
@@ -39,7 +40,7 @@ class PythonBackend(KernelBackend):
         # ndarray — scanning it element-wise would box every value.
         if _numpy is not None and isinstance(values, _numpy.ndarray):
             return bool(_numpy.isnan(values).any())
-        return any(value != value for value in values)
+        return any(is_nan(value) for value in values)
 
     def tolist(self, values: Sequence[float]) -> list[float]:
         if isinstance(values, list):
@@ -52,7 +53,12 @@ class PythonBackend(KernelBackend):
         return sorted(values)
 
     def block_representatives(
-        self, values: Sequence[float], start: int, n_blocks: int, rate: int, rng
+        self,
+        values: Sequence[float],
+        start: int,
+        n_blocks: int,
+        rate: int,
+        rng: Any,
     ) -> list[float]:
         # One uniform draw per block, matching BlockSampler.offer_many's
         # historical sequence exactly: int(random() * rate) per block.
@@ -70,6 +76,10 @@ class PythonBackend(KernelBackend):
         capacity: int,
         offset: int,
     ) -> list[float]:
+        # replint: disable=api-hygiene -- deliberate inversion: the python
+        # backend delegates to the reference Collapse in core so the two
+        # can never drift apart; the import is deferred to keep module
+        # loading acyclic
         from repro.core.operations import select_collapse_values
 
         return select_collapse_values(inputs, capacity, offset)

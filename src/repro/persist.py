@@ -26,11 +26,13 @@ The crash-recovery runtime in :mod:`repro.cluster` is built on this layer.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import struct
 import tempfile
 import zlib
+from typing import Any
 
 from repro.core.extreme import ExtremeValueEstimator
 from repro.core.known_n import KnownNQuantiles
@@ -88,7 +90,7 @@ _CHECKPOINTABLE = {
 }
 
 
-def _snapshot_to_state_dict(snap: EstimatorSnapshot) -> dict:
+def _snapshot_to_state_dict(snap: EstimatorSnapshot) -> dict[str, Any]:
     """EstimatorSnapshot is a frozen value object; serialised field-wise."""
     return {
         "kind": "snapshot",
@@ -102,7 +104,7 @@ def _snapshot_to_state_dict(snap: EstimatorSnapshot) -> dict:
     }
 
 
-def _snapshot_from_state_dict(state: dict) -> EstimatorSnapshot:
+def _snapshot_from_state_dict(state: dict[str, Any]) -> EstimatorSnapshot:
     pending = state["pending"]
     return EstimatorSnapshot(
         full_buffers=[
@@ -117,7 +119,7 @@ def _snapshot_from_state_dict(state: dict) -> EstimatorSnapshot:
     )
 
 
-def to_state_dict(obj) -> dict:
+def to_state_dict(obj: Any) -> dict[str, Any]:
     """The plain-data state of any checkpointable object."""
     if isinstance(obj, EstimatorSnapshot):
         return _snapshot_to_state_dict(obj)
@@ -131,7 +133,7 @@ def to_state_dict(obj) -> dict:
     )
 
 
-def from_state_dict(state: dict):
+def from_state_dict(state: dict[str, Any]) -> Any:
     """Rebuild the object a state dict describes, dispatching on its kind."""
     if not isinstance(state, dict) or "kind" not in state:
         raise CheckpointCorruptError("state dict has no 'kind' tag")
@@ -160,14 +162,14 @@ def from_state_dict(state: dict):
 # Byte framing
 # ----------------------------------------------------------------------
 
-def dumps(obj) -> bytes:
+def dumps(obj: Any) -> bytes:
     """Serialise a checkpointable object to verified, framed bytes."""
     payload = json.dumps(to_state_dict(obj), separators=(",", ":")).encode("utf-8")
     header = MAGIC + _HEADER.pack(FORMAT_VERSION, zlib.crc32(payload), len(payload))
     return header + payload
 
 
-def loads(data: bytes):
+def loads(data: bytes) -> Any:
     """Rebuild an object from framed bytes, verifying every layer first."""
     header_size = len(MAGIC) + _HEADER.size
     if len(data) < header_size:
@@ -202,7 +204,7 @@ def loads(data: bytes):
 # Atomic file persistence
 # ----------------------------------------------------------------------
 
-def save_checkpoint(obj, path: str | os.PathLike) -> None:
+def save_checkpoint(obj: Any, path: str | os.PathLike[str]) -> None:
     """Atomically write a checkpoint: temp file + fsync + rename.
 
     A crash at any instant leaves ``path`` holding either the previous
@@ -221,22 +223,19 @@ def save_checkpoint(obj, path: str | os.PathLike) -> None:
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
     except BaseException:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(tmp_path)
-        except OSError:
-            pass
         raise
-    try:  # make the rename itself durable where the platform allows
+    # Make the rename itself durable where the platform allows.
+    with contextlib.suppress(OSError):
         dir_fd = os.open(directory, os.O_RDONLY)
         try:
             os.fsync(dir_fd)
         finally:
             os.close(dir_fd)
-    except OSError:
-        pass
 
 
-def load_checkpoint(path: str | os.PathLike):
+def load_checkpoint(path: str | os.PathLike[str]) -> Any:
     """Read and verify a checkpoint file; raises the typed errors on damage."""
     with open(path, "rb") as handle:
         return loads(handle.read())

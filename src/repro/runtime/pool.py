@@ -34,8 +34,9 @@ import os
 import queue as queue_mod
 import random as random_mod
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro import persist
 from repro.core.parallel import MergedSummary, MergeReport, merge_snapshots
@@ -136,7 +137,7 @@ class WorkerSpec:
     worker_id: int
     seed: int
     backend: str
-    plan: dict
+    plan: dict[str, Any]
     policy_name: str | None
     chunk_values: int
     #: File mode: scan ``path[start:stop)`` (byte offsets).  ``None`` path
@@ -149,7 +150,7 @@ class WorkerSpec:
     fail_after: int | None = None
 
 
-def _plan_to_dict(plan: Plan) -> dict:
+def _plan_to_dict(plan: Plan) -> dict[str, Any]:
     return {
         "eps": plan.eps,
         "delta": plan.delta,
@@ -163,7 +164,7 @@ def _plan_to_dict(plan: Plan) -> dict:
     }
 
 
-def _plan_from_dict(state: dict) -> Plan:
+def _plan_from_dict(state: dict[str, Any]) -> Plan:
     return Plan(
         eps=float(state["eps"]),
         delta=float(state["delta"]),
@@ -177,7 +178,7 @@ def _plan_from_dict(state: dict) -> Plan:
     )
 
 
-def _pool_worker(spec: WorkerSpec, chunk_queue, result_queue) -> None:
+def _pool_worker(spec: WorkerSpec, chunk_queue: Any, result_queue: Any) -> None:
     """One shard worker: build, ingest, final-collapse snapshot, ship.
 
     Runs in a child process.  The only bytes shipped back are one framed
@@ -288,10 +289,10 @@ def _resolve(
     delta: float | None,
     plan: Plan | None,
     policy: CollapsePolicy | None,
-    backend,
+    backend: Any,
     seed: int | None,
     start_method: str | None,
-):
+) -> tuple[Plan, str | None, str, int, str]:
     """Shared argument resolution for both pool drivers."""
     if num_workers < 1:
         raise ValueError(f"need at least one worker, got {num_workers}")
@@ -316,7 +317,7 @@ def _resolve(
 
 def _collect(
     procs: dict[int, mp.process.BaseProcess],
-    result_queue,
+    result_queue: Any,
     timeout: float | None,
 ) -> tuple[dict[int, tuple[bytes, int, float]], dict[int, int | None]]:
     """Wait for every worker to ship or die; never hang on a corpse.
@@ -433,7 +434,7 @@ def _merge_pool(
 
 
 def run_file_shards(
-    path: str | os.PathLike,
+    path: str | os.PathLike[str],
     ranges: Sequence[tuple[int, int]],
     worker_ids: Iterable[int],
     *,
@@ -503,7 +504,7 @@ def run_file_shards(
 
 
 def run_pool_on_file(
-    path: str | os.PathLike,
+    path: str | os.PathLike[str],
     num_workers: int,
     *,
     eps: float | None = None,
@@ -511,7 +512,7 @@ def run_pool_on_file(
     plan: Plan | None = None,
     policy: CollapsePolicy | None = None,
     seed: int | None = None,
-    backend=None,
+    backend: Any = None,
     start_method: str | None = None,
     strict: bool = True,
     chunk_values: int = CHUNK_VALUES,
@@ -578,7 +579,9 @@ def run_pool_on_file(
     )
 
 
-def _iter_chunks(values: Iterable[float], chunk_values: int):
+def _iter_chunks(
+    values: Iterable[float], chunk_values: int
+) -> Iterator[list[float]]:
     """Slice any iterable into picklable list chunks of ``chunk_values``."""
     chunk: list[float] = []
     for value in values:
@@ -599,7 +602,7 @@ def run_pool_on_stream(
     plan: Plan | None = None,
     policy: CollapsePolicy | None = None,
     seed: int | None = None,
-    backend=None,
+    backend: Any = None,
     start_method: str | None = None,
     strict: bool = True,
     chunk_values: int = STREAM_CHUNK_VALUES,
@@ -647,7 +650,7 @@ def run_pool_on_stream(
         process.start()
         procs[wid] = process
 
-    def feed(wid: int, item) -> None:
+    def feed(wid: int, item: Any) -> None:
         """Bounded put that drops instead of blocking on a dead worker."""
         while True:
             if not procs[wid].is_alive():

@@ -17,12 +17,15 @@ from __future__ import annotations
 
 import random
 from collections.abc import Sequence
-from typing import Optional
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.kernels import KernelBackend
 
 __all__ = ["BlockSampler", "restore_rng"]
 
 
-def restore_rng(state: Sequence) -> random.Random:
+def restore_rng(state: Sequence[Any]) -> random.Random:
     """Rebuild a ``random.Random`` from a (possibly JSON-decoded) getstate().
 
     JSON round-trips turn the state's tuples into lists, so the exact
@@ -30,6 +33,8 @@ def restore_rng(state: Sequence) -> random.Random:
     re-imposed here.
     """
     version, internal, gauss_next = state
+    # replint: disable=determinism -- the state set immediately below
+    # replaces whatever this constructor seeded; no fresh draw survives
     rng = random.Random()
     rng.setstate(
         (
@@ -61,13 +66,13 @@ class BlockSampler:
 
     __slots__ = ("_rate", "_rng", "_seen_in_block", "_candidate")
 
-    def __init__(self, rate: int, rng: random.Random) -> None:
+    def __init__(self, rate: int, rng: Any) -> None:
         if rate < 1:
             raise ValueError(f"rate must be >= 1, got {rate}")
         self._rate = rate
         self._rng = rng
         self._seen_in_block = 0
-        self._candidate: Optional[float] = None
+        self._candidate: float | None = None
 
     @property
     def rate(self) -> int:
@@ -79,7 +84,7 @@ class BlockSampler:
         """Number of elements consumed by the current (incomplete) block."""
         return self._seen_in_block
 
-    def offer(self, value: float) -> Optional[float]:
+    def offer(self, value: float) -> float | None:
         """Feed one element; return the block's representative when it completes.
 
         Returns ``None`` while the block is still filling.  The returned
@@ -97,7 +102,7 @@ class BlockSampler:
             return chosen
         return None
 
-    def pending(self) -> Optional[tuple[float, int]]:
+    def pending(self) -> tuple[float, int] | None:
         """The incomplete block's ``(candidate, elements_seen)``, if any.
 
         The candidate is a uniform choice over the elements seen so far in
@@ -126,7 +131,7 @@ class BlockSampler:
         values: Sequence[float],
         start: int,
         stop: int,
-        backend=None,
+        backend: KernelBackend | None = None,
     ) -> list[float]:
         """Feed ``values[start:stop]`` *in place* — no slice is materialised.
 
@@ -169,7 +174,7 @@ class BlockSampler:
                 chosen.append(result)
         return chosen
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """The sampler's restorable state (the RNG is owned by the caller)."""
         return {
             "rate": self._rate,
@@ -178,7 +183,9 @@ class BlockSampler:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict, rng: random.Random) -> "BlockSampler":
+    def from_state_dict(
+        cls, state: dict[str, Any], rng: Any
+    ) -> "BlockSampler":
         """Rebuild a sampler mid-block; ``rng`` is the caller's restored RNG."""
         sampler = cls(rate=int(state["rate"]), rng=rng)
         sampler._seen_in_block = int(state["seen_in_block"])

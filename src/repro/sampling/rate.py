@@ -15,7 +15,8 @@ are provided:
 from __future__ import annotations
 
 import random
-from typing import Optional
+from collections.abc import Sequence
+from typing import Any
 
 from repro.sampling.block import BlockSampler
 
@@ -27,11 +28,17 @@ class BernoulliSampler:
 
     __slots__ = ("_probability", "_rng", "_offered", "_kept")
 
-    def __init__(self, probability: float, rng: random.Random | None = None) -> None:
+    def __init__(
+        self,
+        probability: float,
+        rng: Any = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
         if not 0.0 < probability <= 1.0:
             raise ValueError(f"probability must be in (0, 1], got {probability}")
         self._probability = probability
-        self._rng = rng if rng is not None else random.Random()
+        self._rng: Any = rng if rng is not None else random.Random(seed)
         self._offered = 0
         self._kept = 0
 
@@ -50,7 +57,7 @@ class BernoulliSampler:
         """Elements accepted so far."""
         return self._kept
 
-    def offer(self, value: float) -> Optional[float]:
+    def offer(self, value: float) -> float | None:
         """Return ``value`` if it is sampled, else ``None``."""
         self._offered += 1
         if self._probability >= 1.0 or self._rng.random() < self._probability:
@@ -58,7 +65,7 @@ class BernoulliSampler:
             return value
         return None
 
-    def offer_many(self, values) -> list[float]:
+    def offer_many(self, values: Sequence[float]) -> list[float]:
         """Offer a whole batch; return the kept elements in stream order.
 
         Same independent-inclusion law as :meth:`offer`.  With an RNG that
@@ -86,7 +93,7 @@ class BernoulliSampler:
         self._kept += len(kept)
         return kept
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """The sampler's restorable state, including its RNG state."""
         from repro.kernels import rng_state_dict
 
@@ -98,7 +105,7 @@ class BernoulliSampler:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "BernoulliSampler":
+    def from_state_dict(cls, state: dict[str, Any]) -> "BernoulliSampler":
         """Rebuild a sampler exactly as :meth:`state_dict` captured it."""
         from repro.kernels import rng_from_state
 
@@ -117,8 +124,16 @@ class SystematicSampler:
 
     __slots__ = ("_sampler", "_offered", "_kept")
 
-    def __init__(self, block: int, rng: random.Random | None = None) -> None:
-        self._sampler = BlockSampler(block, rng if rng is not None else random.Random())
+    def __init__(
+        self,
+        block: int,
+        rng: Any = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        self._sampler = BlockSampler(
+            block, rng if rng is not None else random.Random(seed)
+        )
         self._offered = 0
         self._kept = 0
 
@@ -137,7 +152,7 @@ class SystematicSampler:
         """Representatives emitted so far."""
         return self._kept
 
-    def offer(self, value: float) -> Optional[float]:
+    def offer(self, value: float) -> float | None:
         """Return the block representative when a block completes, else None."""
         self._offered += 1
         chosen = self._sampler.offer(value)
@@ -145,6 +160,6 @@ class SystematicSampler:
             self._kept += 1
         return chosen
 
-    def pending(self) -> Optional[tuple[float, int]]:
+    def pending(self) -> tuple[float, int] | None:
         """Candidate of the incomplete trailing block, with its weight."""
         return self._sampler.pending()

@@ -40,11 +40,17 @@ class ReservoirSampler:
 
     __slots__ = ("_size", "_rng", "_sample", "_seen")
 
-    def __init__(self, size: int, rng: random.Random | None = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        rng: random.Random | None = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
         if size < 1:
             raise ValueError(f"reservoir size must be >= 1, got {size}")
         self._size = size
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random(seed)
         self._sample: list[float] = []
         self._seen = 0
 

@@ -112,10 +112,14 @@ def kl_bernoulli(p: float, q: float) -> float:
         return 0.0
     div = 0.0
     if p > 0.0:
+        # replint: disable=float-discipline -- exact KL boundary: q is a
+        # caller-given probability, and the q->0 limit is +inf, not a
+        # tolerance question
         if q == 0.0:
             return math.inf
         div += p * math.log(p / q)
     if p < 1.0:
+        # replint: disable=float-discipline -- exact KL boundary, as above
         if q == 1.0:
             return math.inf
         div += (1.0 - p) * math.log((1.0 - p) / (1.0 - q))

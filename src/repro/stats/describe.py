@@ -15,6 +15,7 @@ import math
 from collections.abc import Iterable
 
 from repro.core.policy import CollapsePolicy
+from repro.kernels import is_nan
 from repro.core.unknown_n import UnknownNQuantiles
 
 __all__ = ["MomentAccumulator", "StreamSummary"]
@@ -34,7 +35,7 @@ class MomentAccumulator:
 
     def update(self, value: float) -> None:
         """Consume one element."""
-        if value != value:  # NaN would silently poison every moment
+        if is_nan(value):  # NaN would silently poison every moment
             raise ValueError("NaN values cannot be aggregated")
         self._count += 1
         delta = value - self._mean

@@ -14,6 +14,7 @@ import array
 import os
 import sys
 from collections.abc import Iterable, Iterator
+from typing import Any
 
 __all__ = [
     "write_floats",
@@ -35,7 +36,7 @@ ITEM_SIZE = 8
 _ITEM_SIZE = ITEM_SIZE  # back-compat alias
 
 
-def _validated_size(path: str | os.PathLike) -> int:
+def _validated_size(path: str | os.PathLike[str]) -> int:
     """The file's size in bytes, rejecting trailing partial records.
 
     A float64 file whose size is not a multiple of 8 holds a torn final
@@ -61,7 +62,7 @@ def _native_to_little(values: "array.array") -> "array.array":
     return values
 
 
-def write_floats(path: str | os.PathLike, values: Iterable[float]) -> int:
+def write_floats(path: str | os.PathLike[str], values: Iterable[float]) -> int:
     """Write a stream of floats to ``path`` (little-endian float64).
 
     Buffers :data:`CHUNK_VALUES` values at a time, so the input iterable
@@ -83,7 +84,7 @@ def write_floats(path: str | os.PathLike, values: Iterable[float]) -> int:
 
 
 def read_float_chunks(
-    path: str | os.PathLike,
+    path: str | os.PathLike[str],
     chunk_values: int = CHUNK_VALUES,
     *,
     start: int = 0,
@@ -138,7 +139,7 @@ def read_float_chunks(
 
 
 def plan_byte_ranges(
-    path: str | os.PathLike, workers: int
+    path: str | os.PathLike[str], workers: int
 ) -> list[tuple[int, int]]:
     """Partition a float64 file into ``workers`` aligned byte ranges.
 
@@ -164,7 +165,7 @@ def plan_byte_ranges(
 
 
 def read_floats(
-    path: str | os.PathLike, chunk_values: int = CHUNK_VALUES
+    path: str | os.PathLike[str], chunk_values: int = CHUNK_VALUES
 ) -> Iterator[float]:
     """Stream the floats back from ``path`` one at a time."""
     for chunk in read_float_chunks(path, chunk_values):
@@ -172,8 +173,8 @@ def read_floats(
 
 
 def ingest_file(
-    estimator,
-    path: str | os.PathLike,
+    estimator: Any,
+    path: str | os.PathLike[str],
     chunk_values: int = CHUNK_VALUES,
 ) -> int:
     """One-pass bulk ingest of a float64 file into an estimator.
@@ -190,7 +191,7 @@ def ingest_file(
     return total
 
 
-def count_floats(path: str | os.PathLike) -> int:
+def count_floats(path: str | os.PathLike[str]) -> int:
     """Number of float64 values in the file, from its size (no read).
 
     Raises :class:`ValueError` naming the path and the trailing byte
