@@ -56,6 +56,12 @@ PHIS = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
 FULL_N = 4_000_000
 SMOKE_N = 200_000
 
+#: Bytes shipped over the result queue per worker count in the committed
+#: pre-arena full run (uncondensed snapshots, JSON-encoded buffer lists).
+#: Condensed columnar v2 frames must cut every one of them by >= 3x.
+PRE_ARENA_SHIPPED_BYTES = {1: 64_783, 2: 135_370, 4: 294_302}
+SHIPPED_REDUCTION_REQUIRED = 3.0
+
 
 def _make_file(directory: str, n: int, seed: int = 47) -> str:
     rng = random.Random(seed)
@@ -147,6 +153,13 @@ def run_scale(
     rates = {w: out["workers"][str(w)]["elems_per_s"] for w in WORKER_GRID}
     speedup = rates[4] / rates[1]
     cores = out["cpu_count"] or 1
+    shipped_reduction = min(
+        PRE_ARENA_SHIPPED_BYTES[w] / out["workers"][str(w)]["shipped_bytes"]
+        for w in WORKER_GRID
+    )
+    out["pre_arena_baseline"] = {
+        "shipped_bytes": {str(w): PRE_ARENA_SHIPPED_BYTES[w] for w in WORKER_GRID}
+    }
     out["criteria"] = {
         "per_worker_shipment_bound": {
             "measured": all(
@@ -173,6 +186,13 @@ def run_scale(
             "measured": out["simulated_twin"]["worst_err_over_n"],
             "required": 2 * EPS,
             "pass": out["simulated_twin"]["worst_err_over_n"] <= 2 * EPS,
+        },
+        # Condensed columnar shipping: worst-case (minimum) reduction in
+        # queue bytes across the worker grid vs the pre-arena run.
+        "shipped_bytes_reduction_vs_boxed": {
+            "measured": round(shipped_reduction, 2),
+            "required": SHIPPED_REDUCTION_REQUIRED,
+            "pass": shipped_reduction >= SHIPPED_REDUCTION_REQUIRED,
         },
         "four_worker_speedup_vs_one": {
             "measured": round(speedup, 2),

@@ -347,6 +347,7 @@ def register(cls: type[Pass]) -> type[Pass]:
 def registered_passes() -> dict[str, Pass]:
     """The registry, importing the built-in pass modules on first use."""
     from repro.analysis import (  # noqa: F401  (import registers the passes)
+        boxing,
         determinism,
         floats,
         hygiene,

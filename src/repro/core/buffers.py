@@ -10,6 +10,14 @@ Buffers are deliberately mutable and reused in place: Collapse writes its
 output into one of its input buffers ("Y is logically different from
 X1..Xc but physically occupies space corresponding to one of them"), so the
 physical memory footprint stays at ``b * k`` elements.
+
+Since the columnar-arena refactor a :class:`Buffer` owns no element
+storage of its own: it is a typed *view* — (slot, length, weight, level,
+state) — into a shared :class:`~repro.core.arena.BufferArena`, and
+``data`` is a zero-copy slice of the arena's contiguous float64 store.
+A buffer constructed standalone (``Buffer(capacity)``, as the unit tests
+and examples do) gets a private single-slot arena, so the API is
+unchanged.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from __future__ import annotations
 import enum
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
+
+from repro.core.arena import BufferArena
 
 if TYPE_CHECKING:
     from repro.kernels import KernelBackend
@@ -33,20 +43,42 @@ class BufferState(enum.Enum):
 
 
 class Buffer:
-    """One physical buffer of capacity ``k``.
+    """One physical buffer of capacity ``k`` — a typed view into an arena.
 
-    The element list of a non-empty buffer is always kept sorted — New
-    sorts on populate, and Collapse produces sorted output — which is what
-    lets Collapse and Output run as streaming merges.
+    The elements of a non-empty buffer are always kept sorted — New sorts
+    on populate, and Collapse produces sorted output — which is what lets
+    Collapse and Output run as streaming merges.
+
+    :param capacity: elements the buffer can hold (``k``).
+    :param arena: the shared arena this buffer views; ``None`` allocates
+        a private single-slot arena (standalone construction).
+    :param slot: the arena slot this buffer owns; ignored without an
+        arena.
     """
 
-    __slots__ = ("capacity", "data", "weight", "level", "state", "node_id")
+    __slots__ = ("capacity", "weight", "level", "state", "node_id", "_arena", "_slot", "_length")
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        arena: BufferArena | None = None,
+        slot: int = 0,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        if arena is None:
+            arena = BufferArena(1, capacity)
+            slot = 0
+        elif capacity != arena.capacity:
+            raise ValueError(
+                f"buffer capacity {capacity} differs from arena slot "
+                f"capacity {arena.capacity}"
+            )
         self.capacity = capacity
-        self.data: list[float] = []
+        self._arena = arena
+        self._slot = slot
+        self._length = 0
         self.weight = 0
         self.level = 0
         self.state = BufferState.EMPTY
@@ -56,9 +88,25 @@ class Buffer:
 
     def __repr__(self) -> str:
         return (
-            f"Buffer(state={self.state.value}, len={len(self.data)}/"
+            f"Buffer(state={self.state.value}, len={self._length}/"
             f"{self.capacity}, weight={self.weight}, level={self.level})"
         )
+
+    @property
+    def data(self) -> Sequence[float]:
+        """Zero-copy view of the stored elements (sorted when non-empty).
+
+        A ``memoryview`` on the python backend, an ndarray slice on the
+        numpy one — random-access, sliceable, iterable floats either way.
+        The view aliases the arena: it is invalidated by the next write
+        to this buffer's slot (take ``list(buf.data)`` to keep a copy).
+        """
+        return self._arena.view(self._slot, self._length)
+
+    @property
+    def slot(self) -> int:
+        """The arena slot this buffer views."""
+        return self._slot
 
     @property
     def is_empty(self) -> bool:
@@ -75,11 +123,11 @@ class Buffer:
     @property
     def total_weight(self) -> int:
         """Weight mass represented: ``len(data) * weight``."""
-        return len(self.data) * self.weight
+        return self._length * self.weight
 
     def populate(
         self,
-        values: list[float],
+        values: Sequence[float],
         weight: int,
         level: int,
         *,
@@ -88,10 +136,10 @@ class Buffer:
         """Fill an empty buffer with (unsorted) values — the tail of New.
 
         Marks the buffer full when exactly ``capacity`` values are given,
-        partial otherwise (the input stream ran dry mid-fill).  When a
-        kernel backend is supplied its sort kernel decides the storage
-        form (a plain list for the python backend, a float64 array for
-        the numpy one).
+        partial otherwise (the input stream ran dry mid-fill).  The
+        values are sorted into the arena slot by the arena backend's sort
+        kernel; the ``backend`` parameter is retained for API
+        compatibility and must match the arena's backend when given.
         """
         if not self.is_empty:
             raise RuntimeError(f"cannot populate a non-empty buffer: {self!r}")
@@ -105,7 +153,13 @@ class Buffer:
             raise ValueError(f"weight must be >= 1, got {weight}")
         if level < 0:
             raise ValueError(f"level must be >= 0, got {level}")
-        self.data = sorted(values) if backend is None else backend.sort_values(values)
+        if backend is not None and backend is not self._arena.backend:
+            raise ValueError(
+                f"populate backend {backend.name!r} does not match the "
+                f"arena backend {self._arena.backend.name!r}"
+            )
+        self._arena.write(self._slot, values, sort=True)
+        self._length = len(values)
         self.weight = weight
         self.level = level
         self.state = (
@@ -117,26 +171,47 @@ class Buffer:
     ) -> None:
         """Overwrite this buffer with a Collapse result (already sorted).
 
-        ``values`` may be a list or a backend array; it is stored as-is.
+        ``values`` must be materialised (a list or a backend array), not a
+        live view of this buffer's own slot — Collapse guarantees that by
+        selecting the kept values before reclaiming its inputs.
         """
         if len(values) != self.capacity:
             raise ValueError(
                 f"collapse output must have exactly {self.capacity} elements, "
                 f"got {len(values)}"
             )
-        self.data = values
+        self._arena.write(self._slot, values, sort=False)
+        self._length = len(values)
         self.weight = weight
         self.level = level
         self.state = BufferState.FULL
 
+    def restore(
+        self,
+        values: Sequence[float],
+        weight: int,
+        level: int,
+        state: BufferState,
+    ) -> None:
+        """Reload checkpointed contents (already sorted) into the slot."""
+        if len(values) > self.capacity:
+            raise ValueError(
+                f"{len(values)} values exceed buffer capacity {self.capacity}"
+            )
+        self._arena.write(self._slot, values, sort=False)
+        self._length = len(values)
+        self.weight = weight
+        self.level = level
+        self.state = state
+
     def mark_empty(self) -> None:
         """Reclaim the buffer (its contents were consumed by a Collapse)."""
-        self.data = []
+        self._length = 0
         self.weight = 0
         self.level = 0
         self.state = BufferState.EMPTY
 
-    def as_weighted(self) -> tuple[list[float], int]:
+    def as_weighted(self) -> tuple[Sequence[float], int]:
         """View as a ``(sorted_values, weight)`` pair for merging/queries."""
         if self.is_empty:
             raise RuntimeError("an empty buffer has no weighted view")

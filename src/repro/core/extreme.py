@@ -33,6 +33,7 @@ import random
 from collections.abc import Iterable
 from typing import Any
 
+from repro.core.arena import FLOAT_BYTES
 from repro.kernels import (
     KernelBackend,
     backend_from_checkpoint,
@@ -114,6 +115,8 @@ class ExtremeValueEstimator:
         # Max-heap of the `capacity` smallest sampled values (low tail) or
         # min-heap of the largest (high tail); Python's heapq is a
         # min-heap, so the low tail stores negated values.
+        # replint: disable=buffer-arena -- heapq mutates a boxed list in
+        # place; the heap is O(s) sample state, not the b*k data plane
         self._heap: list[float] = []
         self._seen = 0
 
@@ -257,6 +260,11 @@ class ExtremeValueEstimator:
     def memory_elements(self) -> int:
         """Element slots held: the heap's capacity (k plus a small cushion)."""
         return self._capacity
+
+    @property
+    def memory_bytes(self) -> int:
+        """Peak bytes held: the heap's capacity at 8 bytes per float."""
+        return self._capacity * FLOAT_BYTES
 
     @property
     def backend(self) -> KernelBackend:

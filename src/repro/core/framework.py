@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import Any
 
+from repro.core.arena import BUFFER_METADATA_BYTES, BufferArena
 from repro.core.buffers import Buffer, BufferState
 from repro.core.operations import collapse_buffers
 from repro.core.policy import POLICY_REGISTRY, CollapsePolicy, MRLPolicy, policy_from_name
@@ -32,7 +33,6 @@ from repro.kernels import (
     MergedView,
     backend_from_checkpoint,
     get_backend,
-    merge_views,
 )
 from repro.stats.rank import quantile_position
 
@@ -95,6 +95,8 @@ class CollapseEngine:
         self._collapse_count = 0
         self._collapse_weight_sum = 0
         self._backend = get_backend(backend)
+        # One contiguous b*k float64 store; every buffer is a view into it.
+        self._arena = BufferArena(b, k, backend=self._backend)
         self._cache_enabled = cache
         self._version = 0
         self._cached_view: MergedView | None = None
@@ -142,9 +144,29 @@ class CollapseEngine:
         return len(self._buffers)
 
     @property
+    def arena(self) -> BufferArena:
+        """The columnar arena holding every buffer's elements."""
+        return self._arena
+
+    @property
     def memory_elements(self) -> int:
-        """Current element-slots of memory held: ``allocated * k``."""
+        """Current element-slots of memory in use: ``allocated * k``.
+
+        Buffer *views* are still allocated lazily, so this tracks the
+        Section 5 allocation schedules; the byte-accurate peak (the whole
+        preallocated arena) is :attr:`memory_bytes`.
+        """
         return len(self._buffers) * self._k
+
+    @property
+    def memory_bytes(self) -> int:
+        """Peak bytes of element storage plus buffer metadata.
+
+        Exactly ``b * k * 8`` arena bytes (preallocated, so peak equals
+        current) plus O(b) per-buffer metadata — the paper's space bound,
+        in bytes.
+        """
+        return self._arena.nbytes + len(self._buffers) * BUFFER_METADATA_BYTES
 
     @property
     def leaves_created(self) -> int:
@@ -257,7 +279,7 @@ class CollapseEngine:
                 raise RuntimeError(
                     "allocator refused to allocate but fewer than 2 buffers exist"
                 )
-            buf = Buffer(self._k)
+            buf = Buffer(self._k, arena=self._arena, slot=len(self._buffers))
             self._buffers.append(buf)
             return buf
         self.collapse_once()
@@ -337,7 +359,9 @@ class CollapseEngine:
             "backend": self._backend.name,
             "buffers": [
                 {
-                    "data": [float(v) for v in buf.data],
+                    # replint: disable=buffer-arena -- state dicts are the
+                    # plain-data contract; repro.persist re-hoists columns
+                    "data": self._backend.tolist(buf.data),
                     "weight": buf.weight,
                     "level": buf.level,
                     "state": buf.state.value,
@@ -375,11 +399,13 @@ class CollapseEngine:
         engine._collapse_count = int(state["collapse_count"])
         engine._collapse_weight_sum = int(state["collapse_weight_sum"])
         for entry in state["buffers"]:
-            buf = Buffer(engine._k)
-            buf.data = [float(v) for v in entry["data"]]
-            buf.weight = int(entry["weight"])
-            buf.level = int(entry["level"])
-            buf.state = BufferState(entry["state"])
+            buf = Buffer(engine._k, arena=engine._arena, slot=len(engine._buffers))
+            buf.restore(
+                [float(v) for v in entry["data"]],
+                int(entry["weight"]),
+                int(entry["level"]),
+                BufferState(entry["state"]),
+            )
             engine._buffers.append(buf)
         return engine
 
@@ -447,7 +473,7 @@ class CollapseEngine:
             and cached[1] is extras
         ):
             return cached[2]
-        combined = merge_views(self.merged_full_view(), extras)
+        combined = self._backend.merge_views(self.merged_full_view(), extras)
         if self._cache_enabled:
             self._combined_cache = (self._version, extras, combined)
         return combined

@@ -14,6 +14,7 @@ import random
 from collections.abc import Iterable, Sequence
 from typing import Any
 
+from repro.core.arena import FLOAT_BYTES
 from repro.core.framework import CollapseEngine
 from repro.core.params import KnownNPlan, plan_known_n
 from repro.core.policy import CollapsePolicy, policy_from_name
@@ -68,6 +69,8 @@ class KnownNQuantiles:
         )
         self._rng = rng if rng is not None else self._backend.make_rng(seed)
         self._sampler = BlockSampler(rate=plan.rate, rng=self._rng)
+        # replint: disable=buffer-arena -- O(k) staging for the buffer
+        # currently filling; deposit copies it into the arena at k elements
         self._staged: list[float] = []
         self._n = 0
         self._extras_cache: MergedView | None = None
@@ -130,14 +133,22 @@ class KnownNQuantiles:
                 - self._sampler.seen_in_block
             )
             stop = min(index + needed, total)
-            self._staged.extend(
-                self._sampler.offer_window(values, index, stop, backend=self._backend)
+            chosen = self._sampler.offer_window(
+                values, index, stop, backend=self._backend
             )
             self._n += stop - index
             index = stop
-            if len(self._staged) == self._engine.k:
-                self._engine.deposit(self._staged, rate, level=0)
-                self._staged = []
+            if not self._staged and len(chosen) == self._engine.k:
+                # Whole-buffer window: deposit the backend-native result
+                # into the arena without a staging copy.
+                self._engine.deposit(chosen, rate, level=0)
+            elif len(chosen):
+                # replint: disable=buffer-arena -- cold path: the window
+                # straddled an open block, so the partial result is staged
+                self._staged.extend(self._backend.tolist(chosen))
+                if len(self._staged) == self._engine.k:
+                    self._engine.deposit(self._staged, rate, level=0)
+                    self._staged = []
 
     # ------------------------------------------------------------------
     # Checkpointing (see repro.persist for the durable file format)
@@ -247,6 +258,12 @@ class KnownNQuantiles:
     def memory_elements(self) -> int:
         """Element slots held (allocated buffers x k)."""
         return self._engine.memory_elements
+
+    @property
+    def memory_bytes(self) -> int:
+        """Peak bytes held: the engine's ``b*k*8`` arena + O(b) metadata
+        + the in-flight staging elements."""
+        return self._engine.memory_bytes + FLOAT_BYTES * len(self._staged)
 
     @property
     def total_weight(self) -> int:

@@ -137,6 +137,11 @@ class MultiQuantiles:
         """Element slots held."""
         return self._inner.memory_elements
 
+    @property
+    def memory_bytes(self) -> int:
+        """Peak bytes held by the inner estimator's arena."""
+        return self._inner.memory_bytes
+
 
 class PrecomputedQuantiles:
     """Arbitrarily many quantiles from a fixed eps/2 grid (Section 4.7).
@@ -219,6 +224,11 @@ class PrecomputedQuantiles:
     def memory_elements(self) -> int:
         """Element slots held."""
         return self._inner.memory_elements
+
+    @property
+    def memory_bytes(self) -> int:
+        """Peak bytes held by the inner estimator's arena."""
+        return self._inner.memory_bytes
 
 
 def precomputation_plan(eps: float, delta: float) -> Plan:

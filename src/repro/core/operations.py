@@ -115,6 +115,9 @@ def collapse_buffers(
     total_weight = sum(buf.weight for buf in buffers)
     offset = collapse_offset(total_weight, low_for_even=low_for_even)
     inputs = [buf.as_weighted() for buf in buffers]
+    # The inputs are zero-copy arena views, so the kept values must be
+    # fully materialised *before* any input slot is reclaimed below —
+    # both kernels return a fresh list/array, never a live view.
     if backend is None:
         kept = select_collapse_values(inputs, capacity, offset)
     else:

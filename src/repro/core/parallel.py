@@ -36,6 +36,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.arena import FLOAT_BYTES
 from repro.core.framework import CollapseEngine
 from repro.core.operations import collapse_offset, select_collapse_values
 from repro.core.params import Plan, plan_parameters
@@ -49,6 +50,7 @@ __all__ = [
     "MergedSummary",
     "MergeReport",
     "ShardShipment",
+    "condense_snapshot",
     "merge_snapshots",
 ]
 
@@ -481,6 +483,12 @@ class ParallelQuantiles:
         per_worker = sum(worker.memory_elements for worker in self._workers)
         return per_worker + self._coordinator_buffers * self._plan.k
 
+    @property
+    def memory_bytes(self) -> int:
+        """Peak bytes across the worker arenas plus the coordinator pool."""
+        per_worker = sum(worker.memory_bytes for worker in self._workers)
+        return per_worker + self._coordinator_buffers * self._plan.k * FLOAT_BYTES
+
     # ------------------------------------------------------------------
     # Checkpointing (see repro.persist for the durable file format)
     # ------------------------------------------------------------------
@@ -557,6 +565,34 @@ class ParallelQuantiles:
         return coordinator
 
 
+def condense_snapshot(snap: EstimatorSnapshot) -> EstimatorSnapshot:
+    """Pre-collapse a snapshot's full buffers into at most one (Section 6).
+
+    The deterministic half of :func:`_ship`, runnable *before* the
+    snapshot crosses a process boundary: all full buffers are merged by
+    one final Collapse (with the fixed low-for-even offset ``_ship``
+    uses, consuming no randomness), so the wire carries ``k`` elements
+    instead of ``b*k``.  Feeding the condensed snapshot to
+    :func:`merge_snapshots` is bit-identical to shipping the original —
+    the coordinator's ``_ship`` performs exactly this collapse itself
+    when it sees two or more full buffers.
+    """
+    fulls = snap.full_buffers
+    if len(fulls) < 2:
+        return snap
+    total_weight = sum(weight for _, weight in fulls)
+    offset = collapse_offset(total_weight, low_for_even=True)
+    merged = select_collapse_values(fulls, snap.k, offset)
+    return EstimatorSnapshot(
+        full_buffers=[(merged, total_weight)],
+        staged=snap.staged,
+        rate=snap.rate,
+        pending=snap.pending,
+        n=snap.n,
+        k=snap.k,
+    )
+
+
 def _ship(
     snap: EstimatorSnapshot, rng: random.Random
 ) -> tuple[tuple[list[float], int] | None, tuple[list[float], int] | None]:
@@ -608,6 +644,8 @@ class _Coordinator:
         self._engine = CollapseEngine(b, k, policy, backend=backend)
         self._k = k
         self.rng = rng
+        # replint: disable=buffer-arena -- B0 accumulates shipped partial
+        # buffers (O(k)); each k-element run is deposited into the engine
         self._b0: list[float] = []
         self._b0_weight = 0
 

@@ -36,6 +36,7 @@ import random
 from collections.abc import Iterable
 from typing import Any
 
+from repro.core.arena import FLOAT_BYTES
 from repro.kernels import (
     KernelBackend,
     backend_from_checkpoint,
@@ -101,6 +102,8 @@ class StreamingExtremeEstimator:
         self._rng = rng if rng is not None else self._backend.make_rng(seed)
         self._probability = 1.0
         self._sampled = 0  # live Bernoulli(p) sample size (heap + uncounted)
+        # replint: disable=buffer-arena -- heapq mutates a boxed list in
+        # place; the heap is O(s) sample state, not the b*k data plane
         self._heap: list[float] = []  # the extreme end of the sample
         self._seen = 0
 
@@ -244,6 +247,11 @@ class StreamingExtremeEstimator:
     def memory_elements(self) -> int:
         """Element slots held: the heap capacity."""
         return self._capacity
+
+    @property
+    def memory_bytes(self) -> int:
+        """Peak bytes held: the heap capacity at 8 bytes per float."""
+        return self._capacity * FLOAT_BYTES
 
     @property
     def backend(self) -> KernelBackend:

@@ -27,10 +27,12 @@ sense of Section 1.5.
 from __future__ import annotations
 
 import random
+from array import array
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.arena import FLOAT_BYTES
 from repro.core.framework import AllocatorHook, CollapseEngine
 from repro.core.params import Plan, plan_parameters
 from repro.core.policy import CollapsePolicy
@@ -57,12 +59,16 @@ class EstimatorSnapshot:
     """Read-only view of an estimator: what a worker 'ships' in Section 6.
 
     :ivar full_buffers: ``(sorted_values, weight)`` pairs of full buffers.
+        The values are columnar copies (``array('d')`` on the python
+        backend, float64 ndarrays on the numpy one), never arena views.
     :ivar staged: representatives of the buffer currently filling (weight
         :attr:`rate` each).
     :ivar pending: candidate and weight of the incomplete sampling block.
     """
 
-    full_buffers: list[tuple[list[float], int]]
+    full_buffers: list[tuple[Sequence[float], int]]
+    # replint: disable=buffer-arena -- the staged field mirrors the O(k)
+    # staging list below; the full buffers above are the columnar payload
     staged: list[float]
     rate: int
     pending: tuple[float, int] | None
@@ -132,6 +138,8 @@ class UnknownNQuantiles:
         )
         self._rng = rng if rng is not None else self._backend.make_rng(seed)
         self._sampler = BlockSampler(rate=1, rng=self._rng)
+        # replint: disable=buffer-arena -- O(k) staging for the buffer
+        # currently filling; deposit copies it into the arena at k elements
         self._staged: list[float] = []
         self._n = 0
         self._rate = 1
@@ -202,13 +210,22 @@ class UnknownNQuantiles:
             chosen = self._sampler.offer_window(
                 values, index, stop, backend=self._backend
             )
-            self._staged.extend(chosen)
             self._n += stop - index
             index = stop
-            if len(self._staged) == self._engine.k:
-                self._engine.deposit(self._staged, self._rate, self._level)
-                self._staged = []
+            if not self._staged and len(chosen) == self._engine.k:
+                # Steady state: the window resolved a whole buffer of
+                # representatives in backend-native form — straight into
+                # the arena, no staging copy.
+                self._engine.deposit(chosen, self._rate, self._level)
                 self._new_pending = True
+            elif len(chosen):
+                # replint: disable=buffer-arena -- cold path: the window
+                # straddled an open block, so the partial result is staged
+                self._staged.extend(self._backend.tolist(chosen))
+                if len(self._staged) == self._engine.k:
+                    self._engine.deposit(self._staged, self._rate, self._level)
+                    self._staged = []
+                    self._new_pending = True
 
     def _begin_new(self) -> None:
         """Start a New operation: free a buffer, then fix its rate and level.
@@ -309,6 +326,12 @@ class UnknownNQuantiles:
         return self._engine.memory_elements
 
     @property
+    def memory_bytes(self) -> int:
+        """Peak bytes held: the engine's ``b*k*8`` arena + O(b) metadata
+        + the in-flight staging elements."""
+        return self._engine.memory_bytes + FLOAT_BYTES * len(self._staged)
+
+    @property
     def total_weight(self) -> int:
         """Weight mass a query would consume; always equals :attr:`n`."""
         extras = self._extras()
@@ -403,7 +426,8 @@ class UnknownNQuantiles:
         pending = self._sampler.pending()
         return EstimatorSnapshot(
             full_buffers=[
-                (list(buf.data), buf.weight) for buf in self._engine.full_buffers()
+                (_columnar(buf.data), buf.weight)
+                for buf in self._engine.full_buffers()
             ],
             staged=sorted(self._staged),
             rate=self._rate,
@@ -411,3 +435,21 @@ class UnknownNQuantiles:
             n=self._n,
             k=self._engine.k,
         )
+
+
+def _columnar(data: Sequence[float]) -> Sequence[float]:
+    """Compact columnar copy of a buffer view for a snapshot.
+
+    Snapshots must not alias the arena (its slots are rewritten by later
+    collapses), but the copy stays columnar — ``array('d')`` for a
+    memoryview, an ndarray for an ndarray — so shipping a snapshot never
+    boxes its elements.
+    """
+    if isinstance(data, memoryview):
+        copy = array("d")
+        copy.frombytes(bytes(data))
+        return copy
+    copier = getattr(data, "copy", None)  # ndarray slices (and lists)
+    if copier is not None:
+        return copier()  # type: ignore[no-any-return]
+    return array("d", data)

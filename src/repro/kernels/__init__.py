@@ -43,6 +43,7 @@ import os
 import warnings
 from bisect import bisect_left, bisect_right
 from collections.abc import Sequence
+from typing import Any
 
 __all__ = [
     "KernelBackend",
@@ -132,17 +133,21 @@ class MergedView:
     """A weighted sorted multiset, flattened for binary-search queries.
 
     ``values[i]`` is the i-th element of the merged sort order and
-    ``cumweights[i]`` the total weight of elements ``0..i``.  Both are
-    plain lists regardless of the backend that built them, so query
-    answers are identical by construction across backends.
+    ``cumweights[i]`` the total weight of elements ``0..i``.  The storage
+    is *columnar* and backend-native — plain lists on the python backend,
+    float64/int64 ndarrays on the numpy one — but every answer leaves as a
+    plain ``float``/``int``, so queries are identical by construction
+    across backends.
     """
 
     __slots__ = ("values", "cumweights", "total_weight")
 
-    def __init__(self, values: list[float], cumweights: list[int]) -> None:
+    def __init__(
+        self, values: Sequence[float], cumweights: Sequence[int]
+    ) -> None:
         self.values = values
         self.cumweights = cumweights
-        self.total_weight = cumweights[-1] if cumweights else 0
+        self.total_weight = int(cumweights[-1]) if len(cumweights) else 0
 
     def __len__(self) -> int:
         return len(self.values)
@@ -150,7 +155,7 @@ class MergedView:
     def cum_at(self, value: float) -> int:
         """Total weight of merged elements ``<= value``."""
         index = bisect_right(self.values, value)
-        return self.cumweights[index - 1] if index else 0
+        return int(self.cumweights[index - 1]) if index else 0
 
     def select(self, position: int) -> float:
         """The smallest value whose cumulative weight reaches ``position``."""
@@ -159,7 +164,7 @@ class MergedView:
             raise ValueError(
                 f"position {position} exceeds total weight {self.total_weight}"
             )
-        return self.values[index]
+        return float(self.values[index])
 
 
 def merge_views(a: MergedView, b: MergedView) -> MergedView:
@@ -277,11 +282,13 @@ class KernelBackend:
         n_blocks: int,
         rate: int,
         rng: Any,
-    ) -> list[float]:
+    ) -> Sequence[float]:
         """One uniform representative per complete block of ``rate``.
 
         Resolves blocks ``values[start : start + n_blocks * rate]``; the
-        caller advances its cursor by ``n_blocks * rate``.
+        caller advances its cursor by ``n_blocks * rate``.  The return is
+        backend-native (a list on the python backend, an ndarray on the
+        numpy one) so bulk ingest never boxes.
         """
         raise NotImplementedError
 
@@ -298,6 +305,35 @@ class KernelBackend:
         self, weighted: Sequence[tuple[Sequence[float], int]]
     ) -> MergedView:
         """Flatten weighted sorted buffers into one :class:`MergedView`."""
+        raise NotImplementedError
+
+    def merge_views(self, a: MergedView, b: MergedView) -> MergedView:
+        """Union of two flattened views (the query-cache merge kernel).
+
+        The generic two-pointer reference below is correct for any
+        backend; the numpy backend overrides it with a vectorised
+        concatenate + stable-argsort that never boxes.
+        """
+        return merge_views(a, b)
+
+    # -- columnar arena storage (see repro.core.arena) -----------------
+    def alloc_values(self, count: int) -> Any:
+        """Allocate ``count`` contiguous zeroed float64 element slots.
+
+        The storage form is the backend's choice (``array('d')`` /
+        ndarray); only :meth:`write_slot` and :meth:`slot_view` ever
+        touch it.
+        """
+        raise NotImplementedError
+
+    def write_slot(
+        self, storage: Any, offset: int, values: Sequence[float], *, sort: bool
+    ) -> None:
+        """Copy ``values`` into ``storage[offset:]``, sorting when asked."""
+        raise NotImplementedError
+
+    def slot_view(self, storage: Any, offset: int, length: int) -> Sequence[float]:
+        """Zero-copy random-access view of ``storage[offset:offset+length]``."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -15,7 +15,17 @@ with three layers:
   unverified bytes: a wrong magic, a short read, a flipped bit, or a
   length mismatch raises :class:`CheckpointCorruptError`; an unknown frame
   or state version raises :class:`CheckpointVersionError`.  The payload is
-  JSON, not pickle, so a corrupt or hostile file can never execute code.
+  JSON plus a raw float64 blob, not pickle, so a corrupt or hostile file
+  can never execute code.
+
+  Frame version 2 (the current writer) is *columnar*: every all-float list
+  in the state dict — buffer contents, staged samples, shipped snapshot
+  columns — is hoisted out of the JSON text into one contiguous raw
+  little-endian float64 blob and replaced by a tiny ``{"__f64__":
+  [offset, count]}`` marker.  Floats travel at 8 bytes each instead of
+  ~18 bytes of decimal text, checkpoints shrink ~2-3x, and loading is a
+  single ``frombytes`` per column instead of per-character float parsing.
+  Version-1 frames (all-JSON) are still read transparently.
 * **Atomic files** — :func:`save_checkpoint` writes to a temporary file in
   the target directory, fsyncs, then ``os.replace``\\ s into place, so a
   crash mid-write leaves either the old checkpoint or the new one — never
@@ -30,8 +40,11 @@ import contextlib
 import json
 import os
 import struct
+import sys
 import tempfile
 import zlib
+from array import array
+from collections.abc import Sequence
 from typing import Any
 
 from repro.core.extreme import ExtremeValueEstimator
@@ -55,12 +68,16 @@ __all__ = [
 
 #: 8-byte file signature; never reused across incompatible layouts.
 MAGIC = b"RPROCKPT"
-#: Version of the byte frame (magic/length/CRC layout).
-FORMAT_VERSION = 1
+#: Version of the byte frame (magic/length/CRC layout); v2 is columnar.
+FORMAT_VERSION = 2
 #: Version of the state-dict schemas the estimators emit.
 STATE_VERSION = 1
 
 _HEADER = struct.Struct(">II Q")  # format version, CRC32, payload length
+_META_LEN = struct.Struct(">Q")  # v2 payload: JSON metadata length prefix
+
+#: Marker key a hoisted float column leaves behind in the JSON metadata.
+_F64_KEY = "__f64__"
 
 
 class CheckpointError(Exception):
@@ -108,7 +125,7 @@ def _snapshot_from_state_dict(state: dict[str, Any]) -> EstimatorSnapshot:
     pending = state["pending"]
     return EstimatorSnapshot(
         full_buffers=[
-            ([float(v) for v in data], int(weight))
+            (array("d", (float(v) for v in data)), int(weight))
             for data, weight in state["full_buffers"]
         ],
         staged=[float(v) for v in state["staged"]],
@@ -159,18 +176,112 @@ def from_state_dict(state: dict[str, Any]) -> Any:
 
 
 # ----------------------------------------------------------------------
+# Columnar float hoisting (frame v2)
+# ----------------------------------------------------------------------
+
+def _hoist_column(column: "array[float]", blob: bytearray) -> dict[str, list[int]]:
+    """Append a float column to the blob; return its JSON marker."""
+    if sys.byteorder != "little":  # the on-disk blob is always little-endian
+        column = array("d", column)
+        column.byteswap()
+    offset = len(blob)
+    blob += column.tobytes()
+    return {_F64_KEY: [offset, len(column)]}
+
+
+def _hoist_floats(value: Any, blob: bytearray) -> Any:
+    """Recursively replace all-float sequences with ``__f64__`` markers.
+
+    Integer lists (RNG words) and mixed lists (a ``(candidate, seen)``
+    pending pair) are left in the JSON metadata, where their element
+    types round-trip exactly.  ``bool`` is excluded despite being an
+    ``int`` subclass because it is never a float; ``numpy.float64``
+    qualifies because it *is* a ``float`` subclass.
+    """
+    if isinstance(value, dict):
+        return {key: _hoist_floats(sub, blob) for key, sub in value.items()}
+    if isinstance(value, array) and value.typecode == "d":
+        return _hoist_column(value, blob)
+    if isinstance(value, (list, tuple)):
+        seq = list(value)
+        if seq and all(isinstance(item, float) for item in seq):
+            return _hoist_column(array("d", seq), blob)
+        return [_hoist_floats(sub, blob) for sub in seq]
+    if isinstance(value, memoryview):
+        return _hoist_floats(value.tolist(), blob)
+    tolist = getattr(value, "tolist", None)  # ndarray, without importing numpy
+    if tolist is not None and not isinstance(value, (str, bytes, bytearray)):
+        return _hoist_floats(tolist(), blob)
+    return value
+
+
+def _restore_floats(value: Any, blob: memoryview) -> Any:
+    """Inverse of :func:`_hoist_floats`: markers become ``array('d')``.
+
+    Decoded columns stay columnar — the estimators' ``from_state_dict``
+    constructors accept any float sequence, and keeping them packed is
+    what makes loading a big checkpoint one ``frombytes`` per buffer.
+    """
+    if isinstance(value, dict):
+        marker = value.get(_F64_KEY)
+        if marker is not None and len(value) == 1:
+            if (
+                not isinstance(marker, list)
+                or len(marker) != 2
+                or not all(isinstance(part, int) and part >= 0 for part in marker)
+            ):
+                raise CheckpointCorruptError(f"malformed float-column marker {marker!r}")
+            offset, count = marker
+            if offset + count * 8 > len(blob):
+                raise CheckpointCorruptError(
+                    f"float column [{offset}, {count}] overruns the "
+                    f"{len(blob)}-byte payload blob"
+                )
+            column = array("d")
+            column.frombytes(blob[offset : offset + count * 8])
+            if sys.byteorder != "little":
+                column.byteswap()
+            return column
+        return {key: _restore_floats(sub, blob) for key, sub in value.items()}
+    if isinstance(value, list):
+        return [_restore_floats(sub, blob) for sub in value]
+    return value
+
+
+# ----------------------------------------------------------------------
 # Byte framing
 # ----------------------------------------------------------------------
 
 def dumps(obj: Any) -> bytes:
-    """Serialise a checkpointable object to verified, framed bytes."""
-    payload = json.dumps(to_state_dict(obj), separators=(",", ":")).encode("utf-8")
+    """Serialise a checkpointable object to verified, framed bytes.
+
+    The frame is version 2: a JSON-metadata length prefix, the JSON
+    metadata (with every float column hoisted out), then one contiguous
+    raw little-endian float64 blob.  The CRC32 covers the whole payload.
+    """
+    blob = bytearray()
+    meta = _hoist_floats(to_state_dict(obj), blob)
+    encoded = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    payload = _META_LEN.pack(len(encoded)) + encoded + bytes(blob)
     header = MAGIC + _HEADER.pack(FORMAT_VERSION, zlib.crc32(payload), len(payload))
     return header + payload
 
 
+def _decode_json(payload: bytes | memoryview) -> Any:
+    try:
+        return json.loads(bytes(payload).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint payload is not valid JSON: {exc}"
+        ) from exc
+
+
 def loads(data: bytes) -> Any:
-    """Rebuild an object from framed bytes, verifying every layer first."""
+    """Rebuild an object from framed bytes, verifying every layer first.
+
+    Reads both frame versions: 1 (all-JSON payload, the pre-columnar
+    writer) and 2 (JSON metadata + raw float64 blob, the current writer).
+    """
     header_size = len(MAGIC) + _HEADER.size
     if len(data) < header_size:
         raise CheckpointCorruptError(
@@ -180,10 +291,10 @@ def loads(data: bytes) -> Any:
     if data[: len(MAGIC)] != MAGIC:
         raise CheckpointCorruptError("bad magic: not a repro checkpoint")
     version, crc, length = _HEADER.unpack_from(data, len(MAGIC))
-    if version != FORMAT_VERSION:
+    if version not in (1, FORMAT_VERSION):
         raise CheckpointVersionError(
             f"checkpoint format version {version} is not supported "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions 1 and {FORMAT_VERSION})"
         )
     payload = data[header_size:]
     if len(payload) != length:
@@ -193,10 +304,21 @@ def loads(data: bytes) -> Any:
         )
     if zlib.crc32(payload) != crc:
         raise CheckpointCorruptError("CRC mismatch: checkpoint bytes are corrupt")
-    try:
-        state = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise CheckpointCorruptError(f"checkpoint payload is not valid JSON: {exc}") from exc
+    if version == 1:
+        return from_state_dict(_decode_json(payload))
+    if len(payload) < _META_LEN.size:
+        raise CheckpointCorruptError(
+            "checkpoint truncated: v2 payload is missing its metadata length"
+        )
+    (meta_len,) = _META_LEN.unpack_from(payload)
+    if _META_LEN.size + meta_len > len(payload):
+        raise CheckpointCorruptError(
+            f"checkpoint truncated: metadata length {meta_len} overruns the "
+            f"{len(payload)}-byte payload"
+        )
+    view = memoryview(payload)
+    meta = _decode_json(view[_META_LEN.size : _META_LEN.size + meta_len])
+    state = _restore_floats(meta, view[_META_LEN.size + meta_len :])
     return from_state_dict(state)
 
 

@@ -39,7 +39,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import persist
-from repro.core.parallel import MergedSummary, MergeReport, merge_snapshots
+from repro.core.parallel import (
+    MergedSummary,
+    MergeReport,
+    condense_snapshot,
+    merge_snapshots,
+)
 from repro.core.params import Plan, plan_parameters
 from repro.core.policy import CollapsePolicy, policy_from_name
 from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
@@ -196,8 +201,15 @@ def _pool_worker(spec: WorkerSpec, chunk_queue: Any, result_queue: Any) -> None:
         backend=spec.backend,
     )
     if spec.path is not None:
+        # Zero-copy scan: one resident buffer readinto'd per chunk;
+        # update_batch copies what it keeps into the arena before the
+        # next read overwrites the buffer.
         chunks: Iterable[Sequence[float]] = read_float_chunks(
-            spec.path, spec.chunk_values, start=spec.start, stop=spec.stop
+            spec.path,
+            spec.chunk_values,
+            start=spec.start,
+            stop=spec.stop,
+            reuse_buffer=True,
         )
     else:
         chunks = iter(chunk_queue.get, None)
@@ -214,7 +226,12 @@ def _pool_worker(spec: WorkerSpec, chunk_queue: Any, result_queue: Any) -> None:
             os._exit(FAULT_EXIT_CODE)
         estimator.update_batch(chunk)
     elapsed = time.perf_counter() - started
-    frame = persist.dumps(estimator.snapshot())
+    # Ship the condensed snapshot: the worker performs its own final
+    # Collapse (Section 6), so at most one full + one partial buffer
+    # cross the process boundary instead of the whole b*k pool.  The
+    # merge is bit-identical — the coordinator would have applied the
+    # very same deterministic collapse on receipt.
+    frame = persist.dumps(condense_snapshot(estimator.snapshot()))
     result_queue.put((spec.worker_id, frame, estimator.n, elapsed))
 
 

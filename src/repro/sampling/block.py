@@ -124,7 +124,8 @@ class BlockSampler:
         draws, which is what the estimators' bulk-ingest paths build on.
         Any trailing incomplete block stays pending, as with :meth:`offer`.
         """
-        return self.offer_window(values, 0, len(values))
+        chosen = self.offer_window(values, 0, len(values))
+        return chosen if isinstance(chosen, list) else list(chosen)
 
     def offer_window(
         self,
@@ -132,7 +133,7 @@ class BlockSampler:
         start: int,
         stop: int,
         backend: KernelBackend | None = None,
-    ) -> list[float]:
+    ) -> Sequence[float]:
         """Feed ``values[start:stop]`` *in place* — no slice is materialised.
 
         The workhorse behind the estimators' ``update_batch``: the open
@@ -140,8 +141,16 @@ class BlockSampler:
         blocks are resolved through the kernel backend's batch kernel
         (one vectorised draw per batch on the numpy backend, one scalar
         draw per block on the python one), and the tail opens a new
-        partial block.  Returns the completed blocks' representatives as
-        plain floats.
+        partial block.  Returns the completed blocks' representatives.
+
+        The return is *backend-native*: when the window starts on a block
+        boundary and ends on one (the steady state of bulk ingest, where
+        the enclosing estimator sizes windows to whole buffers), the
+        backend kernel's output — an ndarray on the numpy backend, a
+        compact slice for ``rate == 1`` — is passed through untouched, so
+        representatives flow into the arena without a boxed-list detour.
+        A plain list is returned only when the window straddles an open
+        block.
         """
         if backend is None:
             from repro.kernels.python_backend import PYTHON_BACKEND as backend
@@ -157,21 +166,35 @@ class BlockSampler:
         rate = self._rate
         if rate == 1:
             # Every element is its own block's representative.
-            if index < stop:
-                chosen.extend(backend.tolist(values[index:stop]))
+            if index >= stop:
+                return chosen
+            if not chosen:
+                # Whole window in one slice: an array-typed input stays
+                # array-typed (a list input pays its one slice copy).
+                return values[index:stop]
+            chosen.extend(backend.tolist(values[index:stop]))
             return chosen
         n_blocks = (stop - index) // rate
+        interior: Sequence[float] | None = None
         if n_blocks:
-            chosen.extend(
-                backend.block_representatives(values, index, n_blocks, rate, self._rng)
+            interior = backend.block_representatives(
+                values, index, n_blocks, rate, self._rng
             )
             index += n_blocks * rate
         # Tail: open a new partial block.
+        tail: list[float] = []
         while index < stop:
             result = self.offer(values[index])
             index += 1
             if result is not None:  # cannot happen (tail < rate), but be safe
-                chosen.append(result)
+                tail.append(result)
+        if interior is None:
+            chosen.extend(tail)
+            return chosen
+        if not chosen and not tail:
+            return interior
+        chosen.extend(backend.tolist(interior))
+        chosen.extend(tail)
         return chosen
 
     def state_dict(self) -> dict[str, Any]:

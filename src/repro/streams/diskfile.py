@@ -13,7 +13,7 @@ from __future__ import annotations
 import array
 import os
 import sys
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
 __all__ = [
@@ -89,8 +89,9 @@ def read_float_chunks(
     *,
     start: int = 0,
     stop: int | None = None,
-) -> Iterator["array.array"]:
-    """Stream ``array('d')`` chunks of up to ``chunk_values`` floats.
+    reuse_buffer: bool = False,
+) -> Iterator[Sequence[float]]:
+    """Stream chunks of up to ``chunk_values`` floats.
 
     The bulk-ingest counterpart of :func:`read_floats`: each chunk is a
     random-access sequence the estimators' ``update_batch`` can sample
@@ -102,6 +103,15 @@ def read_float_chunks(
     can each scan their own slice of one file with sequential I/O — the
     partitioned-scan access pattern :func:`plan_byte_ranges` produces for
     the parallel ingest runtime.
+
+    With ``reuse_buffer=True`` (and a little-endian platform) the reader
+    allocates the chunk buffer **once** and every iteration ``readinto``\\ s
+    it, yielding a ``memoryview`` cast to float64 — a zero-copy,
+    zero-allocation scan straight from the page cache into the sampling
+    kernels.  The yielded view is only valid until the next iteration, so
+    it suits consumers that fully process each chunk before advancing
+    (``update_batch`` copies everything it keeps into the arena); default
+    ``False`` yields an independent ``array('d')`` per chunk.
     """
     if chunk_values < 1:
         raise ValueError(f"chunk_values must be >= 1, got {chunk_values}")
@@ -118,12 +128,30 @@ def read_float_chunks(
             f"byte range [{start}, {stop}) is out of bounds for "
             f"{os.fspath(path)!r} ({size} bytes)"
         )
+    # The resident buffer only pays off when the bytes on disk are already
+    # in native order; big-endian hosts fall back to the byteswap copy.
+    resident = (
+        bytearray(chunk_values * ITEM_SIZE)
+        if reuse_buffer and sys.byteorder == "little"
+        else None
+    )
     with open(path, "rb") as handle:
         if start:
             handle.seek(start)
         position = start
         while position < stop:
             want = min(chunk_values * ITEM_SIZE, stop - position)
+            if resident is not None:
+                view = memoryview(resident)[:want]
+                got = handle.readinto(view)
+                if got != want:
+                    raise ValueError(
+                        f"{os.fspath(path)!r} shrank while being read: expected "
+                        f"{want} bytes at offset {position}, got {got}"
+                    )
+                position += want
+                yield view.cast("d")
+                continue
             raw = handle.read(want)
             if len(raw) < want:
                 raise ValueError(
@@ -182,10 +210,18 @@ def ingest_file(
     Feeds the file through ``estimator.update_batch`` (or ``extend`` for
     estimators without a batch path) chunk by chunk, keeping memory at
     O(chunk) however large the file.  Returns the number of values fed.
+
+    ``update_batch`` consumers get the zero-copy resident-buffer scan
+    (each chunk is fully consumed — everything kept is copied into the
+    estimator's arena — before the next read overwrites it); the
+    element-by-element ``extend`` fallback reads independent chunks.
     """
-    ingest = getattr(estimator, "update_batch", None) or estimator.extend
+    ingest = getattr(estimator, "update_batch", None)
+    reuse = ingest is not None
+    if ingest is None:
+        ingest = estimator.extend
     total = 0
-    for chunk in read_float_chunks(path, chunk_values):
+    for chunk in read_float_chunks(path, chunk_values, reuse_buffer=reuse):
         ingest(chunk)
         total += len(chunk)
     return total

@@ -34,7 +34,7 @@ class TestBuffer:
     def test_populate_sorts(self):
         buf = Buffer(3)
         buf.populate([3.0, 1.0, 2.0], weight=2, level=1)
-        assert buf.data == [1.0, 2.0, 3.0]
+        assert list(buf.data) == [1.0, 2.0, 3.0]
         assert buf.weight == 2
         assert buf.level == 1
         assert buf.is_full
@@ -68,7 +68,7 @@ class TestBuffer:
         buf = make_full(2, [1.0, 2.0], weight=3, level=2)
         buf.mark_empty()
         assert buf.is_empty
-        assert buf.data == []
+        assert list(buf.data) == []
         assert buf.weight == 0
         assert buf.level == 0
 
@@ -211,8 +211,8 @@ class TestCollapseBuffers:
             [make_full(2, [1.0, 3.0]), make_full(2, [2.0, 4.0])],
             low_for_even=False,
         ).data
-        assert lo == [1.0, 3.0]
-        assert hi == [2.0, 4.0]
+        assert list(lo) == [1.0, 3.0]
+        assert list(hi) == [2.0, 4.0]
 
 
 class TestOutputQuantile:

@@ -250,7 +250,7 @@ class TestBackendEquivalence:
         vec = numpy_backend.block_representatives(
             values, start, n_blocks, rate, random.Random(seed)
         )
-        assert py == vec
+        assert list(py) == list(vec)
 
     @settings(max_examples=30, deadline=None)
     @given(n_blocks=st.integers(1, 50), rate=st.integers(1, 32), seed=st.integers(0, 99))
