@@ -1,0 +1,300 @@
+"""Serving-tier benchmark: throughput, tail latency, shed rate, recovery.
+
+Unlike the paper-experiment benches (which run under pytest), this is a
+standalone driver for the resilient service runtime::
+
+    python benchmarks/bench_service.py            # full run
+    python benchmarks/bench_service.py --smoke    # CI-sized run
+
+It boots the real ``python -m repro.service`` process, then measures the
+four numbers the robustness work is accountable for, writing them to
+``BENCH_service.json``:
+
+* ``req_per_s``   — sustained mixed ingest/query throughput;
+* ``p50_ms`` / ``p99_ms`` — client-observed request latency;
+* ``shed_rate``   — fraction of requests explicitly shed (``overloaded``)
+  when offered concurrency far exceeds ``--max-inflight`` (the point is
+  that this is *shed*, not hung or silently dropped: every request gets
+  an answer);
+* ``recovery_ms`` — SIGKILL-to-READY restart time over a populated
+  checkpoint directory, with ``bit_identical`` asserting the restarted
+  process answers exactly the pre-kill quantiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import select
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PHIS = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+
+
+def _server_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def start_server(*args: str) -> tuple[subprocess.Popen, str, int, float]:
+    """Spawn the service; returns (proc, host, port, ms_to_READY)."""
+    started = time.perf_counter()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=_server_env(),
+        text=True,
+    )
+    readable, _, _ = select.select([proc.stdout], [], [], 60.0)
+    if not readable:
+        proc.kill()
+        raise RuntimeError("server never printed READY")
+    line = proc.stdout.readline().strip()
+    ready_ms = (time.perf_counter() - started) * 1000.0
+    if not line.startswith("READY "):
+        proc.kill()
+        raise RuntimeError(f"unexpected first line: {line!r}")
+    _, host, port = line.split()
+    return proc, host, int(port), ready_ms
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=30)
+    if proc.stdout is not None:
+        proc.stdout.close()
+
+
+async def _client(host, port, requests, latencies, errors):
+    """One connection issuing its share of the workload, timing each."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for request in requests:
+            started = time.perf_counter()
+            writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), 30.0)
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            response = json.loads(line)
+            if not response.get("ok"):
+                code = response["error"]["code"]
+                errors[code] = errors.get(code, 0) + 1
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+async def _run_load(host, port, workloads):
+    latencies: list[float] = []
+    errors: dict[str, int] = {}
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(_client(host, port, work, latencies, errors) for work in workloads)
+    )
+    seconds = time.perf_counter() - started
+    return latencies, errors, seconds
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def throughput_phase(smoke: bool) -> dict:
+    """Sustained mixed ingest/query load against a healthy server."""
+    total = 2_000 if smoke else 20_000
+    connections = 8
+    batch = 32
+    with tempfile.TemporaryDirectory() as tmp:
+        proc, host, port, _ = start_server("--checkpoint-dir", tmp, "--seed", "1")
+        try:
+            workloads = []
+            for connection_id in range(connections):
+                requests = []
+                for i in range(total // connections):
+                    if i % 5 == 4:
+                        requests.append(
+                            {"op": "query_many",
+                             "tenant": f"t{connection_id % 4}",
+                             "phis": [0.5, 0.99]}
+                        )
+                    else:
+                        base = float(i * batch)
+                        requests.append(
+                            {"op": "ingest", "tenant": f"t{connection_id % 4}",
+                             "values": [base + j for j in range(batch)]}
+                        )
+                workloads.append(requests)
+            latencies, errors, seconds = asyncio.run(
+                _run_load(host, port, workloads)
+            )
+        finally:
+            stop_server(proc)
+    # The only tolerated error is no_data on a query racing the first
+    # ingest of its tenant; anything else is a bench failure.
+    unexpected = {code: n for code, n in errors.items() if code != "no_data"}
+    if unexpected:
+        raise RuntimeError(f"unexpected errors under load: {unexpected}")
+    return {
+        "requests": len(latencies),
+        "req_per_s": len(latencies) / seconds,
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+    }
+
+
+def overload_phase(smoke: bool) -> dict:
+    """Offer far more concurrency than the server admits; count sheds."""
+    connections = 64
+    per_connection = 8 if smoke else 40
+    with tempfile.TemporaryDirectory() as tmp:
+        proc, host, port, _ = start_server(
+            "--checkpoint-dir", tmp, "--seed", "2", "--max-inflight", "4"
+        )
+        try:
+            workloads = [
+                [
+                    {"op": "ingest", "tenant": "hot",
+                     "values": [float(i)], "id": i}
+                    for i in range(per_connection)
+                ]
+                for _ in range(connections)
+            ]
+            latencies, errors, _seconds = asyncio.run(
+                _run_load(host, port, workloads)
+            )
+        finally:
+            stop_server(proc)
+    total = len(latencies)
+    shed = errors.get("overloaded", 0)
+    unexpected = {
+        code: n for code, n in errors.items() if code != "overloaded"
+    }
+    if unexpected:
+        raise RuntimeError(f"unexpected errors under overload: {unexpected}")
+    if total != connections * per_connection:
+        raise RuntimeError("a request went unanswered under overload")
+    return {
+        "offered": total,
+        "shed": shed,
+        "shed_rate": shed / total,
+        "answered_rate": 1.0,  # every request got an explicit response
+    }
+
+
+def recovery_phase(smoke: bool) -> dict:
+    """Populate, SIGKILL, restart: recovery time and bit-identical reads."""
+    values_n = 2_000 if smoke else 50_000
+    with tempfile.TemporaryDirectory() as tmp:
+        proc, host, port, _ = start_server("--checkpoint-dir", tmp, "--seed", "3")
+        try:
+            requests = [
+                {"op": "ingest", "tenant": "t",
+                 "values": [float(i) for i in range(start, start + 500)]}
+                for start in range(0, values_n, 500)
+            ]
+            requests.append({"op": "snapshot", "tenant": "t", "persist": True})
+            requests.append(
+                {"op": "query_many", "tenant": "t", "phis": PHIS}
+            )
+            latencies, errors, _ = asyncio.run(
+                _run_load(host, port, [requests])
+            )
+            if errors:
+                raise RuntimeError(f"recovery prep failed: {errors}")
+            before = _query_once(host, port)
+            proc.kill()  # SIGKILL: the crash the checkpoint chain survives
+            proc.wait(timeout=30)
+        finally:
+            stop_server(proc)
+
+        proc2, host2, port2, ready_ms = start_server(
+            "--checkpoint-dir", tmp, "--seed", "3"
+        )
+        try:
+            after = _query_once(host2, port2)
+        finally:
+            stop_server(proc2)
+    if after != before:
+        raise RuntimeError(
+            f"restart was not bit-identical: {before} != {after}"
+        )
+    return {
+        "elements": values_n,
+        "recovery_ms": ready_ms,
+        "bit_identical": True,
+    }
+
+
+def _query_once(host: str, port: int) -> list[float]:
+    async def go():
+        latencies: list[float] = []
+        errors: dict[str, int] = {}
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                json.dumps(
+                    {"op": "query_many", "tenant": "t", "phis": PHIS}
+                ).encode() + b"\n"
+            )
+            await writer.drain()
+            response = json.loads(await asyncio.wait_for(reader.readline(), 30.0))
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        if not response.get("ok"):
+            raise RuntimeError(f"query failed: {response}")
+        del latencies, errors
+        return response["quantiles"]
+
+    return asyncio.run(go())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_service.json"),
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "smoke": args.smoke,
+        "throughput": throughput_phase(args.smoke),
+        "overload": overload_phase(args.smoke),
+        "recovery": recovery_phase(args.smoke),
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

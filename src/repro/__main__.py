@@ -171,6 +171,10 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered passes and their finding codes, then exit",
     )
+
+    from repro.service.runner import add_serve_parser
+
+    add_serve_parser(sub)
     return parser
 
 
@@ -448,6 +452,13 @@ def _cmd_histogram_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Delegate to the service runner (signal handling lives there)."""
+    from repro.service.runner import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     """Delegate to the replint CLI (same engine, same exit codes)."""
     from repro.analysis.__main__ import main as analysis_main
@@ -472,6 +483,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "plan": _cmd_plan,
         "histogram": _cmd_histogram,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

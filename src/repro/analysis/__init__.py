@@ -23,6 +23,9 @@ Passes (see each module's docstring for codes and rationale):
 * ``spawn-safety`` — plain data only across process boundaries.
 * ``float-discipline`` — no float equality; central NaN gate.
 * ``api-hygiene`` — declared ``__all__``; imports flow down layers.
+* ``buffer-arena`` — resident elements live in the columnar arena.
+* ``service-hygiene`` — serving-tier awaits are bounded by timeouts;
+  handler failures map to protocol responses, never silence.
 
 Per-pass configuration lives in ``[tool.replint]`` in pyproject.toml;
 line-level escapes are ``# replint: disable=<pass> -- <justification>``

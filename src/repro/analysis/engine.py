@@ -351,6 +351,7 @@ def registered_passes() -> dict[str, Pass]:
         determinism,
         floats,
         hygiene,
+        service,
         spawnsafe,
     )
 

@@ -55,6 +55,7 @@ class ApiHygienePass(Pass):
             ["repro.baselines", "repro.persist", "repro.db", "repro.audit"],
             ["repro.runtime"],
             ["repro.cluster"],
+            ["repro.service"],
         ],
     }
 

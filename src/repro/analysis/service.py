@@ -1,0 +1,171 @@
+"""replint pass ``service-hygiene``: the serving tier fails loudly.
+
+The service's robustness story rests on two disciplines that decay
+silently without a machine check:
+
+* **every network/queue await is bounded** — an unbounded
+  ``await reader.readline()`` or ``await queue.get()`` is a handler a
+  slow or dead peer can wedge forever, which turns one bad client into
+  a server-wide outage; every such await must run under an explicit
+  timeout (``asyncio.wait_for(...)`` or an ``async with
+  asyncio.timeout(...)`` block);
+* **every failure maps to a protocol response** — a bare ``except:`` or
+  a swallow-and-continue handler converts a failure the client must see
+  (an explicit error code, a shed, a degraded answer) into a silent
+  wrong behaviour, the one outcome the chaos suite exists to forbid.
+
+Codes:
+
+* ``RPL601`` — an ``await`` directly on a blocking network/queue method
+  with no timeout wrapper.
+* ``RPL602`` — a bare ``except:`` clause; name the failures you handle.
+* ``RPL603`` — an exception handler whose whole body is ``pass`` (or
+  ``...``): the failure is swallowed with no response, log, or metric.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.analysis.engine import Finding, Pass, SourceModule, register
+
+__all__ = ["ServiceHygienePass"]
+
+#: Awaited attribute calls that block on a peer, a queue, or a socket.
+_RISKY_METHODS = [
+    "accept",
+    "connect",
+    "drain",
+    "get",
+    "join",
+    "put",
+    "read",
+    "readexactly",
+    "readline",
+    "readuntil",
+    "recv",
+    "sendall",
+    "wait_closed",
+]
+
+#: Callables that bound an await with an explicit timeout.
+_TIMEOUT_WRAPPERS = ["asyncio.wait_for"]
+
+#: Async context managers that bound every await inside their block.
+_TIMEOUT_SCOPES = ["asyncio.timeout", "asyncio.timeout_at"]
+
+
+@register
+class ServiceHygienePass(Pass):
+    """Bounded awaits and explicit failure mapping in the serving tier."""
+
+    name = "service-hygiene"
+    codes = {
+        "RPL601": "network/queue await without an explicit timeout",
+        "RPL602": "bare except in a request/ingest path",
+        "RPL603": "exception handler swallows the failure silently",
+    }
+    default_options: dict[str, Any] = {
+        "packages": ["repro.service"],
+        "risky-methods": list(_RISKY_METHODS),
+        "timeout-wrappers": list(_TIMEOUT_WRAPPERS),
+        "timeout-scopes": list(_TIMEOUT_SCOPES),
+    }
+
+    def check(
+        self, module: SourceModule, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        risky = frozenset(str(m) for m in options.get("risky-methods", ()))
+        scopes = frozenset(str(s) for s in options.get("timeout-scopes", ()))
+        bounded = self._timeout_scope_spans(module, scopes)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Await):
+                yield from self._check_await(module, node, risky, bounded)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+
+    # -- RPL601 --------------------------------------------------------
+
+    def _timeout_scope_spans(
+        self, module: SourceModule, scopes: frozenset[str]
+    ) -> list[tuple[int, int]]:
+        """Line spans of ``async with asyncio.timeout(...)`` blocks."""
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncWith):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Call)
+                    and module.resolve(expr.func) in scopes
+                ):
+                    spans.append((node.lineno, node.end_lineno or node.lineno))
+                    break
+        return spans
+
+    def _check_await(
+        self,
+        module: SourceModule,
+        node: ast.Await,
+        risky: frozenset[str],
+        bounded: list[tuple[int, int]],
+    ) -> Iterator[Finding]:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in risky:
+            return
+        if any(start <= node.lineno <= end for start, end in bounded):
+            return
+        yield Finding(
+            module.rel,
+            node.lineno,
+            node.col_offset + 1,
+            "RPL601",
+            self.name,
+            f"`await ...{func.attr}()` has no timeout: a dead peer or a "
+            "stuck queue wedges this handler forever; wrap it in "
+            "asyncio.wait_for(..., timeout=...) or an "
+            "`async with asyncio.timeout(...)` block",
+        )
+
+    # -- RPL602 / RPL603 ----------------------------------------------
+
+    def _check_handler(
+        self, module: SourceModule, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield Finding(
+                module.rel,
+                node.lineno,
+                node.col_offset + 1,
+                "RPL602",
+                self.name,
+                "bare `except:` catches SystemExit/KeyboardInterrupt and "
+                "hides unknown failures from the client; name the "
+                "exception types this path actually handles",
+            )
+        if all(self._is_silent(stmt) for stmt in node.body):
+            yield Finding(
+                module.rel,
+                node.lineno,
+                node.col_offset + 1,
+                "RPL603",
+                self.name,
+                "exception handler swallows the failure silently; map it "
+                "to a protocol error response, a metric, or re-raise",
+            )
+
+    @staticmethod
+    def _is_silent(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )

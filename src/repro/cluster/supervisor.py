@@ -33,6 +33,7 @@ import math
 import multiprocessing
 import os
 import random
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -285,12 +286,31 @@ class ShardSupervisor:
         delivered: dict[int, EstimatorSnapshot] = {}
         delivered_n: dict[int, int] = {}
         pending = list(range(self._num_shards))
+        # ``timeout`` is the caller's budget for the WHOLE supervised run,
+        # retries and backoffs included — not a per-round allowance that
+        # every retry renews.  Each round (and each backoff before it)
+        # runs under whatever remains of the overall deadline.
+        overall_deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+
+        def remaining_budget() -> float | None:
+            if overall_deadline is None:
+                return None
+            return overall_deadline - time.monotonic()
+
         for attempt in range(1, self._max_ship_attempts + 1):
             if not pending:
                 break
             if attempt > 1:
-                self._backoff(attempt)
+                remaining = remaining_budget()
+                if remaining is not None and remaining <= 0:
+                    break  # budget spent: surrender the pending shards
+                self._backoff(attempt, max_delay=remaining)
                 self.stats.restarts += len(pending)
+            remaining = remaining_budget()
+            if remaining is not None and remaining <= 0:
+                break
             fail_after: dict[int, int] = {}
             for shard_id in pending:
                 planned = self._faults.crash_at.get(shard_id)
@@ -298,7 +318,7 @@ class ShardSupervisor:
                     shard_id, planned
                 ):
                     fail_after[shard_id] = planned
-            round_delivered, _lost, _seconds = run_file_shards(
+            round_delivered, _lost, _leaked, _seconds = run_file_shards(
                 path,
                 ranges,
                 pending,
@@ -308,7 +328,7 @@ class ShardSupervisor:
                 master_seed=self._pool_seed,
                 start_method=method,
                 chunk_values=chunk_values,
-                timeout=timeout,
+                timeout=remaining,
                 fail_after=fail_after,
             )
             for shard_id, (snapshot, n, _bytes, _secs) in round_delivered.items():
@@ -436,10 +456,19 @@ class ShardSupervisor:
             )
         return None
 
-    def _backoff(self, attempt: int) -> None:
-        """Exponential backoff with jitter; bounded by ``backoff_cap``."""
+    def _backoff(self, attempt: int, max_delay: float | None = None) -> None:
+        """Exponential backoff with jitter; bounded by ``backoff_cap``.
+
+        ``max_delay`` additionally clamps the delay to a caller's
+        remaining overall budget, so a retry round never sleeps past the
+        deadline it is retrying under.  The jitter draw happens before
+        the clamp, so clamped and unclamped runs consume the RNG
+        identically.
+        """
         delay = min(self._backoff_cap, self._backoff_base * math.pow(2.0, attempt - 1))
         delay *= 0.5 + 0.5 * self._jitter_rng.random()
+        if max_delay is not None:
+            delay = min(delay, max(0.0, max_delay))
         self.stats.backoff_seconds += delay
         if self._sleep is not None:
             self._sleep(delay)

@@ -64,6 +64,9 @@ __all__ = [
     "loads",
     "save_checkpoint",
     "load_checkpoint",
+    "save_checkpoint_rotating",
+    "load_checkpoint_rotating",
+    "checkpoint_generations",
 ]
 
 #: 8-byte file signature; never reused across incompatible layouts.
@@ -361,3 +364,78 @@ def load_checkpoint(path: str | os.PathLike[str]) -> Any:
     """Read and verify a checkpoint file; raises the typed errors on damage."""
     with open(path, "rb") as handle:
         return loads(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Generation-keeping rotation
+# ----------------------------------------------------------------------
+#
+# A single atomic file survives a crash *during* a write, but not a write
+# that completes and is then damaged (torn by the media, truncated by an
+# operator, half-synced by a dying disk).  The serving tier therefore
+# keeps the previous ``keep - 1`` generations next to the live file:
+# ``path`` is generation 0, ``path.1`` the one before it, and so on.
+# Restore walks the chain and uses the newest generation whose frame
+# still verifies, so one bad frame costs one checkpoint interval of
+# state, never the whole tenant.
+
+def checkpoint_generations(
+    path: str | os.PathLike[str], keep: int = 2
+) -> list[str]:
+    """The on-disk generation chain for ``path``, newest first.
+
+    Index 0 is the live checkpoint itself; index ``g`` is the file the
+    ``g``-th previous :func:`save_checkpoint_rotating` left behind.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    path = os.fspath(path)
+    return [path] + [f"{path}.{gen}" for gen in range(1, keep)]
+
+
+def save_checkpoint_rotating(
+    obj: Any, path: str | os.PathLike[str], keep: int = 2
+) -> None:
+    """Atomically write a checkpoint, keeping ``keep - 1`` prior generations.
+
+    Existing generations are shifted (``path`` becomes ``path.1``, which
+    becomes ``path.2``, ...) before the new frame is written atomically
+    to ``path``.  Every shift is an ``os.replace``, so a crash at any
+    instant leaves a chain whose surviving entries are each either a
+    complete old frame or a complete new one; a reader that walks the
+    chain with :func:`load_checkpoint_rotating` always finds the newest
+    verifiable generation.
+    """
+    chain = checkpoint_generations(path, keep)
+    for older, newer in zip(chain[-1:0:-1], chain[-2::-1]):
+        if os.path.exists(newer):
+            os.replace(newer, older)
+    save_checkpoint(obj, chain[0])
+
+
+def load_checkpoint_rotating(
+    path: str | os.PathLike[str], keep: int = 2
+) -> tuple[Any, int]:
+    """Restore from the newest verifiable generation of a rotated chain.
+
+    Returns ``(object, generation)`` where generation 0 is the live file
+    and higher numbers are successively older fallbacks.  A generation
+    that is missing, torn, or version-incompatible is skipped; when no
+    generation verifies, the error of the *newest* damaged one is
+    re-raised (or :class:`FileNotFoundError` when the chain is empty),
+    so the caller sees why the most recent state was unusable.
+    """
+    first_error: Exception | None = None
+    for generation, candidate in enumerate(checkpoint_generations(path, keep)):
+        try:
+            return load_checkpoint(candidate), generation
+        except FileNotFoundError:
+            continue
+        except (CheckpointCorruptError, CheckpointVersionError) as exc:
+            if first_error is None:
+                first_error = exc
+    if first_error is not None:
+        raise first_error
+    raise FileNotFoundError(
+        f"no checkpoint generation exists for {os.fspath(path)!r}"
+    )

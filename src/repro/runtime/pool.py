@@ -80,24 +80,43 @@ _QUEUE_DEPTH = 4
 #: Seconds between liveness sweeps while waiting on worker results.
 _POLL_SECONDS = 0.1
 
+#: Seconds granted to each stage of the shutdown escalation
+#: (join -> terminate -> kill); module-level so tests can shrink it.
+_JOIN_SECONDS = 5.0
+
 
 class PoolWorkerError(RuntimeError):
     """A strict-mode pool lost one or more workers.
 
     Carries the lost worker ids and their exit codes so callers can
-    distinguish an injected fault from an OOM kill from a bug.
+    distinguish an injected fault from an OOM kill from a bug, plus any
+    workers that had to be escalated past SIGTERM at shutdown
+    (``leaked``: worker id -> what it took to reap them).
     """
 
-    def __init__(self, lost: dict[int, int | None]) -> None:
+    def __init__(
+        self,
+        lost: dict[int, int | None],
+        leaked: dict[int, str] | None = None,
+    ) -> None:
         self.lost = dict(lost)
+        self.leaked = dict(leaked or {})
         codes = ", ".join(
             f"worker {wid} (exit code {code})" for wid, code in sorted(lost.items())
         )
-        super().__init__(
-            f"{len(lost)} pool worker(s) died without shipping a snapshot: "
-            f"{codes}; pass strict=False to merge the survivors into a "
-            "partial answer with a MergeReport"
+        message = (
+            f"{len(self.lost)} pool worker(s) died without shipping a "
+            f"snapshot: {codes}; pass strict=False to merge the survivors "
+            "into a partial answer with a MergeReport"
+            if self.lost
+            else "pool shutdown had to escalate past SIGTERM"
         )
+        if self.leaked:
+            details = "; ".join(
+                f"worker {wid}: {what}" for wid, what in sorted(self.leaked.items())
+            )
+            message += f" [shutdown escalation: {details}]"
+        super().__init__(message)
 
 
 def seed_for_worker(seed: int, worker_id: int) -> int:
@@ -332,19 +351,57 @@ def _resolve(
     return plan, policy_name, backend_name, seed, method
 
 
+def _reap(procs: dict[int, mp.process.BaseProcess]) -> dict[int, str]:
+    """Join every worker, escalating join -> SIGTERM -> SIGKILL.
+
+    A worker that outlives the polite ``join`` is terminated; one that
+    ignores SIGTERM (a wedged queue feeder, a signal handler installed
+    by user code) is killed — the pool never leaves a zombie behind.
+    Returns ``{worker_id: what_it_took}`` for every worker that needed
+    escalation past the plain join, so callers can surface the leak in
+    :class:`PoolWorkerError` instead of hiding it.
+    """
+    leaked: dict[int, str] = {}
+    for worker_id, process in sorted(procs.items()):
+        process.join(timeout=_JOIN_SECONDS)
+        if not process.is_alive():
+            continue
+        process.terminate()
+        process.join(timeout=_JOIN_SECONDS)
+        if not process.is_alive():
+            leaked[worker_id] = (
+                f"outlived join({_JOIN_SECONDS:g}s); reaped by SIGTERM"
+            )
+            continue
+        process.kill()
+        process.join(timeout=_JOIN_SECONDS)
+        if process.is_alive():  # pragma: no cover - kernel-level wedge
+            leaked[worker_id] = (
+                f"pid {process.pid} survived SIGKILL; process leaked"
+            )
+        else:
+            leaked[worker_id] = "ignored SIGTERM; reaped by SIGKILL"
+    return leaked
+
+
 def _collect(
     procs: dict[int, mp.process.BaseProcess],
     result_queue: Any,
     timeout: float | None,
-) -> tuple[dict[int, tuple[bytes, int, float]], dict[int, int | None]]:
+) -> tuple[
+    dict[int, tuple[bytes, int, float]],
+    dict[int, int | None],
+    dict[int, str],
+]:
     """Wait for every worker to ship or die; never hang on a corpse.
 
-    Returns ``(results, lost)`` where ``results[wid] = (frame, n,
-    seconds)`` and ``lost[wid]`` is the exit code of a worker that died
-    without shipping.  A worker that exited cleanly is only considered
-    delivered once its queued result has been drained (the queue feeder
-    flushes before exit, so the data always arrives); a non-zero exit
-    code reaps the worker immediately.
+    Returns ``(results, lost, leaked)`` where ``results[wid] = (frame,
+    n, seconds)``, ``lost[wid]`` is the exit code of a worker that died
+    without shipping, and ``leaked`` records workers whose shutdown had
+    to escalate past a plain join (see :func:`_reap`).  A worker that
+    exited cleanly is only considered delivered once its queued result
+    has been drained (the queue feeder flushes before exit, so the data
+    always arrives); a non-zero exit code reaps the worker immediately.
     """
     deadline = None if timeout is None else time.monotonic() + timeout
     results: dict[int, tuple[bytes, int, float]] = {}
@@ -367,12 +424,8 @@ def _collect(
         else:
             results[worker_id] = (frame, n, seconds)
             pending.discard(worker_id)
-    for process in procs.values():
-        process.join(timeout=5)
-        if process.is_alive():  # pragma: no cover - defensive
-            process.terminate()
-            process.join(timeout=5)
-    return results, lost
+    leaked = _reap(procs)
+    return results, lost, leaked
 
 
 def _load_snapshots(
@@ -413,14 +466,15 @@ def _merge_pool(
     expected_n: int,
     start_method: str,
     ingest_seconds: float,
+    leaked: dict[int, str] | None = None,
 ) -> PoolResult:
     """Coordinator merge + result assembly shared by both drivers."""
     if lost and strict:
-        raise PoolWorkerError(lost)
+        raise PoolWorkerError(lost, leaked)
     if lost and not any(snap is not None and snap.n > 0 for snap in snapshots):
         # Degraded mode can survive lost shards, but not losing them all:
         # with no surviving data there is no partial answer to give.
-        raise PoolWorkerError(lost)
+        raise PoolWorkerError(lost, leaked)
     merge_started = time.perf_counter()
     summary = merge_snapshots(
         snapshots,
@@ -466,6 +520,7 @@ def run_file_shards(
 ) -> tuple[
     dict[int, tuple[EstimatorSnapshot, int, int, float]],
     dict[int, int | None],
+    dict[int, str],
     float,
 ]:
     """One attempt at a set of byte-range workers; no merging, no policy.
@@ -476,10 +531,11 @@ def run_file_shards(
     fresh process under the *same* derived seed, so a retried shard's
     snapshot is bit-identical to one that never failed).
 
-    Returns ``(delivered, lost, seconds)`` where ``delivered[wid] =
-    (snapshot, n, shipped_bytes, ingest_seconds)`` and ``lost[wid]`` is
-    the exit code of a worker that died without shipping a verifiable
-    frame.
+    Returns ``(delivered, lost, leaked, seconds)`` where
+    ``delivered[wid] = (snapshot, n, shipped_bytes, ingest_seconds)``,
+    ``lost[wid]`` is the exit code of a worker that died without
+    shipping a verifiable frame, and ``leaked`` records workers whose
+    shutdown had to escalate past a plain join (see :func:`_reap`).
     """
     ctx = mp.get_context(start_method)
     result_queue = ctx.Queue()
@@ -506,7 +562,7 @@ def run_file_shards(
         )
         process.start()
         procs[wid] = process
-    results, lost = _collect(procs, result_queue, timeout)
+    results, lost, leaked = _collect(procs, result_queue, timeout)
     seconds = time.perf_counter() - started
     result_queue.close()
     delivered: dict[int, tuple[EstimatorSnapshot, int, int, float]] = {}
@@ -517,7 +573,7 @@ def run_file_shards(
             lost[wid] = None  # corrupt frame: the shard is lost, not trusted
             continue
         delivered[wid] = (snapshot, n, len(frame), secs)
-    return delivered, lost, seconds
+    return delivered, lost, leaked, seconds
 
 
 def run_pool_on_file(
@@ -559,7 +615,7 @@ def run_pool_on_file(
     )
     expected_n = count_floats(path)
     ranges = plan_byte_ranges(path, num_workers)
-    delivered, lost, ingest_seconds = run_file_shards(
+    delivered, lost, leaked, ingest_seconds = run_file_shards(
         path,
         ranges,
         range(num_workers),
@@ -593,6 +649,7 @@ def run_pool_on_file(
         expected_n=expected_n,
         start_method=method,
         ingest_seconds=ingest_seconds,
+        leaked=leaked,
     )
 
 
@@ -698,7 +755,7 @@ def run_pool_on_stream(
         result_queue.close()
         result_queue.cancel_join_thread()
         raise
-    results, lost = _collect(procs, result_queue, timeout)
+    results, lost, leaked = _collect(procs, result_queue, timeout)
     ingest_seconds = time.perf_counter() - started
     result_queue.close()
     for chunk_queue in chunk_queues:
@@ -716,4 +773,5 @@ def run_pool_on_stream(
         expected_n=dispatched,
         start_method=method,
         ingest_seconds=ingest_seconds,
+        leaked=leaked,
     )

@@ -1,0 +1,72 @@
+"""The resilient quantile-service runtime (the serving tier).
+
+A stdlib-only asyncio front end over the MRL99 estimators: multi-tenant
+keyed sketches behind a line/JSON protocol (plus a minimal HTTP/1.1
+shim), with the robustness machinery the rest of the repo's components
+plug into — admission control with explicit load-shedding, per-request
+deadlines that propagate into merge/query work, per-tenant circuit
+breakers that degrade reads to the last good checkpoint instead of
+failing them, graceful-shutdown checkpoint flushes, bit-identical boot
+recovery over rotating checkpoint generations, and deterministic chaos
+injection for testing all of the above.
+
+Start one from the CLI (``repro serve --checkpoint-dir state/``) or in
+process::
+
+    from repro.service import QuantileService, ServiceConfig
+
+    service = QuantileService(ServiceConfig(checkpoint_dir="state"))
+    host, port = await service.start()
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    Overloaded,
+)
+from repro.service.chaos import CHAOS_EXIT_CODE, ChaosCrash, ChaosPlan
+from repro.service.metrics import MetricRegistry
+from repro.service.protocol import (
+    ERROR_CODES,
+    OPS,
+    ProtocolError,
+    Request,
+)
+from repro.service.server import (
+    IngestApplyError,
+    QuantileService,
+    ServiceConfig,
+    ShuttingDown,
+)
+from repro.service.tenants import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RecoveryReport,
+    TenantRegistry,
+    TenantState,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CHAOS_EXIT_CODE",
+    "ChaosCrash",
+    "ChaosPlan",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "ERROR_CODES",
+    "IngestApplyError",
+    "MetricRegistry",
+    "OPS",
+    "Overloaded",
+    "ProtocolError",
+    "QuantileService",
+    "RecoveryReport",
+    "Request",
+    "ServiceConfig",
+    "ShuttingDown",
+    "TenantRegistry",
+    "TenantState",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — run the quantile service directly."""
+
+from repro.service.runner import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

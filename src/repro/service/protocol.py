@@ -1,0 +1,313 @@
+"""The wire surface of the quantile service: framing, codes, responses.
+
+Two encodings share one request vocabulary:
+
+* **Line/JSON** (the native protocol): every request is a single JSON
+  object on its own line; every response is a single JSON object on its
+  own line.  A request names its ``op`` and, for tenant-scoped ops, the
+  ``tenant``; ``id`` is echoed verbatim so clients can pipeline;
+  ``deadline_ms`` is the caller's end-to-end budget, which the server
+  propagates into queueing, merging, and query work.
+* **HTTP/1.1 shim**: a minimal GET/POST mapping onto the same ops so
+  ``curl`` and load balancers can speak to the service without a client
+  library.  The shim is deliberately small — one request per connection,
+  ``Connection: close`` — because the line protocol is the real surface.
+
+Every failure is *explicit*: the server never silently drops a request.
+Failures map to one error code from :data:`ERROR_CODES` (and, through
+the shim, to the analogous HTTP status — ``overloaded`` is 429 with a
+``Retry-After`` hint, ``deadline_exceeded`` is 504, and so on).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "ERROR_CODES",
+    "HTTP_STATUS",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ProtocolError",
+    "Request",
+    "encode_http_response",
+    "encode_response",
+    "error_response",
+    "http_request_to_request",
+    "is_http_preamble",
+    "ok_response",
+    "parse_line",
+]
+
+#: Operations the service understands.
+OPS = frozenset(
+    {
+        "ingest",
+        "query_many",
+        "inverse_quantile",
+        "snapshot",
+        "health",
+        "ready",
+        "metrics",
+    }
+)
+
+#: Error codes a response may carry; the service emits nothing else.
+ERROR_CODES = frozenset(
+    {
+        "bad_request",  # malformed frame, unknown op, invalid arguments
+        "unknown_tenant",  # tenant-scoped read for a tenant that has no data
+        "overloaded",  # admission control shed the request (429-style)
+        "deadline_exceeded",  # the caller's budget ran out mid-flight
+        "ingest_failed",  # the batch was rejected (NaN, injected fault)
+        "circuit_open",  # the tenant's ingest path is tripped; reads degrade
+        "degraded_unavailable",  # degraded mode has no fallback snapshot yet
+        "no_data",  # the tenant exists but holds zero elements
+        "shutting_down",  # graceful shutdown in progress
+        "internal",  # handler exception, mapped — never swallowed
+    }
+)
+
+#: HTTP status the shim uses per error code.
+HTTP_STATUS = {
+    "bad_request": 400,
+    "unknown_tenant": 404,
+    "no_data": 404,
+    "overloaded": 429,
+    "deadline_exceeded": 504,
+    "ingest_failed": 422,
+    "circuit_open": 503,
+    "degraded_unavailable": 503,
+    "shutting_down": 503,
+    "internal": 500,
+}
+
+#: Upper bound on one request line; longer frames are a protocol error
+#: (a bound keeps one client from ballooning server memory).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ", b"OPTIONS ")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """A request the server cannot act on, with its response error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One decoded request, whichever encoding it arrived in."""
+
+    op: str
+    tenant: str | None = None
+    request_id: Any = None
+    deadline_ms: float | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+def parse_line(raw: bytes) -> Request:
+    """Decode one line-protocol request; raises :class:`ProtocolError`."""
+    if len(raw) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "bad_request", f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            "bad_request", f"request is not a JSON object: {exc}"
+        ) from exc
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            "bad_request", f"request must be a JSON object, got {type(body).__name__}"
+        )
+    op = body.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(
+            "bad_request",
+            f"unknown op {op!r}; expected one of {sorted(OPS)}",
+        )
+    tenant = body.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        raise ProtocolError("bad_request", "tenant must be a string")
+    deadline_ms = body.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ) or deadline_ms <= 0:
+            raise ProtocolError(
+                "bad_request", f"deadline_ms must be a positive number, got "
+                f"{deadline_ms!r}"
+            )
+        deadline_ms = float(deadline_ms)
+    args = {
+        key: value
+        for key, value in body.items()
+        if key not in ("op", "tenant", "id", "deadline_ms")
+    }
+    return Request(
+        op=op,
+        tenant=tenant,
+        request_id=body.get("id"),
+        deadline_ms=deadline_ms,
+        args=args,
+    )
+
+
+def ok_response(request_id: Any, **body: Any) -> dict[str, Any]:
+    """The success envelope of one request."""
+    response: dict[str, Any] = {"ok": True}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(body)
+    return response
+
+
+def error_response(
+    request_id: Any, code: str, message: str, **extra: Any
+) -> dict[str, Any]:
+    """The explicit-failure envelope; ``code`` is from :data:`ERROR_CODES`."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    response: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message, **extra},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def encode_response(response: dict[str, Any]) -> bytes:
+    """One response object as one line of UTF-8 JSON (newline included)."""
+    return json.dumps(response, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+# ----------------------------------------------------------------------
+# HTTP/1.1 shim
+# ----------------------------------------------------------------------
+
+def is_http_preamble(first_line: bytes) -> bool:
+    """Whether the first bytes of a connection look like an HTTP request."""
+    return first_line.startswith(_HTTP_METHODS)
+
+
+def _query_args(query: str) -> dict[str, list[str]]:
+    args: dict[str, list[str]] = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        args.setdefault(key, []).append(value)
+    return args
+
+
+def _float_arg(args: dict[str, list[str]], name: str) -> float | None:
+    values = args.get(name)
+    if not values:
+        return None
+    try:
+        return float(values[-1])
+    except ValueError as exc:
+        raise ProtocolError(
+            "bad_request", f"query parameter {name}={values[-1]!r} is not a number"
+        ) from exc
+
+
+def http_request_to_request(
+    method: str, target: str, body: bytes
+) -> Request:
+    """Map one shim HTTP request onto the shared :class:`Request` form.
+
+    Routes: ``GET /health``, ``GET /ready``, ``GET /metrics``,
+    ``GET /query?tenant=T&phi=0.5&phi=0.99``,
+    ``GET /inverse?tenant=T&value=3.2``, ``GET /snapshot?tenant=T``,
+    ``POST /ingest?tenant=T`` with a JSON body ``{"values": [...]}``.
+    """
+    parts = urlsplit(target)
+    route = parts.path.rstrip("/") or "/"
+    args = _query_args(parts.query)
+    tenant = args["tenant"][-1] if "tenant" in args else None
+    deadline_ms = _float_arg(args, "deadline_ms")
+    if method == "GET":
+        if route == "/health":
+            return Request(op="health", deadline_ms=deadline_ms)
+        if route == "/ready":
+            return Request(op="ready", deadline_ms=deadline_ms)
+        if route == "/metrics":
+            return Request(op="metrics", deadline_ms=deadline_ms)
+        if route == "/query":
+            phis = [float(raw) for raw in args.get("phi", ())]
+            return Request(
+                op="query_many",
+                tenant=tenant,
+                deadline_ms=deadline_ms,
+                args={"phis": phis},
+            )
+        if route == "/inverse":
+            return Request(
+                op="inverse_quantile",
+                tenant=tenant,
+                deadline_ms=deadline_ms,
+                args={"value": _float_arg(args, "value")},
+            )
+        if route == "/snapshot":
+            persist = args.get("persist", ["0"])[-1] not in ("0", "", "false")
+            return Request(
+                op="snapshot",
+                tenant=tenant,
+                deadline_ms=deadline_ms,
+                args={"persist": persist},
+            )
+        raise ProtocolError("bad_request", f"no route GET {route}")
+    if method == "POST":
+        if route == "/ingest":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    "bad_request", f"ingest body is not JSON: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise ProtocolError("bad_request", "ingest body must be an object")
+            return Request(
+                op="ingest",
+                tenant=tenant,
+                deadline_ms=deadline_ms,
+                args={"values": payload.get("values")},
+            )
+        raise ProtocolError("bad_request", f"no route POST {route}")
+    raise ProtocolError("bad_request", f"method {method} is not supported")
+
+
+def encode_http_response(
+    status: int, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    """One complete ``Connection: close`` HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    if status == 429:
+        head += "Retry-After: 1\r\n"
+    head += "Connection: close\r\n\r\n"
+    return head.encode("ascii") + body

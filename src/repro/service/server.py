@@ -1,0 +1,828 @@
+"""The resilient asyncio quantile service.
+
+One :class:`QuantileService` hosts many tenants' sketches behind the
+line/JSON protocol (plus the HTTP shim) of
+:mod:`repro.service.protocol`.  The robustness machinery is the point;
+each mechanism lives where it can be tested in isolation and is wired
+together here:
+
+* **admission control** (:mod:`repro.service.admission`): a global
+  in-flight cap plus bounded per-tenant ingest queues; a request that
+  does not fit is answered ``overloaded`` with a retry hint — the
+  server sheds load explicitly, never silently;
+* **deadlines**: every request carries a budget that is consulted
+  before queue admission, while awaiting the apply, and between
+  per-quantile units of query work, so work that cannot make its
+  deadline stops early;
+* **circuit breaker** (:class:`repro.service.tenants.CircuitBreaker`):
+  consecutive ingest-apply failures flip a tenant to degraded-read mode
+  — writes are rejected with ``circuit_open`` while reads are served
+  from the last good checkpoint snapshot through
+  ``merge_snapshots(strict=False)``, annotated with the coverage the
+  answer actually rests on;
+* **crash safety**: graceful shutdown (SIGTERM) drains the ingest
+  queues (bounded) and flushes every tenant through the rotating
+  checkpoint chain; boot recovery restores each tenant bit-identically
+  from the newest generation whose CRC frame verifies, falling back a
+  generation when the latest frame is torn;
+* **chaos** (:mod:`repro.service.chaos`): a deterministic fault script
+  can inject latency, connection resets, handler crashes, ingest-apply
+  failures, and mid-request process death — the test suite's proof that
+  every failure maps to an explicit response or a recoverable restart,
+  never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.parallel import merge_snapshots
+from repro.service.admission import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    Overloaded,
+)
+from repro.service.chaos import ChaosCrash, ChaosPlan
+from repro.service.metrics import MetricRegistry
+from repro.service.protocol import (
+    HTTP_STATUS,
+    ProtocolError,
+    Request,
+    encode_http_response,
+    encode_response,
+    error_response,
+    http_request_to_request,
+    is_http_preamble,
+    ok_response,
+    parse_line,
+)
+from repro.service.tenants import (
+    CircuitOpenError,
+    RecoveryReport,
+    TenantRegistry,
+    TenantState,
+)
+
+__all__ = ["IngestApplyError", "QuantileService", "ServiceConfig", "ShuttingDown"]
+
+#: Sentinel: abort the connection instead of writing a response.
+_RESET = object()
+
+#: Per-iteration timeout of a worker's queue poll; bounds how long a
+#: cancelled/draining worker can sit blocked on an empty queue.
+_WORKER_POLL_SECONDS = 0.5
+
+#: Timeout on socket writes/drains; a peer that stops reading cannot
+#: wedge a handler forever.
+_WRITE_TIMEOUT_SECONDS = 30.0
+
+#: Timeout on reading one HTTP header line / body.
+_HTTP_READ_TIMEOUT_SECONDS = 30.0
+
+#: Bound on a closing handshake.
+_CLOSE_TIMEOUT_SECONDS = 5.0
+
+
+class ShuttingDown(Exception):
+    """The server is draining; new work is explicitly refused."""
+
+
+class IngestApplyError(Exception):
+    """A batch failed to apply (NaN rejection, injected fault, ...)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tunable parameters of one :class:`QuantileService`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    checkpoint_dir: str | None = None
+    eps: float = 0.01
+    delta: float = 1e-4
+    seed: int = 0
+    backend: str | None = None
+    #: Pending batches allowed per tenant before ingest sheds.
+    queue_depth: int = 64
+    #: Values allowed in one ingest batch.
+    max_batch: int = 65_536
+    #: Concurrent requests allowed past the front door.
+    max_inflight: int = 256
+    #: Budget (seconds) for requests that carry no ``deadline_ms``.
+    default_deadline: float = 5.0
+    #: Per-connection idle read timeout (seconds).
+    idle_timeout: float = 300.0
+    #: Elements between automatic checkpoint flushes of one tenant.
+    checkpoint_interval: int = 50_000
+    #: Checkpoint generations kept per tenant (>= 1).
+    keep_generations: int = 2
+    #: Consecutive apply failures that trip a tenant's breaker.
+    breaker_threshold: int = 3
+    #: Rejected ingests before an open breaker admits a probe.
+    breaker_probe_after: int = 4
+    #: Bound (seconds) on draining ingest queues at graceful shutdown.
+    shutdown_drain: float = 5.0
+
+
+class QuantileService:
+    """A multi-tenant quantile sketch server on one asyncio event loop."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        chaos: ChaosPlan | None = None,
+        metrics: MetricRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.chaos = chaos
+        self.registry = TenantRegistry(
+            self.config.checkpoint_dir,
+            eps=self.config.eps,
+            delta=self.config.delta,
+            master_seed=self.config.seed,
+            backend=self.config.backend,
+            keep_generations=self.config.keep_generations,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_probe_after=self.config.breaker_probe_after,
+        )
+        self.recovery: RecoveryReport | None = None
+        self._admission = AdmissionController(self.config.max_inflight)
+        self._queues: dict[str, asyncio.Queue[tuple[list[float], asyncio.Future[int]]]] = {}
+        self._workers: dict[str, asyncio.Task[None]] = {}
+        self._connections: set[asyncio.Task[None]] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._request_seq = 0
+        self._ready = False
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._shutdown_started = False
+        self._started_at = time.monotonic()
+        self._handlers: dict[
+            str, Callable[[Request, Deadline], Awaitable[dict[str, Any]]]
+        ] = {
+            "ingest": self._op_ingest,
+            "query_many": self._op_query_many,
+            "inverse_quantile": self._op_inverse_quantile,
+            "snapshot": self._op_snapshot,
+            "health": self._op_health,
+            "ready": self._op_ready,
+            "metrics": self._op_metrics,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Recover tenants, bind the socket, report the bound address.
+
+        The service answers ``ready`` only after recovery has restored
+        every tenant found on disk, so a load balancer that gates on
+        readiness never routes to a half-recovered process.
+        """
+        recovery_started = time.perf_counter()
+        self.recovery = self.registry.restore_all()
+        recovery_ms = (time.perf_counter() - recovery_started) * 1000.0
+        self.metrics.gauge("recovery_ms").set(recovery_ms)
+        self.metrics.gauge("tenants_restored").set(len(self.recovery.restored))
+        self.metrics.gauge("tenants_fallback_generation").set(
+            len(self.recovery.fallbacks)
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._ready = True
+        self._started_at = time.monotonic()
+        return str(sockname[0]), int(sockname[1])
+
+    def request_shutdown(self) -> None:
+        """Signal-handler entry point: begin a graceful shutdown."""
+        if not self._shutdown_started:
+            asyncio.ensure_future(self.shutdown())
+
+    async def shutdown(self, *, flush: bool = True) -> None:
+        """Drain, flush checkpoints, close — the SIGTERM path.
+
+        New requests are refused with ``shutting_down`` the moment this
+        starts; queued ingest batches get ``shutdown_drain`` seconds to
+        apply; then every tenant is checkpointed through the rotating
+        chain so a subsequent boot recovers bit-identically.
+        """
+        if self._shutdown_started:
+            await self._stopped.wait()
+            return
+        self._shutdown_started = True
+        self._draining = True
+        self._ready = False
+        if self._server is not None:
+            self._server.close()
+        drain_deadline = time.monotonic() + self.config.shutdown_drain
+        while time.monotonic() < drain_deadline and any(
+            not queue.empty() for queue in self._queues.values()
+        ):
+            await asyncio.sleep(0.01)
+        for worker in self._workers.values():
+            worker.cancel()
+        if self._workers:
+            await asyncio.gather(
+                *self._workers.values(), return_exceptions=True
+            )
+        self._workers.clear()
+        if flush and self.registry.durable:
+            flushed = self.registry.flush_all()
+            self.metrics.counter("checkpoint_flushes_total").increment(
+                len(flushed)
+            )
+        for connection in list(self._connections):
+            connection.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        if self._server is not None:
+            await asyncio.wait_for(
+                self._server.wait_closed(), timeout=_CLOSE_TIMEOUT_SECONDS
+            )
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until a shutdown has fully completed."""
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.counter("connections_total").increment()
+        try:
+            while True:
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=self.config.idle_timeout
+                    )
+                except (TimeoutError, asyncio.TimeoutError, ConnectionError):
+                    return
+                if not line:
+                    return
+                if is_http_preamble(line):
+                    await self._handle_http(line, reader, writer)
+                    return
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                seq = self._next_seq()
+                try:
+                    request = parse_line(stripped)
+                except ProtocolError as exc:
+                    response: Any = error_response(None, exc.code, str(exc))
+                    self.metrics.counter("errors_total", code=exc.code).increment()
+                else:
+                    response = await self._handle_request(request, seq)
+                if response is _RESET:
+                    self._abort(writer)
+                    return
+                writer.write(encode_response(response))
+                try:
+                    await asyncio.wait_for(
+                        writer.drain(), timeout=_WRITE_TIMEOUT_SECONDS
+                    )
+                except (TimeoutError, asyncio.TimeoutError, ConnectionError):
+                    return
+        except asyncio.CancelledError:
+            # Shutdown closes the connection under the client; the
+            # client observes EOF, never a half-written frame.
+            raise
+        finally:
+            await self._close_writer(writer)
+
+    async def _handle_http(
+        self,
+        first_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        seq = self._next_seq()
+        try:
+            request = await self._read_http_request(first_line, reader)
+        except ProtocolError as exc:
+            self.metrics.counter("errors_total", code=exc.code).increment()
+            payload = error_response(None, exc.code, str(exc))
+            writer.write(
+                encode_http_response(
+                    HTTP_STATUS[exc.code], encode_response(payload)
+                )
+            )
+            with contextlib.suppress(TimeoutError, asyncio.TimeoutError, ConnectionError):
+                await asyncio.wait_for(
+                    writer.drain(), timeout=_WRITE_TIMEOUT_SECONDS
+                )
+            return
+        except (asyncio.IncompleteReadError, TimeoutError, asyncio.TimeoutError, ConnectionError):
+            return
+        response = await self._handle_request(request, seq)
+        if response is _RESET:
+            self._abort(writer)
+            return
+        assert isinstance(response, dict)
+        if request.op == "metrics" and response.get("ok"):
+            body = str(response.get("text", "")).encode("utf-8")
+            payload_bytes, status, content_type = body, 200, "text/plain"
+        else:
+            status = 200
+            if not response.get("ok"):
+                status = HTTP_STATUS[response["error"]["code"]]
+            elif request.op == "ready" and not response.get("ready"):
+                status = 503
+            payload_bytes, content_type = encode_response(response), "application/json"
+        writer.write(encode_http_response(status, payload_bytes, content_type))
+        with contextlib.suppress(TimeoutError, asyncio.TimeoutError, ConnectionError):
+            await asyncio.wait_for(writer.drain(), timeout=_WRITE_TIMEOUT_SECONDS)
+
+    async def _read_http_request(
+        self, first_line: bytes, reader: asyncio.StreamReader
+    ) -> Request:
+        try:
+            method, target, _version = first_line.decode("ascii").split(None, 2)
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad_request", f"malformed HTTP request line: {first_line!r}"
+            ) from exc
+        content_length = 0
+        while True:
+            header = await asyncio.wait_for(
+                reader.readline(), timeout=_HTTP_READ_TIMEOUT_SECONDS
+            )
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise ProtocolError(
+                        "bad_request", f"bad Content-Length {value.strip()!r}"
+                    ) from exc
+        body = b""
+        if content_length > 0:
+            body = await asyncio.wait_for(
+                reader.readexactly(content_length),
+                timeout=_HTTP_READ_TIMEOUT_SECONDS,
+            )
+        return http_request_to_request(method, target, body)
+
+    def _abort(self, writer: asyncio.StreamWriter) -> None:
+        """Chaos reset: tear the connection down with no response bytes."""
+        self.metrics.counter("chaos_resets_total").increment()
+        transport = writer.transport
+        transport.abort()
+
+    async def _close_writer(self, writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(Exception):
+            writer.close()
+            await asyncio.wait_for(
+                writer.wait_closed(), timeout=_CLOSE_TIMEOUT_SECONDS
+            )
+
+    def _next_seq(self) -> int:
+        if self.chaos is not None:
+            return self.chaos.next_request_seq()
+        seq = self._request_seq
+        self._request_seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # Dispatch: every failure becomes an explicit, coded response
+    # ------------------------------------------------------------------
+
+    async def _handle_request(self, request: Request, seq: int) -> Any:
+        deadline = Deadline.from_ms(
+            request.deadline_ms, self.config.default_deadline
+        )
+        self.metrics.counter("requests_total", op=request.op).increment()
+        started = time.perf_counter()
+        code: str | None = None
+        try:
+            self._admission.admit()
+        except Overloaded as exc:
+            self.metrics.counter("shed_total", kind="inflight").increment()
+            self.metrics.counter("errors_total", code="overloaded").increment()
+            return error_response(
+                request.request_id,
+                "overloaded",
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+        try:
+            if self.chaos is not None:
+                delay = self.chaos.take_latency(seq)
+                if delay > 0.0:
+                    self.metrics.counter("chaos_latency_total").increment()
+                    await asyncio.sleep(delay)
+                self.chaos.maybe_die(seq)
+                self.chaos.maybe_crash(seq, f"op {request.op!r}")
+            if self._draining and request.op not in ("health", "ready", "metrics"):
+                raise ShuttingDown("server is draining for shutdown")
+            handler = self._handlers[request.op]
+            body = await handler(request, deadline)
+            response = ok_response(request.request_id, **body)
+        except ProtocolError as exc:
+            code = exc.code
+            response = error_response(request.request_id, exc.code, str(exc))
+        except Overloaded as exc:
+            code = "overloaded"
+            self.metrics.counter("shed_total", kind="queue").increment()
+            response = error_response(
+                request.request_id,
+                "overloaded",
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+        except DeadlineExceeded as exc:
+            code = "deadline_exceeded"
+            response = error_response(
+                request.request_id, "deadline_exceeded", str(exc)
+            )
+        except CircuitOpenError as exc:
+            code = "circuit_open"
+            response = error_response(
+                request.request_id,
+                "circuit_open",
+                str(exc),
+                degraded_reads=True,
+            )
+        except IngestApplyError as exc:
+            code = "ingest_failed"
+            response = error_response(
+                request.request_id, "ingest_failed", str(exc)
+            )
+        except ShuttingDown as exc:
+            code = "shutting_down"
+            response = error_response(
+                request.request_id, "shutting_down", str(exc)
+            )
+        except ChaosCrash as exc:
+            # The injected mid-request crash: mapped, never swallowed.
+            code = "internal"
+            self.metrics.counter("chaos_crashes_total").increment()
+            response = error_response(
+                request.request_id, "internal", str(exc), injected=True
+            )
+        except ValueError as exc:
+            code = "bad_request"
+            response = error_response(request.request_id, "bad_request", str(exc))
+        except Exception as exc:
+            # Any other handler exception still maps to a coded response;
+            # the connection (and the server) outlive the failure.
+            code = "internal"
+            self.metrics.counter("unexpected_errors_total").increment()
+            response = error_response(
+                request.request_id,
+                "internal",
+                f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            self._admission.release()
+            self.metrics.histogram("request_seconds", op=request.op).record(
+                time.perf_counter() - started
+            )
+        if code is not None:
+            self.metrics.counter("errors_total", code=code).increment()
+        if self.chaos is not None and self.chaos.takes_reset(seq):
+            return _RESET
+        return response
+
+    # ------------------------------------------------------------------
+    # Ingest path
+    # ------------------------------------------------------------------
+
+    def _require_tenant_name(self, request: Request) -> str:
+        if not request.tenant:
+            raise ProtocolError(
+                "bad_request", f"op {request.op!r} requires a tenant"
+            )
+        return self.registry.validate_name(request.tenant)
+
+    def _require_existing_tenant(self, request: Request) -> TenantState:
+        name = self._require_tenant_name(request)
+        state = self.registry.get(name)
+        if state is None:
+            raise ProtocolError(
+                "unknown_tenant", f"tenant {name!r} has no data on this server"
+            )
+        return state
+
+    def _ensure_worker(self, state: TenantState) -> asyncio.Queue[
+        tuple[list[float], asyncio.Future[int]]
+    ]:
+        queue = self._queues.get(state.name)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=self.config.queue_depth)
+            self._queues[state.name] = queue
+        worker = self._workers.get(state.name)
+        if worker is None or worker.done():
+            self._workers[state.name] = asyncio.ensure_future(
+                self._ingest_worker(state, queue)
+            )
+        return queue
+
+    async def _ingest_worker(
+        self,
+        state: TenantState,
+        queue: asyncio.Queue[tuple[list[float], asyncio.Future[int]]],
+    ) -> None:
+        """Drain one tenant's bounded queue; batches apply in order."""
+        while True:
+            try:
+                values, future = await asyncio.wait_for(
+                    queue.get(), timeout=_WORKER_POLL_SECONDS
+                )
+            except (TimeoutError, asyncio.TimeoutError):
+                continue
+            self._apply_batch(state, values, future)
+            queue.task_done()
+
+    def _apply_batch(
+        self,
+        state: TenantState,
+        values: list[float],
+        future: asyncio.Future[int],
+    ) -> None:
+        seq = (
+            self.chaos.next_apply_seq()
+            if self.chaos is not None
+            else state.batches_applied
+        )
+        try:
+            if self.chaos is not None:
+                self.chaos.maybe_apply_crash(seq, state.name)
+            state.estimator.update_batch(values)
+        except Exception as exc:
+            # NaN rejection is atomic (the batch did not partially apply)
+            # and injected crashes never touched the estimator, so the
+            # sketch is still exactly its pre-batch state: fail the
+            # request explicitly and let the breaker account it.
+            state.breaker.record_failure()
+            self.metrics.counter(
+                "ingest_failures_total", tenant=state.name
+            ).increment()
+            if state.breaker.state == "open":
+                self.metrics.gauge(
+                    "breaker_open", tenant=state.name
+                ).set(1.0)
+            if not future.done():
+                future.set_exception(
+                    IngestApplyError(f"{type(exc).__name__}: {exc}")
+                )
+            return
+        state.breaker.record_success()
+        self.metrics.gauge("breaker_open", tenant=state.name).set(0.0)
+        state.batches_applied += 1
+        state.since_checkpoint += len(values)
+        self.metrics.counter("ingested_values_total").increment(len(values))
+        if (
+            self.registry.durable
+            and state.since_checkpoint >= self.config.checkpoint_interval
+        ):
+            self.registry.flush(state)
+            self.metrics.counter("checkpoint_flushes_total").increment()
+        if not future.done():
+            future.set_result(len(values))
+
+    async def _op_ingest(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        name = self._require_tenant_name(request)
+        raw = request.args.get("values")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError(
+                "bad_request", "ingest needs a non-empty 'values' array"
+            )
+        if len(raw) > self.config.max_batch:
+            raise ProtocolError(
+                "bad_request",
+                f"batch of {len(raw)} exceeds max_batch="
+                f"{self.config.max_batch}; split the ingest",
+            )
+        try:
+            values = [float(value) for value in raw]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad_request", f"values must all be numbers: {exc}"
+            ) from exc
+        eps = request.args.get("eps")
+        delta = request.args.get("delta")
+        state = self.registry.get_or_create(
+            name,
+            eps=float(eps) if eps is not None else None,
+            delta=float(delta) if delta is not None else None,
+        )
+        if not state.breaker.allow_ingest():
+            raise CircuitOpenError(name, state.breaker.consecutive_failures)
+        queue = self._ensure_worker(state)
+        future: asyncio.Future[int] = asyncio.get_running_loop().create_future()
+        self._admission.enqueue(
+            queue, (values, future), tenant=name, deadline=deadline
+        )
+        try:
+            applied = await asyncio.wait_for(future, timeout=deadline.remaining())
+        except (TimeoutError, asyncio.TimeoutError):
+            raise DeadlineExceeded(
+                f"deadline expired waiting for tenant {name!r} apply; the "
+                "batch may still be applied (at-least-once ingest)"
+            ) from None
+        return {
+            "tenant": name,
+            "accepted": applied,
+            "n": state.n,
+            "pending_batches": queue.qsize(),
+            "breaker": state.breaker.state,
+        }
+
+    # ------------------------------------------------------------------
+    # Read path (with degraded mode)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_phis(request: Request) -> list[float]:
+        raw = request.args.get("phis")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError(
+                "bad_request", "query_many needs a non-empty 'phis' array"
+            )
+        try:
+            return [float(phi) for phi in raw]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad_request", f"phis must all be numbers: {exc}"
+            ) from exc
+
+    async def _op_query_many(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        state = self._require_existing_tenant(request)
+        phis = self._parse_phis(request)
+        deadline.check("starting query")
+        if state.breaker.state == "open":
+            return self._degraded_query(state, phis, deadline)
+        if state.n == 0:
+            raise ProtocolError(
+                "no_data", f"tenant {state.name!r} holds no elements yet"
+            )
+        quantiles: list[float] = []
+        for phi in phis:
+            # The deadline propagates *into* the query work: a multi-phi
+            # request re-checks its budget before every quantile.
+            deadline.check(f"querying phi={phi:g}")
+            quantiles.append(state.estimator.query(phi))
+        return {
+            "tenant": state.name,
+            "quantiles": quantiles,
+            "n": state.n,
+            "degraded": False,
+        }
+
+    def _degraded_query(
+        self, state: TenantState, phis: list[float], deadline: Deadline
+    ) -> dict[str, Any]:
+        """Serve coverage-annotated answers from the last good snapshot."""
+        snapshot = state.last_good_snapshot
+        if snapshot is None or snapshot.n == 0:
+            raise ProtocolError(
+                "degraded_unavailable",
+                f"tenant {state.name!r} is degraded and has no good "
+                "checkpoint snapshot to serve from",
+            )
+        merged = merge_snapshots(
+            [snapshot],
+            strict=False,
+            expected_n=max(state.n, snapshot.n),
+            seed=self.registry.tenant_seed(f"{state.name}#degraded"),
+            backend=self.config.backend,
+        )
+        quantiles: list[float] = []
+        for phi in phis:
+            deadline.check(f"degraded-querying phi={phi:g}")
+            quantiles.append(merged.query(phi))
+        report = merged.report
+        assert report is not None
+        self.metrics.counter(
+            "degraded_reads_total", tenant=state.name
+        ).increment()
+        return {
+            "tenant": state.name,
+            "quantiles": quantiles,
+            "n": state.n,
+            "degraded": True,
+            "coverage": report.weight_coverage,
+            "as_of_n": snapshot.n,
+        }
+
+    async def _op_inverse_quantile(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        state = self._require_existing_tenant(request)
+        raw = request.args.get("value")
+        if raw is None or isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise ProtocolError(
+                "bad_request", "inverse_quantile needs a numeric 'value'"
+            )
+        deadline.check("starting inverse query")
+        if state.breaker.state == "open":
+            raise ProtocolError(
+                "degraded_unavailable",
+                f"tenant {state.name!r} is degraded; inverse queries need "
+                "the live summary (retry after the breaker closes)",
+            )
+        if state.n == 0:
+            raise ProtocolError(
+                "no_data", f"tenant {state.name!r} holds no elements yet"
+            )
+        value = float(raw)
+        rank = state.estimator.rank(value)
+        return {
+            "tenant": state.name,
+            "value": value,
+            "rank": rank,
+            "phi": rank / state.n,
+            "n": state.n,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection ops
+    # ------------------------------------------------------------------
+
+    async def _op_snapshot(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        state = self._require_existing_tenant(request)
+        deadline.check("building snapshot description")
+        extra: dict[str, Any] = {}
+        if request.args.get("persist"):
+            if not self.registry.durable:
+                raise ProtocolError(
+                    "bad_request",
+                    "persist requested but the service has no "
+                    "checkpoint directory",
+                )
+            extra["checkpoint"] = self.registry.flush(state)
+            extra["generations_kept"] = self.config.keep_generations
+            self.metrics.counter("checkpoint_flushes_total").increment()
+        body = self.registry.describe(state)
+        body.update(extra)
+        return body
+
+    async def _op_health(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        breakers_open = sum(
+            1
+            for name in self.registry.names()
+            if (state := self.registry.get(name)) is not None
+            and state.breaker.state == "open"
+        )
+        return {
+            "status": "draining" if self._draining else "serving",
+            "uptime_s": time.monotonic() - self._started_at,
+            "tenants": len(self.registry),
+            "inflight": self._admission.inflight,
+            "breakers_open": breakers_open,
+            "shed_total": self._admission.shed_total,
+        }
+
+    async def _op_ready(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        recovery: dict[str, Any] = {}
+        if self.recovery is not None:
+            recovery = {
+                "restored": len(self.recovery.restored),
+                "fallbacks": dict(self.recovery.fallbacks),
+                "unrecoverable": list(self.recovery.unrecoverable),
+            }
+        return {"ready": self._ready and not self._draining, "recovery": recovery}
+
+    async def _op_metrics(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        return {
+            "text": self.metrics.render_text(),
+            "metrics": self.metrics.to_dict(),
+        }

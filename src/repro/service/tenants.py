@@ -1,0 +1,404 @@
+"""Multi-tenant keyed sketches with per-tenant planning and recovery.
+
+Each tenant is one :class:`~repro.core.unknown_n.UnknownNQuantiles`
+estimator with its own (ε, δ) plan, its own deterministically derived
+seed (SHA-256 over the service master seed and the tenant name — the
+same derivation discipline as :func:`repro.runtime.seed_for_worker`, so
+a rebuilt service plans identical tenants), its own bounded ingest
+queue, and its own circuit breaker.
+
+Durability contract:
+
+* a tenant checkpoint is written with
+  :func:`repro.persist.save_checkpoint_rotating`, keeping the previous
+  generation(s) on disk;
+* boot recovery (:meth:`TenantRegistry.restore_all`) walks the
+  checkpoint directory and restores every tenant from the newest
+  generation whose CRC frame verifies — a torn latest frame falls back
+  to the previous generation instead of losing the tenant;
+* restore is **bit-identical**: the estimator's RNG state rides in the
+  checkpoint, so a restored tenant answers exactly the quantiles the
+  checkpointed one did, and continues the stream exactly as it would
+  have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.params import Plan, plan_parameters
+from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+from repro.persist import (
+    CheckpointError,
+    load_checkpoint_rotating,
+    save_checkpoint_rotating,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RecoveryReport",
+    "TenantState",
+    "TenantRegistry",
+]
+
+#: Tenant names must be filesystem- and label-safe.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_CKPT_PREFIX = "tenant-"
+_CKPT_SUFFIX = ".ckpt"
+
+
+class CircuitOpenError(Exception):
+    """The tenant's ingest circuit is open; writes are rejected for now."""
+
+    def __init__(self, tenant: str, failures: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} ingest circuit is open after {failures} "
+            "consecutive apply failures; reads degrade to the last good "
+            "checkpoint until a probe succeeds"
+        )
+        self.tenant = tenant
+        self.failures = failures
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with counted (not timed) probes.
+
+    Deterministic on purpose: state advances on *events* (failures,
+    successes, rejected attempts), never on wall-clock timers, so chaos
+    tests can assert exact transitions.
+
+    * **closed** — normal operation; ``failure_threshold`` consecutive
+      apply failures trip it open.
+    * **open** — ingest attempts are rejected with
+      :class:`CircuitOpenError`; after ``probe_after`` rejections the
+      breaker goes half-open.
+    * **half-open** — exactly one probe batch is admitted; success
+      closes the breaker, failure re-opens it.
+    """
+
+    __slots__ = ("failure_threshold", "probe_after", "_failures", "_state",
+                 "_rejections", "trips")
+
+    def __init__(self, failure_threshold: int = 3, probe_after: int = 4) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if probe_after < 1:
+            raise ValueError(f"probe_after must be >= 1, got {probe_after}")
+        self.failure_threshold = failure_threshold
+        self.probe_after = probe_after
+        self._failures = 0
+        self._rejections = 0
+        self._state = "closed"
+        #: Lifetime count of closed -> open transitions (metrics).
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"``."""
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allow_ingest(self) -> bool:
+        """Whether an ingest attempt may proceed right now.
+
+        In the open state this *counts* the rejected attempt; the
+        ``probe_after``-th rejection flips to half-open so the next
+        attempt goes through as the probe.
+        """
+        if self._state == "closed" or self._state == "half_open":
+            return True
+        self._rejections += 1
+        if self._rejections >= self.probe_after:
+            self._state = "half_open"
+            self._rejections = 0
+        return False
+
+    def record_success(self) -> None:
+        """A batch applied cleanly; a half-open probe success closes."""
+        self._failures = 0
+        if self._state == "half_open":
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        """An apply failed; enough consecutive failures trip the breaker."""
+        self._failures += 1
+        if self._state == "half_open":
+            self._state = "open"
+            self._rejections = 0
+            self.trips += 1
+        elif self._state == "closed" and self._failures >= self.failure_threshold:
+            self._state = "open"
+            self._rejections = 0
+            self.trips += 1
+
+
+@dataclass
+class TenantState:
+    """Everything the server tracks for one tenant."""
+
+    name: str
+    estimator: UnknownNQuantiles
+    breaker: CircuitBreaker
+    #: Elements applied since the last checkpoint flush.
+    since_checkpoint: int = 0
+    #: Batches applied over the tenant's lifetime (chaos sequencing).
+    batches_applied: int = 0
+    #: Snapshot captured at the last successful checkpoint flush; what
+    #: degraded reads serve while the breaker is open.
+    last_good_snapshot: EstimatorSnapshot | None = None
+    #: Stream count at the moment ``last_good_snapshot`` was taken.
+    last_good_n: int = 0
+    #: Generation the tenant was restored from at boot (None = fresh).
+    restored_generation: int | None = None
+
+    @property
+    def n(self) -> int:
+        """Elements the live estimator has consumed."""
+        return self.estimator.n
+
+
+@dataclass
+class RecoveryReport:
+    """What boot recovery found in the checkpoint directory."""
+
+    restored: list[str] = field(default_factory=list)
+    #: Tenants restored from a generation > 0 (latest frame was damaged).
+    fallbacks: dict[str, int] = field(default_factory=dict)
+    #: Tenants whose every generation failed verification.
+    unrecoverable: list[str] = field(default_factory=list)
+
+
+class TenantRegistry:
+    """Keyed tenant sketches with durable, generation-kept checkpoints.
+
+    :param checkpoint_dir: directory for per-tenant checkpoint chains;
+        ``None`` disables durability (a pure in-memory service).
+    :param eps, delta: default accuracy contract for tenants that do not
+        request their own.
+    :param master_seed: root of the per-tenant seed derivation.
+    :param keep_generations: checkpoint generations kept per tenant.
+    :param breaker_threshold, breaker_probe_after: circuit breaker
+        parameters applied to every tenant.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: str | os.PathLike[str] | None,
+        *,
+        eps: float = 0.01,
+        delta: float = 1e-4,
+        master_seed: int = 0,
+        backend: Any = None,
+        keep_generations: int = 2,
+        breaker_threshold: int = 3,
+        breaker_probe_after: int = 4,
+    ) -> None:
+        if keep_generations < 1:
+            raise ValueError(
+                f"keep_generations must be >= 1, got {keep_generations}"
+            )
+        self._dir = os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
+        if self._dir is not None:
+            os.makedirs(self._dir, exist_ok=True)
+        self._eps = eps
+        self._delta = delta
+        self._master_seed = master_seed
+        self._backend = backend
+        self._keep = keep_generations
+        self._breaker_threshold = breaker_threshold
+        self._breaker_probe_after = breaker_probe_after
+        self._tenants: dict[str, TenantState] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup / creation
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def names(self) -> list[str]:
+        """All known tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def get(self, name: str) -> TenantState | None:
+        """The tenant, or ``None`` when it does not exist."""
+        return self._tenants.get(name)
+
+    def tenant_seed(self, name: str) -> int:
+        """Deterministic per-tenant seed (SHA-256 over master seed + name)."""
+        payload = f"repro.service:{self._master_seed}:tenant:{name}".encode()
+        return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+    def validate_name(self, name: str) -> str:
+        """A tenant name usable as a file stem and metric label, or raise."""
+        if not _TENANT_RE.match(name):
+            raise ValueError(
+                f"invalid tenant name {name!r}: must match "
+                f"{_TENANT_RE.pattern}"
+            )
+        return name
+
+    def get_or_create(
+        self,
+        name: str,
+        *,
+        eps: float | None = None,
+        delta: float | None = None,
+    ) -> TenantState:
+        """The tenant, created with its own (ε, δ) plan on first use.
+
+        ``eps``/``delta`` apply only at creation; asking for a different
+        contract on an existing tenant raises (an estimator's plan is
+        fixed for its lifetime — recreate the tenant to re-plan).
+        """
+        self.validate_name(name)
+        found = self._tenants.get(name)
+        if found is not None:
+            plan = found.estimator.plan
+            if eps is not None and abs(plan.eps - eps) > 1e-12:
+                raise ValueError(
+                    f"tenant {name!r} already planned with eps={plan.eps:g}; "
+                    f"cannot re-plan to eps={eps:g}"
+                )
+            if delta is not None and abs(plan.delta - delta) > 1e-18:
+                raise ValueError(
+                    f"tenant {name!r} already planned with delta={plan.delta:g}; "
+                    f"cannot re-plan to delta={delta:g}"
+                )
+            return found
+        plan = plan_parameters(
+            eps if eps is not None else self._eps,
+            delta if delta is not None else self._delta,
+        )
+        estimator = UnknownNQuantiles(
+            plan=plan,
+            seed=self.tenant_seed(name),
+            backend=self._backend,
+        )
+        state = TenantState(
+            name=name,
+            estimator=estimator,
+            breaker=CircuitBreaker(
+                self._breaker_threshold, self._breaker_probe_after
+            ),
+        )
+        self._tenants[name] = state
+        return state
+
+    def _adopt(
+        self, name: str, estimator: UnknownNQuantiles, generation: int
+    ) -> TenantState:
+        state = TenantState(
+            name=name,
+            estimator=estimator,
+            breaker=CircuitBreaker(
+                self._breaker_threshold, self._breaker_probe_after
+            ),
+            restored_generation=generation,
+        )
+        state.last_good_snapshot = estimator.snapshot()
+        state.last_good_n = estimator.n
+        self._tenants[name] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Whether a checkpoint directory is configured."""
+        return self._dir is not None
+
+    def checkpoint_path(self, name: str) -> str:
+        """The live (generation 0) checkpoint file of one tenant."""
+        if self._dir is None:
+            raise RuntimeError("registry has no checkpoint directory")
+        return os.path.join(self._dir, f"{_CKPT_PREFIX}{name}{_CKPT_SUFFIX}")
+
+    def flush(self, state: TenantState) -> str:
+        """Checkpoint one tenant (rotating) and refresh its good snapshot."""
+        path = self.checkpoint_path(state.name)
+        save_checkpoint_rotating(state.estimator, path, keep=self._keep)
+        state.since_checkpoint = 0
+        state.last_good_snapshot = state.estimator.snapshot()
+        state.last_good_n = state.estimator.n
+        return path
+
+    def flush_all(self) -> list[str]:
+        """Checkpoint every tenant; the graceful-shutdown path."""
+        if self._dir is None:
+            return []
+        return [self.flush(state) for _, state in sorted(self._tenants.items())]
+
+    def restore_all(self) -> RecoveryReport:
+        """Rebuild every tenant found in the checkpoint directory.
+
+        The boot path: for each ``tenant-<name>.ckpt`` chain, restore
+        the newest generation whose frame verifies.  A tenant whose
+        latest frame is torn comes back from the previous generation
+        (recorded in :attr:`RecoveryReport.fallbacks`); a tenant with no
+        verifiable generation at all is reported unrecoverable and left
+        out — the name becomes a *fresh* tenant on next use rather than
+        serving silently wrong state.
+        """
+        report = RecoveryReport()
+        if self._dir is None:
+            return report
+        for entry in sorted(os.listdir(self._dir)):
+            if not entry.startswith(_CKPT_PREFIX) or not entry.endswith(
+                _CKPT_SUFFIX
+            ):
+                continue
+            name = entry[len(_CKPT_PREFIX) : -len(_CKPT_SUFFIX)]
+            if not _TENANT_RE.match(name):
+                continue
+            try:
+                restored, generation = load_checkpoint_rotating(
+                    os.path.join(self._dir, entry), keep=self._keep
+                )
+            except (CheckpointError, FileNotFoundError):
+                report.unrecoverable.append(name)
+                continue
+            if not isinstance(restored, UnknownNQuantiles):
+                report.unrecoverable.append(name)
+                continue
+            self._adopt(name, restored, generation)
+            report.restored.append(name)
+            if generation > 0:
+                report.fallbacks[name] = generation
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def describe(self, state: TenantState) -> dict[str, Any]:
+        """Plain-data summary of one tenant (the ``snapshot`` op body)."""
+        plan = state.estimator.plan
+        return {
+            "tenant": state.name,
+            "n": state.estimator.n,
+            "eps": plan.eps,
+            "delta": plan.delta,
+            "b": plan.b,
+            "k": plan.k,
+            "memory_bytes": state.estimator.memory_bytes,
+            "breaker": state.breaker.state,
+            "since_checkpoint": state.since_checkpoint,
+            "restored_generation": state.restored_generation,
+        }

@@ -274,6 +274,85 @@ class TestApiHygienePass:
 
 
 # ----------------------------------------------------------------------
+# service-hygiene
+# ----------------------------------------------------------------------
+
+class TestServiceHygienePass:
+    def test_unbounded_network_await_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.service.bad",
+            "__all__ = []\n\n\nasync def f(reader):\n"
+            "    return await reader.readline()\n",
+        )
+        assert "RPL601" in codes_for(bad, config)
+
+    def test_unbounded_queue_get_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.service.bad",
+            "__all__ = []\n\n\nasync def f(queue):\n"
+            "    return await queue.get()\n",
+        )
+        assert "RPL601" in codes_for(bad, config)
+
+    def test_wait_for_wrapped_await_clean(self, tmp_path, config):
+        good = write_module(
+            tmp_path,
+            "repro.service.good",
+            "__all__ = []\nimport asyncio\n\n\nasync def f(reader):\n"
+            "    return await asyncio.wait_for(reader.readline(), timeout=5.0)\n",
+        )
+        assert codes_for(good, config) == []
+
+    def test_timeout_scope_bounds_awaits_inside(self, tmp_path, config):
+        good = write_module(
+            tmp_path,
+            "repro.service.good",
+            "__all__ = []\nimport asyncio\n\n\nasync def f(reader):\n"
+            "    async with asyncio.timeout(5.0):\n"
+            "        return await reader.readline()\n",
+        )
+        assert codes_for(good, config) == []
+
+    def test_bare_except_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.service.bad",
+            "__all__ = []\n\n\ndef f():\n    try:\n        return 1\n"
+            "    except:\n        return 0\n",
+        )
+        assert "RPL602" in codes_for(bad, config)
+
+    def test_silent_handler_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.service.bad",
+            "__all__ = []\n\n\ndef f():\n    try:\n        return 1\n"
+            "    except ValueError:\n        pass\n",
+        )
+        assert "RPL603" in codes_for(bad, config)
+
+    def test_handler_that_responds_clean(self, tmp_path, config):
+        good = write_module(
+            tmp_path,
+            "repro.service.good",
+            "__all__ = []\n\n\ndef f(log):\n    try:\n        return 1\n"
+            "    except ValueError as exc:\n        log(exc)\n        return 0\n",
+        )
+        assert codes_for(good, config) == []
+
+    def test_pass_scoped_to_service_package(self, tmp_path, config):
+        elsewhere = write_module(
+            tmp_path,
+            "repro.core.streamy",
+            "__all__ = []\n\n\nasync def f(queue):\n"
+            "    return await queue.get()\n",
+        )
+        assert "RPL601" not in codes_for(elsewhere, config)
+
+
+# ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------
 

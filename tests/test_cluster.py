@@ -312,6 +312,50 @@ class TestDegradedMergeMath:
         assert merged.report.complete
         assert merged.report.effective_eps(0.05) == pytest.approx(0.05)
 
+    def test_all_shards_lost_refused_even_degraded(self):
+        """Zero weight_coverage has no partial answer to give: a degraded
+        merge over nothing must raise cleanly, never fabricate."""
+        with pytest.raises(ValueError, match="no snapshot contains any data"):
+            merge_snapshots(
+                [None, None, None], seed=0, strict=False, expected_n=3_000
+            )
+
+    def test_all_shards_lost_supervisor_raises_cleanly(self):
+        streams = partition_stream(_stream(2_000, seed=14), 2)
+        sup = ShardSupervisor(
+            num_shards=2,
+            plan=TINY_PLAN,
+            fault_plan=FaultPlan(crash_at={0: 100, 1: 100}),
+            recover=False,
+            strict=False,
+            seed=42,
+        )
+        with pytest.raises(ValueError, match="no snapshot contains any data"):
+            sup.run(streams)
+        assert sup.stats.shards_lost == [0, 1]
+
+    def test_duplicate_ship_after_surrendered_shard_still_deduplicated(self):
+        """Surrendering shard 0 must not confuse the ship-id dedup for the
+        survivors: shard 1's at-least-once redelivery is still ignored."""
+        streams = partition_stream(_stream(4_000, seed=13), 2)
+        sup = ShardSupervisor(
+            num_shards=2,
+            plan=TINY_PLAN,
+            fault_plan=FaultPlan(drop_ships={0: 3}, duplicate_ships={1}),
+            max_ship_attempts=3,
+            strict=False,
+            seed=41,
+        )
+        result = sup.run(streams)
+        assert sup.stats.shards_lost == [0]
+        assert sup.stats.ships_dropped == 3
+        assert sup.stats.duplicate_ships_ignored == 1
+        assert sup.stats.ships_delivered == 1
+        # The duplicate was not double-counted: the union holds exactly
+        # the survivor's elements.
+        assert result.summary.n == len(streams[1])
+        assert result.report.weight_coverage == pytest.approx(0.5)
+
 
 @pytest.mark.smoke
 def test_fault_injection_smoke(tmp_path):
@@ -408,6 +452,30 @@ class TestPoolSupervision:
         assert result.report.shards_lost == (1,)
         assert result.report.weight_coverage == pytest.approx(2 / 3)
         assert result.report.effective_eps(EPS) > EPS
+
+    def test_overall_timeout_bounds_retry_backoff(self, pool_file):
+        """``run_pool(timeout=...)`` is an overall budget: the backoff
+        before a retry is clamped to the remaining time, so a huge
+        configured base never sleeps the run past its own deadline."""
+        path, _data = pool_file
+        sleeps: list[float] = []
+        sup = ShardSupervisor(
+            num_shards=3,
+            plan=TINY_PLAN,
+            seed=25,
+            backoff_base=60.0,
+            backoff_cap=120.0,
+            sleep=sleeps.append,
+            fault_plan=FaultPlan(crash_at={1: 3_000}),
+        )
+        result = sup.run_pool(path, timeout=5.0)
+        assert result.report.complete
+        assert result.stats.restarts == 1
+        assert len(sleeps) == 1
+        # An unclamped draw from base 60 s lies in [30, 60] — far past
+        # the 5 s budget.  The clamp keeps it within what remains.
+        assert sleeps[0] <= 5.0
+        assert result.stats.backoff_seconds <= 5.0
 
     def test_pool_ignores_checkpoint_dir(self, pool_file, tmp_path):
         # Slice re-scan is the recovery path; no checkpoints are written.

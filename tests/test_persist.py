@@ -285,3 +285,76 @@ class TestCheckpointFiles:
     def test_valid_frame_with_garbage_payload_raises_corrupt(self):
         with pytest.raises(CheckpointCorruptError):
             persist.loads(persist.MAGIC + persist._HEADER.pack(1, 0, 0))
+
+
+class TestRotatingCheckpoints:
+    """Generation chains: atomic rotation, fallback, honest failure."""
+
+    @staticmethod
+    def _est(n: int) -> UnknownNQuantiles:
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=5)
+        est.extend(_data(n, seed=n))
+        return est
+
+    def test_generation_chain_paths(self, tmp_path):
+        base = str(tmp_path / "c.ckpt")
+        assert persist.checkpoint_generations(base, keep=3) == [
+            base,
+            f"{base}.1",
+            f"{base}.2",
+        ]
+        with pytest.raises(ValueError, match="keep"):
+            persist.checkpoint_generations(base, keep=0)
+
+    def test_save_rotates_and_load_prefers_newest(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        for n in (5, 10, 15):
+            persist.save_checkpoint_rotating(self._est(n), path, keep=2)
+        obj, generation = persist.load_checkpoint_rotating(path, keep=2)
+        assert (obj.n, generation) == (15, 0)
+        # keep=2 retains exactly one prior generation; n=5 was rotated out.
+        assert load_checkpoint(f"{path}.1").n == 10
+        assert not os.path.exists(f"{path}.2")
+
+    def test_torn_live_frame_falls_back_a_generation(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        persist.save_checkpoint_rotating(self._est(5), path, keep=2)
+        persist.save_checkpoint_rotating(self._est(10), path, keep=2)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # tear the live write
+        obj, generation = persist.load_checkpoint_rotating(path, keep=2)
+        assert (obj.n, generation) == (5, 1)
+
+    def test_missing_live_frame_falls_back_silently(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        persist.save_checkpoint_rotating(self._est(5), path, keep=2)
+        persist.save_checkpoint_rotating(self._est(10), path, keep=2)
+        os.unlink(path)
+        obj, generation = persist.load_checkpoint_rotating(path, keep=2)
+        assert (obj.n, generation) == (5, 1)
+
+    def test_every_generation_torn_reraises_newest_error(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        persist.save_checkpoint_rotating(self._est(5), path, keep=2)
+        persist.save_checkpoint_rotating(self._est(10), path, keep=2)
+        for candidate in persist.checkpoint_generations(path, keep=2):
+            blob = open(candidate, "rb").read()
+            open(candidate, "wb").write(blob[: len(blob) - 3])
+        with pytest.raises(CheckpointCorruptError):
+            persist.load_checkpoint_rotating(path, keep=2)
+
+    def test_empty_chain_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no checkpoint generation"):
+            persist.load_checkpoint_rotating(tmp_path / "absent.ckpt", keep=2)
+
+    def test_estimator_round_trip_is_bit_identical(self, tmp_path):
+        path = tmp_path / "est.ckpt"
+        est = UnknownNQuantiles(plan=TINY_PLAN, seed=29)
+        for value in _data(AFTER_ONSET, seed=31):
+            est.update(value)
+            if est.n % 500 == 0:
+                persist.save_checkpoint_rotating(est, path, keep=3)
+        persist.save_checkpoint_rotating(est, path, keep=3)
+        restored, generation = persist.load_checkpoint_rotating(path, keep=3)
+        assert generation == 0
+        assert restored.to_state_dict() == est.to_state_dict()

@@ -14,7 +14,10 @@ The pool engine's three load-bearing promises are each pinned here:
 
 from __future__ import annotations
 
+import multiprocessing
 import random
+import signal
+import time
 
 import pytest
 
@@ -26,6 +29,7 @@ from repro.runtime import (
     run_pool_on_stream,
     seed_for_worker,
 )
+from repro.runtime import pool as pool_mod
 from repro.runtime.pool import FAULT_EXIT_CODE
 from repro.stats.rank import is_eps_approximate
 from repro.streams.diskfile import write_floats
@@ -303,6 +307,64 @@ class TestFaults:
                 timeout=DEADLINE,
             )
         assert excinfo.value.lost == {0: FAULT_EXIT_CODE, 1: FAULT_EXIT_CODE}
+
+
+def _sleepy_worker(result_queue) -> None:
+    """Ships its result, then naps: reapable by SIGTERM."""
+    result_queue.put((0, b"frame", 7, 0.01))
+    time.sleep(600)
+
+
+def _stubborn_worker(result_queue) -> None:
+    """Ships its result, ignores SIGTERM, then naps: needs SIGKILL."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    result_queue.put((0, b"frame", 7, 0.01))
+    time.sleep(600)
+
+
+@pytest.mark.skipif(
+    "fork" not in available_start_methods(), reason="needs fork start method"
+)
+class TestShutdownEscalation:
+    """The collector never leaves a zombie: join -> SIGTERM -> SIGKILL."""
+
+    def _collect_one(self, target, monkeypatch):
+        monkeypatch.setattr(pool_mod, "_JOIN_SECONDS", 0.3)
+        ctx = multiprocessing.get_context("fork")
+        result_queue = ctx.Queue()
+        proc = ctx.Process(target=target, args=(result_queue,))
+        proc.start()
+        try:
+            return pool_mod._collect({0: proc}, result_queue, timeout=DEADLINE)
+        finally:
+            if proc.is_alive():  # pragma: no cover - escalation failed
+                proc.kill()
+            proc.join(timeout=5)
+
+    def test_worker_outliving_join_is_terminated(self, monkeypatch):
+        results, lost, leaked = self._collect_one(_sleepy_worker, monkeypatch)
+        assert results[0] == (b"frame", 7, 0.01)  # the ship still counts
+        assert lost == {}
+        assert leaked == {0: "outlived join(0.3s); reaped by SIGTERM"}
+
+    def test_sigterm_ignoring_worker_is_killed(self, monkeypatch):
+        results, lost, leaked = self._collect_one(_stubborn_worker, monkeypatch)
+        assert results[0] == (b"frame", 7, 0.01)
+        assert lost == {}
+        assert leaked == {0: "ignored SIGTERM; reaped by SIGKILL"}
+
+    def test_pool_worker_error_reports_escalation(self):
+        err = PoolWorkerError(
+            {1: 9}, leaked={0: "ignored SIGTERM; reaped by SIGKILL"}
+        )
+        assert err.leaked == {0: "ignored SIGTERM; reaped by SIGKILL"}
+        assert "worker 1 (exit code 9)" in str(err)
+        assert "shutdown escalation: worker 0" in str(err)
+
+    def test_pool_worker_error_escalation_only(self):
+        err = PoolWorkerError({}, leaked={2: "outlived join(5s); reaped by SIGTERM"})
+        assert "escalate past SIGTERM" in str(err)
+        assert "worker 2" in str(err)
 
 
 class TestArgumentValidation:
