@@ -84,6 +84,10 @@ _POLL_SECONDS = 0.1
 #: (join -> terminate -> kill); module-level so tests can shrink it.
 _JOIN_SECONDS = 5.0
 
+#: Marker in a ``leaked`` entry for a worker that outlived even SIGKILL —
+#: the one escalation outcome that actually leaves a process behind.
+_SURVIVED_SIGKILL = "survived SIGKILL"
+
 
 class PoolWorkerError(RuntimeError):
     """A strict-mode pool lost one or more workers.
@@ -287,6 +291,9 @@ class PoolResult:
         to workers that later died).
     :ivar ingest_seconds: wall time from pool start to the last result.
     :ivar merge_seconds: wall time of the coordinator merge.
+    :ivar leaked: workers whose shutdown had to escalate past a plain
+        join (worker id -> what it took to reap them); non-empty even on
+        a successful merge, so an escalation is never silently dropped.
     """
 
     summary: MergedSummary
@@ -297,6 +304,7 @@ class PoolResult:
     start_method: str = ""
     ingest_seconds: float = 0.0
     merge_seconds: float = 0.0
+    leaked: dict[int, str] = field(default_factory=dict)
 
     @property
     def shipped_bytes(self) -> int:
@@ -377,7 +385,7 @@ def _reap(procs: dict[int, mp.process.BaseProcess]) -> dict[int, str]:
         process.join(timeout=_JOIN_SECONDS)
         if process.is_alive():  # pragma: no cover - kernel-level wedge
             leaked[worker_id] = (
-                f"pid {process.pid} survived SIGKILL; process leaked"
+                f"pid {process.pid} {_SURVIVED_SIGKILL}; process leaked"
             )
         else:
             leaked[worker_id] = "ignored SIGTERM; reaped by SIGKILL"
@@ -469,12 +477,17 @@ def _merge_pool(
     leaked: dict[int, str] | None = None,
 ) -> PoolResult:
     """Coordinator merge + result assembly shared by both drivers."""
+    leaked = dict(leaked or {})
     if lost and strict:
         raise PoolWorkerError(lost, leaked)
     if lost and not any(snap is not None and snap.n > 0 for snap in snapshots):
         # Degraded mode can survive lost shards, but not losing them all:
         # with no surviving data there is no partial answer to give.
         raise PoolWorkerError(lost, leaked)
+    if strict and any(_SURVIVED_SIGKILL in what for what in leaked.values()):
+        # Every result arrived, but a worker outlived SIGKILL: that is a
+        # real process leak, and strict callers asked to hear about it.
+        raise PoolWorkerError({}, leaked)
     merge_started = time.perf_counter()
     summary = merge_snapshots(
         snapshots,
@@ -501,6 +514,7 @@ def _merge_pool(
         start_method=start_method,
         ingest_seconds=ingest_seconds,
         merge_seconds=merge_seconds,
+        leaked=leaked,
     )
 
 

@@ -254,7 +254,15 @@ def http_request_to_request(
         if route == "/metrics":
             return Request(op="metrics", deadline_ms=deadline_ms)
         if route == "/query":
-            phis = [float(raw) for raw in args.get("phi", ())]
+            phis = []
+            for raw in args.get("phi", ()):
+                try:
+                    phis.append(float(raw))
+                except ValueError as exc:
+                    raise ProtocolError(
+                        "bad_request",
+                        f"query parameter phi={raw!r} is not a number",
+                    ) from exc
             return Request(
                 op="query_many",
                 tenant=tenant,

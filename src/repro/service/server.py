@@ -52,6 +52,7 @@ from repro.service.chaos import ChaosCrash, ChaosPlan
 from repro.service.metrics import MetricRegistry
 from repro.service.protocol import (
     HTTP_STATUS,
+    MAX_LINE_BYTES,
     ProtocolError,
     Request,
     encode_http_response,
@@ -87,6 +88,11 @@ _HTTP_READ_TIMEOUT_SECONDS = 30.0
 
 #: Bound on a closing handshake.
 _CLOSE_TIMEOUT_SECONDS = 5.0
+
+#: StreamReader buffer limit: a full legal request line (the protocol's
+#: MAX_LINE_BYTES) plus slack for HTTP header lines.  asyncio's default
+#: is 64 KiB, far below what a max_batch ingest line legally needs.
+_STREAM_LIMIT_BYTES = MAX_LINE_BYTES + 1024
 
 
 class ShuttingDown(Exception):
@@ -157,6 +163,8 @@ class QuantileService:
         self._admission = AdmissionController(self.config.max_inflight)
         self._queues: dict[str, asyncio.Queue[tuple[list[float], asyncio.Future[int]]]] = {}
         self._workers: dict[str, asyncio.Task[None]] = {}
+        self._flush_locks: dict[str, asyncio.Lock] = {}
+        self._pending_flushes: set[asyncio.Future[str]] = set()
         self._connections: set[asyncio.Task[None]] = set()
         self._server: asyncio.base_events.Server | None = None
         self._request_seq = 0
@@ -197,7 +205,10 @@ class QuantileService:
             len(self.recovery.fallbacks)
         )
         self._server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=_STREAM_LIMIT_BYTES,
         )
         sockname = self._server.sockets[0].getsockname()
         self._ready = True
@@ -221,37 +232,70 @@ class QuantileService:
             await self._stopped.wait()
             return
         self._shutdown_started = True
-        self._draining = True
-        self._ready = False
-        if self._server is not None:
-            self._server.close()
-        drain_deadline = time.monotonic() + self.config.shutdown_drain
-        while time.monotonic() < drain_deadline and any(
-            not queue.empty() for queue in self._queues.values()
-        ):
-            await asyncio.sleep(0.01)
-        for worker in self._workers.values():
-            worker.cancel()
-        if self._workers:
-            await asyncio.gather(
-                *self._workers.values(), return_exceptions=True
-            )
-        self._workers.clear()
-        if flush and self.registry.durable:
-            flushed = self.registry.flush_all()
-            self.metrics.counter("checkpoint_flushes_total").increment(
-                len(flushed)
-            )
-        for connection in list(self._connections):
-            connection.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
-        self._connections.clear()
-        if self._server is not None:
-            await asyncio.wait_for(
-                self._server.wait_closed(), timeout=_CLOSE_TIMEOUT_SECONDS
-            )
-        self._stopped.set()
+        try:
+            self._draining = True
+            self._ready = False
+            if self._server is not None:
+                self._server.close()
+            drain_deadline = time.monotonic() + self.config.shutdown_drain
+            while time.monotonic() < drain_deadline and any(
+                not queue.empty() for queue in self._queues.values()
+            ):
+                await asyncio.sleep(0.01)
+            for worker in self._workers.values():
+                worker.cancel()
+            if self._workers:
+                await asyncio.gather(
+                    *self._workers.values(), return_exceptions=True
+                )
+            self._workers.clear()
+            if self._pending_flushes:
+                # A cancelled worker may have left an executor flush
+                # running; wait it out so the final sweep below never
+                # races an in-flight checkpoint rotation.
+                await asyncio.gather(
+                    *list(self._pending_flushes), return_exceptions=True
+                )
+            if flush and self.registry.durable:
+                self._flush_remaining_tenants()
+            for connection in list(self._connections):
+                connection.cancel()
+            if self._connections:
+                await asyncio.gather(
+                    *self._connections, return_exceptions=True
+                )
+            self._connections.clear()
+            if self._server is not None:
+                with contextlib.suppress(TimeoutError, asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._server.wait_closed(),
+                        timeout=_CLOSE_TIMEOUT_SECONDS,
+                    )
+        finally:
+            # Even a shutdown that failed part-way must conclude:
+            # wait_stopped()/serve loops unblock and further SIGTERMs
+            # are not absorbed into a hang that only SIGKILL ends.
+            self._stopped.set()
+
+    def _flush_remaining_tenants(self) -> None:
+        """Final checkpoint sweep; one bad disk write must not abort it.
+
+        Each tenant flushes independently — a failure is counted and the
+        sweep moves on, so an I/O error on one tenant's chain cannot
+        leave every *other* tenant unflushed at exit.
+        """
+        for name in self.registry.names():
+            state = self.registry.get(name)
+            if state is None:
+                continue
+            try:
+                self.registry.flush(state)
+            except Exception:
+                self.metrics.counter(
+                    "checkpoint_flush_failures_total", tenant=name
+                ).increment()
+            else:
+                self.metrics.counter("checkpoint_flushes_total").increment()
 
     async def wait_stopped(self) -> None:
         """Block until a shutdown has fully completed."""
@@ -279,6 +323,31 @@ class QuantileService:
                         reader.readline(), timeout=self.config.idle_timeout
                     )
                 except (TimeoutError, asyncio.TimeoutError, ConnectionError):
+                    return
+                except ValueError:
+                    # readline overran the stream limit: the frame is
+                    # larger than any legal request and its framing is
+                    # lost — answer explicitly, then close the
+                    # connection (the never-silent contract).
+                    self.metrics.counter(
+                        "errors_total", code="bad_request"
+                    ).increment()
+                    writer.write(
+                        encode_response(
+                            error_response(
+                                None,
+                                "bad_request",
+                                f"request line exceeds {MAX_LINE_BYTES} "
+                                "bytes; split the ingest",
+                            )
+                        )
+                    )
+                    with contextlib.suppress(
+                        TimeoutError, asyncio.TimeoutError, ConnectionError
+                    ):
+                        await asyncio.wait_for(
+                            writer.drain(), timeout=_WRITE_TIMEOUT_SECONDS
+                        )
                     return
                 if not line:
                     return
@@ -367,9 +436,15 @@ class QuantileService:
             ) from exc
         content_length = 0
         while True:
-            header = await asyncio.wait_for(
-                reader.readline(), timeout=_HTTP_READ_TIMEOUT_SECONDS
-            )
+            try:
+                header = await asyncio.wait_for(
+                    reader.readline(), timeout=_HTTP_READ_TIMEOUT_SECONDS
+                )
+            except ValueError as exc:
+                # Stream-limit overrun on an absurdly long header line.
+                raise ProtocolError(
+                    "bad_request", "HTTP header line exceeds the stream limit"
+                ) from exc
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
@@ -380,6 +455,12 @@ class QuantileService:
                     raise ProtocolError(
                         "bad_request", f"bad Content-Length {value.strip()!r}"
                     ) from exc
+                if content_length < 0 or content_length > MAX_LINE_BYTES:
+                    raise ProtocolError(
+                        "bad_request",
+                        f"Content-Length {content_length} outside "
+                        f"[0, {MAX_LINE_BYTES}]",
+                    )
         body = b""
         if content_length > 0:
             body = await asyncio.wait_for(
@@ -556,10 +637,10 @@ class QuantileService:
                 )
             except (TimeoutError, asyncio.TimeoutError):
                 continue
-            self._apply_batch(state, values, future)
+            await self._apply_batch(state, values, future)
             queue.task_done()
 
-    def _apply_batch(
+    async def _apply_batch(
         self,
         state: TenantState,
         values: list[float],
@@ -597,14 +678,45 @@ class QuantileService:
         state.batches_applied += 1
         state.since_checkpoint += len(values)
         self.metrics.counter("ingested_values_total").increment(len(values))
+        if not future.done():
+            future.set_result(len(values))
         if (
             self.registry.durable
             and state.since_checkpoint >= self.config.checkpoint_interval
         ):
-            self.registry.flush(state)
-            self.metrics.counter("checkpoint_flushes_total").increment()
-        if not future.done():
-            future.set_result(len(values))
+            try:
+                await self._flush_tenant(state)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # The batch itself applied; a failed interval flush
+                # costs checkpoint freshness, not correctness.  The
+                # element counter stays high, so the next batch retries.
+                self.metrics.counter(
+                    "checkpoint_flush_failures_total", tenant=state.name
+                ).increment()
+
+    async def _flush_tenant(self, state: TenantState) -> str:
+        """Checkpoint one tenant without stalling the event loop.
+
+        ``registry.flush`` serialises, writes, and fsyncs; running it in
+        the default executor keeps a slow disk from freezing every other
+        tenant's handlers for the duration.  The per-tenant lock
+        serialises concurrent flushes (an interval flush racing an
+        explicit ``snapshot persist``) so the rotation chain is never
+        written twice at once, and the shielded, tracked future lets
+        shutdown wait out an in-flight write before its final sweep.
+        """
+        lock = self._flush_locks.setdefault(state.name, asyncio.Lock())
+        async with lock:
+            flush_future = asyncio.get_running_loop().run_in_executor(
+                None, self.registry.flush, state
+            )
+            self._pending_flushes.add(flush_future)
+            flush_future.add_done_callback(self._pending_flushes.discard)
+            path = await asyncio.shield(flush_future)
+        self.metrics.counter("checkpoint_flushes_total").increment()
+        return path
 
     async def _op_ingest(
         self, request: Request, deadline: Deadline
@@ -782,9 +894,8 @@ class QuantileService:
                     "persist requested but the service has no "
                     "checkpoint directory",
                 )
-            extra["checkpoint"] = self.registry.flush(state)
+            extra["checkpoint"] = await self._flush_tenant(state)
             extra["generations_kept"] = self.config.keep_generations
-            self.metrics.counter("checkpoint_flushes_total").increment()
         body = self.registry.describe(state)
         body.update(extra)
         return body

@@ -22,6 +22,7 @@ import time
 import pytest
 
 from repro.core.params import Plan
+from repro.core.unknown_n import UnknownNQuantiles
 from repro.runtime import (
     PoolWorkerError,
     available_start_methods,
@@ -365,6 +366,49 @@ class TestShutdownEscalation:
         err = PoolWorkerError({}, leaked={2: "outlived join(5s); reaped by SIGTERM"})
         assert "escalate past SIGTERM" in str(err)
         assert "worker 2" in str(err)
+
+
+class TestLeakSurfacing:
+    """A leaked worker is reported even when every result arrived."""
+
+    def _merge(self, leaked, *, strict):
+        est = UnknownNQuantiles(plan=POOL_PLAN, seed=1)
+        est.extend([float(i) for i in range(2_000)])
+        return pool_mod._merge_pool(
+            [est.snapshot()],
+            [pool_mod.WorkerReport(worker_id=0, n=2_000)],
+            {},
+            policy=None,
+            master_seed=3,
+            backend_name="python",
+            strict=strict,
+            expected_n=2_000,
+            start_method="fork",
+            ingest_seconds=0.1,
+            leaked=leaked,
+        )
+
+    def test_clean_run_has_empty_leaked(self):
+        assert self._merge(None, strict=True).leaked == {}
+
+    def test_reaped_escalation_rides_on_successful_result(self):
+        leaked = {0: "ignored SIGTERM; reaped by SIGKILL"}
+        result = self._merge(leaked, strict=True)
+        assert result.leaked == leaked
+        assert result.n == 2_000  # the merge itself still succeeded
+
+    def test_sigkill_survivor_raises_in_strict_mode(self):
+        leaked = {0: "pid 123 survived SIGKILL; process leaked"}
+        with pytest.raises(PoolWorkerError) as excinfo:
+            self._merge(leaked, strict=True)
+        assert excinfo.value.lost == {}
+        assert excinfo.value.leaked == leaked
+        assert "escalate past SIGTERM" in str(excinfo.value)
+
+    def test_sigkill_survivor_tolerated_when_degraded(self):
+        leaked = {0: "pid 123 survived SIGKILL; process leaked"}
+        result = self._merge(leaked, strict=False)
+        assert result.leaked == leaked
 
 
 class TestArgumentValidation:

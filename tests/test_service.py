@@ -129,6 +129,11 @@ class TestHttpShim:
         with pytest.raises(ProtocolError, match="no route"):
             http_request_to_request("GET", "/quantiles", b"")
 
+    def test_non_numeric_phi_is_bad_request_not_a_crash(self):
+        with pytest.raises(ProtocolError, match="phi='abc'") as excinfo:
+            http_request_to_request("GET", "/query?tenant=t&phi=abc", b"")
+        assert excinfo.value.code == "bad_request"
+
     def test_retry_after_header_on_429(self):
         raw = encode_http_response(429, b"{}")
         assert b"Retry-After: 1\r\n" in raw
@@ -606,6 +611,56 @@ class TestServerEndToEnd:
 
         _serve(flow, chaos=chaos)
 
+    def test_large_legal_ingest_line_is_accepted(self):
+        # A max_batch-sized ingest is one JSON line far beyond asyncio's
+        # 64 KiB default stream limit; the server must read and apply
+        # it, not die with an unhandled LimitOverrunError.
+        values = [float(i % 1_000) for i in range(20_000)]
+
+        async def flow(service, host, port):
+            line = json.dumps(
+                {"op": "ingest", "tenant": "t", "values": values}
+            ).encode()
+            assert len(line) > 64 * 1024  # bigger than the asyncio default
+            ingest, query = await _call(
+                host,
+                port,
+                {"op": "ingest", "tenant": "t", "values": values},
+                {"op": "query_many", "tenant": "t", "phis": [0.5]},
+            )
+            assert ingest["ok"] is True
+            assert ingest["accepted"] == len(values)
+            assert query["ok"] is True
+
+        _serve(flow)
+
+    def test_oversized_line_answered_with_bad_request_then_closed(self):
+        async def flow(service, host, port):
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES
+            )
+            try:
+                writer.write(b"x" * (MAX_LINE_BYTES + 2048) + b"\n")
+                with contextlib.suppress(ConnectionError):
+                    await asyncio.wait_for(writer.drain(), 15.0)
+                line = await asyncio.wait_for(reader.readline(), 15.0)
+                response = json.loads(line)
+                assert response["ok"] is False
+                assert response["error"]["code"] == "bad_request"
+                assert "exceeds" in response["error"]["message"]
+                # Framing is lost after an overrun: the connection closes.
+                tail = await asyncio.wait_for(reader.read(), 15.0)
+                assert tail == b""
+            finally:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+            # The server survives for the next client.
+            (health,) = await _call(host, port, {"op": "health"})
+            assert health["ok"] is True
+
+        _serve(flow)
+
     def test_drain_refuses_new_work_but_answers_probes(self):
         async def flow(service, host, port):
             service._draining = True
@@ -759,6 +814,31 @@ class TestHttpShimEndToEnd:
 
         _serve(flow)
 
+    def test_non_numeric_phi_gets_400_not_a_dropped_connection(self):
+        async def flow(service, host, port):
+            status, _head, body = await _http(
+                host,
+                port,
+                b"GET /query?tenant=t&phi=abc HTTP/1.1\r\nHost: x\r\n\r\n",
+            )
+            assert status == 400
+            assert json.loads(body)["error"]["code"] == "bad_request"
+
+        _serve(flow)
+
+    def test_absurd_content_length_gets_400(self):
+        async def flow(service, host, port):
+            status, _head, body = await _http(
+                host,
+                port,
+                b"POST /ingest?tenant=t HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 999999999999\r\n\r\n",
+            )
+            assert status == 400
+            assert json.loads(body)["error"]["code"] == "bad_request"
+
+        _serve(flow)
+
 
 class TestCrashSafetyInProcess:
     def test_graceful_shutdown_then_restart_is_bit_identical(self, tmp_path):
@@ -797,6 +877,99 @@ class TestCrashSafetyInProcess:
                 await service.shutdown(flush=False)
 
         asyncio.run(second())
+
+    def test_shutdown_concludes_despite_one_tenant_flush_failure(self, tmp_path):
+        config = ServiceConfig(
+            checkpoint_dir=str(tmp_path), checkpoint_interval=10**9
+        )
+
+        async def first():
+            service = QuantileService(config)
+            host, port = await service.start()
+            await _call(
+                host,
+                port,
+                {"op": "ingest", "tenant": "bad", "values": [9.0]},
+                {"op": "ingest", "tenant": "good",
+                 "values": [1.0, 2.0, 3.0]},
+            )
+            real_flush = service.registry.flush
+
+            def flaky(state):
+                if state.name == "bad":
+                    raise OSError("disk full")
+                return real_flush(state)
+
+            service.registry.flush = flaky
+            # The failing tenant must not hang shutdown or starve the
+            # healthy tenant's final flush.
+            await asyncio.wait_for(service.shutdown(), timeout=15.0)
+            assert service._stopped.is_set()
+            failures = service.metrics.counter(
+                "checkpoint_flush_failures_total", tenant="bad"
+            )
+            assert failures.value == 1
+
+        asyncio.run(first())
+
+        async def second():
+            service = QuantileService(config)
+            await service.start()
+            try:
+                assert service.recovery.restored == ["good"]
+                assert service.registry.get("good").n == 3
+            finally:
+                await service.shutdown(flush=False)
+
+        asyncio.run(second())
+
+    def test_shutdown_sets_stopped_even_when_a_step_raises(self, tmp_path):
+        config = ServiceConfig(checkpoint_dir=str(tmp_path))
+
+        async def flow():
+            service = QuantileService(config)
+            host, port = await service.start()
+            await _call(host, port,
+                        {"op": "ingest", "tenant": "t", "values": [1.0]})
+
+            def explode():
+                raise RuntimeError("broken close path")
+
+            service._server.close = explode
+            with pytest.raises(RuntimeError, match="broken close path"):
+                await service.shutdown()
+            # The failure still concluded the shutdown: waiters unblock
+            # instead of hanging until SIGKILL.
+            assert service._stopped.is_set()
+            await asyncio.wait_for(service.wait_stopped(), timeout=1.0)
+
+        asyncio.run(flow())
+
+    def test_interval_flush_runs_off_loop_and_persists(self, tmp_path):
+        config = ServiceConfig(
+            checkpoint_dir=str(tmp_path), checkpoint_interval=4
+        )
+
+        async def flow(service, host, port):
+            (ingest,) = await _call(
+                host,
+                port,
+                {"op": "ingest", "tenant": "t",
+                 "values": [1.0, 2.0, 3.0, 4.0, 5.0]},
+            )
+            assert ingest["ok"] is True
+            flushes = service.metrics.counter("checkpoint_flushes_total")
+            for _ in range(500):  # the flush completes asynchronously
+                if flushes.value >= 1:
+                    break
+                await asyncio.sleep(0.01)
+            assert flushes.value >= 1
+            state = service.registry.get("t")
+            assert state.since_checkpoint == 0
+            assert state.last_good_snapshot is not None
+            assert Path(service.registry.checkpoint_path("t")).exists()
+
+        _serve(flow, config=config)
 
     def test_torn_live_checkpoint_recovers_from_prior_generation(self, tmp_path):
         config = ServiceConfig(
