@@ -10,15 +10,26 @@ coordinator merge time for W in {1, 2, 4}.  The simulated
 per-worker slices so the real pool's accuracy is checked against both
 the union ground truth and its single-process twin.
 
+Both transports run over the same worker grid: ``"bytes"`` (CRC-framed
+snapshot blobs on the result queue — the original engine) and ``"shm"``
+(persistent workers ingesting into a shared-memory arena segment and
+shipping ``(slot, length, weight, level)`` offset descriptors).  Every
+row carries a per-phase breakdown — spawn ms, plan ms, ingest ms,
+shipped bytes, merge ms — so a scaling regression points at the phase
+that caused it.
+
 Shape claims:
 
 * every worker ships at most one full + one partial buffer — asserted
   from ``MergeReport.shipments``, i.e. measured on the wire;
-* shipped bytes are tiny next to the input (KBs vs MBs);
+* shipped bytes are tiny next to the input (KBs vs MBs), and the shm
+  path ships only descriptor-sized payloads (no float64 blobs at all);
+* both transports give bit-identical quantiles for the same seed;
 * real and simulated pools are both within 2 eps of the union;
 * with >= 4 physical cores, the 4-worker pool ingests >= 3x faster than
-  the 1-worker pool (criterion recorded as skipped on smaller hosts —
-  a 1-core container cannot exhibit multi-core scaling).
+  the 1-worker pool and the shm path scales monotonically (criteria
+  recorded as skipped on smaller hosts — a 1-core container cannot
+  exhibit multi-core scaling).
 
 This file is also a standalone script::
 
@@ -62,6 +73,10 @@ SMOKE_N = 200_000
 PRE_ARENA_SHIPPED_BYTES = {1: 64_783, 2: 135_370, 4: 294_302}
 SHIPPED_REDUCTION_REQUIRED = 3.0
 
+#: The shm path ships offset descriptors, not payloads; anything above
+#: this per worker means a float64 blob snuck back onto the queue.
+DESCRIPTOR_BYTES_PER_WORKER_MAX = 1_024
+
 
 def _make_file(directory: str, n: int, seed: int = 47) -> str:
     rng = random.Random(seed)
@@ -73,9 +88,12 @@ def _make_file(directory: str, n: int, seed: int = 47) -> str:
 def _pool_stats(result) -> dict:
     return {
         "elems_per_s": round(result.elements_per_second, 1),
-        "ingest_seconds": round(result.ingest_seconds, 4),
+        # Per-phase breakdown: where the wall time of one run went.
+        "spawn_ms": round(result.spawn_seconds * 1_000, 3),
+        "ingest_ms": round(result.ingest_seconds * 1_000, 3),
         "merge_ms": round(result.merge_seconds * 1_000, 3),
         "shipped_bytes": result.shipped_bytes,
+        "transport": result.transport,
         "shipped_buffers": result.report.shipped_buffers,
         "within_communication_bound": result.report.within_communication_bound,
         "weight_coverage": result.report.weight_coverage,
@@ -108,7 +126,9 @@ def run_scale(
     backend = backend or (
         "numpy" if "numpy" in available_backends() else "python"
     )
+    plan_started = time.perf_counter()
     plan = plan_parameters(EPS, DELTA)
+    plan_ms = (time.perf_counter() - plan_started) * 1_000
     out: dict = {
         "bench": "parallel_scale",
         "n": n,
@@ -116,7 +136,11 @@ def run_scale(
         "delta": DELTA,
         "backend": backend,
         "cpu_count": os.cpu_count(),
+        # Planning happens once in the coordinator and is shipped to the
+        # workers as part of the work spec; it is never per-worker cost.
+        "plan_ms": round(plan_ms, 3),
         "workers": {},
+        "workers_shm": {},
     }
     with tempfile.TemporaryDirectory(prefix="repro-scale-") as tmp:
         path = _make_file(tmp, n)
@@ -140,6 +164,27 @@ def run_scale(
             stats = _pool_stats(result)
             stats["worst_err_over_n"] = round(_worst_error(result, union), 6)
             out["workers"][str(workers)] = stats
+            shm_result = run_pool_on_file(
+                path,
+                workers,
+                plan=plan,
+                seed=seed,
+                backend=backend,
+                start_method=start_method,
+                timeout=600,
+                transport="shm",
+            )
+            assert shm_result.n == n
+            shm_stats = _pool_stats(shm_result)
+            shm_stats["worst_err_over_n"] = round(
+                _worst_error(shm_result, union), 6
+            )
+            # Same seed, different transport: the answers must agree bit
+            # for bit, or the zero-copy path changed the math.
+            shm_stats["bit_identical_to_bytes"] = (
+                shm_result.query_many(PHIS) == result.query_many(PHIS)
+            )
+            out["workers_shm"][str(workers)] = shm_stats
         out["start_method"] = result.start_method
         # Accuracy twin: the simulated pool on the same slices as the
         # widest real pool (folds bench_parallel's check into this bench).
@@ -151,11 +196,21 @@ def run_scale(
             "seconds": round(time.perf_counter() - twin_started, 3),
         }
     rates = {w: out["workers"][str(w)]["elems_per_s"] for w in WORKER_GRID}
+    shm_rates = {
+        w: out["workers_shm"][str(w)]["elems_per_s"] for w in WORKER_GRID
+    }
     speedup = rates[4] / rates[1]
     cores = out["cpu_count"] or 1
     shipped_reduction = min(
         PRE_ARENA_SHIPPED_BYTES[w] / out["workers"][str(w)]["shipped_bytes"]
         for w in WORKER_GRID
+    )
+    shm_descriptor_worst = max(
+        out["workers_shm"][str(w)]["shipped_bytes"] / w for w in WORKER_GRID
+    )
+    shm_monotone = all(
+        shm_rates[b] >= shm_rates[a]
+        for a, b in zip(WORKER_GRID, WORKER_GRID[1:])
     )
     out["pre_arena_baseline"] = {
         "shipped_bytes": {str(w): PRE_ARENA_SHIPPED_BYTES[w] for w in WORKER_GRID}
@@ -194,12 +249,43 @@ def run_scale(
             "required": SHIPPED_REDUCTION_REQUIRED,
             "pass": shipped_reduction >= SHIPPED_REDUCTION_REQUIRED,
         },
+        # The shm path must ship only offset descriptors: a few hundred
+        # bytes of plain ints per worker, never a float64 payload.
+        "shm_descriptor_only_shipping": {
+            "measured": round(shm_descriptor_worst, 1),
+            "required": DESCRIPTOR_BYTES_PER_WORKER_MAX,
+            "pass": shm_descriptor_worst <= DESCRIPTOR_BYTES_PER_WORKER_MAX,
+        },
+        "shm_bit_identical_to_bytes": {
+            "measured": all(
+                out["workers_shm"][str(w)]["bit_identical_to_bytes"]
+                for w in WORKER_GRID
+            ),
+            "required": True,
+            "pass": all(
+                out["workers_shm"][str(w)]["bit_identical_to_bytes"]
+                for w in WORKER_GRID
+            ),
+        },
         "four_worker_speedup_vs_one": {
             "measured": round(speedup, 2),
             "required": 3.0,
             "pass": speedup >= 3.0,
             # Multi-core scaling cannot be exhibited on < 4 cores; the
             # measurement is still recorded, the criterion is waived.
+            "skipped": cores < 4,
+            "skip_reason": (
+                f"host has {cores} core(s); >= 4 needed to measure scaling"
+                if cores < 4
+                else None
+            ),
+        },
+        # The headline claim of the shared-memory rebuild: adding workers
+        # never makes the shm path slower (monotone elems/s over the grid).
+        "shm_monotone_speedup": {
+            "measured": {str(w): shm_rates[w] for w in WORKER_GRID},
+            "required": "monotone non-decreasing",
+            "pass": shm_monotone,
             "skipped": cores < 4,
             "skip_reason": (
                 f"host has {cores} core(s); >= 4 needed to measure scaling"
@@ -215,18 +301,25 @@ def _scale_table(result: dict) -> list[str]:
     rows = [
         [
             w,
+            stats["transport"],
             f"{stats['elems_per_s']:,.0f}",
+            f"{stats['spawn_ms']:.1f}",
+            f"{stats['ingest_ms']:.1f}",
             f"{stats['merge_ms']:.2f}",
             str(stats["shipped_bytes"]),
             str(stats["shipped_buffers"]),
             f"{stats['worst_err_over_n']:.5f}",
         ]
-        for w, stats in result["workers"].items()
+        for table in ("workers", "workers_shm")
+        for w, stats in result[table].items()
     ]
     lines = format_table(
         [
             "workers",
+            "transport",
             "elems/s",
+            "spawn ms",
+            "ingest ms",
             "merge ms",
             "shipped bytes",
             "buffers",
@@ -255,6 +348,10 @@ def test_parallel_scale_real_processes(benchmark):
     assert criteria["per_worker_shipment_bound"]["pass"]
     assert criteria["real_pool_within_2eps"]["pass"]
     assert criteria["simulated_twin_within_2eps"]["pass"]
+    # Transport-independent correctness is hardware-independent: assert
+    # it even on small hosts.
+    assert criteria["shm_bit_identical_to_bytes"]["pass"]
+    assert criteria["shm_descriptor_only_shipping"]["pass"]
     # Speedup is hardware-dependent; under pytest only the recorded shape
     # is checked (the standalone full run enforces it on capable hosts).
     assert criteria["four_worker_speedup_vs_one"]["measured"] > 0
@@ -275,6 +372,13 @@ def main(argv=None) -> int:
         choices=["fork", "spawn", "forkserver"],
         default=None,
         help="multiprocessing start method (default: platform default)",
+    )
+    parser.add_argument(
+        "--enforce-monotone",
+        action="store_true",
+        help="fail (even under --smoke) if the shm path's elems/s is not "
+        "monotone over the worker grid; no-op on < 4-core hosts, where "
+        "the criterion is recorded as skipped",
     )
     parser.add_argument(
         "--out",
@@ -299,6 +403,14 @@ def main(argv=None) -> int:
         ]
         if failed:
             print(f"FAILED criteria: {failed}")
+            return 1
+    if args.enforce_monotone:
+        monotone = result["criteria"]["shm_monotone_speedup"]
+        if not monotone["pass"] and not monotone.get("skipped"):
+            print(
+                "FAILED criteria: ['shm_monotone_speedup'] "
+                f"(rates: {monotone['measured']})"
+            )
             return 1
     return 0
 

@@ -241,6 +241,7 @@ class ShardSupervisor:
         start_method: str | None = None,
         chunk_values: int = CHUNK_VALUES,
         timeout: float | None = None,
+        transport: str = "bytes",
     ) -> SupervisorResult:
         """Host a real multi-process ingest pool over a float64 file.
 
@@ -271,9 +272,22 @@ class ShardSupervisor:
             default).
         :param start_method: multiprocessing start method (``"fork"``,
             ``"spawn"``, ``"forkserver"``; None = platform default).
+        :param transport: ``"bytes"`` (default) spawns a fresh process
+            per shard per retry round and ships CRC-framed snapshot
+            blobs; ``"shm"`` hosts one
+            :class:`~repro.runtime.persistent.PersistentPool` across
+            *all* retry rounds — workers persist between attempts (dead
+            ones are respawned at the next dispatch), ingest into a
+            shared-memory segment, and ship offset descriptors.  A lost
+            segment region degrades exactly like a lost worker: the
+            shard's item errors, the round counts it lost, and the
+            retry/surrender accounting above applies unchanged.  Fixed
+            seeds give bit-identical answers under both transports.
         """
         from repro.runtime.pool import run_file_shards
 
+        if transport not in ("bytes", "shm"):
+            raise ValueError(f"unknown transport {transport!r}")
         backend_name = get_backend(backend).name
         method = (
             start_method
@@ -299,64 +313,115 @@ class ShardSupervisor:
                 return None
             return overall_deadline - time.monotonic()
 
-        for attempt in range(1, self._max_ship_attempts + 1):
-            if not pending:
-                break
-            if attempt > 1:
-                remaining = remaining_budget()
-                if remaining is not None and remaining <= 0:
-                    break  # budget spent: surrender the pending shards
-                self._backoff(attempt, max_delay=remaining)
-                self.stats.restarts += len(pending)
-            remaining = remaining_budget()
-            if remaining is not None and remaining <= 0:
-                break
-            fail_after: dict[int, int] = {}
-            for shard_id in pending:
-                planned = self._faults.crash_at.get(shard_id)
-                if planned is not None and self._faults.take_crash(
-                    shard_id, planned
-                ):
-                    fail_after[shard_id] = planned
-            round_delivered, _lost, _leaked, _seconds = run_file_shards(
-                path,
-                ranges,
-                pending,
+        pool = None
+        if transport == "shm":
+            from repro.runtime.persistent import PersistentPool
+
+            # One persistent pool hosts every retry round: workers (and
+            # the shared segment) survive between attempts, and only the
+            # shards still pending are re-dispatched.
+            pool = PersistentPool(
+                self._num_shards,
                 plan=self._plan,
-                policy_name=policy_name,
-                backend_name=backend_name,
-                master_seed=self._pool_seed,
+                policy=self._policy,
+                seed=self._pool_seed,
+                backend=backend_name,
                 start_method=method,
                 chunk_values=chunk_values,
-                timeout=remaining,
-                fail_after=fail_after,
             )
-            for shard_id, (snapshot, n, _bytes, _secs) in round_delivered.items():
-                delivered[shard_id] = snapshot
-                delivered_n[shard_id] = n
-                self.stats.ships_delivered += 1
+        try:
+            for attempt in range(1, self._max_ship_attempts + 1):
+                if not pending:
+                    break
                 if attempt > 1:
-                    # A retried slice is re-consumed from byte zero.
-                    self.stats.replayed_elements += n
-            pending = sorted(set(pending) - set(round_delivered))
-        self.stats.shards_lost = pending
-        if pending and self._strict:
-            raise ShardLostError(
-                f"shards {pending} were lost after {self._max_ship_attempts} "
-                "pool attempts; construct the supervisor with strict=False "
-                "to serve a partial answer with a MergeReport"
+                    remaining = remaining_budget()
+                    if remaining is not None and remaining <= 0:
+                        break  # budget spent: surrender the pending shards
+                    self._backoff(attempt, max_delay=remaining)
+                    self.stats.restarts += len(pending)
+                remaining = remaining_budget()
+                if remaining is not None and remaining <= 0:
+                    break
+                fail_after: dict[int, int] = {}
+                for shard_id in pending:
+                    planned = self._faults.crash_at.get(shard_id)
+                    if planned is not None and self._faults.take_crash(
+                        shard_id, planned
+                    ):
+                        fail_after[shard_id] = planned
+                if pool is not None:
+                    round_delivered, _lost, _seconds = pool.run_file_shards(
+                        path,
+                        ranges,
+                        pending,
+                        master_seed=self._pool_seed,
+                        timeout=remaining,
+                        fail_after=fail_after,
+                    )
+                else:
+                    round_delivered, _lost, _leaked, _seconds, _spawn = (
+                        run_file_shards(
+                            path,
+                            ranges,
+                            pending,
+                            plan=self._plan,
+                            policy_name=policy_name,
+                            backend_name=backend_name,
+                            master_seed=self._pool_seed,
+                            start_method=method,
+                            chunk_values=chunk_values,
+                            timeout=remaining,
+                            fail_after=fail_after,
+                        )
+                    )
+                for shard_id, (
+                    snapshot,
+                    n,
+                    _bytes,
+                    _secs,
+                ) in round_delivered.items():
+                    delivered[shard_id] = snapshot
+                    delivered_n[shard_id] = n
+                    self.stats.ships_delivered += 1
+                    if attempt > 1:
+                        # A retried slice is re-consumed from byte zero.
+                        self.stats.replayed_elements += n
+                pending = sorted(set(pending) - set(round_delivered))
+            self.stats.shards_lost = pending
+            if pending and self._strict:
+                raise ShardLostError(
+                    f"shards {pending} were lost after "
+                    f"{self._max_ship_attempts} pool attempts; construct "
+                    "the supervisor with strict=False to serve a partial "
+                    "answer with a MergeReport"
+                )
+            snapshots: list[EstimatorSnapshot | None] = [
+                delivered.get(shard_id) for shard_id in range(self._num_shards)
+            ]
+            # Under shm transport the snapshots are zero-copy views into
+            # the pool's segment, so the merge must complete before the
+            # pool (and with it the segment) is torn down below.
+            summary = merge_snapshots(
+                snapshots,
+                policy=self._policy,
+                seed=self._merge_seed,
+                strict=False,
+                expected_n=expected_n,
+                backend=backend_name,
             )
-        snapshots: list[EstimatorSnapshot | None] = [
-            delivered.get(shard_id) for shard_id in range(self._num_shards)
-        ]
-        summary = merge_snapshots(
-            snapshots,
-            policy=self._policy,
-            seed=self._merge_seed,
-            strict=False,
-            expected_n=expected_n,
-            backend=backend_name,
-        )
+        finally:
+            if pool is not None:
+                # The merge above copied everything it kept, so drop every
+                # reference to the zero-copy snapshot views before tearing
+                # the segment down — a mapping cannot close while views
+                # are exported.  ``snapshot`` is the dispatch loop's
+                # unpack target: it pins the last-iterated snapshot in
+                # this frame, so it must be cleared like the containers.
+                delivered.clear()
+                round_delivered = None  # noqa: F841
+                snapshots = None  # noqa: F841
+                snapshot = None  # noqa: F841
+                pool.close()
         assert summary.report is not None
         return SupervisorResult(
             summary=summary, report=summary.report, stats=self.stats

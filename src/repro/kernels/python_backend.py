@@ -230,6 +230,14 @@ class PythonBackend(KernelBackend):
         packed = values if isinstance(values, array) else array("d", values)
         storage[offset : offset + len(packed)] = packed
 
+    def wrap_values(self, buffer: Any, count: int) -> memoryview:
+        # The shared-memory mode's storage: a float64-typed memoryview
+        # over the raw segment bytes.  write_slot's slice assignment and
+        # slot_view's re-slicing both work on it unchanged, so sort and
+        # Collapse run in place on the shared mapping.
+        view: memoryview = memoryview(buffer).cast("d")
+        return view[:count]
+
     def slot_view(self, storage: Any, offset: int, length: int) -> memoryview:
         # A memoryview slice of the array('d'): random-access floats with
         # no per-element objects until an element is actually read.

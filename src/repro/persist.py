@@ -110,13 +110,36 @@ _CHECKPOINTABLE = {
 }
 
 
+def _keep_columnar(data: Sequence[float]) -> Any:
+    """Preserve a float column's packed form on its way into a state dict.
+
+    ``array('d')``, float64 ``memoryview``\\ s (heap arenas and
+    shared-memory arena views alike), and float64 ndarrays all pass
+    through untouched — :func:`_hoist_floats` hoists each with a single
+    ``tobytes`` memcpy, so checkpointing a snapshot never boxes its
+    floats into PyObjects.  Anything else degrades to a plain list.
+    """
+    if isinstance(data, array) and data.typecode == "d":
+        return data
+    if isinstance(data, memoryview) and data.format == "d":
+        return data
+    if (
+        getattr(data, "dtype", None) is not None
+        and str(getattr(data, "dtype")) == "float64"
+    ):
+        return data
+    return list(data)
+
+
 def _snapshot_to_state_dict(snap: EstimatorSnapshot) -> dict[str, Any]:
     """EstimatorSnapshot is a frozen value object; serialised field-wise."""
     return {
         "kind": "snapshot",
         "state_version": STATE_VERSION,
-        "full_buffers": [[list(data), weight] for data, weight in snap.full_buffers],
-        "staged": list(snap.staged),
+        "full_buffers": [
+            [_keep_columnar(data), weight] for data, weight in snap.full_buffers
+        ],
+        "staged": _keep_columnar(snap.staged),
         "rate": snap.rate,
         "pending": list(snap.pending) if snap.pending is not None else None,
         "n": snap.n,
@@ -124,14 +147,26 @@ def _snapshot_to_state_dict(snap: EstimatorSnapshot) -> dict[str, Any]:
     }
 
 
+def _as_float_array(data: Any) -> "array[float]":
+    """A packed ``array('d')`` of ``data``, reusing it when already packed."""
+    if isinstance(data, array) and data.typecode == "d":
+        return data
+    return array("d", (float(v) for v in data))
+
+
 def _snapshot_from_state_dict(state: dict[str, Any]) -> EstimatorSnapshot:
     pending = state["pending"]
+    staged = state["staged"]
     return EstimatorSnapshot(
         full_buffers=[
-            (array("d", (float(v) for v in data)), int(weight))
+            (_as_float_array(data), int(weight))
             for data, weight in state["full_buffers"]
         ],
-        staged=[float(v) for v in state["staged"]],
+        staged=(
+            staged.tolist()
+            if isinstance(staged, array)
+            else [float(v) for v in staged]
+        ),
         rate=int(state["rate"]),
         pending=(float(pending[0]), int(pending[1])) if pending is not None else None,
         n=int(state["n"]),
@@ -200,6 +235,13 @@ def _hoist_floats(value: Any, blob: bytearray) -> Any:
     types round-trip exactly.  ``bool`` is excluded despite being an
     ``int`` subclass because it is never a float; ``numpy.float64``
     qualifies because it *is* a ``float`` subclass.
+
+    Packed float64 containers — ``array('d')``, one-dimensional
+    ``'d'``-format memoryviews (heap or shared-memory arena views), and
+    float64 ndarrays — hoist as one ``tobytes`` memcpy each, never
+    boxing elements; this is what lets a coordinator checkpoint
+    snapshots whose buffers are zero-copy views into a
+    :mod:`repro.runtime.shm` segment at memcpy speed.
     """
     if isinstance(value, dict):
         return {key: _hoist_floats(sub, blob) for key, sub in value.items()}
@@ -211,8 +253,25 @@ def _hoist_floats(value: Any, blob: bytearray) -> Any:
             return _hoist_column(array("d", seq), blob)
         return [_hoist_floats(sub, blob) for sub in seq]
     if isinstance(value, memoryview):
+        if value.format == "d" and value.ndim == 1:
+            if sys.byteorder != "little":  # pragma: no cover - BE hosts
+                return _hoist_column(array("d", value), blob)
+            offset = len(blob)
+            blob += value.tobytes()
+            return {_F64_KEY: [offset, value.nbytes // 8]}
         return _hoist_floats(value.tolist(), blob)
-    tolist = getattr(value, "tolist", None)  # ndarray, without importing numpy
+    dtype = getattr(value, "dtype", None)  # ndarray, without importing numpy
+    if (
+        dtype is not None
+        and str(dtype) == "float64"
+        and getattr(value, "ndim", None) == 1
+    ):
+        if sys.byteorder != "little":  # pragma: no cover - BE hosts
+            return _hoist_column(array("d", value.tobytes()), blob)
+        offset = len(blob)
+        blob += value.tobytes()
+        return {_F64_KEY: [offset, int(value.size)]}
+    tolist = getattr(value, "tolist", None)
     if tolist is not None and not isinstance(value, (str, bytes, bytearray)):
         return _hoist_floats(tolist(), blob)
     return value

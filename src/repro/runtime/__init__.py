@@ -6,14 +6,25 @@ A stream (or a disk-resident float64 file) is sharded across ``W`` worker
 processes, each running one independent
 :class:`~repro.core.unknown_n.UnknownNQuantiles` with a deterministic
 per-worker seed; at end of stream every worker performs its final
-Collapse and ships a CRC-framed snapshot — at most one full and at most
-one partial buffer, the Section 6 communication bound, measured in bytes
-on the wire — back to the coordinator, which runs the existing
-weight-matched :func:`~repro.core.parallel.merge_snapshots`.
+Collapse and ships — at most one full and at most one partial buffer,
+the Section 6 communication bound, measured on the wire — back to the
+coordinator, which runs the existing weight-matched
+:func:`~repro.core.parallel.merge_snapshots`.
 
-See :mod:`repro.runtime.pool` for the engine itself.
+Two transports carry the shipment:
+
+* ``"bytes"`` — each worker sends one CRC-framed snapshot blob over the
+  result queue (:mod:`repro.runtime.pool`, the original engine);
+* ``"shm"`` — workers ingest directly into a shared-memory arena segment
+  and send ``(slot, length, weight, level)`` offset descriptors instead
+  (:mod:`repro.runtime.shm` + :mod:`repro.runtime.persistent`), with the
+  worker processes themselves persistent and reusable across runs.
+
+Fixed seeds give bit-identical answers under either transport, any start
+method, and any run count.
 """
 
+from repro.runtime.persistent import PersistentPool
 from repro.runtime.pool import (
     PoolResult,
     PoolWorkerError,
@@ -23,12 +34,25 @@ from repro.runtime.pool import (
     run_pool_on_stream,
     seed_for_worker,
 )
+from repro.runtime.shm import (
+    SEGMENT_PREFIX,
+    ArenaSegment,
+    PoolLayout,
+    ShipDescriptor,
+    list_segments,
+)
 
 __all__ = [
+    "ArenaSegment",
+    "PersistentPool",
+    "PoolLayout",
     "PoolResult",
     "PoolWorkerError",
+    "SEGMENT_PREFIX",
+    "ShipDescriptor",
     "WorkerReport",
     "available_start_methods",
+    "list_segments",
     "run_pool_on_file",
     "run_pool_on_stream",
     "seed_for_worker",

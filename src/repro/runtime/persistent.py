@@ -1,0 +1,609 @@
+"""Persistent worker pools over a shared-memory arena segment.
+
+The PR 3 pool pays three per-run taxes that Section 6 does not require:
+process spawn for every run, per-worker re-planning, and a CRC-framed
+float64 blob per worker on the result queue.  This module removes all
+three:
+
+* **Workers are spawned once** (:class:`PersistentPool`) and fed work
+  items over lightweight control queues, so batch ``i+1`` reuses the
+  processes batch ``i`` warmed up — spawn and import cost are amortised
+  across a whole ingest campaign, and the join → SIGTERM → SIGKILL
+  shutdown escalation of the one-shot pool is preserved at
+  :meth:`PersistentPool.close`.
+* **Workers ingest directly into a coordinator-visible shared-memory
+  segment** (:mod:`repro.runtime.shm`): each worker's estimator runs its
+  buffer arena *inside* its region of the pool's one named segment
+  (``arena_buffer=``), and its condensed snapshot is written to two ship
+  slots of the same region.
+* **"Shipping" is an offset descriptor, not bytes.**  What crosses the
+  result queue is ``(slot, length, weight, level)`` plus a few scalars —
+  a few hundred pickled bytes regardless of ``k`` — and the coordinator
+  reconstructs each snapshot from zero-copy slices of the segment it
+  already has mapped.
+
+Determinism is unchanged from the one-shot pool: work item seeds come
+from the same SHA-256 :func:`~repro.runtime.pool.seed_for_worker`
+derivation and the coordinator merge consumes the same float64 bits, so
+a fixed-seed run is bit-identical across runs, start methods, *and*
+against the legacy byte-shipping transport.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any
+
+from repro.core.arena import BufferArena
+from repro.core.params import Plan
+from repro.core.parallel import condense_snapshot
+from repro.core.policy import CollapsePolicy, policy_from_name
+from repro.core.unknown_n import EstimatorSnapshot, UnknownNQuantiles
+from repro.kernels import get_backend
+from repro.runtime.pool import (
+    FAULT_EXIT_CODE,
+    _POLL_SECONDS,
+    PoolResult,
+    WorkerReport,
+    _merge_pool,
+    _plan_from_dict,
+    _plan_to_dict,
+    _reap,
+    _resolve,
+    seed_for_worker,
+)
+from repro.runtime.shm import ArenaSegment, PoolLayout, ShipDescriptor
+from repro.streams.diskfile import (
+    CHUNK_VALUES,
+    count_floats,
+    plan_byte_ranges,
+    read_float_chunks,
+)
+
+__all__ = ["PersistentPool", "ShardWorkSpec"]
+
+#: Seconds a parked worker waits on its control queue before checking
+#: whether the coordinator is still alive (orphan detection: a SIGKILLed
+#: coordinator must not leave workers parked forever, or the resource
+#: tracker can never reap the segment).
+_ORPHAN_POLL_SECONDS = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class ShardWorkSpec:
+    """Everything a persistent worker needs at spawn, as plain data.
+
+    Per-batch variation (the file slice, the seed, fault injection)
+    arrives later as work items on the control queue; this spec carries
+    only what is fixed for the worker's lifetime.
+    """
+
+    worker_id: int
+    backend: str
+    plan: dict[str, Any]
+    policy_name: str | None
+    chunk_values: int
+    #: Name of the pool's shared segment (minted by repro.runtime.shm).
+    segment: str
+    #: Total floats the segment holds (attach-time size validation).
+    segment_floats: int
+    #: First float of this worker's region within the segment.
+    region_offset: int
+    b: int
+    k: int
+    #: The coordinator's pid, for orphan detection while parked.
+    parent_pid: int
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _persistent_worker(
+    spec: ShardWorkSpec, control_queue: Any, result_queue: Any
+) -> None:
+    """A long-lived shard worker: park, ingest a work item, ship, repeat.
+
+    Work items are ``(seq, seed, path, start, stop, fail_after)``
+    tuples; ``None`` is the shutdown sentinel.  Every item is ingested
+    by a *fresh* estimator under the item's own seed, so results are
+    identical batch-over-batch to what a freshly spawned pool would
+    produce — persistence buys amortised spawn cost, never different
+    answers.
+    """
+    segment = ArenaSegment.attach(spec.segment, spec.segment_floats)
+    try:
+        while True:
+            try:
+                item = control_queue.get(timeout=_ORPHAN_POLL_SECONDS)
+            except queue_mod.Empty:
+                if os.getppid() != spec.parent_pid:
+                    # The coordinator is gone (SIGKILL); exit so the
+                    # process tree drains and the resource tracker can
+                    # reap the orphaned segment registration.
+                    return
+                continue
+            if item is None:
+                return
+            seq = int(item[0])
+            try:
+                payload = _ingest_item(spec, segment, item)
+            except Exception as exc:
+                # The *item* failed (unreadable slice, lost segment
+                # region, NaN batch); the worker itself stays up for the
+                # next item, and the coordinator accounts a lost shard.
+                result_queue.put(
+                    (
+                        spec.worker_id,
+                        seq,
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            result_queue.put((spec.worker_id, seq, "ok", payload))
+    finally:
+        # All arena/ship views are item-scoped locals, so by now nothing
+        # is exported from the mapping and the close is clean.
+        segment.close()
+
+
+def _ingest_item(
+    spec: ShardWorkSpec, segment: ArenaSegment, item: tuple[Any, ...]
+) -> dict[str, Any]:
+    """Ingest one file slice into the shm arena; return the descriptor.
+
+    The estimator's ``b * k`` arena lives in this worker's region of the
+    shared segment, so sort and Collapse already ran on coordinator-
+    visible memory; the condensed full buffer and the staged partial are
+    written to the region's two ship slots and *described*, not copied,
+    in the returned payload.
+    """
+    _seq, seed, path, start, stop, fail_after = item
+    backend = get_backend(spec.backend)
+    arena_buf = segment.region(spec.region_offset, spec.b * spec.k)
+    estimator = UnknownNQuantiles(
+        plan=_plan_from_dict(spec.plan),
+        policy=(
+            policy_from_name(spec.policy_name)
+            if spec.policy_name is not None
+            else None
+        ),
+        seed=int(seed),
+        backend=backend,
+        arena_buffer=arena_buf,
+    )
+    started = time.perf_counter()
+    for chunk in read_float_chunks(
+        path, spec.chunk_values, start=int(start), stop=int(stop),
+        reuse_buffer=True,
+    ):
+        if fail_after is not None and estimator.n + len(chunk) > fail_after:
+            head = chunk[: fail_after - estimator.n]
+            if len(head):
+                estimator.update_batch(head)
+            # Die the way a killed process does: no snapshot, no cleanup.
+            os._exit(FAULT_EXIT_CODE)
+        estimator.update_batch(chunk)
+    seconds = time.perf_counter() - started
+    snap = condense_snapshot(estimator.snapshot())
+    ship = BufferArena(
+        2,
+        spec.k,
+        backend=backend,
+        buffer=segment.region(spec.region_offset + spec.b * spec.k, 2 * spec.k),
+    )
+    full: tuple[int, int, int, int] | None = None
+    if snap.full_buffers:
+        values, weight = snap.full_buffers[0]
+        ship.write(0, values, sort=False)
+        # (slot, length, weight, level): a ShipDescriptor as a tuple.
+        full = (spec.b, len(values), int(weight), 0)
+    staged: tuple[int, int] | None = None
+    if snap.staged:
+        ship.write(1, snap.staged, sort=False)
+        staged = (spec.b + 1, len(snap.staged))
+    payload: dict[str, Any] = {
+        "n": snap.n,
+        "rate": snap.rate,
+        "pending": snap.pending,
+        "full": full,
+        "staged": staged,
+        "seconds": seconds,
+    }
+    # What actually crosses the queue: offsets and scalars.  Measured on
+    # the same pickle the queue uses, so the communication-bound
+    # accounting stays *measured*, now in descriptor bytes.
+    payload["descriptor_bytes"] = len(pickle.dumps(payload))
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+class PersistentPool:
+    """A spawn-once worker pool ingesting into one shared-memory segment.
+
+    Construction resolves the plan, creates the segment, and starts all
+    ``num_workers`` processes; :meth:`run_file` can then be called any
+    number of times — each call deals the file's byte ranges to the
+    already-running workers and merges the descriptor-addressed results.
+    Workers that died (crash, injected fault) are respawned lazily at
+    the next dispatch, which is what the supervisor's retry rounds lean
+    on.  Always :meth:`close` (or use ``with``): that is what tears the
+    segment down.
+
+    :param num_workers: worker processes (= shards per run).
+    :param eps, delta: accuracy contract (or pass ``plan``).
+    :param plan: explicit parameter plan; overrides eps/delta planning.
+    :param policy: collapse policy (default: the paper's MRL policy).
+    :param seed: master seed for per-item worker seeds and the merge;
+        fresh entropy when ``None``.  Fixed seeds make every
+        :meth:`run_file` bit-identical to the legacy byte-shipping pool
+        under the same seed.
+    :param backend: kernel backend name/instance for every worker.
+    :param start_method: multiprocessing start method (``None`` =
+        platform default).
+    :param chunk_values: values per read chunk in the workers' scans.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        eps: float | None = None,
+        delta: float | None = None,
+        plan: Plan | None = None,
+        policy: CollapsePolicy | None = None,
+        seed: int | None = None,
+        backend: Any = None,
+        start_method: str | None = None,
+        chunk_values: int = CHUNK_VALUES,
+    ) -> None:
+        plan, policy_name, backend_name, master_seed, method = _resolve(
+            num_workers, eps, delta, plan, policy, backend, seed, start_method
+        )
+        self._plan = plan
+        self._policy = policy
+        self._policy_name = policy_name
+        self._backend_name = backend_name
+        self._seed = master_seed
+        self._method = method
+        self._chunk_values = chunk_values
+        self._num_workers = num_workers
+        self._layout = PoolLayout(num_workers=num_workers, b=plan.b, k=plan.k)
+        self._segment = ArenaSegment.create(self._layout.total_floats)
+        try:
+            self._ctx = mp.get_context(method)
+            self._result_queue: Any = self._ctx.Queue()
+            self._control: dict[int, Any] = {
+                wid: self._ctx.Queue() for wid in range(num_workers)
+            }
+            self._procs: dict[int, mp.process.BaseProcess] = {}
+            self._seq = 0
+            self._closed = False
+            self._respawns = 0
+            self._errors: dict[int, str] = {}
+            started = time.perf_counter()
+            for wid in range(num_workers):
+                self._spawn(wid)
+            self._spawn_seconds = time.perf_counter() - started
+        except BaseException:
+            # A half-built pool must not leak workers or its segment:
+            # reap and destroy before the exception leaves the
+            # constructor (close() needs a fully initialised instance,
+            # so it cannot run here).
+            _reap(getattr(self, "_procs", {}))
+            self._segment.destroy()
+            raise
+
+    # -- introspection -------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Workers the pool was sized for (= shards per run)."""
+        return self._num_workers
+
+    @property
+    def segment_name(self) -> str:
+        """Name of the pool's shared-memory segment."""
+        return self._segment.name
+
+    @property
+    def seed(self) -> int:
+        """The resolved master seed runs default to."""
+        return self._seed
+
+    @property
+    def start_method(self) -> str:
+        """The resolved multiprocessing start method."""
+        return self._method
+
+    @property
+    def spawn_seconds(self) -> float:
+        """One-time cost of starting the worker processes.
+
+        The number the persistence amortises: a campaign of ``R`` runs
+        pays it once instead of ``R`` times.
+        """
+        return self._spawn_seconds
+
+    @property
+    def respawns(self) -> int:
+        """Workers restarted after a death (retry rounds, faults)."""
+        return self._respawns
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has torn the pool down."""
+        return self._closed
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, wid: int) -> None:
+        spec = ShardWorkSpec(
+            worker_id=wid,
+            backend=self._backend_name,
+            plan=_plan_to_dict(self._plan),
+            policy_name=self._policy_name,
+            chunk_values=self._chunk_values,
+            segment=self._segment.name,
+            segment_floats=self._layout.total_floats,
+            region_offset=self._layout.region_offset(wid),
+            b=self._plan.b,
+            k=self._plan.k,
+            parent_pid=os.getpid(),
+        )
+        process = self._ctx.Process(
+            target=_persistent_worker,
+            args=(spec, self._control[wid], self._result_queue),
+            name=f"repro-shmpool-{wid}",
+        )
+        process.start()
+        self._procs[wid] = process
+
+    def _ensure_workers(self, worker_ids: list[int]) -> None:
+        """Respawn any dead worker about to receive a work item."""
+        for wid in worker_ids:
+            process = self._procs.get(wid)
+            if process is not None and process.is_alive():
+                continue
+            if process is not None:
+                process.join(timeout=0)
+                self._respawns += 1
+            self._spawn(wid)
+
+    def close(self) -> dict[int, str]:
+        """Shut the pool down: sentinels, escalating reap, segment gone.
+
+        Returns the same ``{worker_id: what_it_took}`` leak accounting
+        as the one-shot pool's shutdown (empty when every worker left on
+        the polite join).  Idempotent.
+        """
+        if self._closed:
+            return {}
+        self._closed = True
+        for wid, control in self._control.items():
+            process = self._procs.get(wid)
+            if process is not None and process.is_alive():
+                control.put(None)
+        leaked = _reap(self._procs)
+        for control in self._control.values():
+            control.close()
+            control.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+        self._segment.destroy()
+        return leaked
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # -- dispatch / collect --------------------------------------------
+    def run_file_shards(
+        self,
+        path: str | os.PathLike[str],
+        ranges: list[tuple[int, int]],
+        worker_ids: list[int],
+        *,
+        master_seed: int | None = None,
+        timeout: float | None = None,
+        fail_after: dict[int, int] | None = None,
+    ) -> tuple[
+        dict[int, tuple[EstimatorSnapshot, int, int, float]],
+        dict[int, int | None],
+        float,
+    ]:
+        """One dispatch round over a subset of workers; no merging.
+
+        The persistent twin of
+        :func:`repro.runtime.pool.run_file_shards`, and the building
+        block the supervisor retries: returns ``(delivered, lost,
+        seconds)`` with ``delivered[wid] = (snapshot, n,
+        descriptor_bytes, ingest_seconds)``.  Snapshots are **zero-copy
+        views into the pool's segment** — valid until worker ``wid``
+        runs its next item or the pool closes, so merge before either.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        seed = self._seed if master_seed is None else master_seed
+        self._ensure_workers(worker_ids)
+        started = time.perf_counter()
+        expected: dict[int, int] = {}
+        for wid in worker_ids:
+            self._seq += 1
+            start, stop = ranges[wid]
+            expected[wid] = self._seq
+            self._control[wid].put(
+                (
+                    self._seq,
+                    seed_for_worker(seed, wid),
+                    os.fspath(path),
+                    start,
+                    stop,
+                    (fail_after or {}).get(wid),
+                )
+            )
+        results, lost = self._collect(expected, timeout)
+        seconds = time.perf_counter() - started
+        delivered: dict[int, tuple[EstimatorSnapshot, int, int, float]] = {}
+        for wid, payload in results.items():
+            delivered[wid] = (
+                self._snapshot_from_payload(wid, payload),
+                int(payload["n"]),
+                int(payload["descriptor_bytes"]),
+                float(payload["seconds"]),
+            )
+        return delivered, lost, seconds
+
+    def _collect(
+        self, expected: dict[int, int], timeout: float | None
+    ) -> tuple[dict[int, dict[str, Any]], dict[int, int | None]]:
+        """Wait for each expected (worker, seq) to ship or die."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results: dict[int, dict[str, Any]] = {}
+        lost: dict[int, int | None] = {}
+        pending = set(expected)
+        while pending:
+            try:
+                wid, seq, kind, payload = self._result_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_mod.Empty:
+                for wid in sorted(pending):
+                    process = self._procs[wid]
+                    if not process.is_alive() and process.exitcode is not None:
+                        lost[wid] = process.exitcode
+                        pending.discard(wid)
+                if deadline is not None and time.monotonic() > deadline:
+                    for wid in sorted(pending):
+                        # A straggler mid-item is wedged; terminate it and
+                        # let the next dispatch respawn a fresh worker.
+                        self._procs[wid].terminate()
+                        lost[wid] = None
+                    pending.clear()
+            else:
+                if expected.get(wid) != seq:
+                    continue  # stale ship from a timed-out earlier round
+                if kind == "error":
+                    self._errors[wid] = str(payload)
+                    lost[wid] = None
+                else:
+                    results[wid] = payload
+                pending.discard(wid)
+        return results, lost
+
+    def _snapshot_from_payload(
+        self, wid: int, payload: dict[str, Any]
+    ) -> EstimatorSnapshot:
+        """Descriptor -> snapshot over zero-copy slices of the segment."""
+        backend = get_backend(self._backend_name)
+        k = self._plan.k
+        full_buffers: list[tuple[Any, int]] = []
+        if payload["full"] is not None:
+            descriptor = ShipDescriptor(*payload["full"])
+            offset = self._layout.slot_offset(wid, descriptor.slot)
+            view = backend.wrap_values(
+                self._segment.region(offset, descriptor.length),
+                descriptor.length,
+            )
+            full_buffers.append((view, descriptor.weight))
+        staged: list[float] = []
+        if payload["staged"] is not None:
+            slot, length = payload["staged"]
+            offset = self._layout.slot_offset(wid, int(slot))
+            staged = backend.tolist(
+                backend.wrap_values(
+                    self._segment.region(offset, int(length)), int(length)
+                )
+            )
+        pending = payload["pending"]
+        return EstimatorSnapshot(
+            full_buffers=full_buffers,
+            staged=staged,
+            rate=int(payload["rate"]),
+            pending=(
+                (float(pending[0]), int(pending[1]))
+                if pending is not None
+                else None
+            ),
+            n=int(payload["n"]),
+            k=k,
+        )
+
+    # -- the one-call driver -------------------------------------------
+    def run_file(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        seed: int | None = None,
+        strict: bool = True,
+        timeout: float | None = None,
+        fail_after: dict[int, int] | None = None,
+    ) -> PoolResult:
+        """Parallel one-pass ingest of a float64 file; reusable.
+
+        Semantics match :func:`repro.runtime.run_pool_on_file` (strict
+        mode, degraded merges, Section 6 shipment accounting) with two
+        differences: worker processes are reused across calls, and
+        ``shipped_bytes`` counts *descriptor* bytes because no float64
+        payload crosses the queue.
+        """
+        master_seed = self._seed if seed is None else seed
+        expected_n = count_floats(path)
+        ranges = plan_byte_ranges(path, self._num_workers)
+        respawns_before = self._respawns
+        spawn_started = time.perf_counter()
+        self._ensure_workers(list(range(self._num_workers)))
+        respawn_seconds = time.perf_counter() - spawn_started
+        delivered, lost, ingest_seconds = self.run_file_shards(
+            path,
+            ranges,
+            list(range(self._num_workers)),
+            master_seed=master_seed,
+            timeout=timeout,
+            fail_after=fail_after,
+        )
+        snapshots: list[EstimatorSnapshot | None] = [None] * self._num_workers
+        reports = [WorkerReport(worker_id=wid) for wid in range(self._num_workers)]
+        for wid, (snapshot, n, shipped_bytes, seconds) in delivered.items():
+            snapshots[wid] = snapshot
+            reports[wid].n = n
+            reports[wid].shipped_bytes = shipped_bytes
+            reports[wid].ingest_seconds = seconds
+        for wid, exitcode in lost.items():
+            reports[wid].lost = True
+            reports[wid].exitcode = exitcode
+        result = _merge_pool(
+            snapshots,
+            reports,
+            lost,
+            policy=self._policy,
+            master_seed=master_seed,
+            backend_name=self._backend_name,
+            strict=strict,
+            expected_n=expected_n,
+            start_method=self._method,
+            ingest_seconds=ingest_seconds,
+            leaked={},
+        )
+        result.transport = "shm"
+        # Spawn cost attributable to *this* run: respawns only — the
+        # initial spawn is the pool's one-time cost (`spawn_seconds`).
+        result.spawn_seconds = (
+            respawn_seconds if self._respawns > respawns_before else 0.0
+        )
+        return result

@@ -291,6 +291,13 @@ class PoolResult:
         to workers that later died).
     :ivar ingest_seconds: wall time from pool start to the last result.
     :ivar merge_seconds: wall time of the coordinator merge.
+    :ivar spawn_seconds: wall time spent starting worker processes for
+        this run — the whole spawn for the one-shot drivers, respawns
+        only under a reused :class:`~repro.runtime.persistent.
+        PersistentPool` (whose one-time spawn cost lives on the pool).
+    :ivar transport: how snapshots crossed the process boundary —
+        ``"bytes"`` (CRC-framed blobs on the queue) or ``"shm"``
+        (offset descriptors into a shared-memory segment).
     :ivar leaked: workers whose shutdown had to escalate past a plain
         join (worker id -> what it took to reap them); non-empty even on
         a successful merge, so an escalation is never silently dropped.
@@ -304,6 +311,8 @@ class PoolResult:
     start_method: str = ""
     ingest_seconds: float = 0.0
     merge_seconds: float = 0.0
+    spawn_seconds: float = 0.0
+    transport: str = "bytes"
     leaked: dict[int, str] = field(default_factory=dict)
 
     @property
@@ -536,6 +545,7 @@ def run_file_shards(
     dict[int, int | None],
     dict[int, str],
     float,
+    float,
 ]:
     """One attempt at a set of byte-range workers; no merging, no policy.
 
@@ -545,11 +555,13 @@ def run_file_shards(
     fresh process under the *same* derived seed, so a retried shard's
     snapshot is bit-identical to one that never failed).
 
-    Returns ``(delivered, lost, leaked, seconds)`` where
+    Returns ``(delivered, lost, leaked, seconds, spawn_seconds)`` where
     ``delivered[wid] = (snapshot, n, shipped_bytes, ingest_seconds)``,
     ``lost[wid]`` is the exit code of a worker that died without
-    shipping a verifiable frame, and ``leaked`` records workers whose
-    shutdown had to escalate past a plain join (see :func:`_reap`).
+    shipping a verifiable frame, ``leaked`` records workers whose
+    shutdown had to escalate past a plain join (see :func:`_reap`), and
+    ``spawn_seconds`` is the process-start phase alone — the per-run tax
+    a :class:`~repro.runtime.persistent.PersistentPool` amortises away.
     """
     ctx = mp.get_context(start_method)
     result_queue = ctx.Queue()
@@ -576,6 +588,7 @@ def run_file_shards(
         )
         process.start()
         procs[wid] = process
+    spawn_seconds = time.perf_counter() - started
     results, lost, leaked = _collect(procs, result_queue, timeout)
     seconds = time.perf_counter() - started
     result_queue.close()
@@ -587,7 +600,7 @@ def run_file_shards(
             lost[wid] = None  # corrupt frame: the shard is lost, not trusted
             continue
         delivered[wid] = (snapshot, n, len(frame), secs)
-    return delivered, lost, leaked, seconds
+    return delivered, lost, leaked, seconds, spawn_seconds
 
 
 def run_pool_on_file(
@@ -605,6 +618,7 @@ def run_pool_on_file(
     chunk_values: int = CHUNK_VALUES,
     timeout: float | None = None,
     fail_after: dict[int, int] | None = None,
+    transport: str = "bytes",
 ) -> PoolResult:
     """Parallel one-pass ingest of a float64 file across real processes.
 
@@ -623,13 +637,49 @@ def run_pool_on_file(
         dead ones, so a killed worker can never hang the pool.
     :param fail_after: ``{worker_id: n}`` fault injection — that worker
         hard-exits after ingesting ``n`` elements (tests, benchmarks).
+    :param transport: ``"bytes"`` (default) ships CRC-framed snapshot
+        blobs over the result queue; ``"shm"`` runs the same shards on a
+        one-shot :class:`~repro.runtime.persistent.PersistentPool`, so
+        workers ingest into a shared-memory segment and ship offset
+        descriptors instead.  Same seed => bit-identical answers either
+        way; only the data plane differs.
     """
+    if transport not in ("bytes", "shm"):
+        raise ValueError(f"unknown transport {transport!r}")
     plan, policy_name, backend_name, master_seed, method = _resolve(
         num_workers, eps, delta, plan, policy, backend, seed, start_method
     )
+    if transport == "shm":
+        # Late import: persistent builds on this module.
+        from repro.runtime.persistent import PersistentPool
+
+        shm_pool = PersistentPool(
+            num_workers,
+            plan=plan,
+            policy=policy,
+            seed=master_seed,
+            backend=backend_name,
+            start_method=method,
+            chunk_values=chunk_values,
+        )
+        try:
+            result = shm_pool.run_file(
+                path, strict=strict, timeout=timeout, fail_after=fail_after
+            )
+            # One-shot use: this run *does* pay the spawn, so surface it.
+            result.spawn_seconds = shm_pool.spawn_seconds
+        finally:
+            leaked = shm_pool.close()
+        if leaked:
+            result.leaked.update(leaked)
+            if strict and any(
+                _SURVIVED_SIGKILL in what for what in leaked.values()
+            ):
+                raise PoolWorkerError({}, result.leaked)
+        return result
     expected_n = count_floats(path)
     ranges = plan_byte_ranges(path, num_workers)
-    delivered, lost, leaked, ingest_seconds = run_file_shards(
+    delivered, lost, leaked, ingest_seconds, spawn_seconds = run_file_shards(
         path,
         ranges,
         range(num_workers),
@@ -652,7 +702,7 @@ def run_pool_on_file(
     for wid, exitcode in lost.items():
         reports[wid].lost = True
         reports[wid].exitcode = exitcode
-    return _merge_pool(
+    result = _merge_pool(
         snapshots,
         reports,
         lost,
@@ -665,6 +715,8 @@ def run_pool_on_file(
         ingest_seconds=ingest_seconds,
         leaked=leaked,
     )
+    result.spawn_seconds = spawn_seconds
+    return result
 
 
 def _iter_chunks(
@@ -737,6 +789,7 @@ def run_pool_on_stream(
         )
         process.start()
         procs[wid] = process
+    spawn_seconds = time.perf_counter() - started
 
     def feed(wid: int, item: Any) -> None:
         """Bounded put that drops instead of blocking on a dead worker."""
@@ -776,7 +829,7 @@ def run_pool_on_stream(
         chunk_queue.close()
         chunk_queue.cancel_join_thread()
     snapshots, reports = _load_snapshots(results, lost, num_workers)
-    return _merge_pool(
+    result = _merge_pool(
         snapshots,
         reports,
         lost,
@@ -789,3 +842,5 @@ def run_pool_on_stream(
         ingest_seconds=ingest_seconds,
         leaked=leaked,
     )
+    result.spawn_seconds = spawn_seconds
+    return result

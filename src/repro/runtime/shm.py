@@ -1,0 +1,317 @@
+"""Shared-memory arena segments: the zero-copy data plane of the pool.
+
+One named :class:`multiprocessing.shared_memory.SharedMemory` segment
+holds every worker's buffer arena *and* its two "ship slots" (one full
+buffer, one staged partial).  Workers attach by name and ingest directly
+into their region; "shipping" a condensed snapshot then means sending a
+``(slot, length, weight)`` offset descriptor over the result queue — a
+few hundred bytes of plain ints — instead of a CRC-framed float64 blob.
+The coordinator, which created the segment and keeps it mapped, builds
+its merged view from zero-copy slices of the very same bytes.
+
+Lifecycle rules (enforced by the replint ``spawn-safety`` pass, RPL205/
+RPL206):
+
+* the *owner* (coordinator) creates the segment and must both
+  ``close()`` and ``unlink()`` it on every exit path;
+* *attachers* (workers) must ``close()`` their mapping and never
+  ``unlink()`` — nor touch the resource tracker, whose one shared set
+  entry per name belongs to the owner (see :meth:`ArenaSegment.attach`);
+* segment names always carry :data:`SEGMENT_PREFIX` and are minted only
+  here, so a leak scan of ``/dev/shm`` is conclusive and no other
+  module can hardcode a name.
+
+Crash safety: if the coordinator is SIGKILLed before ``unlink()``, its
+registration with the multiprocessing resource tracker survives in the
+tracker process, which unlinks the segment when the process tree exits —
+the orphan is reaped by the runtime, not left for an operator.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from types import TracebackType
+
+from repro.core.arena import FLOAT_BYTES
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "ArenaSegment",
+    "PoolLayout",
+    "ShipDescriptor",
+    "list_segments",
+]
+
+#: Every segment minted by this module starts with this prefix; leak
+#: tests and the replint literal rule key off it.
+SEGMENT_PREFIX = "repro-arena-"
+
+#: Monotone counter distinguishing segments minted by one process.
+_COUNTER = itertools.count()
+
+
+def _mint_name() -> str:
+    """A unique segment name: prefix + pid + counter + entropy.
+
+    The entropy guards against pid reuse across coordinator generations;
+    it is *naming* randomness, not sampling randomness, so it does not
+    touch any seeded RNG stream.
+    """
+    return (
+        f"{SEGMENT_PREFIX}{os.getpid()}-{next(_COUNTER)}-{secrets.token_hex(4)}"
+    )
+
+
+def list_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of live segments under ``/dev/shm`` carrying ``prefix``.
+
+    The leak-test primitive: after any clean shutdown this must be empty
+    for the names a run minted.  On platforms without a ``/dev/shm``
+    filesystem the scan degrades to an empty answer.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(entry for entry in entries if entry.startswith(prefix))
+
+
+@dataclass(frozen=True, slots=True)
+class ShipDescriptor:
+    """One shipped buffer as offsets into the segment: no payload bytes.
+
+    ``slot`` indexes the owning worker's region (its arena slots first,
+    then the full ship slot, then the staged ship slot), ``length`` the
+    live element count, ``weight`` the per-element weight, and ``level``
+    the buffer's collapse level (0 after a worker's final condense).
+    """
+
+    slot: int
+    length: int
+    weight: int
+    level: int
+
+
+class ArenaSegment:
+    """A named shared-memory segment with owner/attacher lifecycle.
+
+    Exactly one process — the owner — creates (and later unlinks) the
+    segment; any number of workers attach by name and only close.  Both
+    roles support the context-manager protocol, which is the shape the
+    replint lifecycle rule expects every use site to have.
+    """
+
+    __slots__ = ("_shm", "_owner", "_floats")
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, *, owner: bool, floats: int
+    ) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self._owner = owner
+        self._floats = floats
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(cls, floats: int) -> "ArenaSegment":
+        """Owner side: mint a name and create a zeroed segment."""
+        if floats < 1:
+            raise ValueError(f"segment needs at least 1 float, got {floats}")
+        shm = shared_memory.SharedMemory(
+            name=_mint_name(), create=True, size=floats * FLOAT_BYTES
+        )
+        return cls(shm, owner=True, floats=floats)
+
+    @classmethod
+    def attach(cls, name: str, floats: int) -> "ArenaSegment":
+        """Worker side: map an existing segment by name.
+
+        On Python < 3.13 the attach re-registers the name with the
+        multiprocessing resource tracker.  That is harmless — pool
+        workers share the coordinator's tracker process (its fd is
+        inherited under ``fork`` and passed in the preparation data
+        under ``spawn``), and the tracker's per-type cache is a *set*,
+        so the re-registration is an idempotent no-op.  Crucially the
+        worker must **not** ``unregister`` to compensate: one shared
+        set entry backs owner and attachers alike, so an eager worker
+        unregister would erase the owner's registration — the very
+        thing that lets the tracker reap the segment if the coordinator
+        is SIGKILLed before ``unlink()`` — and concurrent unregisters
+        raise ``KeyError`` noise in the tracker.  The entry is removed
+        exactly once, by the owner's ``unlink()``.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        segment = cls(shm, owner=False, floats=floats)
+        if segment.nbytes < floats * FLOAT_BYTES:
+            segment.close()
+            raise ValueError(
+                f"segment {name!r} holds {shm.size} bytes; expected at "
+                f"least {floats * FLOAT_BYTES}"
+            )
+        return segment
+
+    # -- introspection -------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The portable segment name workers attach to."""
+        shm = self._require()
+        return shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Mapped size in bytes (the OS may round up to a page)."""
+        shm = self._require()
+        return shm.size
+
+    @property
+    def floats(self) -> int:
+        """Capacity in float64 elements the segment was sized for."""
+        return self._floats
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` (or :meth:`destroy`) has run."""
+        return self._shm is None
+
+    # -- the zero-copy currency ----------------------------------------
+    def region(self, offset_floats: int, count_floats: int) -> memoryview:
+        """Writable byte view of ``count_floats`` float64s at an offset.
+
+        This is what backs a :class:`~repro.core.arena.BufferArena` in
+        shared mode (``buffer=``) and what descriptor-addressed reads
+        slice on the coordinator side.
+        """
+        if offset_floats < 0 or count_floats < 0:
+            raise ValueError("region offsets must be non-negative")
+        if offset_floats + count_floats > self._floats:
+            raise ValueError(
+                f"region [{offset_floats}, {offset_floats + count_floats}) "
+                f"outside segment of {self._floats} floats"
+            )
+        shm = self._require()
+        start = offset_floats * FLOAT_BYTES
+        stop = start + count_floats * FLOAT_BYTES
+        return shm.buf[start:stop]
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent).
+
+        Owners must also :meth:`unlink`; :meth:`destroy` does both.
+        """
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            with contextlib.suppress(BufferError, OSError):
+                shm.close()
+
+    def unlink(self) -> None:
+        """Remove the name from the system (owner only; idempotent-ish).
+
+        Safe to call after :meth:`close` — the name, not the mapping, is
+        what gets removed.  A missing name (already reaped) is ignored.
+        """
+        if not self._owner:
+            raise RuntimeError(
+                "only the owning process may unlink a segment; workers "
+                "close their mapping and leave the name to the owner"
+            )
+        shm = self._shm
+        if shm is None:
+            return
+        with contextlib.suppress(FileNotFoundError):
+            shm.unlink()
+
+    def destroy(self) -> None:
+        """Owner teardown: unlink the name, then drop the mapping."""
+        if self._owner:
+            self.unlink()
+        self.close()
+
+    def _require(self) -> shared_memory.SharedMemory:
+        if self._shm is None:
+            raise ValueError("segment is closed")
+        return self._shm
+
+    def __enter__(self) -> "ArenaSegment":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if self._owner:
+            self.destroy()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._shm is None:
+            return "ArenaSegment(closed)"
+        role = "owner" if self._owner else "attached"
+        return f"ArenaSegment({self.name!r}, {role}, floats={self._floats})"
+
+
+@dataclass(frozen=True, slots=True)
+class PoolLayout:
+    """Where each worker's floats live inside the pool's one segment.
+
+    Worker ``w`` owns a contiguous region of ``(b + 2) * k`` floats:
+    ``b`` arena slots its estimator ingests into, then two *ship slots*
+    the worker writes its condensed snapshot to — slot index ``b`` for
+    the merged full buffer, ``b + 1`` for the staged partial.  Slot
+    indices inside a region are exactly what :class:`ShipDescriptor`
+    carries.
+    """
+
+    num_workers: int
+    b: int
+    k: int
+
+    @property
+    def region_floats(self) -> int:
+        """Floats per worker region: ``b`` arena slots + 2 ship slots."""
+        return (self.b + 2) * self.k
+
+    @property
+    def total_floats(self) -> int:
+        """Segment capacity for the whole pool."""
+        return self.num_workers * self.region_floats
+
+    #: Slot index (within a region) of the condensed full buffer.
+    @property
+    def full_slot(self) -> int:
+        return self.b
+
+    #: Slot index (within a region) of the staged partial buffer.
+    @property
+    def staged_slot(self) -> int:
+        return self.b + 1
+
+    def region_offset(self, worker_id: int) -> int:
+        """First float of ``worker_id``'s region."""
+        self._check(worker_id)
+        return worker_id * self.region_floats
+
+    def arena_offset(self, worker_id: int) -> int:
+        """First float of the worker's ``b * k`` ingest arena."""
+        return self.region_offset(worker_id)
+
+    def slot_offset(self, worker_id: int, slot: int) -> int:
+        """First float of one slot of a worker's region."""
+        if not 0 <= slot < self.b + 2:
+            raise ValueError(
+                f"slot {slot} outside region of {self.b + 2} slots"
+            )
+        return self.region_offset(worker_id) + slot * self.k
+
+    def _check(self, worker_id: int) -> None:
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(
+                f"worker {worker_id} outside pool of {self.num_workers}"
+            )

@@ -94,6 +94,10 @@ _CLOSE_TIMEOUT_SECONDS = 5.0
 #: is 64 KiB, far below what a max_batch ingest line legally needs.
 _STREAM_LIMIT_BYTES = MAX_LINE_BYTES + 1024
 
+#: Distinct phi tuples memoised per tenant between mutations; the cache
+#: is cleared on every ingest, so this only bounds one quiet period.
+_QUERY_CACHE_MAX_ENTRIES = 64
+
 
 class ShuttingDown(Exception):
     """The server is draining; new work is explicitly refused."""
@@ -677,6 +681,9 @@ class QuantileService:
         self.metrics.gauge("breaker_open", tenant=state.name).set(0.0)
         state.batches_applied += 1
         state.since_checkpoint += len(values)
+        # Eagerly drop memoised answers (the version check would catch a
+        # stale read anyway; this frees the memory at mutation time).
+        state.query_cache.clear()
         self.metrics.counter("ingested_values_total").increment(len(values))
         if not future.done():
             future.set_result(len(values))
@@ -798,18 +805,53 @@ class QuantileService:
             raise ProtocolError(
                 "no_data", f"tenant {state.name!r} holds no elements yet"
             )
+        return {
+            "tenant": state.name,
+            "quantiles": self._cached_query_many(state, phis, deadline),
+            "n": state.n,
+            "degraded": False,
+        }
+
+    def _cached_query_many(
+        self, state: TenantState, phis: list[float], deadline: Deadline
+    ) -> list[float]:
+        """Answer a phi list, memoised per tenant between mutations.
+
+        The engine already memoises its merged view per mutation (so a
+        burst of queries pays one merge); this layer sits above it and
+        skips even the binary searches when an identical phi tuple
+        repeats — the common shape for dashboards polling a fixed
+        quantile set.  Keyed on :meth:`TenantState.mutation_version`, so
+        any ingest (staged or deposited) invalidates; the degraded read
+        path never touches it.
+        """
+        version = state.mutation_version()
+        if state.query_cache_version != version:
+            state.query_cache.clear()
+            state.query_cache_version = version
+        key = tuple(phis)
+        cached = state.query_cache.get(key)
+        if cached is not None:
+            self.metrics.counter(
+                "query_cache_hits_total", tenant=state.name
+            ).increment()
+            return list(cached)
+        self.metrics.counter(
+            "query_cache_misses_total", tenant=state.name
+        ).increment()
         quantiles: list[float] = []
         for phi in phis:
             # The deadline propagates *into* the query work: a multi-phi
             # request re-checks its budget before every quantile.
             deadline.check(f"querying phi={phi:g}")
             quantiles.append(state.estimator.query(phi))
-        return {
-            "tenant": state.name,
-            "quantiles": quantiles,
-            "n": state.n,
-            "degraded": False,
-        }
+        if len(state.query_cache) >= _QUERY_CACHE_MAX_ENTRIES:
+            # FIFO bound: drop the oldest phi tuple (dict preserves
+            # insertion order) so a scan of unique requests cannot grow
+            # the cache without limit inside one quiet period.
+            state.query_cache.pop(next(iter(state.query_cache)))
+        state.query_cache[key] = list(quantiles)
+        return quantiles
 
     def _degraded_query(
         self, state: TenantState, phis: list[float], deadline: Deadline

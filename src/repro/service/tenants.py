@@ -161,11 +161,31 @@ class TenantState:
     last_good_n: int = 0
     #: Generation the tenant was restored from at boot (None = fresh).
     restored_generation: int | None = None
+    #: Memoised ``query_many`` answers keyed on the requested phi tuple.
+    #: Valid only while :attr:`query_cache_version` still equals
+    #: :meth:`mutation_version`; ingest clears the dict eagerly and the
+    #: version check catches any mutation path that forgets to.
+    query_cache: dict[tuple[float, ...], list[float]] = field(
+        default_factory=dict
+    )
+    #: The ``(n, engine.version)`` pair the cached answers were computed
+    #: at.  Starts impossible so an empty tenant never reports a hit.
+    query_cache_version: tuple[int, int] = (-1, -1)
 
     @property
     def n(self) -> int:
         """Elements the live estimator has consumed."""
         return self.estimator.n
+
+    def mutation_version(self) -> tuple[int, int]:
+        """Key identifying the estimator's current answer set.
+
+        ``n`` covers staged/in-flight elements (they shift extras even
+        before a deposit) and the engine's mutation counter covers every
+        deposit and Collapse, so two equal keys guarantee bit-identical
+        query answers.
+        """
+        return (self.estimator.n, self.estimator.engine.version)
 
 
 @dataclass

@@ -678,6 +678,95 @@ class TestServerEndToEnd:
         _serve(flow)
 
 
+class TestQueryCache:
+    """The memoised query_many path: hits, misses, and invalidation."""
+
+    def test_repeat_phis_hit_the_cache(self):
+        async def flow(service, host, port):
+            responses = await _call(
+                host,
+                port,
+                {"op": "ingest", "tenant": "t", "id": 1,
+                 "values": [float(v) for v in range(100)]},
+                {"op": "query_many", "tenant": "t", "id": 2,
+                 "phis": [0.25, 0.5, 0.75]},
+                {"op": "query_many", "tenant": "t", "id": 3,
+                 "phis": [0.25, 0.5, 0.75]},
+                {"op": "query_many", "tenant": "t", "id": 4,
+                 "phis": [0.5]},  # different tuple -> its own miss
+                {"op": "metrics", "id": 5},
+            )
+            _, first, second, _, metrics = responses
+            assert second["quantiles"] == first["quantiles"]
+            counters = metrics["metrics"]["counters"]
+            assert counters['query_cache_hits_total{tenant="t"}'] == 1
+            assert counters['query_cache_misses_total{tenant="t"}'] == 2
+
+        _serve(flow)
+
+    def test_ingest_invalidates_cache(self):
+        async def flow(service, host, port):
+            responses = await _call(
+                host,
+                port,
+                {"op": "ingest", "tenant": "t", "id": 1,
+                 "values": [1.0, 2.0, 3.0]},
+                {"op": "query_many", "tenant": "t", "id": 2, "phis": [0.5]},
+                {"op": "ingest", "tenant": "t", "id": 3,
+                 "values": [100.0, 200.0, 300.0]},
+                {"op": "query_many", "tenant": "t", "id": 4, "phis": [0.5]},
+                {"op": "metrics", "id": 5},
+            )
+            _, before, _, after, metrics = responses
+            # The second query must not be served from the pre-ingest
+            # cache: the answer reflects the new elements.
+            assert after["quantiles"] != before["quantiles"]
+            assert after["n"] == 6
+            counters = metrics["metrics"]["counters"]
+            assert counters['query_cache_misses_total{tenant="t"}'] == 2
+            assert 'query_cache_hits_total{tenant="t"}' not in counters
+
+        _serve(flow)
+
+    def test_cache_is_per_tenant(self):
+        async def flow(service, host, port):
+            responses = await _call(
+                host,
+                port,
+                {"op": "ingest", "tenant": "a", "id": 1, "values": [1.0, 2.0]},
+                {"op": "ingest", "tenant": "b", "id": 2, "values": [9.0, 8.0]},
+                {"op": "query_many", "tenant": "a", "id": 3, "phis": [0.5]},
+                {"op": "query_many", "tenant": "b", "id": 4, "phis": [0.5]},
+                {"op": "metrics", "id": 5},
+            )
+            counters = responses[-1]["metrics"]["counters"]
+            # Same phi tuple, different tenants: two misses, no hits.
+            assert counters['query_cache_misses_total{tenant="a"}'] == 1
+            assert counters['query_cache_misses_total{tenant="b"}'] == 1
+
+        _serve(flow)
+
+    def test_cache_size_is_bounded(self):
+        from repro.service.server import _QUERY_CACHE_MAX_ENTRIES
+
+        async def flow(service, host, port):
+            await _call(
+                host,
+                port,
+                {"op": "ingest", "tenant": "t", "id": 0,
+                 "values": [float(v) for v in range(50)]},
+                *[
+                    {"op": "query_many", "tenant": "t", "id": i + 1,
+                     "phis": [round(0.01 + i * 0.9 / 200, 6)]}
+                    for i in range(_QUERY_CACHE_MAX_ENTRIES + 10)
+                ],
+            )
+            state = service.registry.get("t")
+            assert len(state.query_cache) <= _QUERY_CACHE_MAX_ENTRIES
+
+        _serve(flow)
+
+
 class TestCircuitBreakerEndToEnd:
     def test_breaker_flow_degraded_reads_then_probe_recovery(self, tmp_path):
         config = ServiceConfig(

@@ -1,0 +1,387 @@
+"""Tests for the shared-memory transport (repro.runtime.shm/persistent).
+
+Three promises are pinned here, mirroring the bytes-transport tests in
+``test_runtime.py`` plus the lifecycle ones only shared memory has:
+
+* **No leaks, ever** — after a clean shutdown, a worker crash, or even a
+  SIGKILLed coordinator, no ``SEGMENT_PREFIX`` segment survives in
+  ``/dev/shm``; resource-tracker leak warnings on stderr are failures.
+* **Transport-independent determinism** — a fixed seed gives the shm
+  path answers bit-identical to the bytes path, and a *reused*
+  persistent pool gives batch-over-batch answers bit-identical to fresh
+  pools.
+* **Section 6 in descriptor bytes** — the shm path ships offset
+  descriptors (a few hundred bytes), never float64 payloads, while the
+  ≤1-full + ≤1-partial accounting still holds on the wire.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.params import Plan
+from repro.runtime import (
+    ArenaSegment,
+    PersistentPool,
+    PoolLayout,
+    PoolWorkerError,
+    list_segments,
+    run_pool_on_file,
+)
+from repro.streams.diskfile import write_floats
+
+#: Same small-but-real plan as the bytes-transport tests.
+POOL_PLAN = Plan(
+    eps=0.05,
+    delta=0.01,
+    b=6,
+    k=128,
+    h=4,
+    alpha=0.5,
+    leaves_before_sampling=40,
+    leaves_per_level=12,
+    policy_name="mrl",
+)
+
+DEADLINE = 120.0
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+#: Offset descriptors are plain ints; anything bigger than this per
+#: worker means a float64 blob crossed the queue.
+DESCRIPTOR_BYTES_MAX = 1_024
+
+
+@pytest.fixture(scope="module")
+def pool_values() -> list[float]:
+    rng = random.Random(20260808)
+    return [rng.random() for _ in range(30_000)]
+
+
+@pytest.fixture(scope="module")
+def pool_file(pool_values, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("shmpool") / "values.f64"
+    write_floats(path, pool_values)
+    return str(path)
+
+
+def _segments_gone(names: list[str], timeout: float = 10.0) -> bool:
+    """Poll until none of ``names`` is live (tracker reaping is async)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        live = set(list_segments())
+        if not live.intersection(names):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestArenaSegment:
+    def test_create_region_roundtrip(self):
+        with ArenaSegment.create(16) as seg:
+            view = seg.region(4, 2).cast("d")
+            view[0] = 1.5
+            view[1] = -2.5
+            again = seg.region(4, 2).cast("d")
+            assert list(again) == [1.5, -2.5]
+            del view, again
+
+    def test_attach_sees_owner_writes(self):
+        with ArenaSegment.create(8) as seg:
+            owner = seg.region(0, 1).cast("d")
+            owner[0] = 42.0
+            del owner
+            attached = ArenaSegment.attach(seg.name, 8)
+            try:
+                assert attached.region(0, 1).cast("d")[0] == pytest.approx(42.0)
+            finally:
+                attached.close()
+
+    def test_attach_rejects_undersized_segment(self):
+        with ArenaSegment.create(4) as seg:
+            with pytest.raises(ValueError, match="expected at least"):
+                # replint: disable=spawn-safety -- raises; attach closes
+                # its own mapping on the size-check error path
+                ArenaSegment.attach(seg.name, 1_000_000)
+
+    def test_region_bounds_checked(self):
+        with ArenaSegment.create(8) as seg:
+            with pytest.raises(ValueError, match="outside segment"):
+                seg.region(4, 8)
+            with pytest.raises(ValueError, match="non-negative"):
+                seg.region(-1, 2)
+
+    def test_worker_cannot_unlink(self):
+        with ArenaSegment.create(8) as seg:
+            attached = ArenaSegment.attach(seg.name, 8)
+            try:
+                with pytest.raises(RuntimeError, match="owning process"):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+    def test_destroy_is_idempotent_and_removes_name(self):
+        seg = ArenaSegment.create(8)
+        name = seg.name
+        try:
+            assert name in list_segments()
+        finally:
+            seg.destroy()
+        assert name not in list_segments()
+        seg.destroy()  # second destroy is a no-op
+        assert seg.closed
+
+    def test_closed_segment_refuses_regions(self):
+        seg = ArenaSegment.create(8)
+        try:
+            assert not seg.closed
+        finally:
+            seg.destroy()
+        with pytest.raises(ValueError, match="closed"):
+            seg.region(0, 1)
+
+
+class TestPoolLayout:
+    def test_regions_are_disjoint_and_cover(self):
+        layout = PoolLayout(num_workers=3, b=4, k=16)
+        assert layout.region_floats == 6 * 16
+        assert layout.total_floats == 3 * 6 * 16
+        offsets = [layout.region_offset(w) for w in range(3)]
+        assert offsets == [0, 96, 192]
+
+    def test_ship_slots_follow_arena(self):
+        layout = PoolLayout(num_workers=2, b=4, k=16)
+        assert layout.full_slot == 4
+        assert layout.staged_slot == 5
+        assert layout.slot_offset(1, layout.full_slot) == 96 + 64
+        with pytest.raises(ValueError, match="outside region"):
+            layout.slot_offset(0, 6)
+        with pytest.raises(ValueError, match="outside pool"):
+            layout.region_offset(2)
+
+
+class TestShmTransport:
+    def test_bit_identical_to_bytes_transport(self, pool_file):
+        first = run_pool_on_file(
+            pool_file, 3, plan=POOL_PLAN, seed=901, timeout=DEADLINE
+        )
+        second = run_pool_on_file(
+            pool_file,
+            3,
+            plan=POOL_PLAN,
+            seed=901,
+            timeout=DEADLINE,
+            transport="shm",
+        )
+        assert second.transport == "shm"
+        assert first.query_many(PHIS) == second.query_many(PHIS)
+        assert second.n == first.n == 30_000
+
+    def test_descriptor_only_shipping(self, pool_file):
+        result = run_pool_on_file(
+            pool_file, 3, plan=POOL_PLAN, seed=11, timeout=DEADLINE,
+            transport="shm",
+        )
+        assert 0 < result.shipped_bytes <= 3 * DESCRIPTOR_BYTES_MAX
+
+    def test_communication_bound_in_descriptors(self, pool_file):
+        result = run_pool_on_file(
+            pool_file, 4, plan=POOL_PLAN, seed=5, timeout=DEADLINE,
+            transport="shm",
+        )
+        assert result.report.within_communication_bound
+        for shipment in result.report.shipments:
+            assert shipment.full_buffers <= 1
+            assert shipment.partial_buffers <= 1
+            assert shipment.within_bound
+
+    def test_unknown_transport_rejected(self, pool_file):
+        with pytest.raises(ValueError, match="transport"):
+            run_pool_on_file(
+                pool_file, 2, plan=POOL_PLAN, seed=1, transport="carrier-pigeon"
+            )
+
+    def test_no_segments_survive_run(self, pool_file):
+        run_pool_on_file(
+            pool_file, 2, plan=POOL_PLAN, seed=3, timeout=DEADLINE,
+            transport="shm",
+        )
+        assert list_segments() == []
+
+
+class TestPersistentPool:
+    def test_batches_match_fresh_pools(self, pool_file):
+        """A reused pool equals fresh pools, batch over batch."""
+        with PersistentPool(2, plan=POOL_PLAN, seed=77) as pool:
+            reused = [
+                pool.run_file(pool_file, timeout=DEADLINE).query_many(PHIS)
+                for _ in range(3)
+            ]
+        fresh = []
+        for _ in range(3):
+            with PersistentPool(2, plan=POOL_PLAN, seed=77) as pool:
+                fresh.append(
+                    pool.run_file(pool_file, timeout=DEADLINE).query_many(PHIS)
+                )
+        assert reused == fresh
+        assert reused[0] == reused[1] == reused[2]
+
+    def test_spawn_paid_once(self, pool_file):
+        with PersistentPool(2, plan=POOL_PLAN, seed=8) as pool:
+            assert pool.spawn_seconds > 0
+            first = pool.run_file(pool_file, timeout=DEADLINE)
+            second = pool.run_file(pool_file, timeout=DEADLINE)
+        # No worker died, so neither run paid any (re)spawn cost.
+        assert first.spawn_seconds == 0.0
+        assert second.spawn_seconds == 0.0
+        assert pool.respawns == 0
+
+    def test_strict_crash_raises_and_pool_recovers(self, pool_file):
+        with PersistentPool(3, plan=POOL_PLAN, seed=13) as pool:
+            baseline = pool.run_file(pool_file, timeout=DEADLINE).query_many(PHIS)
+            with pytest.raises(PoolWorkerError):
+                pool.run_file(
+                    pool_file,
+                    timeout=DEADLINE,
+                    fail_after={1: 100},
+                    strict=True,
+                )
+            # The dead worker is respawned lazily; the next run is whole
+            # and bit-identical to the pre-crash baseline.
+            after = pool.run_file(pool_file, timeout=DEADLINE)
+            assert pool.respawns >= 1
+            assert after.query_many(PHIS) == baseline
+
+    def test_degraded_merge_has_honest_coverage(self, pool_file):
+        with PersistentPool(3, plan=POOL_PLAN, seed=13) as pool:
+            result = pool.run_file(
+                pool_file,
+                timeout=DEADLINE,
+                fail_after={2: 100},
+                strict=False,
+            )
+            assert result.report.weight_coverage < 1.0
+            assert result.n < 30_000
+
+    def test_close_is_idempotent_and_destroys_segment(self, pool_file):
+        pool = PersistentPool(2, plan=POOL_PLAN, seed=4)
+        name = pool.segment_name
+        assert name in list_segments()
+        pool.close()
+        assert pool.closed
+        assert _segments_gone([name])
+        assert pool.close() == {}
+
+    def test_failed_construction_leaks_nothing(self, monkeypatch):
+        """An exception mid-constructor reaps workers and the segment."""
+        calls = {"n": 0}
+        original = PersistentPool._spawn
+
+        def exploding_spawn(self, wid):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("boom during spawn")
+            original(self, wid)
+
+        monkeypatch.setattr(PersistentPool, "_spawn", exploding_spawn)
+        before = list_segments()
+        with pytest.raises(RuntimeError, match="boom during spawn"):
+            PersistentPool(2, plan=POOL_PLAN, seed=6)
+        assert _segments_gone([n for n in list_segments() if n not in before])
+
+
+#: One scenario per lifecycle hazard; each runs in a fresh interpreter so
+#: stderr is exclusively its own (tracker warnings, BufferError noise).
+_SCENARIOS = {
+    "clean": """
+from repro.runtime import PersistentPool
+with PersistentPool(2, plan=PLAN, seed=1) as pool:
+    result = pool.run_file(PATH, timeout=60)
+    assert result.n == 30_000
+    print("SEGMENT", pool.segment_name)
+""",
+    "worker_crash": """
+from repro.runtime import PersistentPool, PoolWorkerError
+with PersistentPool(2, plan=PLAN, seed=1) as pool:
+    print("SEGMENT", pool.segment_name)
+    try:
+        pool.run_file(PATH, timeout=60, fail_after={0: 50}, strict=True)
+    except PoolWorkerError:
+        pass
+    else:
+        raise AssertionError("crash did not raise")
+""",
+    "coordinator_sigkill": """
+import os, signal
+from repro.runtime import PersistentPool
+pool = PersistentPool(2, plan=PLAN, seed=1)
+print("SEGMENT", pool.segment_name, flush=True)
+os.kill(os.getpid(), signal.SIGKILL)
+""",
+}
+
+_SCENARIO_PREAMBLE = """
+import sys
+from repro.core.params import Plan
+PLAN = Plan(
+    eps=0.05, delta=0.01, b=6, k=128, h=4, alpha=0.5,
+    leaves_before_sampling=40, leaves_per_level=12, policy_name="mrl",
+)
+PATH = sys.argv[1]
+"""
+
+
+class TestSegmentLeaks:
+    """Every exit path — polite, crashing, or SIGKILLed — reaps segments."""
+
+    def _run_scenario(self, name: str, pool_file: str):
+        proc = subprocess.run(
+            [sys.executable, "-c", _SCENARIO_PREAMBLE + _SCENARIOS[name], pool_file],
+            capture_output=True,
+            text=True,
+            timeout=DEADLINE,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        segment = None
+        for line in proc.stdout.splitlines():
+            if line.startswith("SEGMENT "):
+                segment = line.split(" ", 1)[1].strip()
+        assert segment is not None, (
+            f"scenario never printed its segment:\n{proc.stdout}\n{proc.stderr}"
+        )
+        return proc, segment
+
+    def test_clean_shutdown_reaps_segment(self, pool_file):
+        proc, segment = self._run_scenario("clean", pool_file)
+        assert proc.returncode == 0, proc.stderr
+        assert _segments_gone([segment])
+        # Resource-tracker leak warnings (or BufferError noise from
+        # lingering exports) on stderr are failures, not log spam.
+        assert proc.stderr.strip() == ""
+
+    def test_worker_crash_reaps_segment(self, pool_file):
+        proc, segment = self._run_scenario("worker_crash", pool_file)
+        assert proc.returncode == 0, proc.stderr
+        assert _segments_gone([segment])
+        assert proc.stderr.strip() == ""
+
+    def test_coordinator_sigkill_segment_reaped_by_tracker(self, pool_file):
+        """SIGKILL skips every finally: the resource tracker is the net.
+
+        The coordinator's registration outlives it in the tracker
+        process, which unlinks the orphaned segment when the process
+        tree exits.  The tracker *does* warn about the leak on stderr —
+        that warning is the one acceptable (and expected) message here,
+        because the owner never reached ``unlink()``.
+        """
+        proc, segment = self._run_scenario("coordinator_sigkill", pool_file)
+        assert proc.returncode == -signal.SIGKILL
+        assert _segments_gone([segment], timeout=30.0)
