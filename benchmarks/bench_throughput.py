@@ -9,10 +9,12 @@ baseline.
 
 This file is also a standalone script: ``python benchmarks/bench_throughput.py``
 runs the kernel-backend perf trajectory (1M-element batch ingest and
-cached-vs-uncached ``query_many`` on every available backend) and writes
-the machine-readable ``BENCH_throughput.json`` at the repo root, so the
-speedups claimed in docs/PERFORMANCE.md stay pinned to measurements.
-Use ``--smoke`` for the fast CI variant.
+cached-vs-uncached ``query_many`` on every available backend, plus a
+24M-element deep-stream ingest on the vectorised backends that pins the
+native-vs-numpy acceptance ratio) and writes the machine-readable
+``BENCH_throughput.json`` at the repo root, so the speedups claimed in
+docs/PERFORMANCE.md stay pinned to measurements.  Use ``--smoke`` for
+the fast CI variant.
 """
 
 from __future__ import annotations
@@ -49,6 +51,20 @@ PRE_ARENA_BATCH_INGEST_ELEMS_PER_S = {
     "numpy": 9_218_577.3,
 }
 ARENA_SPEEDUP_REQUIRED = {"python": 1.3, "numpy": 1.5}
+
+#: Large-stream ingest: the regime the paper targets (datasets far larger
+#: than memory).  24 one-million-element chunks at the same accuracy
+#: point as the 1M trajectory; by the later chunks the sampling rate has
+#: ramped, so block sampling resolves most elements and the per-block
+#: constant factors (RNG draw, slice, sort) dominate — which is exactly
+#: where the compiled kernels earn their keep.  The native-vs-numpy
+#: criterion is pinned here, same host, same run.
+STREAM_CHUNK_ELEMS = 1_000_000
+STREAM_CHUNKS = 24
+NATIVE_STREAM_SPEEDUP_REQUIRED = 3.0
+#: One uncached query_many(99 phis) on the native backend must fit the
+#: sub-100µs budget (full re-merge + 99 C rank walks, no memoised view).
+NATIVE_QUERY_UNCACHED_US_BUDGET = 100.0
 
 
 def make_data():
@@ -222,6 +238,21 @@ def _measure_batch_ingest(backend: str, n: int, repeats: int) -> float:
     return n / _best_of(repeats, run)
 
 
+def _measure_stream_ingest(
+    backend: str, chunk_elems: int, chunks: int, repeats: int
+) -> float:
+    """Elements per second over a deep stream of 1M-element batches."""
+    rng = random.Random(99)
+    chunk = [rng.random() for _ in range(chunk_elems)]
+
+    def run():
+        est = UnknownNQuantiles(eps=EPS, delta=DELTA, seed=1, backend=backend)
+        for _ in range(chunks):
+            est.update_batch(chunk)
+
+    return (chunk_elems * chunks) / _best_of(repeats, run)
+
+
 def _measure_query_many(backend: str, n: int, repeats: int, cached: bool) -> float:
     """Milliseconds per query_many(99 phis) between updates."""
     rng = random.Random(99)
@@ -234,7 +265,12 @@ def _measure_query_many(backend: str, n: int, repeats: int, cached: bool) -> flo
     return per_call * 1_000
 
 
-def run_perf_trajectory(n: int = 1_000_000, repeats: int = 3) -> dict:
+def run_perf_trajectory(
+    n: int = 1_000_000,
+    repeats: int = 3,
+    stream_chunk_elems: int = STREAM_CHUNK_ELEMS,
+    stream_chunks: int = STREAM_CHUNKS,
+) -> dict:
     """Measure every backend's ingest + query numbers; return the report."""
     report: dict = {
         "bench": "throughput",
@@ -261,7 +297,56 @@ def run_perf_trajectory(n: int = 1_000_000, repeats: int = 3) -> dict:
                 _measure_query_many(backend, n // 20, repeats, cached=False), 4
             ),
         }
+    # Deep-stream ingest for the vectorised backends (the native-vs-numpy
+    # acceptance regime; the python reference would add minutes for a
+    # number the 1M trajectory already tracks).
+    stream: dict = {}
+    for backend in ("numpy", "native"):
+        if backend in report["backends"]:
+            stream[backend] = round(
+                _measure_stream_ingest(
+                    backend, stream_chunk_elems, stream_chunks, repeats
+                ),
+                1,
+            )
+    report["stream_ingest"] = {
+        "chunk_elems": stream_chunk_elems,
+        "chunks": stream_chunks,
+        "elems_per_s": stream,
+    }
     criteria: dict = {}
+    if "numpy" in stream and "native" in stream:
+        ratio = stream["native"] / stream["numpy"]
+        criteria["native_stream_ingest_speedup_vs_numpy"] = {
+            "measured": round(ratio, 2),
+            "required": NATIVE_STREAM_SPEEDUP_REQUIRED,
+            "pass": ratio >= NATIVE_STREAM_SPEEDUP_REQUIRED,
+        }
+    else:
+        # Same-host comparison impossible without both backends: record
+        # the criterion as failed rather than silently dropping it.
+        criteria["native_stream_ingest_speedup_vs_numpy"] = {
+            "measured": None,
+            "required": NATIVE_STREAM_SPEEDUP_REQUIRED,
+            "pass": False,
+            "reason": "requires both the numpy and native backends",
+        }
+    if "native" in report["backends"]:
+        uncached_us = report["backends"]["native"]["query_many_uncached_ms"] * 1_000
+        criteria["native_query_many_uncached_us"] = {
+            "measured": round(uncached_us, 1),
+            "required": NATIVE_QUERY_UNCACHED_US_BUDGET,
+            "direction": "below",
+            "pass": uncached_us < NATIVE_QUERY_UNCACHED_US_BUDGET,
+        }
+    else:
+        criteria["native_query_many_uncached_us"] = {
+            "measured": None,
+            "required": NATIVE_QUERY_UNCACHED_US_BUDGET,
+            "direction": "below",
+            "pass": False,
+            "reason": "requires the native backend",
+        }
     if "numpy" in report["backends"]:
         ingest = report["backends"]["numpy"]["batch_ingest_elems_per_s"]
         speedup = ingest / SEED_BATCH_INGEST_ELEMS_PER_S
@@ -304,6 +389,16 @@ def main(argv=None) -> int:
         help="small-n fast run (CI); criteria are reported but not enforced",
     )
     parser.add_argument(
+        "--enforce",
+        choices=["all", "native", "none"],
+        default=None,
+        help="which criteria fail the run: 'all' (full-run default), "
+        "'native' (just the native-kernel acceptance pair — the "
+        "host-independent same-run ratio and the query budget; what CI "
+        "gates on, so slower runners don't trip the absolute-rate "
+        "baselines), or 'none' (smoke default; criteria still recorded)",
+    )
+    parser.add_argument(
         "--out",
         default=str(pathlib.Path(__file__).resolve().parent.parent
                     / "BENCH_throughput.json"),
@@ -313,12 +408,21 @@ def main(argv=None) -> int:
     n = 100_000 if args.smoke else 1_000_000
     # Best-of-5 on full runs: single-core CI hosts are noisy and the
     # criteria compare absolute rates against committed baselines.
-    report = run_perf_trajectory(n=n, repeats=2 if args.smoke else 5)
+    report = run_perf_trajectory(
+        n=n,
+        repeats=2 if args.smoke else 5,
+        stream_chunk_elems=100_000 if args.smoke else STREAM_CHUNK_ELEMS,
+        stream_chunks=4 if args.smoke else STREAM_CHUNKS,
+    )
     report["smoke"] = args.smoke
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
-    if not args.smoke:
-        failed = [k for k, c in report["criteria"].items() if not c["pass"]]
+    enforce = args.enforce or ("none" if args.smoke else "all")
+    if enforce != "none":
+        gated = report["criteria"]
+        if enforce == "native":
+            gated = {k: c for k, c in gated.items() if k.startswith("native_")}
+        failed = [k for k, c in gated.items() if not c["pass"]]
         if failed:
             print(f"FAILED criteria: {failed}")
             return 1

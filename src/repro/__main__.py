@@ -106,7 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
     quantile.add_argument("--seed", type=int, default=None)
     quantile.add_argument(
         "--backend",
-        choices=["python", "numpy"],
+        choices=["python", "numpy", "native"],
         default=None,
         help="kernel backend (default: $REPRO_BACKEND, else python)",
     )
@@ -129,7 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
     histogram.add_argument("--seed", type=int, default=None)
     histogram.add_argument(
         "--backend",
-        choices=["python", "numpy"],
+        choices=["python", "numpy", "native"],
         default=None,
         help="kernel backend (default: $REPRO_BACKEND, else python)",
     )

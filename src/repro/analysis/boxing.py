@@ -18,6 +18,14 @@ Codes:
 * ``RPL502`` — a ``.tolist()`` conversion call; values should stay
   columnar from ingest to query.  The kernel backends' own conversion
   surface and cold paths carry justified suppressions.
+* ``RPL503`` — a python-level per-element loop (``for``/``while``/
+  comprehension/generator) inside a *native-boundary* module (the
+  ``native-modules`` option; by default the compiled backend's shim).
+  The shim's contract is that every per-element operation crosses into
+  the C core once per batch; a python loop there reintroduces exactly
+  the per-element PyFloat round-trip the extension exists to remove,
+  and it does so silently — throughput degrades, nothing breaks.
+  Sanctioned per-element surfaces carry justified suppressions.
 """
 
 from __future__ import annotations
@@ -33,6 +41,17 @@ __all__ = ["BufferArenaPass"]
 #: Annotation spellings of a boxed float store.
 _BOXED_ANNOTATIONS = {"list[float]", "List[float]", "typing.List[float]"}
 
+#: AST shapes that iterate per element at python speed.
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
 
 @register
 class BufferArenaPass(Pass):
@@ -42,14 +61,30 @@ class BufferArenaPass(Pass):
     codes = {
         "RPL501": "boxed `list[float]` element storage",
         "RPL502": "`.tolist()` conversion on the data plane",
+        "RPL503": "python-level per-element loop on the native boundary",
     }
     default_options: dict[str, Any] = {
         "packages": ["repro.core", "repro.kernels"],
+        "native-modules": ["repro.kernels.native_backend"],
     }
 
     def check(
         self, module: SourceModule, options: Mapping[str, Any]
     ) -> Iterator[Finding]:
+        native_modules = list(options.get("native-modules", ()))
+        if module.module is not None and module.module in native_modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, _LOOP_NODES):
+                    yield self._finding(
+                        module,
+                        node,
+                        "RPL503",
+                        "python-level per-element iteration in a "
+                        "native-boundary module; the compiled kernel shim "
+                        "must cross into the C core once per batch, not "
+                        "once per element — move the loop into "
+                        "repro.kernels._native or justify the cold path",
+                    )
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ClassDef):
                 # Class-body annotations: dataclass fields and slots.

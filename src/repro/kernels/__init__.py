@@ -15,6 +15,15 @@ small kernel surface with two interchangeable backends:
   ``REPRO_BACKEND`` environment variable; optional, and
 
   distribution-identical to the python backend (property-tested).
+* ``native`` — the compiled C extension (``repro.kernels._native``,
+  built by ``setup.py``): the three hot kernels run directly against
+  the arena's buffer protocol with no per-element python objects.
+  Selected the same two ways; optional (requires the compiled module),
+  and *bit-identical* to the python backend under a shared seed (it
+  uses the same :class:`random.Random` kind and draw law).  When the
+  extension is missing, an environment-variable request degrades to
+  numpy (then python) with a warning; an explicit request raises
+  :class:`BackendUnavailableError` naming the build remedy.
 
 The kernel surface (see :class:`KernelBackend`):
 
@@ -359,6 +368,10 @@ def available_backends() -> list[str]:
         import numpy  # noqa: F401
 
         names.append("numpy")
+    with contextlib.suppress(ImportError):
+        from repro.kernels import _native  # noqa: F401
+
+        names.append("native")
     return names
 
 
@@ -366,11 +379,12 @@ def get_backend(backend: "str | KernelBackend | None" = None) -> KernelBackend:
     """Resolve a backend name (or pass an instance through).
 
     ``None`` consults the ``REPRO_BACKEND`` environment variable and
-    falls back to ``python``.  An *explicit* ``"numpy"`` raises
-    :class:`BackendUnavailableError` when numpy is missing; a numpy
-    request coming from the environment variable degrades to the python
-    backend with a warning instead, so deployments can set the variable
-    fleet-wide without breaking numpy-free hosts.
+    falls back to ``python``.  An *explicit* ``"numpy"``/``"native"``
+    raises :class:`BackendUnavailableError` naming the install remedy
+    when the dependency is missing; the same request coming from the
+    environment variable degrades with a warning instead (native falls
+    back to numpy, then python), so deployments can set the variable
+    fleet-wide without breaking hosts that lack the compiled wheel.
     """
     if isinstance(backend, KernelBackend):
         return backend
@@ -381,6 +395,27 @@ def get_backend(backend: "str | KernelBackend | None" = None) -> KernelBackend:
         from repro.kernels.python_backend import PYTHON_BACKEND
 
         return PYTHON_BACKEND
+    if name == "native":
+        try:
+            from repro.kernels.native_backend import NATIVE_BACKEND
+        except ImportError:
+            if explicit:
+                raise BackendUnavailableError(
+                    "backend 'native' was requested but the compiled "
+                    "extension repro.kernels._native is not built; build "
+                    "it with `python setup.py build_ext --inplace` (or "
+                    "reinstall with `pip install -e .` on a host with a C "
+                    "compiler), or use backend='numpy'/'python'"
+                ) from None
+            fallback = "numpy" if "numpy" in available_backends() else "python"
+            warnings.warn(
+                f"{BACKEND_ENV_VAR}=native but the compiled extension is "
+                f"not built; falling back to the {fallback} backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return get_backend(fallback)
+        return NATIVE_BACKEND
     if name == "numpy":
         try:
             from repro.kernels.numpy_backend import NUMPY_BACKEND

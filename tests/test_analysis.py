@@ -328,6 +328,67 @@ class TestFloatDisciplinePass:
 
 
 # ----------------------------------------------------------------------
+# buffer-arena
+# ----------------------------------------------------------------------
+
+class TestBufferArenaPass:
+    def test_boxed_list_storage_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.core.bad",
+            "__all__ = []\nfrom dataclasses import dataclass\n\n\n"
+            "@dataclass\nclass Slab:\n    values: list[float]\n",
+        )
+        assert "RPL501" in codes_for(bad, config)
+
+    def test_tolist_on_data_plane_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.kernels.bad",
+            "__all__ = []\n\n\ndef drain(view):\n    return view.tolist()\n",
+        )
+        assert "RPL502" in codes_for(bad, config)
+
+    def test_loop_in_native_boundary_module_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.kernels.native_backend",
+            "__all__ = []\n\n\ndef convert(values):\n"
+            "    return [float(v) for v in values]\n",
+        )
+        assert "RPL503" in codes_for(bad, config)
+
+    def test_for_loop_in_native_boundary_module_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.kernels.native_backend",
+            "__all__ = []\n\n\ndef total(values):\n    acc = 0.0\n"
+            "    for v in values:\n        acc += v\n    return acc\n",
+        )
+        assert "RPL503" in codes_for(bad, config)
+
+    def test_loop_outside_native_boundary_clean(self, tmp_path, config):
+        good = write_module(
+            tmp_path,
+            "repro.kernels.python_helpers",
+            "__all__ = []\n\n\ndef total(values):\n    acc = 0.0\n"
+            "    for v in values:\n        acc += v\n    return acc\n",
+        )
+        assert "RPL503" not in codes_for(good, config)
+
+    def test_suppressed_loop_in_native_boundary_clean(self, tmp_path, config):
+        good = write_module(
+            tmp_path,
+            "repro.kernels.native_backend",
+            "__all__ = []\n\n\ndef convert(values):\n"
+            "    # replint: disable=buffer-arena -- cold path: error "
+            "formatting only\n"
+            "    return [float(v) for v in values]\n",
+        )
+        assert "RPL503" not in codes_for(good, config)
+
+
+# ----------------------------------------------------------------------
 # api-hygiene
 # ----------------------------------------------------------------------
 

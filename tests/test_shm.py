@@ -297,6 +297,60 @@ class TestPersistentPool:
         assert _segments_gone([n for n in list_segments() if n not in before])
 
 
+try:
+    from repro.kernels import _native  # noqa: F401
+
+    HAVE_NATIVE = True
+except ImportError:  # pragma: no cover - exercised on build-free hosts
+    HAVE_NATIVE = False
+
+
+@pytest.mark.skipif(not HAVE_NATIVE, reason="compiled extension not built")
+class TestNativeBackendTransport:
+    """The compiled kernels honour every transport contract the python
+    ones do — and, sharing the RNG kind and draw law, bit-identically."""
+
+    def test_shm_native_bit_identical_to_bytes_and_python(
+        self, pool_file, monkeypatch
+    ):
+        baseline = run_pool_on_file(
+            pool_file, 3, plan=POOL_PLAN, seed=901, timeout=DEADLINE
+        )  # python kernels, bytes transport
+        monkeypatch.setenv("REPRO_BACKEND", "native")
+        native_bytes = run_pool_on_file(
+            pool_file, 3, plan=POOL_PLAN, seed=901, timeout=DEADLINE
+        )
+        native_shm = run_pool_on_file(
+            pool_file, 3, plan=POOL_PLAN, seed=901, timeout=DEADLINE,
+            transport="shm",
+        )
+        assert native_shm.transport == "shm"
+        assert native_bytes.query_many(PHIS) == baseline.query_many(PHIS)
+        assert native_shm.query_many(PHIS) == baseline.query_many(PHIS)
+        assert native_shm.n == baseline.n == 30_000
+
+    def test_shm_native_ships_descriptors_only(self, pool_file):
+        result = run_pool_on_file(
+            pool_file, 3, plan=POOL_PLAN, seed=11, timeout=DEADLINE,
+            transport="shm", backend="native",
+        )
+        assert 0 < result.shipped_bytes <= 3 * DESCRIPTOR_BYTES_MAX
+        assert list_segments() == []
+
+    def test_persistent_pool_native_matches_python(self, pool_file):
+        with PersistentPool(2, plan=POOL_PLAN, seed=77, backend="native") as pool:
+            native = [
+                pool.run_file(pool_file, timeout=DEADLINE).query_many(PHIS)
+                for _ in range(2)
+            ]
+        with PersistentPool(2, plan=POOL_PLAN, seed=77) as pool:
+            python = [
+                pool.run_file(pool_file, timeout=DEADLINE).query_many(PHIS)
+                for _ in range(2)
+            ]
+        assert native == python
+
+
 #: One scenario per lifecycle hazard; each runs in a fresh interpreter so
 #: stderr is exclusively its own (tracker warnings, BufferError noise).
 _SCENARIOS = {
