@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Build repro.kernels._native under AddressSanitizer + UBSan and run the
+# kernel/native test suites against it.  Used by the `native-sanitize`
+# CI job and runnable locally:
+#
+#     scripts/native_sanitize.sh
+#
+# The gate is strict: any ASan error, any UBSan diagnostic, or any leak
+# not covered by scripts/lsan.supp (which may only name modules outside
+# this repo) fails the run.  Note the build is left sanitized afterwards
+# — run `python setup.py build_ext --inplace --force` to restore a
+# normal build for development.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHON="${PYTHON:-$(command -v python3 || command -v python)}"
+# pyenv shims are bash scripts; resolve to the real binary so ASan's
+# leak reports are not polluted by the shim shell's own allocations.
+PYTHON="$("$PYTHON" -c 'import sys; print(sys.executable)')"
+
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined -fno-omit-frame-pointer -g"
+
+echo "== building _native with: $SAN_FLAGS"
+CFLAGS="$SAN_FLAGS -O1" LDFLAGS="$SAN_FLAGS" REPRO_REQUIRE_NATIVE=1 \
+    "$PYTHON" setup.py build_ext --inplace --force
+
+# The sanitizer runtime must be loaded before python itself (the
+# interpreter is not ASan-instrumented); gcc knows where its runtime is.
+LIBASAN="$(gcc -print-file-name=libasan.so)"
+
+echo "== running kernel + native suites under ASan/UBSan"
+LD_PRELOAD="$LIBASAN" \
+    PYTHONMALLOC=malloc \
+    ASAN_OPTIONS="detect_leaks=1:fast_unwind_on_malloc=0:malloc_context_size=20" \
+    LSAN_OPTIONS="suppressions=scripts/lsan.supp:print_suppressions=1" \
+    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    PYTHONPATH=src \
+    "$PYTHON" -m pytest tests/test_native.py tests/test_kernels.py -q -p no:cacheprovider
+
+echo "== native-sanitize: clean"

@@ -150,15 +150,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files/directories (default: [tool.replint] default-paths)",
     )
     analyze.add_argument(
+        "--format",
+        choices=["human", "json", "sarif"],
+        default="human",
+        help="report renderer (default: human)",
+    )
+    analyze.add_argument(
         "--json",
         action="store_true",
-        help="emit the machine-readable report (schema version 1)",
+        help="alias for --format json (kept for compatibility)",
     )
     analyze.add_argument(
         "--select",
         action="append",
-        metavar="PASS",
-        help="run only the named pass (repeatable)",
+        metavar="PASS[,PASS...]",
+        help="run only the named passes (repeatable and/or "
+        "comma-separated)",
+    )
+    analyze.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress findings recorded in FILE; fail only on new ones",
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current findings to FILE and exit 0",
     )
     analyze.add_argument(
         "--config",
@@ -464,12 +483,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.__main__ import main as analysis_main
 
     argv: list[str] = list(args.paths)
+    argv.extend(["--format", args.format])
     if args.json:
         argv.append("--json")
     if args.list_passes:
         argv.append("--list-passes")
     for selected in args.select or ():
         argv.extend(["--select", selected])
+    if args.baseline is not None:
+        argv.extend(["--baseline", args.baseline])
+    if args.write_baseline is not None:
+        argv.extend(["--write-baseline", args.write_baseline])
     if args.config is not None:
         argv.extend(["--config", args.config])
     return analysis_main(argv)

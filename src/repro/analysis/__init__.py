@@ -14,7 +14,8 @@ one-way layer graph.  This package machine-checks them:
 Command line::
 
     python -m repro.analysis src tests benchmarks examples
-    python -m repro.analysis --json src
+    python -m repro.analysis --format sarif src > replint.sarif
+    python -m repro.analysis --baseline replint-baseline.json src
     repro analyze src            # same engine via the main CLI
 
 Passes (see each module's docstring for codes and rationale):
@@ -26,18 +27,35 @@ Passes (see each module's docstring for codes and rationale):
 * ``buffer-arena`` — resident elements live in the columnar arena.
 * ``service-hygiene`` — serving-tier awaits are bounded by timeouts;
   handler failures map to protocol responses, never silence.
+* ``rng-flow`` — (dataflow) accepted seeds actually reach the RNGs a
+  function constructs; cross-module calls thread seeds through.
+* ``resource-lifecycle`` — (typestate) acquired segments, handles and
+  pools are released on every exit path.
+* ``api-reachability`` — (whole-program) every export is referenced;
+  ``__all__`` and module bodies agree.
+* ``native-c`` — (C audit) refcount discipline on error paths, format
+  string arity, NULL checks, buffer acquire/release pairing in
+  ``_native.c``.
+
+Whole-program passes receive a :class:`~repro.analysis.project.ProjectGraph`
+— one parse of the repo exposing imports, exports and cross-module
+references — via the optional :meth:`Pass.project_check` hook.
 
 Per-pass configuration lives in ``[tool.replint]`` in pyproject.toml;
 line-level escapes are ``# replint: disable=<pass> -- <justification>``
-(the justification is mandatory).
+(the justification is mandatory).  ``--baseline`` / ``--write-baseline``
+adopt the gate on a tree with known findings, failing only on
+regressions; ``--format sarif`` emits SARIF 2.1.0 for code-scanning UIs.
 """
 
 from __future__ import annotations
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.engine import (
     EXIT_CLEAN,
     EXIT_ERROR,
     EXIT_FINDINGS,
+    SEVERITIES,
     Config,
     Finding,
     Pass,
@@ -50,23 +68,33 @@ from repro.analysis.engine import (
     register,
     registered_passes,
 )
+from repro.analysis.project import CallableInfo, ProjectGraph
+from repro.analysis.sarif import render_sarif, to_sarif
 
 __all__ = [
     "EXIT_CLEAN",
     "EXIT_ERROR",
     "EXIT_FINDINGS",
+    "SEVERITIES",
+    "CallableInfo",
     "Config",
     "Finding",
     "Pass",
+    "ProjectGraph",
     "Report",
     "SourceModule",
     "analyze_paths",
+    "apply_baseline",
     "iter_source_files",
+    "load_baseline",
     "load_config",
     "main",
     "module_name_for",
     "register",
     "registered_passes",
+    "render_sarif",
+    "to_sarif",
+    "write_baseline",
 ]
 
 

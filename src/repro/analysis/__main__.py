@@ -10,14 +10,21 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.engine import (
+    EXIT_CLEAN,
     EXIT_ERROR,
+    Report,
     analyze_paths,
     load_config,
     registered_passes,
 )
+from repro.analysis.sarif import render_sarif
 
-__all__ = ["main"]
+__all__ = ["main", "parse_select"]
+
+#: Output renderers accepted by ``--format``.
+FORMATS = ("human", "json", "sarif")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -25,7 +32,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "replint: invariant-aware static analysis "
-            "(determinism, spawn-safety, float-discipline, api-hygiene)"
+            "(determinism, spawn-safety, dataflow, native-c, ...)"
         ),
     )
     parser.add_argument(
@@ -35,15 +42,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "default-paths, else 'src')",
     )
     parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="human",
+        help="report renderer (default: human)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit the machine-readable report (schema version 1)",
+        help="alias for --format json (kept for compatibility)",
     )
     parser.add_argument(
         "--select",
         action="append",
-        metavar="PASS",
-        help="run only the named pass (repeatable; default: all)",
+        metavar="PASS[,PASS...]",
+        help="run only the named passes (repeatable and/or "
+        "comma-separated; default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress findings recorded in FILE; fail only on "
+        "regressions (new findings)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current findings to FILE and exit 0",
     )
     parser.add_argument(
         "--config",
@@ -68,11 +95,48 @@ def _list_passes() -> int:
     return 0
 
 
+def parse_select(entries: list[str] | None) -> list[str] | None:
+    """Expand repeatable/comma-separated ``--select`` into pass names.
+
+    :raises ValueError: naming an unknown pass, with the registry listed
+        in the message — the CLI turns this into exit 2 on stderr so a
+        typo can never silently run zero passes.
+    """
+    if not entries:
+        return None
+    names = [
+        name.strip()
+        for entry in entries
+        for name in entry.split(",")
+        if name.strip()
+    ]
+    known = registered_passes()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        available = ", ".join(known)
+        raise ValueError(
+            f"unknown pass(es): {', '.join(sorted(set(unknown)))} "
+            f"(available: {available})"
+        )
+    if not names:
+        raise ValueError("--select given but no pass names supplied")
+    return names
+
+
+def _render(report: Report, fmt: str) -> str:
+    if fmt == "json":
+        return report.render_json()
+    if fmt == "sarif":
+        return render_sarif(report, registered_passes())
+    return report.render()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the analysis; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.list_passes:
         return _list_passes()
+    fmt = "json" if args.json else args.format
     try:
         config = load_config(Path(args.config) if args.config else None)
     except (ValueError, OSError) as exc:
@@ -86,15 +150,31 @@ def main(argv: list[str] | None = None) -> int:
             f"replint: no such path(s): {', '.join(missing)}", file=sys.stderr
         )
         return EXIT_ERROR
-    selected = None
-    if args.select:
-        selected = [name for entry in args.select for name in entry.split(",")]
+    try:
+        selected = parse_select(args.select)
+    except ValueError as exc:
+        print(f"replint: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     try:
         report = analyze_paths(paths, config, selected)
     except ValueError as exc:
         print(f"replint: {exc}", file=sys.stderr)
         return EXIT_ERROR
-    print(report.render_json() if args.json else report.render())
+    if args.write_baseline:
+        count = write_baseline(report, Path(args.write_baseline))
+        print(
+            f"replint: wrote baseline of {count} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return EXIT_CLEAN
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (ValueError, OSError) as exc:
+            print(f"replint: baseline error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        report = apply_baseline(report, baseline)
+    print(_render(report, fmt))
     return report.exit_code
 
 

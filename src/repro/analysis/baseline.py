@@ -1,0 +1,108 @@
+"""Baseline files: adopt a tool on a tree with known findings, fail on new.
+
+A baseline records the current findings by drift-stable fingerprint
+(path + code + message — deliberately no line numbers, so edits above a
+known finding do not churn the file).  With ``--baseline`` the engine
+filters findings the baseline already records and fails only on
+*regressions*: findings the baseline has never seen.  Entries nothing
+matched anymore are *stale* — the debt was paid — and are reported on
+the summary line so the baseline can be re-recorded, but they never fail
+a run (a shrinking baseline must always be a safe no-op to land).
+
+Matching is by fingerprint **count**: a baseline recording two RPL502
+findings in one file tolerates at most two — the third identical finding
+is a regression, not more of the same.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.engine import Finding, Report
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+#: Schema version of the baseline file format.
+_BASELINE_VERSION = 1
+
+
+def write_baseline(report: Report, path: Path) -> int:
+    """Record the report's findings as the new baseline; returns count."""
+    counts = Counter(finding.fingerprint() for finding in report.findings)
+    entries = [
+        {"fingerprint": fingerprint, "count": count}
+        for fingerprint, count in sorted(counts.items())
+    ]
+    payload = {
+        "tool": "replint",
+        "version": _BASELINE_VERSION,
+        "findings": entries,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sum(counts.values())
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Fingerprint -> tolerated count from a baseline file.
+
+    :raises ValueError: on a malformed file (baselines gate CI, so a
+        corrupt one must fail loudly, not act as an empty allowlist).
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("tool") != "replint":
+        raise ValueError(f"{path}: not a replint baseline file")
+    if payload.get("version") != _BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline 'findings' must be a list")
+    counts: Counter[str] = Counter()
+    for entry in entries:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("fingerprint"), str)
+            or not isinstance(entry.get("count"), int)
+            or entry["count"] < 1
+        ):
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+        counts[entry["fingerprint"]] += entry["count"]
+    return counts
+
+
+def apply_baseline(report: Report, baseline: Counter[str]) -> Report:
+    """The report with baselined findings removed and staleness computed.
+
+    Findings whose fingerprint still has budget in the baseline are
+    dropped (counted in ``report.baselined``); budget left over after
+    all findings are matched becomes ``report.stale_baseline``.
+    """
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    baselined = 0
+    for finding in report.findings:
+        fingerprint = finding.fingerprint()
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            baselined += 1
+        else:
+            kept.append(finding)
+    stale = tuple(
+        fingerprint for fingerprint, count in sorted(remaining.items()) if count > 0
+    )
+    return Report(
+        findings=tuple(kept),
+        files_checked=report.files_checked,
+        suppressed=report.suppressed,
+        passes=report.passes,
+        baselined=report.baselined + baselined,
+        stale_baseline=stale,
+    )

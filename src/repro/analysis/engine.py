@@ -41,7 +41,10 @@ import tokenize
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.analysis.project import ProjectGraph
 
 try:
     import tomllib
@@ -52,6 +55,7 @@ __all__ = [
     "EXIT_CLEAN",
     "EXIT_ERROR",
     "EXIT_FINDINGS",
+    "SEVERITIES",
     "Config",
     "Finding",
     "Pass",
@@ -93,6 +97,14 @@ _SUPPRESS_RE = re.compile(
 )
 
 
+#: Valid :attr:`Finding.severity` values, most severe first.  ``error``
+#: and ``warning`` both fail the run (exit 1) — replint is a gate, not a
+#: suggestion box — but the distinction flows into the SARIF ``level``
+#: and lets CI annotate regressions at the right prominence.  ``note``
+#: findings are informational and never fail a run by themselves.
+SEVERITIES = ("error", "warning", "note")
+
+
 @dataclass(frozen=True, slots=True)
 class Finding:
     """One diagnostic: where, which pass, which code, and why."""
@@ -103,6 +115,7 @@ class Finding:
     code: str
     pass_name: str
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
         """The one-line human form, grep- and editor-friendly."""
@@ -112,7 +125,7 @@ class Finding:
         )
 
     def to_json(self) -> dict[str, Any]:
-        """The stable JSON object form (schema version 1)."""
+        """The stable JSON object form (schema version 2)."""
         return {
             "path": self.path,
             "line": self.line,
@@ -120,7 +133,17 @@ class Finding:
             "code": self.code,
             "pass": self.pass_name,
             "message": self.message,
+            "severity": self.severity,
         }
+
+    def fingerprint(self) -> str:
+        """The location-drift-stable identity used by baseline files.
+
+        Deliberately excludes line/column so unrelated edits above a
+        known finding do not churn the baseline; path + code + message
+        (which names the offending symbol) identifies the finding.
+        """
+        return f"{self.path}::{self.code}::{self.message}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -330,6 +353,23 @@ class Pass:
         raise NotImplementedError
         yield  # pragma: no cover
 
+    def project_check(
+        self, graph: "ProjectGraph", options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        """Yield whole-program findings over the :class:`ProjectGraph`.
+
+        Called once per run, after every file's per-file :meth:`check`.
+        The default is a no-op so per-file passes need not know the
+        graph exists; the engine only builds the graph when a selected
+        pass overrides this hook.
+        """
+        return iter(())
+
+    @classmethod
+    def wants_project_graph(cls) -> bool:
+        """Whether this pass overrides :meth:`project_check`."""
+        return cls.project_check is not Pass.project_check
+
 
 #: name -> pass instance, in registration order.
 registry: dict[str, Pass] = {}
@@ -351,6 +391,10 @@ def registered_passes() -> dict[str, Pass]:
         determinism,
         floats,
         hygiene,
+        lifecycle,
+        native_c,
+        reachability,
+        rngflow,
         service,
         spawnsafe,
     )
@@ -479,31 +523,49 @@ class Report:
     files_checked: int
     suppressed: int
     passes: tuple[str, ...]
+    #: Findings filtered out because a ``--baseline`` file records them.
+    baselined: int = 0
+    #: Baseline fingerprints no current finding matched (fixed or moved);
+    #: reported so the baseline can be re-recorded, never a failure.
+    stale_baseline: tuple[str, ...] = ()
 
     @property
     def exit_code(self) -> int:
-        """0 clean, 1 when any finding survived suppression."""
-        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+        """0 clean, 1 when any error/warning finding survived.
+
+        ``note``-severity findings are informational: they render but do
+        not fail the gate.
+        """
+        failing = any(f.severity != "note" for f in self.findings)
+        return EXIT_FINDINGS if failing else EXIT_CLEAN
 
     def render(self) -> str:
         """Human output: one line per finding plus a summary line."""
         lines = [finding.render() for finding in self.findings]
         verdict = "clean" if not self.findings else f"{len(self.findings)} finding(s)"
         suppressed = f", {self.suppressed} suppressed" if self.suppressed else ""
+        baselined = f", {self.baselined} baselined" if self.baselined else ""
+        stale = (
+            f", {len(self.stale_baseline)} stale baseline entry(ies)"
+            if self.stale_baseline
+            else ""
+        )
         lines.append(
             f"replint: {verdict} in {self.files_checked} file(s)"
-            f" [{', '.join(self.passes)}]{suppressed}"
+            f" [{', '.join(self.passes)}]{suppressed}{baselined}{stale}"
         )
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, Any]:
-        """The stable machine-readable form (schema version 1)."""
+        """The stable machine-readable form (schema version 2)."""
         return {
             "tool": "replint",
-            "version": 1,
+            "version": 2,
             "files_checked": self.files_checked,
             "passes": list(self.passes),
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
             "findings": [finding.to_json() for finding in self.findings],
         }
 
@@ -535,6 +597,7 @@ def analyze_paths(
     findings: list[Finding] = []
     files_checked = 0
     suppressed = 0
+    modules: list[SourceModule] = []
     for path in iter_source_files(paths, config.exclude):
         files_checked += 1
         try:
@@ -542,6 +605,9 @@ def analyze_paths(
                 path, path.read_text(encoding="utf-8"), module_name_for(path)
             )
         except SyntaxError as exc:
+            # A broken file degrades to one RPL003 finding; the rest of
+            # the run — including the whole-program phase over every
+            # file that *did* parse — proceeds normally.
             findings.append(
                 Finding(
                     path.as_posix(),
@@ -553,6 +619,7 @@ def analyze_paths(
                 )
             )
             continue
+        modules.append(module)
         findings.extend(module.suppression_findings)
         for name in names:
             instance = passes[name]
@@ -561,6 +628,22 @@ def analyze_paths(
                 continue
             for finding in instance.check(module, options):
                 if module.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    # Whole-program phase: one graph over the already-parsed modules,
+    # built only when a selected pass actually asks for it.
+    if any(passes[name].wants_project_graph() for name in names):
+        from repro.analysis.project import ProjectGraph
+
+        graph = ProjectGraph(modules)
+        for name in names:
+            instance = passes[name]
+            if not instance.wants_project_graph():
+                continue
+            for finding in instance.project_check(graph, config.options_for(name)):
+                owner = graph.module_for_path(finding.path)
+                if owner is not None and owner.is_suppressed(finding):
                     suppressed += 1
                 else:
                     findings.append(finding)

@@ -1,0 +1,790 @@
+"""replint pass ``native-c``: CPython API discipline in `_native.c`.
+
+The compiled kernel backend is the one part of the repo the Python-side
+passes cannot see, and the one part where a mistake is not an exception
+but a leak, a crash, or silent heap corruption.  This pass is a
+dependency-free lexer + per-function scanner over the C sources named
+in its ``sources`` option (no libclang, no compiler — it must run on a
+bare CI box), auditing the four CPython-API mistakes that survive code
+review most often:
+
+* ``RPL801`` — an owned reference (or ``PyMem_*`` allocation) is live
+  at an early error ``return`` and never released on that path.
+  Ownership is interval-tracked per function: it starts at an
+  allocating assignment and ends at the first ``Py_DECREF`` /
+  ``Py_XDECREF`` / ``Py_CLEAR`` / ``PyMem_Free``, at a
+  reference-stealing use (``PyTuple_SET_ITEM``, ``Py_BuildValue``
+  ``"N"`` units, struct-field stores), or at a ``return`` of the
+  value.  The variable an enclosing ``if (x == NULL)`` just proved to
+  be NULL is exempt.  The model is deliberately path-insensitive in
+  the safe direction: a release on *any* earlier line ends the
+  interval, so it under-reports rather than false-positives.
+* ``RPL802`` — ``PyArg_ParseTuple`` / ``PyArg_ParseTupleAndKeywords``
+  / ``Py_BuildValue`` format-unit count disagrees with the number of
+  variadic arguments actually passed (a silent stack read/write out
+  of bounds).  Formats with units the scanner does not model are
+  skipped, never guessed.
+* ``RPL803`` — the result of an allocating call is bound to a variable
+  that is never NULL-checked before use (immediately ``return``-ed
+  results are exempt: NULL propagates correctly to the caller).
+* ``RPL804`` — a function acquires a buffer view
+  (``PyObject_GetBuffer`` or a configured acquire/release pair such as
+  ``f64view_acquire``/``f64view_release``) and contains no call to the
+  paired release; views pin the exporter's memory until released.
+
+Suppressions use C comments, same grammar as Python::
+
+    obj = make_table();  /* replint: disable=native-c -- ownership
+                            moves to the registry two lines down */
+
+A suppression covers its own line and the next line; one without a
+``--`` justification is inert, exactly like RPL001 semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.engine import Finding, Pass, SourceModule, register
+
+__all__ = ["NativeCPass"]
+
+#: Calls returning a *new* PyObject reference the caller owns.
+_OWNING_ALLOCATORS = {
+    "PyBytes_FromStringAndSize",
+    "PyBytes_FromString",
+    "PyUnicode_FromString",
+    "PyUnicode_FromFormat",
+    "PyLong_FromLong",
+    "PyLong_FromLongLong",
+    "PyLong_FromSsize_t",
+    "PyLong_FromUnsignedLong",
+    "PyFloat_FromDouble",
+    "PyBool_FromLong",
+    "PyList_New",
+    "PyTuple_New",
+    "PyDict_New",
+    "PySequence_Fast",
+    "PySequence_List",
+    "PySequence_Tuple",
+    "PySequence_GetItem",
+    "PyObject_GetAttrString",
+    "PyObject_CallObject",
+    "PyObject_CallNoArgs",
+    "PyObject_CallFunction",
+    "PyObject_CallMethod",
+    "PyImport_ImportModule",
+    "PyIter_Next",
+    "Py_BuildValue",
+}
+
+#: Calls returning raw memory released by ``PyMem_Free``/``free``.
+_MEMORY_ALLOCATORS = {
+    "PyMem_Malloc",
+    "PyMem_Calloc",
+    "PyMem_Realloc",
+    "PyMem_RawMalloc",
+    "malloc",
+    "calloc",
+}
+
+#: Calls that end an ownership interval for their first argument.
+_RELEASERS = {"Py_DECREF", "Py_XDECREF", "Py_CLEAR", "PyMem_Free", "free",
+              "PyMem_RawFree"}
+
+#: Call(argument-index) pairs that *steal* the reference passed in.
+_STEALERS = {
+    "PyTuple_SET_ITEM": 2,
+    "PyTuple_SetItem": 2,
+    "PyList_SET_ITEM": 2,
+    "PyList_SetItem": 2,
+    "PyModule_AddObject": 2,
+}
+
+#: Format units consuming one variadic argument.  ``#`` after a unit
+#: adds one; ``*`` replaces the pointer+length pair with one
+#: ``Py_buffer*``; ``O!``/``O&`` add one; grouping and metadata chars
+#: consume none.
+_ONE_ARG_UNITS = set("szyuUOSNYiIbBhHlkLKncCfdDp")
+_ZERO_ARG_CHARS = set("()[]{}|$, \t")
+
+_IDENT = r"[A-Za-z_]\w*"
+
+_SUPPRESS_RE = re.compile(
+    r"replint:\s*disable=([A-Za-z0-9_,\- ]+?)\s*--\s*\S"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _Stmt:
+    """One lexed statement: text (strings intact), line, brace depth."""
+
+    text: str
+    line: int
+    depth: int
+    is_header: bool  # ends with `{` — a control/compound header
+
+
+@dataclass(frozen=True, slots=True)
+class _CFunction:
+    name: str
+    line: int
+    statements: tuple[_Stmt, ...]
+
+
+@register
+class NativeCPass(Pass):
+    """Refcount, format-arity, NULL-check, and buffer-pair discipline."""
+
+    name = "native-c"
+    codes = {
+        "RPL801": "owned reference leaked on an error return path",
+        "RPL802": "format string arity mismatch",
+        "RPL803": "allocating call result never NULL-checked",
+        "RPL804": "buffer acquired without a paired release",
+    }
+    default_options: dict[str, Any] = {
+        "sources": ["src/repro/kernels/_native.c"],
+        "buffer-pairs": [
+            ["PyObject_GetBuffer", "PyBuffer_Release"],
+            ["f64view_acquire", "f64view_release"],
+            ["viewpair_acquire", "viewpair_release"],
+            ["acquire_weighted", "release_weighted"],
+        ],
+    }
+
+    def applies_to(self, module: SourceModule, options: Mapping[str, Any]) -> bool:
+        return False  # C sources never enter the per-file .py phase
+
+    def check(
+        self, module: SourceModule, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def project_check(
+        self, graph: Any, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        for source in options.get("sources", ()):
+            path = Path(source)
+            if not path.is_file():
+                continue
+            text = path.read_text(encoding="utf-8")
+            yield from self.check_source(path.as_posix(), text, options)
+
+    def check_source(
+        self, rel: str, text: str, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        """Analyze one C translation unit (separated out for tests)."""
+        suppressed = _suppressed_lines(text, self.name)
+        pairs = [
+            (str(acquire), str(release))
+            for acquire, release in options.get("buffer-pairs", ())
+        ]
+        clean = _strip_comments(text)
+        for function in _functions(clean):
+            for finding in self._check_function(rel, function, pairs):
+                if finding.line not in suppressed:
+                    yield finding
+
+    # -- per-function checks -------------------------------------------
+
+    def _check_function(
+        self, rel: str, function: _CFunction, pairs: list[tuple[str, str]]
+    ) -> Iterator[Finding]:
+        yield from self._check_error_paths(rel, function)
+        yield from self._check_formats(rel, function)
+        yield from self._check_null_checks(rel, function)
+        yield from self._check_buffer_pairs(rel, function, pairs)
+
+    # RPL801 ------------------------------------------------------------
+
+    def _check_error_paths(
+        self, rel: str, function: _CFunction
+    ) -> Iterator[Finding]:
+        acquisitions = _acquisitions(function)
+        if not acquisitions:
+            return
+        ends = _interval_ends(function, acquisitions)
+        for index, stmt in enumerate(function.statements):
+            error = _error_return(stmt)
+            if error is None:
+                continue
+            exempt = _null_checked_vars(function.statements, index)
+            for var, acquired_at in acquisitions.items():
+                if acquired_at >= index:
+                    continue
+                if ends.get(var, len(function.statements) + 1) < index:
+                    continue
+                if var in exempt:
+                    continue
+                yield Finding(
+                    rel,
+                    stmt.line,
+                    1,
+                    "RPL801",
+                    self.name,
+                    f"`{error}` in `{function.name}` leaks `{var}` "
+                    f"(acquired on line "
+                    f"{function.statements[acquired_at].line}); release "
+                    "it on this error path before returning",
+                )
+
+    # RPL802 ------------------------------------------------------------
+
+    def _check_formats(self, rel: str, function: _CFunction) -> Iterator[Finding]:
+        for stmt in function.statements:
+            for call_name, format_index in (
+                ("PyArg_ParseTuple", 1),
+                ("PyArg_ParseTupleAndKeywords", 2),
+                ("Py_BuildValue", 0),
+            ):
+                for args in _calls_of(stmt.text, call_name):
+                    if len(args) <= format_index:
+                        continue
+                    fmt = _string_literal(args[format_index])
+                    if fmt is None:
+                        continue
+                    expected = _format_arity(fmt)
+                    if expected is None:
+                        continue
+                    # AndKeywords carries the kwlist between format and
+                    # the variadic pointers.
+                    skip = format_index + (2 if "Keywords" in call_name else 1)
+                    actual = len(args) - skip
+                    if actual != expected:
+                        yield Finding(
+                            rel,
+                            stmt.line,
+                            1,
+                            "RPL802",
+                            self.name,
+                            f"`{call_name}` format \"{fmt}\" consumes "
+                            f"{expected} argument(s) but {actual} are "
+                            f"passed in `{function.name}`; a mismatch "
+                            "reads or writes past the variadic stack",
+                        )
+
+    # RPL803 ------------------------------------------------------------
+
+    def _check_null_checks(
+        self, rel: str, function: _CFunction
+    ) -> Iterator[Finding]:
+        statements = function.statements
+        allocators = _OWNING_ALLOCATORS | _MEMORY_ALLOCATORS
+        assign_re = re.compile(
+            rf"(?<![\w.\]>])({_IDENT})\s*=\s*({_IDENT})\s*\("
+        )
+        for index, stmt in enumerate(statements):
+            for match in assign_re.finditer(stmt.text):
+                var, callee = match.group(1), match.group(2)
+                if callee not in allocators:
+                    continue
+                if _null_tested(stmt.text, var):
+                    continue  # if ((x = alloc()) == NULL) style
+                rest = statements[index + 1 :]
+                if any(_null_tested(s.text, var) for s in rest):
+                    continue
+                uses = [
+                    s
+                    for s in rest
+                    if re.search(rf"\b{re.escape(var)}\b", s.text)
+                ]
+                if all(
+                    re.fullmatch(rf"\s*return\s+{re.escape(var)}\s*", u.text)
+                    for u in uses
+                ):
+                    continue  # only returned: NULL propagates to caller
+                yield Finding(
+                    rel,
+                    stmt.line,
+                    1,
+                    "RPL803",
+                    self.name,
+                    f"`{var} = {callee}(...)` in `{function.name}` is "
+                    "used without a NULL check; allocation failure here "
+                    "becomes a crash instead of a raised MemoryError",
+                )
+
+    # RPL804 ------------------------------------------------------------
+
+    def _check_buffer_pairs(
+        self, rel: str, function: _CFunction, pairs: list[tuple[str, str]]
+    ) -> Iterator[Finding]:
+        body = "\n".join(stmt.text for stmt in function.statements)
+        for acquire, release in pairs:
+            # The wrapper implementing a pair is allowed to be one-sided.
+            if function.name in (acquire, release):
+                continue
+            acquire_re = re.compile(rf"\b{re.escape(acquire)}\s*\(")
+            release_re = re.compile(rf"\b{re.escape(release)}\s*\(")
+            if not acquire_re.search(body) or release_re.search(body):
+                continue
+            first = next(
+                stmt
+                for stmt in function.statements
+                if acquire_re.search(stmt.text)
+            )
+            yield Finding(
+                rel,
+                first.line,
+                1,
+                "RPL804",
+                self.name,
+                f"`{function.name}` calls `{acquire}` but never "
+                f"`{release}`; an unreleased view pins the exporting "
+                "object's buffer for the life of the process",
+            )
+
+
+# ----------------------------------------------------------------------
+# Lexing: comments, functions, statements
+# ----------------------------------------------------------------------
+
+def _strip_comments(text: str) -> str:
+    """Blank comments (preserving newlines); string literals survive."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and text[i + 1 : i + 2] == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c == "/" and text[i + 1 : i + 2] == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            out.append(" " * (end - i))
+            i = end
+        elif c in "\"'":
+            end = _string_end(text, i)
+            out.append(text[i:end])
+            i = end
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _string_end(text: str, start: int) -> int:
+    quote = text[start]
+    i = start + 1
+    n = len(text)
+    while i < n and text[i] != quote:
+        i += 2 if text[i] == "\\" else 1
+    return min(i + 1, n)
+
+
+def _suppressed_lines(text: str, pass_name: str) -> set[int]:
+    """Lines covered by a justified C-comment suppression (and the next)."""
+    covered: set[int] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        names = {name.strip() for name in match.group(1).split(",")}
+        if pass_name in names or "all" in names:
+            covered.add(lineno)
+            covered.add(lineno + 1)
+    return covered
+
+
+def _functions(clean: str) -> Iterator[_CFunction]:
+    """Top-level function definitions of a comment-stripped file."""
+    depth = 0
+    i, n = 0, len(clean)
+    header_start = 0
+    line = 1
+    while i < n:
+        c = clean[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in "\"'":
+            i = _string_end(clean, i)
+            continue
+        if c in ";}" and depth == 0:
+            header_start = i + 1
+            i += 1
+            continue
+        if c == "{":
+            if depth == 0:
+                header = clean[header_start:i]
+                body_start = i + 1
+                name = _function_name(header)
+                i = _matching_brace(clean, i)
+                if name is not None:
+                    body = clean[body_start : i - 1]
+                    start_line = clean.count("\n", 0, header_start) + 1
+                    body_line = clean.count("\n", 0, body_start) + 1
+                    yield _CFunction(
+                        name,
+                        start_line,
+                        tuple(_statements(body, body_line)),
+                    )
+                line = clean.count("\n", 0, i) + 1
+                header_start = i
+                continue
+            depth += 1
+            i += 1
+            continue
+        if c == "}":
+            depth = max(depth - 1, 0)
+            i += 1
+            continue
+        i += 1
+    return
+
+
+def _matching_brace(clean: str, open_index: int) -> int:
+    """Index one past the brace matching ``clean[open_index] == '{'``."""
+    depth = 0
+    i, n = open_index, len(clean)
+    while i < n:
+        c = clean[i]
+        if c in "\"'":
+            i = _string_end(clean, i)
+            continue
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _function_name(header: str) -> str | None:
+    """The defined name in a function header, or None for non-functions."""
+    header = "\n".join(
+        line
+        for line in header.split("\n")
+        if not line.lstrip().startswith("#")
+    ).strip()
+    if not header or "=" in header.split("(")[0]:
+        return None
+    match = re.search(rf"\b({_IDENT})\s*\([^;{{}}]*\)\s*$", header, re.S)
+    if match is None:
+        return None
+    name = match.group(1)
+    # `if`/`for`/`while`/`switch` headers never reach here (they only
+    # occur at depth > 0), but struct initializers and macro calls do.
+    if name in {"PyDoc_STRVAR", "PyMODINIT_FUNC"}:
+        return None
+    return name
+
+
+def _statements(body: str, first_line: int) -> Iterator[_Stmt]:
+    """Split a function body into statements, ``;``-aware and
+    paren-aware (``for(;;)`` semicolons do not split)."""
+    depth = 0
+    parens = 0
+    start = 0
+    line = first_line
+    start_line = first_line
+    i, n = 0, len(body)
+
+    def emit(end: int, is_header: bool) -> _Stmt | None:
+        text = body[start:end].strip()
+        if not text:
+            return None
+        # Drop a leading `label:` so event regexes see the statement.
+        text = re.sub(rf"^({_IDENT})\s*:\s*", "", text)
+        if not text:
+            return None
+        return _Stmt(text, start_line, depth, is_header)
+
+    while i < n:
+        c = body[i]
+        if c == "\n":
+            line += 1
+            if body[start:i].strip() == "":
+                start = i + 1
+                start_line = line
+            i += 1
+            continue
+        if c in "\"'":
+            i = _string_end(body, i)
+            continue
+        if c == "(":
+            parens += 1
+        elif c == ")":
+            parens = max(parens - 1, 0)
+        elif c == ";" and parens == 0:
+            stmt = emit(i, is_header=False)
+            if stmt is not None:
+                yield stmt
+            start = i + 1
+            start_line = line
+        elif c == "{" and parens == 0:
+            stmt = emit(i, is_header=True)
+            if stmt is not None:
+                yield stmt
+            depth += 1
+            start = i + 1
+            start_line = line
+        elif c == "}" and parens == 0:
+            stmt = emit(i, is_header=False)
+            if stmt is not None:
+                yield stmt
+            depth = max(depth - 1, 0)
+            start = i + 1
+            start_line = line
+        i += 1
+    tail = emit(n, is_header=False)
+    if tail is not None:
+        yield tail
+
+
+# ----------------------------------------------------------------------
+# RPL801 helpers: ownership intervals
+# ----------------------------------------------------------------------
+
+def _acquisitions(function: _CFunction) -> dict[str, int]:
+    """var -> statement index of its (first) owning acquisition."""
+    acquired: dict[str, int] = {}
+    allocators = _OWNING_ALLOCATORS | _MEMORY_ALLOCATORS
+    assign_re = re.compile(rf"(?<![\w.\]>])({_IDENT})\s*=\s*({_IDENT})\s*\(")
+    for index, stmt in enumerate(function.statements):
+        for match in assign_re.finditer(stmt.text):
+            var, callee = match.group(1), match.group(2)
+            if callee in allocators and var not in acquired:
+                acquired[var] = index
+    return acquired
+
+
+def _interval_ends(
+    function: _CFunction, acquisitions: Mapping[str, int]
+) -> dict[str, int]:
+    """var -> statement index of the first release/steal/transfer."""
+    ends: dict[str, int] = {}
+
+    def note(var: str, index: int) -> None:
+        if var in acquisitions and index > acquisitions[var]:
+            ends.setdefault(var, index)
+
+    for index, stmt in enumerate(function.statements):
+        text = stmt.text
+        for releaser in _RELEASERS:
+            for match in re.finditer(
+                rf"\b{releaser}\s*\(\s*({_IDENT})\s*\)", text
+            ):
+                note(match.group(1), index)
+        for stealer, arg_index in _STEALERS.items():
+            for args in _calls_of(text, stealer):
+                if arg_index < len(args):
+                    arg = args[arg_index].strip()
+                    if re.fullmatch(_IDENT, arg):
+                        note(arg, index)
+        for args in _calls_of(text, "Py_BuildValue"):
+            fmt = _string_literal(args[0]) if args else None
+            if fmt is None:
+                continue
+            for position in _stolen_positions(fmt):
+                if position + 1 < len(args):
+                    arg = args[position + 1].strip()
+                    if re.fullmatch(_IDENT, arg):
+                        note(arg, index)
+        match = re.match(rf"return\s+({_IDENT})\s*$", text)
+        if match is not None:
+            note(match.group(1), index)
+        for match in re.finditer(
+            rf"[\w\]]\s*(?:->|\.)\s*{_IDENT}\s*=\s*({_IDENT})\s*$", text
+        ):
+            note(match.group(1), index)
+    return ends
+
+
+def _error_return(stmt: _Stmt) -> str | None:
+    """The error-return expression of a statement, if it is one."""
+    match = re.search(
+        r"\breturn\s+(NULL|-1|0|PyErr_NoMemory\s*\(\s*\))\s*$", stmt.text
+    )
+    if match is None:
+        return None
+    value = match.group(1)
+    if value == "0":
+        return None  # `return 0` is the *success* path for int funcs
+    return f"return {'PyErr_NoMemory()' if value.startswith('PyErr') else value}"
+
+
+def _null_checked_vars(statements: tuple[_Stmt, ...], index: int) -> set[str]:
+    """Vars an enclosing/same-statement ``if`` proved NULL at ``index``."""
+    stmt = statements[index]
+    conditions = []
+    inline = re.search(r"\bif\s*\((.*)\)", stmt.text, re.S)
+    if inline is not None:
+        conditions.append(inline.group(1))
+    else:
+        # Every enclosing `if` header, walking out block by block: at
+        # `if (a==NULL) { if (b==NULL) { return NULL; } }` both a and b
+        # are proven NULL on the return path.
+        target_depth = stmt.depth
+        for previous in reversed(statements[:index]):
+            if previous.depth >= target_depth:
+                continue
+            if not previous.is_header:
+                break
+            header = re.search(r"\bif\s*\((.*)\)", previous.text, re.S)
+            if header is not None:
+                conditions.append(header.group(1))
+            target_depth = previous.depth
+            if target_depth == 0:
+                break
+    exempt: set[str] = set()
+    for condition in conditions:
+        for match in re.finditer(rf"({_IDENT})\s*==\s*NULL", condition):
+            exempt.add(match.group(1))
+        for match in re.finditer(rf"!\s*({_IDENT})\b(?!\s*\()", condition):
+            exempt.add(match.group(1))
+    return exempt
+
+
+# ----------------------------------------------------------------------
+# Call/format parsing (shared by RPL801/802)
+# ----------------------------------------------------------------------
+
+def _calls_of(text: str, name: str) -> Iterator[list[str]]:
+    """Top-level-comma-split argument lists of each ``name(...)`` call."""
+    for match in re.finditer(rf"\b{re.escape(name)}\s*\(", text):
+        open_index = match.end() - 1
+        close = _matching_paren(text, open_index)
+        if close is None:
+            continue
+        yield _split_args(text[open_index + 1 : close])
+
+
+def _matching_paren(text: str, open_index: int) -> int | None:
+    depth = 0
+    i, n = open_index, len(text)
+    while i < n:
+        c = text[i]
+        if c in "\"'":
+            i = _string_end(text, i)
+            continue
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return None
+
+
+def _split_args(arglist: str) -> list[str]:
+    args: list[str] = []
+    depth = 0
+    start = 0
+    i, n = 0, len(arglist)
+    while i < n:
+        c = arglist[i]
+        if c in "\"'":
+            i = _string_end(arglist, i)
+            continue
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append(arglist[start:i].strip())
+            start = i + 1
+        i += 1
+    tail = arglist[start:].strip()
+    if tail or args:
+        args.append(tail)
+    return args
+
+
+def _string_literal(arg: str) -> str | None:
+    """The concatenated value of an argument made only of "..." pieces."""
+    pieces = re.findall(r'"((?:[^"\\]|\\.)*)"', arg)
+    stripped = re.sub(r'"(?:[^"\\]|\\.)*"', "", arg).strip()
+    if not pieces or stripped:
+        return None
+    return "".join(pieces)
+
+
+def _format_arity(fmt: str) -> int | None:
+    """Variadic arguments a ParseTuple/BuildValue format consumes."""
+    count = 0
+    i, n = 0, len(fmt)
+    while i < n:
+        c = fmt[i]
+        if c in ":;":
+            break  # function-name / error-message suffix
+        if c in _ZERO_ARG_CHARS:
+            i += 1
+            continue
+        if c == "e":  # es / et (+#): encoding conversions
+            if fmt[i + 1 : i + 2] not in ("s", "t"):
+                return None
+            count += 2
+            i += 2
+            if fmt[i : i + 1] == "#":
+                count += 1
+                i += 1
+            continue
+        if c in _ONE_ARG_UNITS:
+            count += 1
+            i += 1
+            if fmt[i : i + 1] == "#":
+                count += 1
+                i += 1
+            elif fmt[i : i + 1] == "*":
+                i += 1  # Py_buffer*: still one argument
+            elif c == "O" and fmt[i : i + 1] in ("!", "&"):
+                count += 1
+                i += 1
+            continue
+        return None  # unmodelled unit: skip the check, never guess
+    return count
+
+
+def _stolen_positions(fmt: str) -> Iterator[int]:
+    """Variadic positions a BuildValue format *steals* (``N`` units)."""
+    position = 0
+    i, n = 0, len(fmt)
+    while i < n:
+        c = fmt[i]
+        if c in ":;":
+            break
+        if c in _ZERO_ARG_CHARS:
+            i += 1
+            continue
+        if c in _ONE_ARG_UNITS:
+            if c == "N":
+                yield position
+            position += 1
+            i += 1
+            if fmt[i : i + 1] == "#":
+                position += 1
+                i += 1
+            elif fmt[i : i + 1] == "*":
+                i += 1
+            elif c == "O" and fmt[i : i + 1] in ("!", "&"):
+                position += 1
+                i += 1
+            continue
+        return
+    return
+
+
+def _null_tested(text: str, var: str) -> bool:
+    escaped = re.escape(var)
+    patterns = (
+        rf"\b{escaped}\s*==\s*NULL",
+        rf"\b{escaped}\s*!=\s*NULL",
+        rf"!\s*{escaped}\b",
+        rf"\bif\s*\(\s*{escaped}\s*\)",
+        rf"\b{escaped}\s*\?",
+        rf"\b{escaped}\s*&&",
+        rf"\b{escaped}\s*\|\|",
+    )
+    return any(re.search(pattern, text) for pattern in patterns)

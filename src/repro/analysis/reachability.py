@@ -1,0 +1,172 @@
+"""replint pass ``api-reachability``: exported names must earn their keep.
+
+``__all__`` is this repo's public-API contract: the api-hygiene pass
+polices *how* modules reach each other, this pass polices *what they
+reach for*.  Over the :class:`~repro.analysis.project.ProjectGraph` it
+counts references to every exported name — through package re-export
+chains (``repro.core.X`` addressing ``repro.core.parallel.X``) — and
+flags exports nothing uses, plus both directions of ``__all__`` drift.
+
+Codes:
+
+* ``RPL451`` — (whole-program, warning) a name a module exports is
+  referenced by no other scanned file.  Because "no other file" is only
+  meaningful when the usage side of the repo was actually scanned, this
+  check engages only when the run includes every configured
+  ``usage-root`` (tests/benchmarks/examples by default); a src-only run
+  skips it rather than report unsound deadness.  Re-export chains
+  shield inner modules: a name used only via ``repro.core.X`` still
+  counts as a reference to ``repro.core.parallel.X``.
+* ``RPL452`` — ``__all__`` lists a name the module never binds at top
+  level: ``from module import *`` raises ``AttributeError`` at import
+  time, and tooling that trusts ``__all__`` lies to its users.
+* ``RPL453`` — a public (non-underscore) top-level ``def``/``class``
+  in a module that *has* an ``__all__`` but omits the name: the symbol
+  is importable yet invisible to ``*``-imports and API docs — either
+  export it or underscore it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.analysis.engine import Finding, Pass, SourceModule, register
+from repro.analysis.project import ProjectGraph
+
+__all__ = ["ApiReachabilityPass"]
+
+
+@register
+class ApiReachabilityPass(Pass):
+    """Every export referenced; ``__all__`` and the module agree."""
+
+    name = "api-reachability"
+    codes = {
+        "RPL451": "exported name is never referenced by another module",
+        "RPL452": "__all__ lists a name the module does not define",
+        "RPL453": "public definition missing from __all__",
+    }
+    default_options: dict[str, Any] = {
+        "packages": ["repro"],
+        # RPL451 is only sound when the consumers were scanned too; it
+        # engages only when the run covers every one of these roots.
+        "usage-roots": ["tests", "benchmarks", "examples"],
+    }
+
+    def check(
+        self, module: SourceModule, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def project_check(
+        self, graph: ProjectGraph, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        packages = list(options.get("packages", ()))
+        check_dead = self._usage_roots_scanned(graph, options)
+        for name, module in sorted(graph.modules.items()):
+            if packages and not module.in_packages(packages):
+                continue
+            exports = graph.exports.get(name, [])
+            defined = graph.defined.get(name, set())
+            yield from self._check_drift(module, name, exports, defined)
+            if check_dead:
+                yield from self._check_dead_exports(graph, module, name, exports)
+
+    def _usage_roots_scanned(
+        self, graph: ProjectGraph, options: Mapping[str, Any]
+    ) -> bool:
+        roots = list(options.get("usage-roots", ()))
+        if not roots:
+            return True
+        scanned = list(graph.by_path)
+        return all(
+            any(rel == root or rel.startswith(root + "/") for rel in scanned)
+            for root in roots
+        )
+
+    # -- RPL452 / RPL453: __all__ drift --------------------------------
+
+    def _check_drift(
+        self,
+        module: SourceModule,
+        name: str,
+        exports: list[tuple[str, int]],
+        defined: set[str],
+    ) -> Iterator[Finding]:
+        for export, line in exports:
+            if export not in defined:
+                yield self._finding(
+                    module,
+                    line,
+                    "RPL452",
+                    f"__all__ lists `{export}` but `{name}` never binds "
+                    "it at top level; `import *` and API tooling will "
+                    "fail on a name that does not exist",
+                )
+        if not exports:
+            return
+        exported = {export for export, _ in exports}
+        for stmt in module.tree.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if stmt.name.startswith("_") or stmt.name in exported:
+                continue
+            yield self._finding(
+                module,
+                stmt.lineno,
+                "RPL453",
+                f"public `{stmt.name}` is missing from __all__; export "
+                "it or rename it with a leading underscore so the API "
+                "surface stays explicit",
+            )
+
+    # -- RPL451: dead exports ------------------------------------------
+
+    def _check_dead_exports(
+        self,
+        graph: ProjectGraph,
+        module: SourceModule,
+        name: str,
+        exports: list[tuple[str, int]],
+    ) -> Iterator[Finding]:
+        for export, line in exports:
+            if export.startswith("_"):
+                continue
+            if self._export_referenced(graph, name, export):
+                continue
+            yield self._finding(
+                module,
+                line,
+                "RPL451",
+                f"exported `{export}` is referenced by no other scanned "
+                "module (src, tests, benchmarks, examples); remove it "
+                "from __all__ or add the missing consumer/test",
+                severity="warning",
+            )
+
+    def _export_referenced(
+        self, graph: ProjectGraph, module: str, export: str
+    ) -> bool:
+        """Any *other* file references this export's defining address."""
+        address = graph.resolve_address(f"{module}.{export}")
+        for rel in graph.references_to(address):
+            owner = graph.by_path.get(rel)
+            if owner is None or owner.module != module:
+                return True
+        return False
+
+    def _finding(
+        self,
+        module: SourceModule,
+        line: int,
+        code: str,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
+        return Finding(
+            module.rel, line, 1, code, self.name, message, severity=severity
+        )

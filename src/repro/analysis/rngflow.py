@@ -1,0 +1,437 @@
+"""replint pass ``rng-flow``: every RNG must be *reachable* from a seed.
+
+The ``determinism`` pass proves the syntactic half of the paper's
+Section 4.5 contract: RNG constructors receive *some* argument
+(``RPL104``).  This pass proves the dataflow half — that the argument is
+actually *derived from a seed*, that a seed a function accepts is
+actually *used*, and that a seed a caller holds is actually *threaded
+through* cross-module calls.  A dropped seed is worse than a missing
+one: the signature advertises replayability the implementation silently
+does not have, and the failure only surfaces when a run cannot be
+reproduced.
+
+Codes:
+
+* ``RPL111`` — an RNG constructed from a value with no visible
+  derivation from a seed (a config lookup, an unrelated variable,
+  an explicit ``None``).  Derivation is tracked intraprocedurally:
+  seed-named parameters and attributes, assignments whose right side
+  derives, arithmetic/tuple/subscript combinations of derived values,
+  and calls that take or name a seed (``seed_for_worker(seed, i)``,
+  ``rng.randrange(...)`` on a derived ``rng``) all derive.  Literal
+  constants also count — a hard-coded seed is replayable, just rigid.
+* ``RPL112`` — a function accepts a seed-named parameter and never
+  reads it: the seed is accepted but dropped.  Underscore-prefixed
+  parameters, stubs, and ``abstractmethod``/``overload`` definitions
+  are exempt.
+* ``RPL113`` — (whole-program) a call into *another module* whose
+  target accepts a defaulted seed parameter, made from a function that
+  itself holds a seed, without passing one: the callee silently falls
+  back to its default and the caller's seed never reaches it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.analysis.engine import Finding, Pass, SourceModule, register
+from repro.analysis.project import ProjectGraph
+
+__all__ = ["RngFlowPass"]
+
+#: Identifier fragments that mark a name/attribute/call as seed-derived.
+_SEED_HINT = re.compile(r"seed|entropy|spawn_key", re.IGNORECASE)
+
+#: Constructors whose (first or ``seed=``) argument must derive from a seed.
+_RNG_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+}
+
+#: Decorator name tails that exempt a def from the dropped-seed check.
+_ABSTRACT_DECORATORS = {"abstractmethod", "overload", "override"}
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _is_seedish(name: str) -> bool:
+    return _SEED_HINT.search(name) is not None
+
+
+@register
+class RngFlowPass(Pass):
+    """Seeds flow into RNGs, are read when accepted, and are threaded."""
+
+    name = "rng-flow"
+    codes = {
+        "RPL111": "RNG constructed from a value not derived from a seed",
+        "RPL112": "seed parameter accepted but never read",
+        "RPL113": "cross-module call drops the caller's seed",
+    }
+    default_options: dict[str, Any] = {
+        "packages": [
+            "repro.core",
+            "repro.sampling",
+            "repro.kernels",
+            "repro.stats",
+            "repro.baselines",
+            "repro.audit",
+            "repro.runtime",
+            "repro.service",
+        ],
+    }
+
+    # -- per-file: RPL111 / RPL112 -------------------------------------
+
+    def check(
+        self, module: SourceModule, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        yield from self._scan_scope(module, module.tree, frozenset())
+
+    def _scan_scope(
+        self,
+        module: SourceModule,
+        scope: ast.Module | _FunctionNode,
+        inherited: frozenset[str],
+    ) -> Iterator[Finding]:
+        """One lexical scope: seed the derived set, walk statements in order."""
+        derived = set(inherited)
+        if isinstance(scope, _FunctionNode):
+            params = _param_names(scope)
+            derived.update(name for name in params if _is_seedish(name))
+            yield from self._check_dropped_seed(module, scope, params)
+        yield from self._scan_body(module, scope.body, derived)
+
+    def _scan_body(
+        self, module: SourceModule, body: list[ast.stmt], derived: set[str]
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, _FunctionNode):
+                yield from self._scan_scope(module, stmt, frozenset(derived))
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._scan_body(module, stmt.body, set(derived))
+                continue
+            # Track derivation through simple assignments and loop targets.
+            if isinstance(stmt, ast.Assign) and _derives(stmt.value, derived):
+                for target in stmt.targets:
+                    derived.update(_name_targets(target))
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and stmt.value is not None
+                and _derives(stmt.value, derived)
+            ):
+                derived.update(_name_targets(stmt.target))
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)) and _derives(
+                stmt.iter, derived
+            ):
+                derived.update(_name_targets(stmt.target))
+            yield from self._check_constructions(module, stmt, derived)
+            for block in _sub_blocks(stmt):
+                yield from self._scan_body(module, block, derived)
+
+    def _check_constructions(
+        self, module: SourceModule, stmt: ast.stmt, derived: set[str]
+    ) -> Iterator[Finding]:
+        """RPL111 on RNG constructor calls in this statement's expressions."""
+        for node in _walk_shallow(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve(node.func)
+            if dotted not in _RNG_CONSTRUCTORS:
+                continue
+            seed_arg = _seed_argument(node)
+            if seed_arg is None:
+                continue  # zero-arg construction is determinism's RPL104
+            if _derives(seed_arg, derived):
+                continue
+            rendered = ast.unparse(seed_arg)
+            yield self._finding(
+                module,
+                node,
+                "RPL111",
+                f"`{dotted}({rendered})` is seeded from a value with no "
+                "visible derivation from a seed parameter; thread an "
+                "explicit seed (or a value computed from one) into the "
+                "constructor",
+            )
+
+    def _check_dropped_seed(
+        self, module: SourceModule, func: _FunctionNode, params: list[str]
+    ) -> Iterator[Finding]:
+        """RPL112: a seed-named parameter the body never reads."""
+        seedish = [
+            name for name in params if _is_seedish(name) and not name.startswith("_")
+        ]
+        if not seedish or _is_stub(func) or _is_abstract(module, func):
+            return
+        read = {
+            node.id
+            for node in ast.walk(func)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+        }
+        for name in seedish:
+            if name not in read:
+                yield self._finding(
+                    module,
+                    func,
+                    "RPL112",
+                    f"`{func.name}` accepts `{name}` but never reads it; "
+                    "the signature promises replayability the body does "
+                    "not deliver — thread the seed or drop the parameter",
+                )
+
+    # -- whole-program: RPL113 -----------------------------------------
+
+    def project_check(
+        self, graph: ProjectGraph, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        packages = list(options.get("packages", ()))
+        for module in graph.modules.values():
+            if packages and not module.in_packages(packages):
+                continue
+            for func in ast.walk(module.tree):
+                if not isinstance(func, _FunctionNode):
+                    continue
+                held = [n for n in _param_names(func) if _is_seedish(n)]
+                if not held:
+                    continue
+                yield from self._check_call_sites(graph, module, func, held[0])
+
+    def _check_call_sites(
+        self,
+        graph: ProjectGraph,
+        module: SourceModule,
+        func: _FunctionNode,
+        held_seed: str,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve(node.func)
+            if dotted is None:
+                continue
+            info = graph.callable_info(dotted)
+            if info is None or info.module == module.module:
+                continue
+            seedish = [name for name in info.params if _is_seedish(name)]
+            if not seedish:
+                continue
+            # Only a *defaulted* seed can be silently dropped — a
+            # required one missing is a TypeError the tests catch.
+            target_param = seedish[0]
+            if target_param not in info.with_default:
+                continue
+            if _call_threads_seed(node, info.params, target_param):
+                continue
+            # A seed can also travel as a *derived value* in any other
+            # slot — e.g. passing `rng=make_rng(seed)` threads the seed
+            # without ever naming the callee's seed parameter.
+            held = {n for n in _param_names(func) if _is_seedish(n)}
+            if any(
+                _carries_seed(arg, held) for arg in node.args
+            ) or any(
+                kw.value is not None and _carries_seed(kw.value, held)
+                for kw in node.keywords
+            ):
+                continue
+            yield self._finding(
+                module,
+                node,
+                "RPL113",
+                f"call to `{dotted}` lets `{target_param}` silently "
+                f"default while the caller holds `{held_seed}`; pass "
+                f"`{target_param}={held_seed}` (or a value derived from "
+                "it) so the seed survives the module boundary",
+                severity="warning",
+            )
+
+    def _finding(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        code: str,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
+        return Finding(
+            module.rel,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            code,
+            self.name,
+            message,
+            severity=severity,
+        )
+
+
+# ----------------------------------------------------------------------
+# Derivation and call-shape helpers
+# ----------------------------------------------------------------------
+
+def _derives(expr: ast.expr, derived: set[str]) -> bool:
+    """Whether an expression is visibly derived from a seed."""
+    if isinstance(expr, ast.Constant):
+        # A literal is replayable (just rigid) — except None, which is
+        # an explicit request for OS entropy.
+        return expr.value is not None
+    if isinstance(expr, ast.Name):
+        return expr.id in derived or _is_seedish(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return _is_seedish(expr.attr) or _derives(expr.value, derived)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and _is_seedish(func.id):
+            return True
+        if isinstance(func, ast.Attribute) and (
+            _is_seedish(func.attr) or _derives(func.value, derived)
+        ):
+            return True
+        return any(_derives(arg, derived) for arg in expr.args) or any(
+            kw.value is not None and _derives(kw.value, derived)
+            for kw in expr.keywords
+        )
+    if isinstance(expr, ast.BinOp):
+        return _derives(expr.left, derived) or _derives(expr.right, derived)
+    if isinstance(expr, ast.UnaryOp):
+        return _derives(expr.operand, derived)
+    if isinstance(expr, ast.BoolOp):
+        return any(_derives(value, derived) for value in expr.values)
+    if isinstance(expr, ast.IfExp):
+        return _derives(expr.body, derived) and _derives(expr.orelse, derived)
+    if isinstance(expr, ast.Subscript):
+        return _derives(expr.value, derived)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return any(_derives(element, derived) for element in expr.elts)
+    if isinstance(expr, ast.Starred):
+        return _derives(expr.value, derived)
+    return False
+
+
+def _seed_argument(call: ast.Call) -> ast.expr | None:
+    """The expression feeding the seed slot of an RNG constructor."""
+    for keyword in call.keywords:
+        if keyword.arg is not None and _is_seedish(keyword.arg):
+            return keyword.value
+        if keyword.arg is None:
+            return None  # **kwargs expansion: assume threaded
+    if call.args:
+        first = call.args[0]
+        return None if isinstance(first, ast.Starred) else first
+    return None
+
+
+def _carries_seed(expr: ast.expr, held: set[str]) -> bool:
+    """Whether an argument expression mentions a seed-bearing name.
+
+    Stricter than :func:`_derives`: a literal constant is "derived" for
+    construction purposes but does not carry the *caller's* seed across
+    a call, so only seed-named names/attributes count here.
+    """
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and (
+            node.id in held or _is_seedish(node.id)
+        ):
+            return True
+        if isinstance(node, ast.Attribute) and _is_seedish(node.attr):
+            return True
+    return False
+
+
+def _call_threads_seed(
+    call: ast.Call, params: tuple[str, ...], target_param: str
+) -> bool:
+    """Whether a call site visibly supplies the target seed parameter."""
+    for keyword in call.keywords:
+        if keyword.arg is None:  # **kwargs — assume it carries the seed
+            return True
+        if keyword.arg == target_param or _is_seedish(keyword.arg):
+            return True
+    if any(isinstance(arg, ast.Starred) for arg in call.args):
+        return True  # *args expansion — cannot see, assume threaded
+    try:
+        index = params.index(target_param)
+    except ValueError:  # pragma: no cover - target comes from params
+        return True
+    return index < len(call.args)
+
+
+def _param_names(func: _FunctionNode) -> list[str]:
+    args = func.args
+    return [
+        a.arg
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    ]
+
+
+def _name_targets(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_name_targets(element))
+        return names
+    return set()
+
+
+def _sub_blocks(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    """The nested statement lists of a compound statement, in order."""
+    for field in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, field, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(stmt, "handlers", []):
+        yield handler.body
+
+
+def _walk_shallow(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Expression nodes of one statement, not descending into sub-blocks
+    or nested defs (those are visited by their own scope/body scans)."""
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if node is not stmt and isinstance(
+            node, (ast.stmt, ast.excepthandler)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_stub(func: _FunctionNode) -> bool:
+    """Docstring-only / pass / ellipsis / raise bodies accept unused args."""
+    body = func.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]
+    if not body:
+        return True
+    return all(
+        isinstance(stmt, (ast.Pass, ast.Raise))
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in body
+    )
+
+
+def _is_abstract(module: SourceModule, func: _FunctionNode) -> bool:
+    for decorator in func.decorator_list:
+        dotted = module.resolve(decorator) or ""
+        if dotted.rsplit(".", 1)[-1] in _ABSTRACT_DECORATORS:
+            return True
+    return False

@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 rendering of a replint :class:`~repro.analysis.engine.Report`.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the wire
+format GitHub code scanning ingests: upload the file from CI and every
+finding becomes an inline PR annotation with the rule's description
+attached.  The emitter here targets the minimal valid subset — one run,
+one driver, one rule per finding code, one physical location per result
+— because consumers ignore what they do not know and validators reject
+what is malformed, so less is safer.
+
+Severity mapping: replint severities are already SARIF levels
+(``error`` / ``warning`` / ``note``), so the mapping is the identity.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.engine import Pass, Report
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: ``informationUri`` of the driver: where a reader of an annotation
+#: finds the rule rationale (docs/ANALYSIS.md in this repo).
+_INFO_URI = "https://github.com/mrl99-repro/repro/blob/main/docs/ANALYSIS.md"
+
+
+def to_sarif(report: Report, passes: dict[str, Pass]) -> dict[str, Any]:
+    """The SARIF 2.1.0 log object for one report.
+
+    ``passes`` supplies the rule metadata (code -> summary); codes that
+    appear in findings but belong to no registered pass (the framework's
+    RPL00x codes) still get a rule entry so every result's ``ruleId``
+    resolves.
+    """
+    summaries: dict[str, str] = {
+        "RPL001": "malformed or unjustified replint suppression",
+        "RPL002": "suppression names an unknown pass",
+        "RPL003": "file does not parse",
+    }
+    for instance in passes.values():
+        summaries.update(instance.codes)
+    used_codes = sorted({finding.code for finding in report.findings})
+    rule_index = {code: index for index, code in enumerate(used_codes)}
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {
+                "text": summaries.get(code, "replint finding"),
+            },
+            "helpUri": _INFO_URI,
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in used_codes
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index[finding.code],
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "replintFingerprint/v1": finding.fingerprint(),
+            },
+        }
+        for finding in report.findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "replint",
+                        "informationUri": _INFO_URI,
+                        "version": "2.0.0",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {
+                        "description": {
+                            "text": "repository root the analysis ran from"
+                        }
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(report: Report, passes: dict[str, Pass]) -> str:
+    """:func:`to_sarif`, serialised with stable key order."""
+    return json.dumps(to_sarif(report, passes), indent=2, sort_keys=True)

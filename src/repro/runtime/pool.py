@@ -62,6 +62,7 @@ __all__ = [
     "WorkerReport",
     "WorkerSpec",
     "available_start_methods",
+    "run_file_shards",
     "run_pool_on_file",
     "run_pool_on_stream",
     "seed_for_worker",

@@ -2,7 +2,5 @@
 
 from repro.service.runner import main
 
-__all__ = ["main"]
-
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -23,7 +23,13 @@ from collections.abc import Sequence
 from repro.service.chaos import ChaosPlan
 from repro.service.server import QuantileService, ServiceConfig
 
-__all__ = ["build_config", "main", "serve_forever"]
+__all__ = [
+    "add_serve_parser",
+    "build_config",
+    "main",
+    "run_from_args",
+    "serve_forever",
+]
 
 
 def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:

@@ -25,7 +25,9 @@ __all__ = [
     "rank_error",
     "is_eps_approximate",
     "weighted_select",
+    "weighted_select_many",
     "weighted_quantile",
+    "weighted_stream",
 ]
 
 

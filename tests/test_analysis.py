@@ -604,12 +604,17 @@ class TestReportAndCli:
         payload = json.loads(capsys.readouterr().out)
         assert exit_code == EXIT_FINDINGS
         assert payload["tool"] == "replint"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_checked"] >= 1
         assert set(payload["passes"]) == set(registered_passes())
         assert isinstance(payload["suppressed"], int)
+        assert payload["baselined"] == 0
+        assert payload["stale_baseline"] == []
         finding = payload["findings"][0]
-        assert set(finding) == {"path", "line", "col", "code", "pass", "message"}
+        assert set(finding) == {
+            "path", "line", "col", "code", "pass", "message", "severity",
+        }
+        assert finding["severity"] == "error"
         assert finding["code"] == "RPL101"
         assert finding["pass"] == "determinism"
         assert finding["line"] >= 1 and finding["col"] >= 1

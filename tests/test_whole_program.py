@@ -1,0 +1,935 @@
+"""Tests for the whole-program replint layer: ProjectGraph, the three
+dataflow passes (rng-flow, resource-lifecycle, api-reachability), the
+native C audit, and the reporting stack (severities, SARIF, baselines,
+``--select`` validation).
+
+Fixture style follows :mod:`tests.test_analysis`: each finding code gets
+a known-bad snippet that must fire, a known-good twin that must not, and
+a suppressed variant proving the escape hatch works.  Fixtures live in a
+miniature ``repro/...`` tree under ``tmp_path`` so the dotted-module
+scoping engages exactly as on the real tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Config,
+    ProjectGraph,
+    Report,
+    SourceModule,
+    analyze_paths,
+    apply_baseline,
+    load_baseline,
+    registered_passes,
+    render_sarif,
+    to_sarif,
+    write_baseline,
+)
+from repro.analysis.__main__ import main as replint_main
+from repro.analysis.__main__ import parse_select
+from repro.analysis.native_c import NativeCPass
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_module(tmp_path: Path, dotted: str, source: str) -> Path:
+    """Write ``source`` as module ``dotted`` under a fixture package tree."""
+    parts = dotted.split(".")
+    directory = tmp_path
+    for package in parts[:-1]:
+        directory = directory / package
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("__all__: list[str] = []\n")
+    path = directory / f"{parts[-1]}.py"
+    path.write_text(source)
+    return path
+
+
+def source_module(tmp_path: Path, dotted: str, source: str) -> SourceModule:
+    path = write_module(tmp_path, dotted, source)
+    return SourceModule(path, source, dotted)
+
+
+def run_pass(
+    name: str, paths: list[Path], **options: object
+) -> list[str]:
+    """Codes from one pass run over ``paths`` with explicit options."""
+    config = Config(options={name: dict(options)} if options else {})
+    report = analyze_paths(paths, config, [name])
+    return [finding.code for finding in report.findings]
+
+
+# ----------------------------------------------------------------------
+# ProjectGraph
+# ----------------------------------------------------------------------
+
+class TestProjectGraph:
+    def test_imports_and_importers(self, tmp_path):
+        a = source_module(tmp_path, "repro.pkg.a", "__all__ = []\nX = 1\n")
+        b = source_module(
+            tmp_path, "repro.pkg.b", "__all__ = []\nfrom repro.pkg.a import X\n"
+        )
+        graph = ProjectGraph([a, b])
+        imported = graph.imports["repro.pkg.b"]
+        assert any(entry.startswith("repro.pkg.a") for entry in imported)
+        assert "repro.pkg.b" in graph.importers_of("repro.pkg.a")
+
+    def test_import_cycle_does_not_hang(self, tmp_path):
+        a = source_module(
+            tmp_path, "repro.pkg.a", "__all__ = []\nfrom repro.pkg import b\n"
+        )
+        b = source_module(
+            tmp_path, "repro.pkg.b", "__all__ = []\nfrom repro.pkg import a\n"
+        )
+        graph = ProjectGraph([a, b])
+        assert "repro.pkg.b" in graph.imports["repro.pkg.a"]
+        assert "repro.pkg.a" in graph.imports["repro.pkg.b"]
+
+    def test_reexport_chain_resolves_to_definition(self, tmp_path):
+        inner = source_module(
+            tmp_path, "repro.pkg.impl", "__all__ = ['thing']\ndef thing():\n    return 1\n"
+        )
+        outer = source_module(
+            tmp_path,
+            "repro.pkg.api",
+            "__all__ = ['thing']\nfrom repro.pkg.impl import thing\n",
+        )
+        graph = ProjectGraph([inner, outer])
+        assert (
+            graph.resolve_address("repro.pkg.api.thing")
+            == "repro.pkg.impl.thing"
+        )
+
+    def test_alias_cycle_resolution_terminates(self, tmp_path):
+        a = source_module(
+            tmp_path, "repro.pkg.a", "__all__ = []\nfrom repro.pkg.b import name\n"
+        )
+        b = source_module(
+            tmp_path, "repro.pkg.b", "__all__ = []\nfrom repro.pkg.a import name\n"
+        )
+        graph = ProjectGraph([a, b])
+        # A mutual re-export has no definition; resolution must still
+        # return a stable address instead of recursing forever.
+        resolved = graph.resolve_address("repro.pkg.a.name")
+        assert resolved in ("repro.pkg.a.name", "repro.pkg.b.name")
+
+    def test_references_cross_module(self, tmp_path):
+        impl = source_module(
+            tmp_path, "repro.pkg.impl", "__all__ = ['f']\ndef f():\n    return 1\n"
+        )
+        user = source_module(
+            tmp_path,
+            "repro.pkg.user",
+            "__all__ = []\nfrom repro.pkg.impl import f\n\n\ndef g():\n    return f()\n",
+        )
+        graph = ProjectGraph([impl, user])
+        assert graph.is_referenced("repro.pkg.impl", "f")
+        assert any(
+            rel.endswith("user.py")
+            for rel in graph.references_to("repro.pkg.impl.f")
+        )
+
+    def test_scripts_without_package_still_reference(self, tmp_path):
+        impl = source_module(
+            tmp_path, "repro.pkg.impl", "__all__ = ['f']\ndef f():\n    return 1\n"
+        )
+        script_path = tmp_path / "script.py"
+        script_path.write_text("from repro.pkg.impl import f\nprint(f())\n")
+        script = SourceModule(script_path, script_path.read_text(), None)
+        graph = ProjectGraph([impl, script])
+        assert graph.is_referenced("repro.pkg.impl", "f")
+
+    def test_callable_info_records_signature(self, tmp_path):
+        impl = source_module(
+            tmp_path,
+            "repro.pkg.impl",
+            "__all__ = ['f']\ndef f(a, seed=None, *, scale=1.0):\n    return a\n",
+        )
+        graph = ProjectGraph([impl])
+        info = graph.callable_info("repro.pkg.impl.f")
+        assert info is not None
+        assert info.params == ("a", "seed", "scale")
+        assert "seed" in info.with_default
+        assert not info.has_kwargs
+
+    def test_syntax_error_degrades_to_rpl003_not_crash(self, tmp_path):
+        bad = write_module(tmp_path, "repro.pkg.broken", "def f(:\n")
+        good = write_module(
+            tmp_path, "repro.pkg.fine", "__all__ = []\nX = 1\n"
+        )
+        report = analyze_paths([bad, good], Config(), ["api-reachability"])
+        codes = [finding.code for finding in report.findings]
+        assert "RPL003" in codes
+        assert report.files_checked == 2
+
+
+# ----------------------------------------------------------------------
+# rng-flow (RPL11x)
+# ----------------------------------------------------------------------
+
+RNG_OPTS = {"packages": ["repro.pkg"]}
+
+
+class TestRngFlow:
+    def test_underived_rng_argument_flagged(self, tmp_path):
+        bad = write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = []\nimport random\n\n\n"
+            "def sample(data, seed, buckets):\n"
+            "    index = seed % 4\n"
+            "    rng = random.Random(buckets)\n"
+            "    return rng.choice(data), index\n",
+        )
+        assert run_pass("rng-flow", [bad], **RNG_OPTS) == ["RPL111"]
+
+    def test_threaded_seed_clean(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = []\nimport random\n\n\n"
+            "def sample(data, seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.choice(data)\n",
+        )
+        assert run_pass("rng-flow", [good], **RNG_OPTS) == []
+
+    def test_derived_seed_clean(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = []\nimport random\n\n\n"
+            "def sample(data, seed):\n"
+            "    child = seed * 2 + 1\n"
+            "    rng = random.Random(child)\n"
+            "    return rng.choice(data)\n",
+        )
+        assert run_pass("rng-flow", [good], **RNG_OPTS) == []
+
+    def test_accepted_but_unused_seed_flagged(self, tmp_path):
+        bad = write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = []\n\n\n"
+            "def shuffle(data, seed=None):\n"
+            "    return sorted(data)\n",
+        )
+        assert "RPL112" in run_pass("rng-flow", [bad], **RNG_OPTS)
+
+    def test_stub_and_underscore_seed_exempt(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = []\n\n\n"
+            "def planned(data, _seed=None):\n"
+            "    return sorted(data)\n\n\n"
+            "def stub(data, seed=None):\n"
+            "    raise NotImplementedError\n",
+        )
+        assert run_pass("rng-flow", [good], **RNG_OPTS) == []
+
+    def test_unthreaded_cross_module_seed_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.pkg.sampler",
+            "__all__ = ['draw']\nimport random\n\n\n"
+            "def draw(data, seed=None):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.choice(data)\n",
+        )
+        caller = write_module(
+            tmp_path,
+            "repro.pkg.caller",
+            "__all__ = []\nfrom repro.pkg.sampler import draw\n\n\n"
+            "def run(data, seed):\n"
+            "    return draw(data)\n",
+        )
+        root = caller.parents[2]
+        codes = run_pass("rng-flow", [root], **RNG_OPTS)
+        assert "RPL113" in codes
+
+    def test_threaded_cross_module_seed_clean(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.pkg.sampler",
+            "__all__ = ['draw']\nimport random\n\n\n"
+            "def draw(data, seed=None):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.choice(data)\n",
+        )
+        caller = write_module(
+            tmp_path,
+            "repro.pkg.caller",
+            "__all__ = []\nfrom repro.pkg.sampler import draw\n\n\n"
+            "def run(data, seed):\n"
+            "    return draw(data, seed=seed)\n",
+        )
+        root = caller.parents[2]
+        assert run_pass("rng-flow", [root], **RNG_OPTS) == []
+
+    def test_suppression_with_justification(self, tmp_path):
+        suppressed = write_module(
+            tmp_path,
+            "repro.pkg.noisy",
+            "__all__ = []\nimport random\n\n\n"
+            "def sample(data, seed, buckets):\n"
+            "    index = seed % 4\n"
+            "    rng = random.Random(buckets)  "
+            "# replint: disable=rng-flow -- bucket id doubles as the seed here\n"
+            "    return rng.choice(data), index\n",
+        )
+        config = Config(options={"rng-flow": dict(RNG_OPTS)})
+        report = analyze_paths([suppressed], config, ["rng-flow"])
+        assert report.findings == ()
+        assert report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# resource-lifecycle (RPL7xx)
+# ----------------------------------------------------------------------
+
+LIFECYCLE_OPTS = {"packages": ["repro.pkg"], "exempt-modules": []}
+
+
+class TestResourceLifecycle:
+    def test_unreleased_file_handle_flagged(self, tmp_path):
+        bad = write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = []\n\n\n"
+            "def head(path):\n"
+            "    handle = open(path)\n"
+            "    return handle.readline()\n",
+        )
+        assert "RPL701" in run_pass(
+            "resource-lifecycle", [bad], **LIFECYCLE_OPTS
+        )
+
+    def test_with_statement_clean(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = []\n\n\n"
+            "def head(path):\n"
+            "    with open(path) as handle:\n"
+            "        return handle.readline()\n",
+        )
+        assert run_pass("resource-lifecycle", [good], **LIFECYCLE_OPTS) == []
+
+    def test_release_outside_finally_flagged(self, tmp_path):
+        bad = write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = []\n\n\n"
+            "def head(path):\n"
+            "    handle = open(path)\n"
+            "    line = handle.readline()\n"
+            "    handle.close()\n"
+            "    return line\n",
+        )
+        assert "RPL702" in run_pass(
+            "resource-lifecycle", [bad], **LIFECYCLE_OPTS
+        )
+
+    def test_try_finally_clean(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = []\n\n\n"
+            "def head(path):\n"
+            "    handle = open(path)\n"
+            "    try:\n"
+            "        return handle.readline()\n"
+            "    finally:\n"
+            "        handle.close()\n",
+        )
+        assert run_pass("resource-lifecycle", [good], **LIFECYCLE_OPTS) == []
+
+    def test_acquire_in_loop_without_release_flagged(self, tmp_path):
+        bad = write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = []\n\n\n"
+            "def heads(paths):\n"
+            "    lines = []\n"
+            "    for path in paths:\n"
+            "        handle = open(path)\n"
+            "        lines.append(handle.readline())\n"
+            "    return lines\n",
+        )
+        assert "RPL703" in run_pass(
+            "resource-lifecycle", [bad], **LIFECYCLE_OPTS
+        )
+
+    def test_handoff_to_self_and_return_clean(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = []\n\n\n"
+            "class Reader:\n"
+            "    def __init__(self, path):\n"
+            "        self._handle = open(path)\n\n"
+            "    def close(self):\n"
+            "        self._handle.close()\n\n\n"
+            "def opened(path):\n"
+            "    return open(path)\n",
+        )
+        assert run_pass("resource-lifecycle", [good], **LIFECYCLE_OPTS) == []
+
+    def test_exit_stack_clean(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = []\nimport contextlib\n\n\n"
+            "def heads(paths):\n"
+            "    with contextlib.ExitStack() as stack:\n"
+            "        handles = [stack.enter_context(open(p)) for p in paths]\n"
+            "        return [h.readline() for h in handles]\n",
+        )
+        assert run_pass("resource-lifecycle", [good], **LIFECYCLE_OPTS) == []
+
+    def test_os_close_release_clean(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = []\nimport os\n\n\n"
+            "def fsync_dir(path):\n"
+            "    fd = os.open(path, os.O_RDONLY)\n"
+            "    try:\n"
+            "        os.fsync(fd)\n"
+            "    finally:\n"
+            "        os.close(fd)\n",
+        )
+        assert run_pass("resource-lifecycle", [good], **LIFECYCLE_OPTS) == []
+
+    def test_suppression_with_justification(self, tmp_path):
+        suppressed = write_module(
+            tmp_path,
+            "repro.pkg.noisy",
+            "__all__ = []\n\n\n"
+            "def head(path):\n"
+            "    handle = open(path)  "
+            "# replint: disable=resource-lifecycle -- process-lifetime handle\n"
+            "    return handle.readline()\n",
+        )
+        config = Config(options={"resource-lifecycle": dict(LIFECYCLE_OPTS)})
+        report = analyze_paths([suppressed], config, ["resource-lifecycle"])
+        assert report.findings == ()
+        assert report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# api-reachability (RPL45x)
+# ----------------------------------------------------------------------
+
+REACH_OPTS = {"packages": ["repro.pkg"], "usage-roots": []}
+
+
+class TestApiReachability:
+    def test_dead_export_flagged(self, tmp_path):
+        lib = write_module(
+            tmp_path,
+            "repro.pkg.lib",
+            "__all__ = ['used', 'dead']\n\n\n"
+            "def used():\n    return 1\n\n\n"
+            "def dead():\n    return 2\n",
+        )
+        write_module(
+            tmp_path,
+            "repro.pkg.app",
+            "__all__ = []\nfrom repro.pkg.lib import used\n\n\nX = used()\n",
+        )
+        root = lib.parents[2]
+        report = analyze_paths(
+            [root],
+            Config(options={"api-reachability": dict(REACH_OPTS)}),
+            ["api-reachability"],
+        )
+        flagged = [
+            f for f in report.findings if f.code == "RPL451"
+        ]
+        assert len(flagged) == 1
+        assert "dead" in flagged[0].message
+        assert flagged[0].severity == "warning"
+
+    def test_dead_export_skipped_when_usage_roots_missing(self, tmp_path):
+        lib = write_module(
+            tmp_path,
+            "repro.pkg.lib",
+            "__all__ = ['dead']\n\n\ndef dead():\n    return 2\n",
+        )
+        options = {"packages": ["repro.pkg"], "usage-roots": ["tests"]}
+        codes = run_pass("api-reachability", [lib.parents[2]], **options)
+        assert "RPL451" not in codes
+
+    def test_reexport_chain_counts_as_reference(self, tmp_path):
+        impl = write_module(
+            tmp_path,
+            "repro.pkg.impl",
+            "__all__ = ['thing']\n\n\ndef thing():\n    return 1\n",
+        )
+        write_module(
+            tmp_path,
+            "repro.pkg.api",
+            "__all__ = ['thing']\nfrom repro.pkg.impl import thing\n",
+        )
+        write_module(
+            tmp_path,
+            "repro.pkg.app",
+            "__all__ = []\nfrom repro.pkg.api import thing\n\n\nX = thing()\n",
+        )
+        codes = run_pass("api-reachability", [impl.parents[2]], **REACH_OPTS)
+        assert "RPL451" not in codes
+
+    def test_phantom_export_flagged(self, tmp_path):
+        bad = write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = ['ghost']\n\n\ndef real():\n    return 1\n",
+        )
+        codes = run_pass("api-reachability", [bad], **REACH_OPTS)
+        assert "RPL452" in codes
+
+    def test_unexported_public_def_flagged(self, tmp_path):
+        bad = write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = ['listed']\n\n\n"
+            "def listed():\n    return 1\n\n\n"
+            "def forgotten():\n    return 2\n",
+        )
+        codes = run_pass("api-reachability", [bad], **REACH_OPTS)
+        assert "RPL453" in codes
+
+    def test_underscore_names_exempt(self, tmp_path):
+        good = write_module(
+            tmp_path,
+            "repro.pkg.good",
+            "__all__ = ['listed']\n\n\n"
+            "def listed():\n    return 1\n\n\n"
+            "def _private():\n    return 2\n",
+        )
+        write_module(
+            tmp_path,
+            "repro.pkg.app",
+            "__all__ = []\nfrom repro.pkg.good import listed\n\n\nX = listed()\n",
+        )
+        codes = run_pass("api-reachability", [good.parents[2]], **REACH_OPTS)
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
+# native-c (RPL8xx)
+# ----------------------------------------------------------------------
+
+LEAKY_C = """\
+#include <Python.h>
+
+static PyObject *
+leaky(PyObject *self, PyObject *args)
+{
+    long n;
+    if (!PyArg_ParseTuple(args, "l", &n)) {
+        return NULL;
+    }
+    PyObject *acc = PyList_New(0);
+    if (acc == NULL) {
+        return NULL;
+    }
+    PyObject *item = PyLong_FromLong(n);
+    if (item == NULL) {
+        return NULL;
+    }
+    if (PyList_Append(acc, item) < 0) {
+        Py_DECREF(item);
+        return NULL;
+    }
+    Py_DECREF(item);
+    return acc;
+}
+"""
+
+CLEAN_C = """\
+#include <Python.h>
+
+static PyObject *
+clean_fn(PyObject *self, PyObject *args)
+{
+    long n;
+    if (!PyArg_ParseTuple(args, "l", &n)) {
+        return NULL;
+    }
+    PyObject *acc = PyList_New(0);
+    if (acc == NULL) {
+        return NULL;
+    }
+    PyObject *item = PyLong_FromLong(n);
+    if (item == NULL) {
+        Py_DECREF(acc);
+        return NULL;
+    }
+    if (PyList_Append(acc, item) < 0) {
+        Py_DECREF(item);
+        Py_DECREF(acc);
+        return NULL;
+    }
+    Py_DECREF(item);
+    return acc;
+}
+"""
+
+BAD_FORMATS_C = """\
+#include <Python.h>
+
+static PyObject *
+formats(PyObject *self, PyObject *args)
+{
+    long a;
+    if (!PyArg_ParseTuple(args, "ll", &a)) {
+        return NULL;
+    }
+    return Py_BuildValue("l", a, a);
+}
+"""
+
+UNCHECKED_C = """\
+#include <Python.h>
+
+static PyObject *
+unchecked(PyObject *self, PyObject *args)
+{
+    PyObject *out = PyList_New(4);
+    PyList_SET_ITEM(out, 0, PyLong_FromLong(1));
+    return out;
+}
+"""
+
+UNPAIRED_BUFFER_C = """\
+#include <Python.h>
+
+static int
+grab(PyObject *obj, Py_buffer *view)
+{
+    if (PyObject_GetBuffer(obj, view, PyBUF_SIMPLE) < 0) {
+        return -1;
+    }
+    return (int)view->len;
+}
+"""
+
+
+def native_codes(text: str) -> list[str]:
+    instance = NativeCPass()
+    findings = instance.check_source(
+        "fixture.c", text, NativeCPass.default_options
+    )
+    return [finding.code for finding in findings]
+
+
+class TestNativeC:
+    def test_refcount_leak_on_error_path_flagged(self):
+        codes = native_codes(LEAKY_C)
+        # `acc` leaks at the item==NULL return and the Append-failure
+        # return; both must be caught.
+        assert codes.count("RPL801") == 2
+
+    def test_disciplined_error_paths_clean(self):
+        assert native_codes(CLEAN_C) == []
+
+    def test_format_arity_mismatches_flagged(self):
+        codes = native_codes(BAD_FORMATS_C)
+        assert codes.count("RPL802") == 2
+
+    def test_unchecked_allocation_flagged(self):
+        assert "RPL803" in native_codes(UNCHECKED_C)
+
+    def test_unpaired_buffer_acquire_flagged(self):
+        assert "RPL804" in native_codes(UNPAIRED_BUFFER_C)
+
+    def test_c_comment_suppression_requires_justification(self):
+        # RPL801 anchors at the leaking `return NULL`; a justified
+        # suppression on the line above silences exactly that path.
+        target = "    if (item == NULL) {\n        return NULL;\n    }"
+        suppressed = LEAKY_C.replace(
+            target,
+            "    if (item == NULL) {\n"
+            "        /* replint: disable=native-c -- acc leak is the"
+            " fixture's point */\n"
+            "        return NULL;\n    }",
+        )
+        bare = LEAKY_C.replace(
+            target,
+            "    if (item == NULL) {\n"
+            "        /* replint: disable=native-c */\n"
+            "        return NULL;\n    }",
+        )
+        assert native_codes(suppressed).count("RPL801") == 1
+        assert native_codes(bare).count("RPL801") == 2
+
+    def test_real_extension_is_clean(self):
+        source = REPO_ROOT / "src" / "repro" / "kernels" / "_native.c"
+        codes = native_codes(source.read_text(encoding="utf-8"))
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+class TestSarif:
+    @pytest.fixture()
+    def report(self, tmp_path) -> Report:
+        bad = write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = []\nimport random\n\n\n"
+            "def sample(data, seed, buckets):\n"
+            "    index = seed % 4\n"
+            "    rng = random.Random(buckets)\n"
+            "    return rng.choice(data), index\n",
+        )
+        config = Config(options={"rng-flow": dict(RNG_OPTS)})
+        return analyze_paths([bad], config, ["rng-flow"])
+
+    def test_document_structure(self, report):
+        doc = to_sarif(report, registered_passes())
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "replint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "RPL111" in rule_ids
+        assert run["columnKind"] == "utf16CodeUnits"
+        assert "SRCROOT" in run["originalUriBaseIds"]
+
+    def test_results_reference_rules_by_index(self, report):
+        doc = to_sarif(report, registered_passes())
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+            location = result["locations"][0]["physicalLocation"]
+            region = location["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            assert result["level"] in ("error", "warning", "note")
+            assert "replintFingerprint/v1" in result["partialFingerprints"]
+
+    def test_render_is_valid_json(self, report):
+        text = render_sarif(report, registered_passes())
+        assert json.loads(text)["version"] == "2.1.0"
+
+    def test_cli_format_sarif(self, tmp_path, capsys):
+        write_module(tmp_path, "repro.pkg.fine", "__all__ = []\nX = 1\n")
+        exit_code = replint_main(
+            [
+                "--format",
+                "sarif",
+                "--config",
+                str(REPO_ROOT / "pyproject.toml"),
+                str(tmp_path),
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert exit_code == EXIT_CLEAN
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"] == []
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+def bad_tree(tmp_path: Path) -> Path:
+    write_module(
+        tmp_path,
+        "repro.pkg.bad",
+        "__all__ = []\nimport random\n\n\n"
+        "def sample(data, seed, buckets):\n"
+        "    index = seed % 4\n"
+        "    rng = random.Random(buckets)\n"
+        "    return rng.choice(data), index\n",
+    )
+    return tmp_path / "repro"
+
+
+class TestBaseline:
+    def test_adopting_a_dirty_tree(self, tmp_path, capsys):
+        root = bad_tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.replint.rng-flow]\npackages = ['repro.pkg']\n"
+        )
+        config_args = ["--config", str(pyproject)]
+        select = ["--select", "rng-flow"]
+
+        # Without a baseline the tree fails ...
+        assert (
+            replint_main([*config_args, *select, str(root)]) == EXIT_FINDINGS
+        )
+        capsys.readouterr()
+        # ... writing one succeeds and exits clean ...
+        assert (
+            replint_main(
+                [
+                    *config_args,
+                    *select,
+                    "--write-baseline",
+                    str(baseline_path),
+                    str(root),
+                ]
+            )
+            == EXIT_CLEAN
+        )
+        capsys.readouterr()
+        # ... and subsequent runs against it pass.
+        assert (
+            replint_main(
+                [*config_args, *select, "--baseline", str(baseline_path), str(root)]
+            )
+            == EXIT_CLEAN
+        )
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_regression_fails_against_baseline(self, tmp_path, capsys):
+        root = bad_tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        config = Config(options={"rng-flow": dict(RNG_OPTS)})
+        report = analyze_paths([root], config, ["rng-flow"])
+        write_baseline(report, baseline_path)
+
+        # A second, new finding in another module is a regression.
+        write_module(
+            tmp_path,
+            "repro.pkg.worse",
+            "__all__ = []\nimport random\n\n\n"
+            "def sample(data, seed, buckets):\n"
+            "    index = seed % 4\n"
+            "    rng = random.Random(buckets)\n"
+            "    return rng.choice(data), index\n",
+        )
+        after = analyze_paths([root], config, ["rng-flow"])
+        filtered = apply_baseline(after, load_baseline(baseline_path))
+        assert filtered.exit_code == EXIT_FINDINGS
+        assert len(filtered.findings) == 1
+        assert filtered.findings[0].path.endswith("worse.py")
+
+    def test_count_matching_is_per_fingerprint(self, tmp_path):
+        root = bad_tree(tmp_path)
+        config = Config(options={"rng-flow": dict(RNG_OPTS)})
+        report = analyze_paths([root], config, ["rng-flow"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(report, baseline_path)
+
+        # The same module acquiring a *second* identical finding must
+        # fail: the baseline budgets one occurrence of the fingerprint.
+        write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = []\nimport random\n\n\n"
+            "def sample(data, seed, buckets):\n"
+            "    index = seed % 4\n"
+            "    rng = random.Random(buckets)\n"
+            "    other = random.Random(buckets)\n"
+            "    return rng.choice(data), other, index\n",
+        )
+        after = analyze_paths([root], config, ["rng-flow"])
+        filtered = apply_baseline(after, load_baseline(baseline_path))
+        assert len(filtered.findings) == 1
+
+    def test_stale_entries_reported_not_failing(self, tmp_path):
+        root = bad_tree(tmp_path)
+        config = Config(options={"rng-flow": dict(RNG_OPTS)})
+        report = analyze_paths([root], config, ["rng-flow"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(report, baseline_path)
+
+        # Pay off the debt; the baseline entry goes stale but never fails.
+        write_module(
+            tmp_path,
+            "repro.pkg.bad",
+            "__all__ = []\nimport random\n\n\n"
+            "def sample(data, seed, buckets):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.choice(data), buckets\n",
+        )
+        after = analyze_paths([root], config, ["rng-flow"])
+        filtered = apply_baseline(after, load_baseline(baseline_path))
+        assert filtered.exit_code == EXIT_CLEAN
+        assert len(filtered.stale_baseline) == 1
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"tool": "other"}')
+        with pytest.raises(ValueError):
+            load_baseline(path)
+        path.write_text("not json at all")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_cli_rejects_corrupt_baseline(self, tmp_path, capsys):
+        root = bad_tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text("{}")
+        code = replint_main(
+            [
+                "--config",
+                str(REPO_ROOT / "pyproject.toml"),
+                "--baseline",
+                str(baseline_path),
+                str(root),
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --select parsing
+# ----------------------------------------------------------------------
+
+class TestSelect:
+    def test_comma_separated_and_repeated(self):
+        names = parse_select(["rng-flow,determinism", "native-c"])
+        assert names == ["rng-flow", "determinism", "native-c"]
+
+    def test_unknown_pass_lists_available(self):
+        with pytest.raises(ValueError) as excinfo:
+            parse_select(["no-such-pass"])
+        message = str(excinfo.value)
+        assert "no-such-pass" in message
+        for name in registered_passes():
+            assert name in message
+
+    def test_cli_exit_2_with_listing_on_stderr(self, capsys):
+        code = replint_main(["--select", "bogus,rng-flow", "src"])
+        assert code == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "rng-flow" in err
+        assert "determinism" in err
+
+    def test_main_cli_mirrors_select_validation(self, capsys):
+        from repro.__main__ import main as repro_main
+
+        code = repro_main(["analyze", "--select", "bogus", "src"])
+        assert code == EXIT_ERROR
+        assert "bogus" in capsys.readouterr().err
+
+    def test_empty_select_is_usage_error(self):
+        with pytest.raises(ValueError):
+            parse_select([","])
