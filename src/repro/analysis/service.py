@@ -1,6 +1,6 @@
 """replint pass ``service-hygiene``: the serving tier fails loudly.
 
-The service's robustness story rests on two disciplines that decay
+The service's robustness story rests on three disciplines that decay
 silently without a machine check:
 
 * **every network/queue await is bounded** — an unbounded
@@ -12,7 +12,12 @@ silently without a machine check:
 * **every failure maps to a protocol response** — a bare ``except:`` or
   a swallow-and-continue handler converts a failure the client must see
   (an explicit error code, a shed, a degraded answer) into a silent
-  wrong behaviour, the one outcome the chaos suite exists to forbid.
+  wrong behaviour, the one outcome the chaos suite exists to forbid;
+* **the supervisor owns every worker process** — a raw ``os.fork()``,
+  ``multiprocessing.Process(...)`` or ``subprocess.Popen(...)`` anywhere
+  else in the serving tier creates a process with no sentinel watcher,
+  no respawn-on-crash, no checkpoint re-homing and no teardown reaping:
+  an orphan the resilience machinery cannot see.
 
 Codes:
 
@@ -21,6 +26,8 @@ Codes:
 * ``RPL602`` — a bare ``except:`` clause; name the failures you handle.
 * ``RPL603`` — an exception handler whose whole body is ``pass`` (or
   ``...``): the failure is swallowed with no response, log, or metric.
+* ``RPL604`` — a raw process spawn outside the supervisor module
+  (``spawn-modules`` option, default ``repro.service.supervisor``).
 """
 
 from __future__ import annotations
@@ -56,6 +63,20 @@ _TIMEOUT_WRAPPERS = ["asyncio.wait_for"]
 #: Async context managers that bound every await inside their block.
 _TIMEOUT_SCOPES = ["asyncio.timeout", "asyncio.timeout_at"]
 
+#: Callables that create a process the supervisor would not be watching.
+_SPAWN_CALLS = [
+    "multiprocessing.Process",
+    "os.fork",
+    "os.forkpty",
+    "os.posix_spawn",
+    "os.posix_spawnp",
+    "subprocess.Popen",
+]
+
+#: Modules allowed to spawn: the supervisor, which pairs every spawn
+#: with a sentinel watcher, respawn backoff, and teardown reaping.
+_SPAWN_MODULES = ["repro.service.supervisor"]
+
 
 @register
 class ServiceHygienePass(Pass):
@@ -66,12 +87,15 @@ class ServiceHygienePass(Pass):
         "RPL601": "network/queue await without an explicit timeout",
         "RPL602": "bare except in a request/ingest path",
         "RPL603": "exception handler swallows the failure silently",
+        "RPL604": "raw process spawn outside the supervisor",
     }
     default_options: dict[str, Any] = {
         "packages": ["repro.service"],
         "risky-methods": list(_RISKY_METHODS),
         "timeout-wrappers": list(_TIMEOUT_WRAPPERS),
         "timeout-scopes": list(_TIMEOUT_SCOPES),
+        "spawn-calls": list(_SPAWN_CALLS),
+        "spawn-modules": list(_SPAWN_MODULES),
     }
 
     def check(
@@ -79,12 +103,19 @@ class ServiceHygienePass(Pass):
     ) -> Iterator[Finding]:
         risky = frozenset(str(m) for m in options.get("risky-methods", ()))
         scopes = frozenset(str(s) for s in options.get("timeout-scopes", ()))
+        spawns = frozenset(str(c) for c in options.get("spawn-calls", ()))
+        spawn_modules = frozenset(
+            str(m) for m in options.get("spawn-modules", ())
+        )
+        may_spawn = module.module in spawn_modules
         bounded = self._timeout_scope_spans(module, scopes)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Await):
                 yield from self._check_await(module, node, risky, bounded)
             elif isinstance(node, ast.ExceptHandler):
                 yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Call) and not may_spawn:
+                yield from self._check_spawn(module, node, spawns)
 
     # -- RPL601 --------------------------------------------------------
 
@@ -131,6 +162,38 @@ class ServiceHygienePass(Pass):
             "stuck queue wedges this handler forever; wrap it in "
             "asyncio.wait_for(..., timeout=...) or an "
             "`async with asyncio.timeout(...)` block",
+        )
+
+    # -- RPL604 --------------------------------------------------------
+
+    def _check_spawn(
+        self,
+        module: SourceModule,
+        node: ast.Call,
+        spawns: frozenset[str],
+    ) -> Iterator[Finding]:
+        resolved = module.resolve(node.func)
+        name = resolved
+        if resolved is None or resolved not in spawns:
+            # A context-bound `ctx.Process(...)` (or any other `.Process`
+            # constructor reached through a local object) resolves to no
+            # dotted import name, but still creates an unwatched process.
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr == "Process"
+            ):
+                return
+            name = f"...{func.attr}"
+        yield Finding(
+            module.rel,
+            node.lineno,
+            node.col_offset + 1,
+            "RPL604",
+            self.name,
+            f"`{name}(...)` spawns a process the supervisor is not "
+            "watching: no sentinel watcher, no respawn-on-crash, no "
+            "checkpoint re-homing, no teardown reap; create workers "
+            "through repro.service.supervisor instead",
         )
 
     # -- RPL602 / RPL603 ----------------------------------------------

@@ -505,7 +505,8 @@ class CollapseEngine:
         total = combined.total_weight
         if total <= 0:
             raise ValueError("Output invoked with no data")
-        return [combined.select(quantile_position(phi, total)) for phi in phis]
+        positions = [quantile_position(phi, total) for phi in phis]
+        return combined.select_many(positions)
 
     def weighted_rank(
         self,

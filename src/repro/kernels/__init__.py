@@ -175,6 +175,15 @@ class MergedView:
             )
         return float(self.values[index])
 
+    def select_many(self, positions: Sequence[int]) -> list[float]:
+        """One :meth:`select` per position, order preserved.
+
+        The reference law for the vectorised backends: the native view
+        overrides this with a single C call that walks every position in
+        one pass, and must stay bit-identical to this loop.
+        """
+        return [self.select(position) for position in positions]
+
 
 def merge_views(a: MergedView, b: MergedView) -> MergedView:
     """Union of two flattened views, in one linear two-pointer pass.

@@ -30,6 +30,7 @@
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
 
+#include <limits.h>
 #include <stdint.h>
 #include <string.h>
 
@@ -737,10 +738,39 @@ typedef struct {
     Py_ssize_t *l;          /* losers[size] (node 0 unused) */
     Py_ssize_t *c;          /* cursors[nruns] */
     void *heap;             /* non-NULL when spilled past the stack */
+    int heap_from_scratch;  /* heap borrows lt_scratch (don't free) */
     mergehead heads_stack[LT_STACK_RUNS];
     Py_ssize_t losers_stack[LT_STACK_RUNS];
     Py_ssize_t cursors_stack[LT_STACK_RUNS];
 } losertree;
+
+/* Grow-only scratch for loser trees too wide for the stack arrays.  One
+ * process-wide arena, same discipline as sort_scratch: the GIL
+ * serialises callers, the buffer only grows, and the static pointer
+ * keeps it reachable for leak checkers.  The busy flag covers re-entry
+ * (two live trees at once): the inner tree falls back to a private
+ * allocation instead of clobbering the outer one. */
+static void *lt_scratch = NULL;
+static Py_ssize_t lt_scratch_cap = 0;   /* bytes */
+static int lt_scratch_busy = 0;
+
+static int
+lt_scratch_reserve(size_t need)
+{
+    if ((Py_ssize_t)need <= lt_scratch_cap)
+        return 0;
+    Py_ssize_t cap = lt_scratch_cap > 0 ? lt_scratch_cap : 4096;
+    while ((size_t)cap < need)
+        cap *= 2;
+    void *grown = PyMem_Realloc(lt_scratch, (size_t)cap);
+    if (grown == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    lt_scratch = grown;
+    lt_scratch_cap = cap;
+    return 0;
+}
 
 static inline int
 head_less(const mergehead *a, const mergehead *b)
@@ -790,6 +820,7 @@ lt_init(losertree *t, const f64view *runs, const int64_t *weights,
     t->weights = weights;
     t->nruns = nruns;
     t->heap = NULL;
+    t->heap_from_scratch = 0;
     Py_ssize_t size = 1;
     while (size < nruns)
         size *= 2;
@@ -800,11 +831,21 @@ lt_init(losertree *t, const f64view *runs, const int64_t *weights,
         t->c = t->cursors_stack;
     }
     else {
-        char *mem = PyMem_Malloc(
-            (size_t)size * (sizeof(mergehead) + 2 * sizeof(Py_ssize_t)));
-        if (mem == NULL) {
-            PyErr_NoMemory();
-            return -1;
+        size_t need = (size_t)size * (sizeof(mergehead) + 2 * sizeof(Py_ssize_t));
+        char *mem;
+        if (!lt_scratch_busy) {
+            if (lt_scratch_reserve(need) < 0)
+                return -1;
+            lt_scratch_busy = 1;
+            t->heap_from_scratch = 1;
+            mem = lt_scratch;
+        }
+        else {
+            mem = PyMem_Malloc(need);
+            if (mem == NULL) {
+                PyErr_NoMemory();
+                return -1;
+            }
         }
         t->heap = mem;
         t->h = (mergehead *)mem;
@@ -842,8 +883,13 @@ lt_pop(losertree *t, int64_t *out_w)
 static void
 lt_free(losertree *t)
 {
-    if (t->heap != NULL)
+    if (t->heap == NULL)
+        return;
+    if (t->heap_from_scratch)
+        lt_scratch_busy = 0;
+    else
         PyMem_Free(t->heap);
+    t->heap = NULL;
 }
 
 /* Merge ``nruns`` sorted runs (each with a constant per-element weight)
@@ -901,27 +947,90 @@ merge_runs(const f64view *runs, const int64_t *weights, Py_ssize_t nruns,
     return 0;
 }
 
+/* Grow-only scratch for acquire_weighted's runs/weights arrays.  Every
+ * collapse and merge call used to pay two PyMem_Mallocs just to hold
+ * the per-run bookkeeping; under sustained serving load those arrays
+ * have a stable high-water size, so one process-wide arena (GIL-
+ * serialised, like sort_scratch) amortises them to zero.  The busy flag
+ * covers re-entry via PySequence item hooks running python code that
+ * calls back into these kernels: the nested call takes a private
+ * allocation instead of aliasing the live arrays. */
+static void *wt_scratch = NULL;
+static Py_ssize_t wt_scratch_cap = 0;   /* capacity in pairs */
+static int wt_scratch_busy = 0;
+
+static int
+wt_scratch_reserve(Py_ssize_t n)
+{
+    if (n <= wt_scratch_cap)
+        return 0;
+    Py_ssize_t cap = wt_scratch_cap > 0 ? wt_scratch_cap : 16;
+    while (cap < n)
+        cap *= 2;
+    void *grown = PyMem_Realloc(
+        wt_scratch, (size_t)cap * (sizeof(f64view) + sizeof(int64_t)));
+    if (grown == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    wt_scratch = grown;
+    wt_scratch_cap = cap;
+    return 0;
+}
+
+static int
+wt_scratch_get(Py_ssize_t n, f64view **out_runs, int64_t **out_weights,
+               int *out_from_scratch)
+{
+    if (n < 1)
+        n = 1;
+    if (!wt_scratch_busy) {
+        if (wt_scratch_reserve(n) < 0)
+            return -1;
+        wt_scratch_busy = 1;
+        *out_runs = (f64view *)wt_scratch;
+        /* weights live after the full runs capacity, so growth never
+         * shifts them relative to an in-flight acquisition (the busy
+         * flag forbids that anyway). */
+        *out_weights = (int64_t *)((char *)wt_scratch
+                                   + (size_t)wt_scratch_cap * sizeof(f64view));
+        *out_from_scratch = 1;
+        return 0;
+    }
+    f64view *runs = PyMem_Malloc((size_t)n * sizeof(f64view));
+    int64_t *weights = PyMem_Malloc((size_t)n * sizeof(int64_t));
+    if (runs == NULL || weights == NULL) {
+        PyMem_Free(runs);
+        PyMem_Free(weights);
+        PyErr_NoMemory();
+        return -1;
+    }
+    *out_runs = runs;
+    *out_weights = weights;
+    *out_from_scratch = 0;
+    return 0;
+}
+
 /* Acquire ``inputs`` — a sequence of (data, weight) pairs — as runs.
  * Entries with weight <= 0 are skipped when ``skip_nonpositive``.
- * Returns 0 on success with the out_runs, out_weights, out_n, out_total
- * outputs set (caller must release each run and free both arrays),
- * -1 on error. */
+ * Returns 0 on success with the out_runs, out_weights, out_n, out_total,
+ * out_from_scratch outputs set (caller must hand all of them to
+ * release_weighted), -1 on error. */
 static int
 acquire_weighted(PyObject *inputs, int skip_nonpositive,
                  f64view **out_runs, int64_t **out_weights,
-                 Py_ssize_t *out_n, Py_ssize_t *out_total)
+                 Py_ssize_t *out_n, Py_ssize_t *out_total,
+                 int *out_from_scratch)
 {
     PyObject *fast = PySequence_Fast(inputs, "expected a sequence of (data, weight) pairs");
     if (fast == NULL)
         return -1;
     Py_ssize_t n_pairs = PySequence_Fast_GET_SIZE(fast);
-    f64view *runs = PyMem_Malloc((size_t)(n_pairs > 0 ? n_pairs : 1) * sizeof(f64view));
-    int64_t *weights = PyMem_Malloc((size_t)(n_pairs > 0 ? n_pairs : 1) * sizeof(int64_t));
-    if (runs == NULL || weights == NULL) {
-        PyMem_Free(runs);
-        PyMem_Free(weights);
+    f64view *runs;
+    int64_t *weights;
+    int from_scratch;
+    if (wt_scratch_get(n_pairs, &runs, &weights, &from_scratch) < 0) {
         Py_DECREF(fast);
-        PyErr_NoMemory();
         return -1;
     }
     Py_ssize_t count = 0, total = 0;
@@ -958,23 +1067,35 @@ acquire_weighted(PyObject *inputs, int skip_nonpositive,
     *out_weights = weights;
     *out_n = count;
     *out_total = total;
+    *out_from_scratch = from_scratch;
     return 0;
 fail:
     for (Py_ssize_t j = 0; j < count; j++)
         f64view_release(&runs[j]);
-    PyMem_Free(runs);
-    PyMem_Free(weights);
+    if (from_scratch) {
+        wt_scratch_busy = 0;
+    }
+    else {
+        PyMem_Free(runs);
+        PyMem_Free(weights);
+    }
     Py_DECREF(fast);
     return -1;
 }
 
 static void
-release_weighted(f64view *runs, int64_t *weights, Py_ssize_t n)
+release_weighted(f64view *runs, int64_t *weights, Py_ssize_t n,
+                 int from_scratch)
 {
     for (Py_ssize_t i = 0; i < n; i++)
         f64view_release(&runs[i]);
-    PyMem_Free(runs);
-    PyMem_Free(weights);
+    if (from_scratch) {
+        wt_scratch_busy = 0;
+    }
+    else {
+        PyMem_Free(runs);
+        PyMem_Free(weights);
+    }
 }
 
 /* Build (values bytes, cumweights bytes) from merged runs. */
@@ -1018,10 +1139,11 @@ native_merge_weighted(PyObject *self, PyObject *inputs)
     f64view *runs;
     int64_t *weights;
     Py_ssize_t nruns, total;
-    if (acquire_weighted(inputs, 1, &runs, &weights, &nruns, &total) < 0)
+    int scratch;
+    if (acquire_weighted(inputs, 1, &runs, &weights, &nruns, &total, &scratch) < 0)
         return NULL;
     PyObject *result = merged_payload(runs, weights, nruns, total);
-    release_weighted(runs, weights, nruns);
+    release_weighted(runs, weights, nruns, scratch);
     return result;
 }
 
@@ -1044,7 +1166,9 @@ native_select_collapse(PyObject *self, PyObject *args)
     f64view *runs;
     int64_t *weights;
     Py_ssize_t nruns, total_len;
-    if (acquire_weighted(inputs, 0, &runs, &weights, &nruns, &total_len) < 0)
+    int scratch;
+    if (acquire_weighted(inputs, 0, &runs, &weights, &nruns, &total_len,
+                         &scratch) < 0)
         return NULL;
     int64_t stride = 0, total_weight = 0;
     for (Py_ssize_t i = 0; i < nruns; i++) {
@@ -1055,7 +1179,7 @@ native_select_collapse(PyObject *self, PyObject *args)
         PyErr_Format(PyExc_ValueError,
                      "offset %zd outside stride [1, %lld]",
                      offset, (long long)stride);
-        release_weighted(runs, weights, nruns);
+        release_weighted(runs, weights, nruns, scratch);
         return NULL;
     }
     if ((int64_t)offset + (int64_t)(capacity - 1) * stride > total_weight) {
@@ -1065,13 +1189,13 @@ native_select_collapse(PyObject *self, PyObject *args)
                      (long long)total_weight,
                      (long long)((int64_t)offset + (int64_t)(capacity - 1) * stride),
                      (long long)stride, offset);
-        release_weighted(runs, weights, nruns);
+        release_weighted(runs, weights, nruns, scratch);
         return NULL;
     }
     PyObject *out = PyBytes_FromStringAndSize(
         NULL, capacity * (Py_ssize_t)sizeof(double));
     if (out == NULL) {
-        release_weighted(runs, weights, nruns);
+        release_weighted(runs, weights, nruns, scratch);
         return NULL;
     }
     double *kept = (double *)PyBytes_AS_STRING(out);
@@ -1080,7 +1204,7 @@ native_select_collapse(PyObject *self, PyObject *args)
          * consecutive run elements: one memcpy from (offset-1)/weight. */
         memcpy(kept, runs[0].data + (offset - 1) / weights[0],
                (size_t)capacity * sizeof(double));
-        release_weighted(runs, weights, nruns);
+        release_weighted(runs, weights, nruns, scratch);
         return out;
     }
     if (nruns == 2) {
@@ -1101,7 +1225,7 @@ native_select_collapse(PyObject *self, PyObject *args)
                              "(total weight %lld, stride %lld, offset %zd)",
                              (long long)total_weight, (long long)stride,
                              offset);
-                release_weighted(runs, weights, nruns);
+                release_weighted(runs, weights, nruns, scratch);
                 Py_DECREF(out);
                 return NULL;
             }
@@ -1122,7 +1246,7 @@ native_select_collapse(PyObject *self, PyObject *args)
                 ib++;
             }
         }
-        release_weighted(runs, weights, nruns);
+        release_weighted(runs, weights, nruns, scratch);
         return out;
     }
     /* General shape: walk the loser-tree merge in a single pass, keeping
@@ -1133,7 +1257,7 @@ native_select_collapse(PyObject *self, PyObject *args)
      * just kept. */
     losertree tree;
     if (lt_init(&tree, runs, weights, nruns) < 0) {
-        release_weighted(runs, weights, nruns);
+        release_weighted(runs, weights, nruns, scratch);
         Py_DECREF(out);
         return NULL;
     }
@@ -1149,7 +1273,7 @@ native_select_collapse(PyObject *self, PyObject *args)
                          "(total weight %lld, stride %lld, offset %zd)",
                          (long long)total_weight, (long long)stride, offset);
             lt_free(&tree);
-            release_weighted(runs, weights, nruns);
+            release_weighted(runs, weights, nruns, scratch);
             Py_DECREF(out);
             return NULL;
         }
@@ -1163,7 +1287,7 @@ native_select_collapse(PyObject *self, PyObject *args)
         }
     }
     lt_free(&tree);
-    release_weighted(runs, weights, nruns);
+    release_weighted(runs, weights, nruns, scratch);
     return out;
 }
 
@@ -1332,6 +1456,82 @@ native_weighted_select(PyObject *self, PyObject *args)
     return PyFloat_FromDouble(value);
 }
 
+PyDoc_STRVAR(query_many_doc,
+"query_many(values, cumweights, positions, /) -> bytes\n\n"
+"The vectorised rank walk: answer every cumulative-weight position in\n"
+"one call, packed as float64 bytes in input order.  Bit-identical to\n"
+"one weighted_select per position (same lower-bound law, same\n"
+"ValueError when a position exceeds the total weight), but the whole\n"
+"phi grid pays a single boundary crossing, and ascending positions —\n"
+"the sorted-phi common case — restart each search at the previous\n"
+"answer's index instead of zero.");
+
+static PyObject *
+native_query_many(PyObject *self, PyObject *args)
+{
+    (void)self;
+    PyObject *vals_obj, *cum_obj, *pos_obj;
+    if (!PyArg_ParseTuple(args, "OOO:query_many",
+                          &vals_obj, &cum_obj, &pos_obj))
+        return NULL;
+    PyObject *fast = PySequence_Fast(pos_obj, "expected a sequence of positions");
+    if (fast == NULL)
+        return NULL;
+    viewpair p;
+    if (viewpair_acquire(vals_obj, cum_obj, &p) < 0) {
+        Py_DECREF(fast);
+        return NULL;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    PyObject *out = PyBytes_FromStringAndSize(
+        NULL, n * (Py_ssize_t)sizeof(double));
+    if (out == NULL) {
+        viewpair_release(&p);
+        Py_DECREF(fast);
+        return NULL;
+    }
+    double *res = (double *)PyBytes_AS_STRING(out);
+    /* Floor reuse: a lower-bound answer idx for position q has
+     * c[i] < q for every i < idx, so any later position q' >= q can
+     * start its search at idx — exactly the same index a full search
+     * would find.  Descending positions reset to a full search. */
+    Py_ssize_t floor_idx = 0;
+    long long prev_position = LLONG_MIN;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *item = PySequence_Fast_GET_ITEM(fast, i);
+        long long position = PyLong_AsLongLong(item);
+        if (position == -1 && PyErr_Occurred())
+            goto fail;
+        Py_ssize_t lo = position >= prev_position ? floor_idx : 0;
+        Py_ssize_t hi = p.len;
+        while (lo < hi) {
+            Py_ssize_t mid = lo + (hi - lo) / 2;
+            if (p.c[mid] < (int64_t)position)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        if (lo >= p.len) {
+            int64_t total = p.len ? p.c[p.len - 1] : 0;
+            PyErr_Format(PyExc_ValueError,
+                         "position %lld exceeds total weight %lld",
+                         position, (long long)total);
+            goto fail;
+        }
+        res[i] = p.v[lo];
+        floor_idx = lo;
+        prev_position = position;
+    }
+    viewpair_release(&p);
+    Py_DECREF(fast);
+    return out;
+fail:
+    viewpair_release(&p);
+    Py_DECREF(fast);
+    Py_DECREF(out);
+    return NULL;
+}
+
 PyDoc_STRVAR(cum_at_doc,
 "cum_at(values, cumweights, value, /) -> int\n\n"
 "Total weight of merged elements <= ``value`` (the inverse rank query).");
@@ -1375,6 +1575,7 @@ static PyMethodDef native_methods[] = {
     {"select_collapse", native_select_collapse, METH_VARARGS, select_collapse_doc},
     {"merge_views", native_merge_views, METH_VARARGS, merge_views_doc},
     {"weighted_select", native_weighted_select, METH_VARARGS, weighted_select_doc},
+    {"query_many", native_query_many, METH_VARARGS, query_many_doc},
     {"cum_at", native_cum_at, METH_VARARGS, cum_at_doc},
     {NULL, NULL, 0, NULL},
 };

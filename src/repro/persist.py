@@ -67,6 +67,7 @@ __all__ = [
     "save_checkpoint_rotating",
     "load_checkpoint_rotating",
     "checkpoint_generations",
+    "move_checkpoint_chain",
 ]
 
 #: 8-byte file signature; never reused across incompatible layouts.
@@ -470,6 +471,28 @@ def save_checkpoint_rotating(
         if os.path.exists(newer):
             os.replace(newer, older)
     save_checkpoint(obj, chain[0])
+
+
+def move_checkpoint_chain(
+    src: str | os.PathLike[str], dst: str | os.PathLike[str], keep: int = 2
+) -> int:
+    """Move every existing generation of a rotated chain to a new stem.
+
+    Each present generation is moved with :func:`os.replace` (atomic on
+    the same filesystem), newest first, so a crash mid-move leaves every
+    generation intact at exactly one of the two stems and a chain walk at
+    ``dst`` prefers the newest frames already moved.  Returns the number
+    of generations moved.  The serving tier uses this to re-home tenant
+    checkpoint chains when the worker-shard layout changes.
+    """
+    moved = 0
+    for src_gen, dst_gen in zip(
+        checkpoint_generations(src, keep), checkpoint_generations(dst, keep)
+    ):
+        if os.path.exists(src_gen):
+            os.replace(src_gen, dst_gen)
+            moved += 1
+    return moved
 
 
 def load_checkpoint_rotating(

@@ -54,8 +54,8 @@ from repro.runtime.pool import (
     _merge_pool,
     _plan_from_dict,
     _plan_to_dict,
-    _reap,
     _resolve,
+    reap_processes,
     seed_for_worker,
 )
 from repro.runtime.shm import ArenaSegment, PoolLayout, ShipDescriptor
@@ -300,7 +300,7 @@ class PersistentPool:
             # reap and destroy before the exception leaves the
             # constructor (close() needs a fully initialised instance,
             # so it cannot run here).
-            _reap(getattr(self, "_procs", {}))
+            reap_processes(getattr(self, "_procs", {}))
             self._segment.destroy()
             raise
 
@@ -392,7 +392,7 @@ class PersistentPool:
             process = self._procs.get(wid)
             if process is not None and process.is_alive():
                 control.put(None)
-        leaked = _reap(self._procs)
+        leaked = reap_processes(self._procs)
         for control in self._control.values():
             control.close()
             control.cancel_join_thread()

@@ -62,6 +62,7 @@ __all__ = [
     "WorkerReport",
     "WorkerSpec",
     "available_start_methods",
+    "reap_processes",
     "run_file_shards",
     "run_pool_on_file",
     "run_pool_on_stream",
@@ -369,7 +370,7 @@ def _resolve(
     return plan, policy_name, backend_name, seed, method
 
 
-def _reap(procs: dict[int, mp.process.BaseProcess]) -> dict[int, str]:
+def reap_processes(procs: dict[int, mp.process.BaseProcess]) -> dict[int, str]:
     """Join every worker, escalating join -> SIGTERM -> SIGKILL.
 
     A worker that outlives the polite ``join`` is terminated; one that
@@ -378,6 +379,10 @@ def _reap(procs: dict[int, mp.process.BaseProcess]) -> dict[int, str]:
     Returns ``{worker_id: what_it_took}`` for every worker that needed
     escalation past the plain join, so callers can surface the leak in
     :class:`PoolWorkerError` instead of hiding it.
+
+    Exported because the same teardown discipline guards every
+    process-owning layer: the pool drivers here, :class:`PersistentPool`,
+    and the serving tier's :mod:`repro.service.supervisor`.
     """
     leaked: dict[int, str] = {}
     for worker_id, process in sorted(procs.items()):
@@ -442,7 +447,7 @@ def _collect(
         else:
             results[worker_id] = (frame, n, seconds)
             pending.discard(worker_id)
-    leaked = _reap(procs)
+    leaked = reap_processes(procs)
     return results, lost, leaked
 
 

@@ -24,6 +24,8 @@ from repro.service.admission import (
     Deadline,
     DeadlineExceeded,
     Overloaded,
+    RateLimited,
+    TokenBucket,
 )
 from repro.service.chaos import CHAOS_EXIT_CODE, ChaosCrash, ChaosPlan
 from repro.service.metrics import MetricRegistry
@@ -39,12 +41,19 @@ from repro.service.server import (
     ServiceConfig,
     ShuttingDown,
 )
+from repro.service.supervisor import (
+    ServiceSupervisor,
+    default_worker_count,
+    rehome_checkpoints,
+    serve_supervised,
+)
 from repro.service.tenants import (
     CircuitBreaker,
     CircuitOpenError,
     RecoveryReport,
     TenantRegistry,
     TenantState,
+    shard_for_tenant,
 )
 
 __all__ = [
@@ -63,10 +72,17 @@ __all__ = [
     "Overloaded",
     "ProtocolError",
     "QuantileService",
+    "RateLimited",
     "RecoveryReport",
     "Request",
     "ServiceConfig",
+    "ServiceSupervisor",
     "ShuttingDown",
     "TenantRegistry",
     "TenantState",
+    "TokenBucket",
+    "default_worker_count",
+    "rehome_checkpoints",
+    "serve_supervised",
+    "shard_for_tenant",
 ]

@@ -31,6 +31,8 @@ __all__ = [
     "Deadline",
     "DeadlineExceeded",
     "Overloaded",
+    "RateLimited",
+    "TokenBucket",
 ]
 
 
@@ -40,6 +42,73 @@ class Overloaded(Exception):
     def __init__(self, message: str, retry_after_ms: float) -> None:
         super().__init__(message)
         self.retry_after_ms = retry_after_ms
+
+
+class RateLimited(Exception):
+    """A per-tenant rate limit rejected this request; retry after the hint."""
+
+    def __init__(self, message: str, retry_after_ms: float) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class TokenBucket:
+    """Per-tenant token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    Tokens accrue continuously on the injected monotonic clock and are
+    spent one per admitted request.  An empty bucket rejects with
+    :class:`RateLimited` carrying the exact time until the next token —
+    never a silent drop.  Enforced *before* admission control so a
+    tenant over its contract cannot consume in-flight slots that belong
+    to well-behaved tenants.
+    """
+
+    __slots__ = ("rate", "burst", "_clock", "_tokens", "_updated", "rejected_total")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        #: Lifetime count of rejected admissions (metrics).
+        self.rejected_total = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0.0:
+            self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refilled on read)."""
+        self._refill()
+        return self._tokens
+
+    def admit(self, tenant: str) -> None:
+        """Spend one token or reject with :class:`RateLimited`."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return
+        self.rejected_total += 1
+        wait_ms = (1.0 - self._tokens) / self.rate * 1000.0
+        raise RateLimited(
+            f"tenant {tenant!r} is over its {self.rate:g} req/s rate limit "
+            f"(burst {self.burst})",
+            retry_after_ms=max(1.0, wait_ms),
+        )
 
 
 class DeadlineExceeded(Exception):

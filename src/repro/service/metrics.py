@@ -20,7 +20,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "merge_metric_payloads",
+    "render_payload_text",
+]
 
 _LabelKey = tuple[tuple[str, str], ...]
 
@@ -168,3 +175,70 @@ class MetricRegistry:
                 stat_key = key + (("stat", stat),)
                 lines.append(f"{_render_name(name, stat_key)} {value:g}")
         return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Cross-worker aggregation
+# ----------------------------------------------------------------------
+#
+# In the multi-process layout every worker owns its own registry; the
+# worker answering a ``/metrics`` scrape collects each peer's
+# ``to_dict()`` payload and merges them here.  Counters and gauges sum
+# across workers (sheds, requests, queue depths are all additive over
+# disjoint shards); histogram *percentiles* cannot be merged honestly
+# from summaries, so each worker's histogram rides through re-labelled
+# with ``worker="N"`` instead of pretending a merged p99 exists.
+
+def _relabel(rendered: str, worker: int) -> str:
+    label = f'worker="{worker}"'
+    if rendered.endswith("}"):
+        return f"{rendered[:-1]},{label}}}"
+    return f"{rendered}{{{label}}}"
+
+
+def merge_metric_payloads(
+    payloads: dict[int, dict[str, Any]]
+) -> dict[str, Any]:
+    """One aggregate payload from per-worker ``to_dict()`` payloads.
+
+    ``payloads`` maps worker shard index to that worker's payload.
+    Counters and gauges with the same rendered name sum; histograms are
+    kept per-worker under a ``worker="N"`` label.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for worker in sorted(payloads):
+        payload = payloads[worker]
+        for rendered, value in payload.get("counters", {}).items():
+            counters[rendered] = counters.get(rendered, 0) + int(value)
+        for rendered, value in payload.get("gauges", {}).items():
+            gauges[rendered] = gauges.get(rendered, 0.0) + float(value)
+        for rendered, stats in payload.get("histograms", {}).items():
+            histograms[_relabel(rendered, worker)] = dict(stats)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "workers": sorted(payloads),
+    }
+
+
+def render_payload_text(payload: dict[str, Any]) -> str:
+    """The scrape text rendering of a (possibly merged) payload dict."""
+    lines: list[str] = []
+    for rendered, count in sorted(payload.get("counters", {}).items()):
+        lines.append(f"{rendered} {count}")
+    for rendered, value in sorted(payload.get("gauges", {}).items()):
+        lines.append(f"{rendered} {value:g}")
+    for rendered, stats in sorted(payload.get("histograms", {}).items()):
+        for stat, value in stats.items():
+            lines.append(f"{_relabel_stat(rendered, stat)} {value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def _relabel_stat(rendered: str, stat: str) -> str:
+    label = f'stat="{stat}"'
+    if rendered.endswith("}"):
+        return f"{rendered[:-1]},{label}}}"
+    return f"{rendered}{{{label}}}"

@@ -52,6 +52,10 @@ OPS = frozenset(
         "health",
         "ready",
         "metrics",
+        "route",
+        "shards",
+        "query_fanout",
+        "export_snapshots",
     }
 )
 
@@ -66,6 +70,8 @@ ERROR_CODES = frozenset(
         "circuit_open",  # the tenant's ingest path is tripped; reads degrade
         "degraded_unavailable",  # degraded mode has no fallback snapshot yet
         "no_data",  # the tenant exists but holds zero elements
+        "rate_limited",  # the tenant's token bucket is empty (429-style)
+        "shard_unavailable",  # the owning worker shard could not be reached
         "shutting_down",  # graceful shutdown in progress
         "internal",  # handler exception, mapped — never swallowed
     }
@@ -77,6 +83,8 @@ HTTP_STATUS = {
     "unknown_tenant": 404,
     "no_data": 404,
     "overloaded": 429,
+    "rate_limited": 429,
+    "shard_unavailable": 503,
     "deadline_exceeded": 504,
     "ingest_failed": 422,
     "circuit_open": 503,
@@ -237,7 +245,9 @@ def http_request_to_request(
     """Map one shim HTTP request onto the shared :class:`Request` form.
 
     Routes: ``GET /health``, ``GET /ready``, ``GET /metrics``,
+    ``GET /shards``, ``GET /route?tenant=T``,
     ``GET /query?tenant=T&phi=0.5&phi=0.99``,
+    ``GET /fanout?phi=0.5&fanout_tenant=a&fanout_tenant=b``,
     ``GET /inverse?tenant=T&value=3.2``, ``GET /snapshot?tenant=T``,
     ``POST /ingest?tenant=T`` with a JSON body ``{"values": [...]}``.
     """
@@ -253,6 +263,26 @@ def http_request_to_request(
             return Request(op="ready", deadline_ms=deadline_ms)
         if route == "/metrics":
             return Request(op="metrics", deadline_ms=deadline_ms)
+        if route == "/shards":
+            return Request(op="shards", deadline_ms=deadline_ms)
+        if route == "/route":
+            return Request(op="route", tenant=tenant, deadline_ms=deadline_ms)
+        if route == "/fanout":
+            phis = []
+            for raw in args.get("phi", ()):
+                try:
+                    phis.append(float(raw))
+                except ValueError as exc:
+                    raise ProtocolError(
+                        "bad_request",
+                        f"query parameter phi={raw!r} is not a number",
+                    ) from exc
+            tenants = list(args.get("fanout_tenant", ()))
+            return Request(
+                op="query_fanout",
+                deadline_ms=deadline_ms,
+                args={"phis": phis, "tenants": tenants},
+            )
         if route == "/query":
             phis = []
             for raw in args.get("phi", ()):

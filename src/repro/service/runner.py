@@ -22,11 +22,17 @@ from collections.abc import Sequence
 
 from repro.service.chaos import ChaosPlan
 from repro.service.server import QuantileService, ServiceConfig
+from repro.service.supervisor import (
+    default_worker_count,
+    rehome_checkpoints,
+    serve_supervised,
+)
 
 __all__ = [
     "add_serve_parser",
     "build_config",
     "main",
+    "resolve_workers",
     "run_from_args",
     "serve_forever",
 ]
@@ -47,9 +53,33 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--backend",
-        choices=["python", "numpy"],
+        choices=["python", "numpy", "native"],
         default=None,
-        help="kernel backend (default: $REPRO_BACKEND, else python)",
+        help=(
+            "kernel backend (default: $REPRO_BACKEND if set, else native "
+            "when the extension is available, else python)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes sharing the port via SO_REUSEPORT "
+            "(0 = one per core; 1 = classic single process)"
+        ),
+    )
+    parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="per-tenant token-bucket rate in requests/second (0 = off)",
+    )
+    parser.add_argument(
+        "--rate-burst",
+        type=int,
+        default=0,
+        help="token-bucket burst capacity (0 = derived from --rate-limit)",
     )
     parser.add_argument(
         "--queue-depth",
@@ -111,7 +141,31 @@ def build_config(args: argparse.Namespace) -> ServiceConfig:
         checkpoint_interval=args.checkpoint_interval,
         keep_generations=args.keep_generations,
         shutdown_drain=args.shutdown_drain,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
     )
+
+
+def resolve_workers(args: argparse.Namespace) -> int:
+    """The worker count ``serve`` actually runs with.
+
+    ``--workers 0`` (the default) means one worker per usable core.  A
+    chaos plan forces a single process: chaos sequencing is a
+    deterministic per-process script, and a kernel that load-balances
+    connections across workers would scramble it.
+    """
+    workers = getattr(args, "workers", 0)
+    if workers < 0:
+        raise ValueError(f"--workers must be >= 0, got {workers}")
+    if getattr(args, "chaos", None):
+        if workers > 1:
+            print(
+                "# --chaos forces --workers 1 (deterministic sequencing)",
+                file=sys.stderr,
+                flush=True,
+            )
+        return 1
+    return workers if workers > 0 else default_worker_count()
 
 
 async def serve_forever(
@@ -153,8 +207,19 @@ def main(argv: Sequence[str] | None = None) -> int:
 def run_from_args(args: argparse.Namespace) -> int:
     """Shared driver for ``repro serve`` and ``python -m repro.service``."""
     chaos = ChaosPlan.from_file(args.chaos) if args.chaos else None
+    config = build_config(args)
+    workers = resolve_workers(args)
     try:
-        return asyncio.run(serve_forever(build_config(args), chaos))
+        if workers > 1:
+            return asyncio.run(serve_supervised(config, workers))
+        if config.checkpoint_dir is not None:
+            # A directory last served by a multi-worker layout folds its
+            # worker-*/ chains back under the root before the classic
+            # single process recovers.
+            rehome_checkpoints(
+                config.checkpoint_dir, 1, config.keep_generations
+            )
+        return asyncio.run(serve_forever(config, chaos))
     except KeyboardInterrupt:
         return 0
 

@@ -35,21 +35,34 @@ together here:
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
 import contextlib
+import json
+import os
 import time
 from collections.abc import Awaitable, Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
+from repro import persist
 from repro.core.parallel import merge_snapshots
+from repro.core.unknown_n import EstimatorSnapshot
+from repro.kernels import BACKEND_ENV_VAR, available_backends
 from repro.service.admission import (
     AdmissionController,
     Deadline,
     DeadlineExceeded,
     Overloaded,
+    RateLimited,
+    TokenBucket,
 )
 from repro.service.chaos import ChaosCrash, ChaosPlan
-from repro.service.metrics import MetricRegistry
+from repro.service.metrics import (
+    MetricRegistry,
+    merge_metric_payloads,
+    render_payload_text,
+)
 from repro.service.protocol import (
     HTTP_STATUS,
     MAX_LINE_BYTES,
@@ -68,9 +81,16 @@ from repro.service.tenants import (
     RecoveryReport,
     TenantRegistry,
     TenantState,
+    shard_for_tenant,
 )
 
-__all__ = ["IngestApplyError", "QuantileService", "ServiceConfig", "ShuttingDown"]
+__all__ = [
+    "IngestApplyError",
+    "QuantileService",
+    "ServiceConfig",
+    "ShuttingDown",
+    "resolve_backend",
+]
 
 #: Sentinel: abort the connection instead of writing a response.
 _RESET = object()
@@ -97,6 +117,34 @@ _STREAM_LIMIT_BYTES = MAX_LINE_BYTES + 1024
 #: Distinct phi tuples memoised per tenant between mutations; the cache
 #: is cleared on every ingest, so this only bounds one quiet period.
 _QUERY_CACHE_MAX_ENTRIES = 64
+
+#: Ops that act on exactly one tenant's sketch and therefore must run on
+#: the worker shard that owns the tenant.
+_TENANT_OPS = frozenset({"ingest", "query_many", "inverse_quantile", "snapshot"})
+
+#: Idle peer connections kept per shard in the forwarding pool; traffic
+#: beyond the pool opens (and then discards) extra connections rather
+#: than serialising behind one.
+_PEER_POOL_MAX = 8
+
+#: Ceiling on one peer RPC when the request's own deadline is longer.
+_PEER_RPC_TIMEOUT_SECONDS = 10.0
+
+
+def resolve_backend(configured: str | None) -> str | None:
+    """The kernel backend the service plans tenants with.
+
+    Explicit configuration wins; an exported ``REPRO_BACKEND`` keeps its
+    degrade-with-warning semantics (pass ``None`` through so
+    :func:`repro.kernels.get_backend` honours it); otherwise the service
+    defaults to the native backend whenever the extension imports — the
+    fastest bit-identical engine should not require opting in.
+    """
+    if configured is not None:
+        return configured
+    if os.environ.get(BACKEND_ENV_VAR):
+        return None
+    return "native" if "native" in available_backends() else None
 
 
 class ShuttingDown(Exception):
@@ -138,6 +186,20 @@ class ServiceConfig:
     breaker_probe_after: int = 4
     #: Bound (seconds) on draining ingest queues at graceful shutdown.
     shutdown_drain: float = 5.0
+    #: This process's shard in a multi-worker layout (0-based).
+    shard_index: int = 0
+    #: Worker shards in the layout; 1 means the classic single process.
+    shard_count: int = 1
+    #: Loopback peer port of every shard, indexed by shard; set by the
+    #: supervisor so workers can forward mis-routed tenant ops.
+    shard_ports: tuple[int, ...] = field(default_factory=tuple)
+    #: Bind listening sockets with ``SO_REUSEPORT`` (the supervisor holds
+    #: a non-listening reservation socket on the same address).
+    reuse_port: bool = False
+    #: Per-tenant token-bucket rate (requests/second); 0 disables.
+    rate_limit: float = 0.0
+    #: Token-bucket burst capacity; 0 derives it from the rate.
+    rate_burst: int = 0
 
 
 class QuantileService:
@@ -153,12 +215,23 @@ class QuantileService:
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.chaos = chaos
+        #: The kernel backend every tenant plans with (native by default
+        #: when the extension is importable; see :func:`resolve_backend`).
+        self.backend = resolve_backend(self.config.backend)
+        self.shard_index = self.config.shard_index
+        self.shard_count = max(1, self.config.shard_count)
+        self.shard_ports = tuple(self.config.shard_ports)
+        if self.shard_count > 1 and len(self.shard_ports) != self.shard_count:
+            raise ValueError(
+                f"shard_count={self.shard_count} needs one shard port per "
+                f"worker, got {len(self.shard_ports)}"
+            )
         self.registry = TenantRegistry(
             self.config.checkpoint_dir,
             eps=self.config.eps,
             delta=self.config.delta,
             master_seed=self.config.seed,
-            backend=self.config.backend,
+            backend=self.backend,
             keep_generations=self.config.keep_generations,
             breaker_threshold=self.config.breaker_threshold,
             breaker_probe_after=self.config.breaker_probe_after,
@@ -171,6 +244,13 @@ class QuantileService:
         self._pending_flushes: set[asyncio.Future[str]] = set()
         self._connections: set[asyncio.Task[None]] = set()
         self._server: asyncio.base_events.Server | None = None
+        self._shard_server: asyncio.base_events.Server | None = None
+        self._peer_pools: dict[
+            int, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+        ] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._bound_host = self.config.host
+        self._bound_port = 0
         self._request_seq = 0
         self._ready = False
         self._draining = False
@@ -187,6 +267,10 @@ class QuantileService:
             "health": self._op_health,
             "ready": self._op_ready,
             "metrics": self._op_metrics,
+            "route": self._op_route,
+            "shards": self._op_shards,
+            "query_fanout": self._op_query_fanout,
+            "export_snapshots": self._op_export_snapshots,
         }
 
     # ------------------------------------------------------------------
@@ -213,11 +297,25 @@ class QuantileService:
             self.config.host,
             self.config.port,
             limit=_STREAM_LIMIT_BYTES,
+            reuse_port=self.config.reuse_port or None,
         )
+        if self.shard_count > 1:
+            # The loopback peer port: mis-routed tenant ops forwarded by
+            # sibling shards arrive here.  The supervisor holds a bound,
+            # non-listening SO_REUSEPORT reservation on the same port, so
+            # a respawned worker re-binds the identical address.
+            self._shard_server = await asyncio.start_server(
+                self._on_peer_connection,
+                "127.0.0.1",
+                self.shard_ports[self.shard_index],
+                limit=_STREAM_LIMIT_BYTES,
+                reuse_port=True,
+            )
         sockname = self._server.sockets[0].getsockname()
+        self._bound_host, self._bound_port = str(sockname[0]), int(sockname[1])
         self._ready = True
         self._started_at = time.monotonic()
-        return str(sockname[0]), int(sockname[1])
+        return self._bound_host, self._bound_port
 
     def request_shutdown(self) -> None:
         """Signal-handler entry point: begin a graceful shutdown."""
@@ -241,6 +339,13 @@ class QuantileService:
             self._ready = False
             if self._server is not None:
                 self._server.close()
+            if self._shard_server is not None:
+                self._shard_server.close()
+            for pool in self._peer_pools.values():
+                for _reader, writer in pool:
+                    with contextlib.suppress(Exception):
+                        writer.close()
+            self._peer_pools.clear()
             drain_deadline = time.monotonic() + self.config.shutdown_drain
             while time.monotonic() < drain_deadline and any(
                 not queue.empty() for queue in self._queues.values()
@@ -273,6 +378,12 @@ class QuantileService:
                 with contextlib.suppress(TimeoutError, asyncio.TimeoutError):
                     await asyncio.wait_for(
                         self._server.wait_closed(),
+                        timeout=_CLOSE_TIMEOUT_SECONDS,
+                    )
+            if self._shard_server is not None:
+                with contextlib.suppress(TimeoutError, asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._shard_server.wait_closed(),
                         timeout=_CLOSE_TIMEOUT_SECONDS,
                     )
         finally:
@@ -316,8 +427,28 @@ class QuantileService:
         self._connections.add(task)
         task.add_done_callback(self._connections.discard)
 
-    async def _handle_connection(
+    def _on_peer_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """A sibling shard's forwarding connection on the loopback port.
+
+        Requests arriving here are already routed: a tenant op for a
+        tenant this shard does not own is answered ``shard_unavailable``
+        instead of being forwarded again, so a stale shard map can never
+        bounce a request around the ring.
+        """
+        task = asyncio.ensure_future(
+            self._handle_connection(reader, writer, from_peer=True)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        from_peer: bool = False,
     ) -> None:
         self.metrics.counter("connections_total").increment()
         try:
@@ -368,7 +499,9 @@ class QuantileService:
                     response: Any = error_response(None, exc.code, str(exc))
                     self.metrics.counter("errors_total", code=exc.code).increment()
                 else:
-                    response = await self._handle_request(request, seq)
+                    response = await self._handle_request(
+                        request, seq, from_peer=from_peer
+                    )
                 if response is _RESET:
                     self._abort(writer)
                     return
@@ -494,16 +627,176 @@ class QuantileService:
         return seq
 
     # ------------------------------------------------------------------
+    # Shard routing and per-tenant rate limits
+    # ------------------------------------------------------------------
+
+    def _owning_shard(self, request: Request) -> int | None:
+        """The shard a tenant op belongs on, or ``None`` when unrouted."""
+        if (
+            self.shard_count <= 1
+            or request.op not in _TENANT_OPS
+            or not request.tenant
+        ):
+            return None
+        return shard_for_tenant(request.tenant, self.shard_count)
+
+    def _bucket_for(self, name: str) -> TokenBucket:
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            burst = (
+                self.config.rate_burst
+                if self.config.rate_burst > 0
+                else max(1, int(self.config.rate_limit))
+            )
+            bucket = self._buckets[name] = TokenBucket(
+                self.config.rate_limit, burst
+            )
+        return bucket
+
+    def _check_rate_limit(self, request: Request) -> dict[str, Any] | None:
+        """The ``rate_limited`` response for an over-limit tenant op.
+
+        Enforced *before* admission control so a tenant over its
+        contract never consumes an in-flight slot, and only on the shard
+        that owns the tenant, so the bucket is a single global budget
+        rather than one budget per ingress worker.  Returns ``None``
+        when the request may proceed.
+        """
+        if (
+            self.config.rate_limit <= 0.0
+            or request.op not in _TENANT_OPS
+            or not request.tenant
+        ):
+            return None
+        try:
+            name = self.registry.validate_name(request.tenant)
+        except ValueError:
+            return None  # the handler rejects it as bad_request
+        owner = self._owning_shard(request)
+        if owner is not None and owner != self.shard_index:
+            return None  # the owner enforces its bucket
+        try:
+            self._bucket_for(name).admit(name)
+        except RateLimited as exc:
+            self.metrics.counter("rate_limited_total", tenant=name).increment()
+            self.metrics.counter("errors_total", code="rate_limited").increment()
+            return error_response(
+                request.request_id,
+                "rate_limited",
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+        return None
+
+    async def _peer_rpc(
+        self, shard: int, payload: dict[str, Any], deadline: Deadline
+    ) -> dict[str, Any]:
+        """One request/response exchange with a sibling shard.
+
+        Connections are pooled per peer on a free list: concurrent
+        forwards each pop an idle connection or open a fresh one, so
+        proxy traffic never serialises behind a single socket.  Any
+        failure maps to ``shard_unavailable`` — the caller's client sees
+        an explicit, retryable error, never a hang.
+        """
+        remaining = deadline.remaining()
+        timeout = (
+            _PEER_RPC_TIMEOUT_SECONDS
+            if remaining is None
+            else min(_PEER_RPC_TIMEOUT_SECONDS, max(0.001, remaining))
+        )
+        pool = self._peer_pools.setdefault(shard, [])
+        conn: tuple[asyncio.StreamReader, asyncio.StreamWriter] | None = None
+        try:
+            if pool:
+                conn = pool.pop()
+            else:
+                conn = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        "127.0.0.1",
+                        self.shard_ports[shard],
+                        limit=_STREAM_LIMIT_BYTES,
+                    ),
+                    timeout=timeout,
+                )
+            reader, writer = conn
+            writer.write(
+                json.dumps(payload, separators=(",", ":")).encode("utf-8")
+                + b"\n"
+            )
+            await asyncio.wait_for(writer.drain(), timeout=timeout)
+            line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+            if not line:
+                raise ConnectionError(f"shard {shard} closed the connection")
+            decoded = json.loads(line)
+            if not isinstance(decoded, dict):
+                raise ValueError(f"shard {shard} answered a non-object frame")
+        except (
+            TimeoutError,
+            asyncio.TimeoutError,
+            ConnectionError,
+            OSError,
+            ValueError,
+        ) as exc:
+            if conn is not None:
+                with contextlib.suppress(Exception):
+                    conn[1].close()
+            self.metrics.counter(
+                "forward_failures_total", shard=str(shard)
+            ).increment()
+            raise ProtocolError(
+                "shard_unavailable",
+                f"worker shard {shard} did not answer: "
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+        if len(pool) < _PEER_POOL_MAX and not self._draining:
+            pool.append(conn)
+        else:
+            with contextlib.suppress(Exception):
+                conn[1].close()
+        return decoded
+
+    async def _forward_to_shard(
+        self, owner: int, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        """Proxy one mis-routed tenant op to the shard that owns it.
+
+        The kernel's ``SO_REUSEPORT`` balancing spreads *connections*
+        over workers with no knowledge of tenants, so a request can land
+        anywhere; the owning worker is one loopback hop away.  The
+        remaining deadline travels with the forwarded frame, and the
+        peer's response (its ``id`` echo included) is returned verbatim.
+        """
+        payload: dict[str, Any] = {
+            "op": request.op,
+            "tenant": request.tenant,
+            **request.args,
+        }
+        if request.request_id is not None:
+            payload["id"] = request.request_id
+        remaining = deadline.remaining()
+        if remaining is not None:
+            payload["deadline_ms"] = max(1.0, remaining * 1000.0)
+        response = await self._peer_rpc(owner, payload, deadline)
+        self.metrics.counter("forwarded_total", shard=str(owner)).increment()
+        return response
+
+    # ------------------------------------------------------------------
     # Dispatch: every failure becomes an explicit, coded response
     # ------------------------------------------------------------------
 
-    async def _handle_request(self, request: Request, seq: int) -> Any:
+    async def _handle_request(
+        self, request: Request, seq: int, *, from_peer: bool = False
+    ) -> Any:
         deadline = Deadline.from_ms(
             request.deadline_ms, self.config.default_deadline
         )
         self.metrics.counter("requests_total", op=request.op).increment()
         started = time.perf_counter()
         code: str | None = None
+        limited = self._check_rate_limit(request)
+        if limited is not None:
+            return limited
         try:
             self._admission.admit()
         except Overloaded as exc:
@@ -525,9 +818,22 @@ class QuantileService:
                 self.chaos.maybe_crash(seq, f"op {request.op!r}")
             if self._draining and request.op not in ("health", "ready", "metrics"):
                 raise ShuttingDown("server is draining for shutdown")
-            handler = self._handlers[request.op]
-            body = await handler(request, deadline)
-            response = ok_response(request.request_id, **body)
+            owner = self._owning_shard(request)
+            if owner is not None and owner != self.shard_index:
+                if from_peer:
+                    # Never re-forward: a forwarded request landing on
+                    # the wrong shard means the maps disagree, and
+                    # bouncing it onward could loop forever.
+                    raise ProtocolError(
+                        "shard_unavailable",
+                        f"tenant {request.tenant!r} belongs to shard "
+                        f"{owner}, not shard {self.shard_index}",
+                    )
+                response = await self._forward_to_shard(owner, request, deadline)
+            else:
+                handler = self._handlers[request.op]
+                body = await handler(request, deadline)
+                response = ok_response(request.request_id, **body)
         except ProtocolError as exc:
             code = exc.code
             response = error_response(request.request_id, exc.code, str(exc))
@@ -839,12 +1145,11 @@ class QuantileService:
         self.metrics.counter(
             "query_cache_misses_total", tenant=state.name
         ).increment()
-        quantiles: list[float] = []
-        for phi in phis:
-            # The deadline propagates *into* the query work: a multi-phi
-            # request re-checks its budget before every quantile.
-            deadline.check(f"querying phi={phi:g}")
-            quantiles.append(state.estimator.query(phi))
+        # One batched walk over the merged view (a single native call on
+        # the C backend) instead of one rank search per phi; the budget
+        # is checked once up front since the batch is not interruptible.
+        deadline.check(f"querying {len(phis)} phis")
+        quantiles = state.estimator.query_many(phis)
         if len(state.query_cache) >= _QUERY_CACHE_MAX_ENTRIES:
             # FIFO bound: drop the oldest phi tuple (dict preserves
             # insertion order) so a scan of unique requests cannot grow
@@ -869,7 +1174,7 @@ class QuantileService:
             strict=False,
             expected_n=max(state.n, snapshot.n),
             seed=self.registry.tenant_seed(f"{state.name}#degraded"),
-            backend=self.config.backend,
+            backend=self.backend,
         )
         quantiles: list[float] = []
         for phi in phis:
@@ -958,6 +1263,9 @@ class QuantileService:
             "inflight": self._admission.inflight,
             "breakers_open": breakers_open,
             "shed_total": self._admission.shed_total,
+            "shard": self.shard_index,
+            "workers": self.shard_count,
+            "backend": self.backend,
         }
 
     async def _op_ready(
@@ -975,7 +1283,233 @@ class QuantileService:
     async def _op_metrics(
         self, request: Request, deadline: Deadline
     ) -> dict[str, Any]:
-        return {
-            "text": self.metrics.render_text(),
-            "metrics": self.metrics.to_dict(),
+        if self.shard_count <= 1 or request.args.get("local"):
+            return {
+                "text": self.metrics.render_text(),
+                "metrics": self.metrics.to_dict(),
+                "shard": self.shard_index,
+            }
+        # Aggregated scrape: collect every sibling's registry payload and
+        # merge (counters/gauges sum; histograms stay per-worker).  A
+        # peer that cannot answer is reported, not silently omitted.
+        payloads = {self.shard_index: self.metrics.to_dict()}
+        missing: list[int] = []
+        for shard in range(self.shard_count):
+            if shard == self.shard_index:
+                continue
+            deadline.check(f"scraping worker shard {shard}")
+            try:
+                answer = await self._peer_rpc(
+                    shard, {"op": "metrics", "local": True}, deadline
+                )
+            except ProtocolError:
+                missing.append(shard)
+                continue
+            if answer.get("ok") and isinstance(answer.get("metrics"), dict):
+                payloads[shard] = answer["metrics"]
+            else:
+                missing.append(shard)
+        merged = merge_metric_payloads(payloads)
+        body: dict[str, Any] = {
+            "text": render_payload_text(merged),
+            "metrics": merged,
         }
+        if missing:
+            body["shards_missing"] = missing
+        return body
+
+    # ------------------------------------------------------------------
+    # Shard-aware ops
+    # ------------------------------------------------------------------
+
+    async def _op_route(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        """Where a tenant lives: smart clients connect straight to the
+        owning shard's loopback port and skip the forwarding hop."""
+        name = self._require_tenant_name(request)
+        if self.shard_count <= 1:
+            return {
+                "tenant": name,
+                "shard": 0,
+                "workers": 1,
+                "host": self._bound_host,
+                "port": self._bound_port,
+            }
+        owner = shard_for_tenant(name, self.shard_count)
+        return {
+            "tenant": name,
+            "shard": owner,
+            "workers": self.shard_count,
+            "host": "127.0.0.1",
+            "port": self.shard_ports[owner],
+        }
+
+    def _local_shard_info(self) -> dict[str, Any]:
+        names = self.registry.names()
+        total_n = 0
+        for name in names:
+            state = self.registry.get(name)
+            if state is not None:
+                total_n += state.n
+        return {
+            "shard": self.shard_index,
+            "pid": os.getpid(),
+            "port": (
+                self.shard_ports[self.shard_index]
+                if self.shard_count > 1
+                else self._bound_port
+            ),
+            "tenants": len(names),
+            "n_total": total_n,
+        }
+
+    async def _op_shards(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        if self.shard_count <= 1 or request.args.get("local"):
+            return {"workers": self.shard_count, "shards": [self._local_shard_info()]}
+        shards: list[dict[str, Any]] = [self._local_shard_info()]
+        for shard in range(self.shard_count):
+            if shard == self.shard_index:
+                continue
+            deadline.check(f"asking worker shard {shard} for its state")
+            try:
+                answer = await self._peer_rpc(
+                    shard, {"op": "shards", "local": True}, deadline
+                )
+            except ProtocolError as exc:
+                shards.append({"shard": shard, "error": str(exc)})
+                continue
+            if answer.get("ok") and isinstance(answer.get("shards"), list):
+                shards.extend(answer["shards"])
+            else:
+                shards.append({"shard": shard, "error": "bad peer answer"})
+        shards.sort(key=lambda info: int(info.get("shard", -1)))
+        return {"workers": self.shard_count, "shards": shards}
+
+    async def _op_export_snapshots(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        """Ship locally-owned tenants' snapshots as checkpoint frames.
+
+        Inherently local — it never forwards — so the fan-out read path
+        (:meth:`_op_query_fanout`) cannot loop or deadlock through it.
+        A named tenant this shard does not hold exports as ``None``.
+        """
+        raw = request.args.get("tenants")
+        if not isinstance(raw, list) or not all(
+            isinstance(name, str) for name in raw
+        ):
+            raise ProtocolError(
+                "bad_request", "export_snapshots needs a 'tenants' name array"
+            )
+        snapshots: dict[str, str | None] = {}
+        for name in raw:
+            deadline.check(f"exporting tenant {name!r}")
+            state = self.registry.get(name)
+            if state is None or state.n == 0:
+                snapshots[name] = None
+                continue
+            frame = persist.dumps(state.estimator.snapshot())
+            snapshots[name] = base64.b64encode(frame).decode("ascii")
+        return {"shard": self.shard_index, "snapshots": snapshots}
+
+    async def _op_query_fanout(
+        self, request: Request, deadline: Deadline
+    ) -> dict[str, Any]:
+        """Quantiles over the union of several tenants' streams.
+
+        The Section 6 lossless-merge read across shards: each owning
+        worker exports checkpoint-framed snapshots, this worker merges
+        them (``strict=False``) and answers with the coverage the merge
+        actually rests on — a missing shard degrades the answer
+        explicitly instead of failing it.
+        """
+        phis = self._parse_phis(request)
+        raw = request.args.get("tenants")
+        if (
+            not isinstance(raw, list)
+            or not raw
+            or not all(isinstance(name, str) for name in raw)
+        ):
+            raise ProtocolError(
+                "bad_request", "query_fanout needs a non-empty 'tenants' array"
+            )
+        tenants = [self.registry.validate_name(name) for name in raw]
+        by_shard: dict[int, list[str]] = {}
+        for name in tenants:
+            owner = (
+                shard_for_tenant(name, self.shard_count)
+                if self.shard_count > 1
+                else self.shard_index
+            )
+            by_shard.setdefault(owner, []).append(name)
+        snapshots: dict[str, EstimatorSnapshot | None] = {}
+        missing: list[str] = []
+        for shard, names in sorted(by_shard.items()):
+            if shard == self.shard_index:
+                for name in names:
+                    state = self.registry.get(name)
+                    if state is None or state.n == 0:
+                        snapshots[name] = None
+                    else:
+                        snapshots[name] = state.estimator.snapshot()
+                continue
+            deadline.check(f"collecting snapshots from shard {shard}")
+            try:
+                answer = await self._peer_rpc(
+                    shard,
+                    {"op": "export_snapshots", "tenants": names},
+                    deadline,
+                )
+            except ProtocolError:
+                for name in names:
+                    snapshots[name] = None
+                continue
+            shipped = answer.get("snapshots") if answer.get("ok") else None
+            if not isinstance(shipped, dict):
+                shipped = {}
+            for name in names:
+                snapshots[name] = self._decode_snapshot(shipped.get(name))
+        ordered = [snapshots.get(name) for name in tenants]
+        missing = [
+            name for name, snap in zip(tenants, ordered) if snap is None
+        ]
+        if all(snap is None for snap in ordered):
+            raise ProtocolError(
+                "no_data",
+                f"none of {tenants!r} holds data anywhere in the layout",
+            )
+        deadline.check("merging fan-out snapshots")
+        merged = merge_snapshots(
+            ordered,
+            strict=False,
+            seed=self.registry.tenant_seed("#fanout"),
+            backend=self.backend,
+        )
+        quantiles: list[float] = []
+        for phi in phis:
+            deadline.check(f"fan-out querying phi={phi:g}")
+            quantiles.append(merged.query(phi))
+        report = merged.report
+        coverage = report.weight_coverage if report is not None else 1.0
+        self.metrics.counter("fanout_queries_total").increment()
+        return {
+            "tenants": tenants,
+            "quantiles": quantiles,
+            "n": merged.n,
+            "coverage": coverage,
+            "missing": missing,
+            "degraded": bool(missing),
+        }
+
+    @staticmethod
+    def _decode_snapshot(encoded: Any) -> EstimatorSnapshot | None:
+        if not isinstance(encoded, str):
+            return None
+        try:
+            restored = persist.loads(base64.b64decode(encoded.encode("ascii")))
+        except (persist.CheckpointError, binascii.Error, ValueError):
+            return None
+        return restored if isinstance(restored, EstimatorSnapshot) else None

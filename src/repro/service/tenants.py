@@ -44,6 +44,8 @@ __all__ = [
     "RecoveryReport",
     "TenantState",
     "TenantRegistry",
+    "shard_for_tenant",
+    "tenant_chain_name",
 ]
 
 #: Tenant names must be filesystem- and label-safe.
@@ -51,6 +53,48 @@ _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 _CKPT_PREFIX = "tenant-"
 _CKPT_SUFFIX = ".ckpt"
+
+
+def shard_for_tenant(name: str, workers: int) -> int:
+    """The worker shard that owns ``name`` in a ``workers``-wide layout.
+
+    SHA-256 over a fixed domain tag and the tenant name, first 8 bytes
+    big-endian, modulo the worker count — the same derivation family as
+    :func:`repro.runtime.seed_for_worker` and
+    :meth:`TenantRegistry.tenant_seed`, and deliberately *seed-independent*
+    so the mapping survives a master-seed change and every process
+    (supervisor, workers, smart clients) computes it identically.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    payload = f"repro.service:shard:{name}".encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") % workers
+
+
+def tenant_chain_name(entry: str) -> str | None:
+    """The tenant a checkpoint-chain file belongs to, or ``None``.
+
+    Accepts any generation of the rotating chain
+    (``tenant-<name>.ckpt``, ``tenant-<name>.ckpt.1``, ...) and returns
+    the validated tenant name; anything else — foreign files, invalid
+    names — returns ``None`` so directory walks skip it.
+    """
+    if not entry.startswith(_CKPT_PREFIX):
+        return None
+    stem = entry[len(_CKPT_PREFIX):]
+    if stem.endswith(_CKPT_SUFFIX):
+        name = stem[: -len(_CKPT_SUFFIX)]
+    else:
+        marker = stem.rfind(_CKPT_SUFFIX + ".")
+        if marker < 0:
+            return None
+        generation = stem[marker + len(_CKPT_SUFFIX) + 1 :]
+        if not generation.isdigit():
+            return None
+        name = stem[:marker]
+    if not _TENANT_RE.match(name):
+        return None
+    return name
 
 
 class CircuitOpenError(Exception):

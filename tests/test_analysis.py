@@ -504,6 +504,64 @@ class TestServiceHygienePass:
         )
         assert "RPL601" not in codes_for(elsewhere, config)
 
+    def test_raw_fork_outside_supervisor_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.service.sneaky",
+            "__all__ = []\nimport os\n\n\ndef f():\n    return os.fork()\n",
+        )
+        assert "RPL604" in codes_for(bad, config)
+
+    def test_raw_multiprocessing_process_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.service.sneaky",
+            "__all__ = []\nimport multiprocessing\n\n\ndef f(work):\n"
+            "    multiprocessing.Process(target=work).start()\n",
+        )
+        assert "RPL604" in codes_for(bad, config)
+
+    def test_context_bound_process_flagged(self, tmp_path, config):
+        # ctx.Process resolves to no importable dotted name, but still
+        # creates a process the supervisor is not watching.
+        bad = write_module(
+            tmp_path,
+            "repro.service.sneaky",
+            "__all__ = []\nimport multiprocessing as mp\n\n\ndef f(work):\n"
+            "    ctx = mp.get_context('spawn')\n"
+            "    ctx.Process(target=work).start()\n",
+        )
+        assert "RPL604" in codes_for(bad, config)
+
+    def test_subprocess_popen_flagged(self, tmp_path, config):
+        bad = write_module(
+            tmp_path,
+            "repro.service.sneaky",
+            "__all__ = []\nimport subprocess\n\n\ndef f():\n"
+            "    subprocess.Popen(['sleep', '1'])\n",
+        )
+        assert "RPL604" in codes_for(bad, config)
+
+    def test_supervisor_module_may_spawn(self, tmp_path, config):
+        good = write_module(
+            tmp_path,
+            "repro.service.supervisor",
+            "__all__ = []\nimport multiprocessing as mp\n\n\ndef f(work):\n"
+            "    ctx = mp.get_context('spawn')\n"
+            "    return ctx.Process(target=work)\n",
+        )
+        assert "RPL604" not in codes_for(good, config)
+
+    def test_spawn_rule_scoped_to_service_package(self, tmp_path, config):
+        # The runtime package has its own supervised pools; RPL604 only
+        # polices the serving tier.
+        elsewhere = write_module(
+            tmp_path,
+            "repro.runtime.pooly",
+            "__all__ = []\nimport os\n\n\ndef f():\n    return os.fork()\n",
+        )
+        assert "RPL604" not in codes_for(elsewhere, config)
+
 
 # ----------------------------------------------------------------------
 # Suppression comments

@@ -219,6 +219,33 @@ class TestNativeBitIdentity:
         assert list(py.values) == list(nat.values)
         assert list(py.cumweights) == list(nat.cumweights)
 
+    @settings(max_examples=60, deadline=None)
+    @given(inputs=weighted_buffers, data=st.data())
+    def test_select_many_bit_identical_to_per_position_selects(
+        self, inputs, data
+    ):
+        # The vectorised rank walk answers exactly what one reference
+        # select per position answers — in every order, so both the
+        # ascending floor-reuse fast path and full restarts are covered.
+        native = get_backend("native")
+        nat = native.merged_view(inputs)
+        py = PYTHON_BACKEND.merged_view(inputs)
+        total = nat.total_weight
+        if total == 0:
+            assert nat.select_many([]) == []
+            return
+        positions = data.draw(
+            st.lists(st.integers(1, total), min_size=1, max_size=30)
+        )
+        for probe in (sorted(positions), positions, sorted(positions)[::-1]):
+            assert nat.select_many(probe) == [py.select(p) for p in probe]
+
+    def test_select_many_rejects_position_past_total_weight(self):
+        native = get_backend("native")
+        view = native.merged_view([(array("d", [1.0, 2.0]), 3)])
+        with pytest.raises(ValueError, match="exceeds total weight 6"):
+            view.select_many([3, 7])
+
     @settings(max_examples=40, deadline=None)
     @given(values=st.lists(st.floats(-1e300, 1e300, allow_nan=False), max_size=200))
     def test_sort_values_identical(self, values):
